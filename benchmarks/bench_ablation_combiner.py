@@ -1,0 +1,106 @@
+"""Ablation A2: the linear regressor vs alternative combining stages.
+
+DESIGN.md calls out the combiner as the paper's key design choice: the
+architecture-centric stage is "a simple linear regressor" over the
+program models' outputs.  This ablation pits it against the obvious
+alternatives under the same 32 responses:
+
+* mean-of-models (no learning at all),
+* nearest-program (copy the training model closest on the responses),
+* ridge sweep (how sensitive is the fit to regularisation?).
+"""
+
+import numpy as np
+
+from scale import RESPONSES, SAMPLE_SIZE, TRAINING_SIZE
+
+from repro.core import ArchitectureCentricPredictor
+from repro.exploration import format_table, scale_banner
+from repro.ml import correlation, rmae
+from repro.sim import Metric
+
+PROGRAMS = ("gzip", "applu", "swim", "art")
+
+
+def _score(predictions, actual):
+    return rmae(predictions, actual), correlation(predictions, actual)
+
+
+def test_ablation_combiner(benchmark, spec_dataset, pools, record_artifact):
+    pool = pools(Metric.CYCLES)
+
+    def run():
+        per_variant = {}
+        for program in PROGRAMS:
+            models = pool.models(exclude=[program])
+            response_idx, holdout_idx = spec_dataset.split_indices(
+                RESPONSES, seed=515
+            )
+            response_configs = spec_dataset.subset_configs(response_idx)
+            response_values = spec_dataset.subset_values(
+                program, Metric.CYCLES, response_idx
+            )
+            holdout_configs = spec_dataset.subset_configs(holdout_idx)
+            actual = spec_dataset.subset_values(
+                program, Metric.CYCLES, holdout_idx
+            )
+
+            # Linear regressor (the paper) at several ridge strengths.
+            for ridge in (1e-3, 5e-2, 5e-1):
+                predictor = ArchitectureCentricPredictor(models, ridge=ridge)
+                predictor.fit_responses(response_configs, response_values)
+                per_variant.setdefault(f"linear (ridge={ridge:g})", []).append(
+                    _score(predictor.predict(holdout_configs), actual)
+                )
+
+            # Mean of models.
+            stack = np.stack(
+                [model.predict(holdout_configs) for model in models]
+            )
+            per_variant.setdefault("mean-of-models", []).append(
+                _score(stack.mean(axis=0), actual)
+            )
+
+            # Nearest program by response rmae, rescaled on the responses.
+            response_errors = [
+                rmae(model.predict(response_configs), response_values)
+                for model in models
+            ]
+            nearest = models[int(np.argmin(response_errors))]
+            scale = np.median(
+                response_values / nearest.predict(response_configs)
+            )
+            per_variant.setdefault("nearest-program", []).append(
+                _score(scale * nearest.predict(holdout_configs), actual)
+            )
+        return per_variant
+
+    per_variant = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    summary = {}
+    for variant, scores in per_variant.items():
+        mean_rmae = float(np.mean([s[0] for s in scores]))
+        mean_corr = float(np.mean([s[1] for s in scores]))
+        summary[variant] = (mean_rmae, mean_corr)
+        rows.append((variant, round(mean_rmae, 1), round(mean_corr, 3)))
+    text = (
+        scale_banner(
+            "Ablation A2 — combining stage alternatives",
+            samples=SAMPLE_SIZE, T=TRAINING_SIZE, R=RESPONSES,
+            programs=len(PROGRAMS),
+        )
+        + "\n"
+        + format_table(("combiner", "rmae%", "corr"), rows)
+    )
+    record_artifact("ablation_combiner", text)
+
+    linear_rmae = summary["linear (ridge=0.05)"][0]
+    # The paper's choice must beat both non-learning alternatives.
+    assert linear_rmae < summary["mean-of-models"][0]
+    assert linear_rmae < summary["nearest-program"][0]
+    # And must not hinge on a delicate ridge setting.
+    ridge_errors = [
+        value[0] for key, value in summary.items() if key.startswith("linear")
+    ]
+    assert max(ridge_errors) < 2.5 * min(ridge_errors)

@@ -1,0 +1,84 @@
+"""Ablation A1: the three simulator tiers against each other.
+
+The large experiments use the fast interval model; this ablation checks
+that the other two tiers — the Monte Carlo statistical simulator and
+the detailed trace-driven pipeline simulator — rank configurations
+consistently with it.  Perfect agreement is not expected (the pipeline
+model is trace-driven with cold-ish caches at this trace length and no
+wrong-path execution; the Monte Carlo model carries sampling noise);
+what matters for design space exploration is positive rank agreement on
+both performance and energy.
+"""
+
+import numpy as np
+
+from repro.designspace import DesignSpace, sample_configurations
+from repro.exploration import format_table, scale_banner
+from repro.sim import IntervalSimulator, MonteCarloSimulator
+from repro.sim.pipeline import PipelineSimulator
+from repro.workloads import generate_trace, spec2000_suite
+
+PROGRAM = "gzip"
+CONFIGS = 10
+TRACE_LENGTH = 40_000
+WARMUP = 20_000
+
+
+def _spearman(a, b) -> float:
+    ranks = lambda x: np.argsort(np.argsort(x))
+    return float(np.corrcoef(ranks(a), ranks(b))[0, 1])
+
+
+def test_ablation_simulator_fidelity(benchmark, record_artifact):
+    space = DesignSpace()
+    profile = spec2000_suite()[PROGRAM]
+    configs = sample_configurations(space, CONFIGS, seed=404)
+    trace = generate_trace(profile, TRACE_LENGTH)
+    interval = IntervalSimulator(space).simulate_batch(profile, configs)
+
+    def run_pipeline():
+        cycles, energy = [], []
+        for config in configs:
+            result = PipelineSimulator(config).run(trace, warmup=WARMUP)
+            cycles.append(result.cycles)
+            energy.append(result.energy)
+        return np.array(cycles), np.array(energy)
+
+    pipe_cycles, pipe_energy = benchmark.pedantic(
+        run_pipeline, rounds=1, iterations=1
+    )
+    montecarlo = MonteCarloSimulator(space, replications=12)
+    mc_cycles = np.array(
+        [montecarlo.simulate(profile, c, seed=11).cycles for c in configs]
+    )
+
+    cycles_rank = _spearman(pipe_cycles, interval.cycles)
+    energy_rank = _spearman(pipe_energy, interval.energy)
+    mc_rank = _spearman(mc_cycles, interval.cycles)
+
+    rows = [
+        (i, f"{interval.cycles[i]:.3e}", pipe_cycles[i],
+         f"{interval.energy[i]:.3e}", f"{pipe_energy[i]:.3e}")
+        for i in range(CONFIGS)
+    ]
+    text = (
+        scale_banner(
+            "Ablation A1 — interval vs pipeline simulator",
+            program=PROGRAM, configs=CONFIGS, trace=TRACE_LENGTH,
+            warmup=WARMUP,
+        )
+        + "\n"
+        + format_table(
+            ("config", "interval cycles", "pipeline cycles",
+             "interval energy", "pipeline energy"),
+            rows,
+        )
+        + f"\n\nrank agreement vs interval model: "
+        f"pipeline cycles {cycles_rank:.2f}, pipeline energy "
+        f"{energy_rank:.2f}, monte-carlo cycles {mc_rank:.2f}"
+    )
+    record_artifact("ablation_simulator_fidelity", text)
+
+    assert cycles_rank > 0.4
+    assert energy_rank > 0.6
+    assert mc_rank > 0.5

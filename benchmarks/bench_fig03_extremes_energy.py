@@ -1,0 +1,37 @@
+"""Fig. 3: parameter-value frequencies in the best/worst 1% for energy."""
+
+from bench_fig02_extremes_cycles import _render
+from scale import SAMPLE_SIZE
+
+from repro.analysis import extreme_frequencies
+from repro.exploration import scale_banner
+from repro.sim import Metric
+
+
+def test_fig03_extremes_energy(benchmark, spec_dataset, record_artifact):
+    def regenerate():
+        best = extreme_frequencies(spec_dataset, Metric.ENERGY, "best")
+        worst = extreme_frequencies(spec_dataset, Metric.ENERGY, "worst")
+        return best, worst
+
+    best, worst = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    banner = scale_banner(
+        "Fig 3 — parameter frequencies in best/worst 1% (energy)",
+        samples=SAMPLE_SIZE, tail="1%",
+    )
+    text = (
+        f"{banner}\n\n(a-f) best 1%\n{_render(best)}\n\n"
+        f"(g-l) worst 1%\n{_render(worst)}"
+    )
+    record_artifact("fig03_extremes_energy", text)
+
+    # Section 3.4: worst energy = wide pipeline + small RF + large L2;
+    # best energy = narrow pipeline + few read ports + small L2.
+    assert worst.top_value("l2cache_kb")[0] == 4096
+    assert worst.top_value("rf_size")[0] == 40
+    assert worst.top_value("width")[0] == 8
+    assert best.lift("width", 2) > 3.0
+    small_l2 = (best.frequencies["l2cache_kb"][256]
+                + best.frequencies["l2cache_kb"][512])
+    assert small_l2 > best.frequencies["l2cache_kb"][4096]

@@ -1,0 +1,52 @@
+"""Fig. 4: per-program design-space characteristics for all 4 metrics."""
+
+from scale import SAMPLE_SIZE
+
+from repro.analysis import suite_statistics
+from repro.exploration import format_table, scale_banner
+from repro.sim import Metric
+
+
+def test_fig04_program_variation(benchmark, spec_dataset, record_artifact):
+    def regenerate():
+        return {
+            metric: suite_statistics(spec_dataset, metric)
+            for metric in Metric.all()
+        }
+
+    per_metric = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    sections = [
+        scale_banner(
+            "Fig 4 — per-program space statistics (10M-instruction phase)",
+            samples=SAMPLE_SIZE,
+        )
+    ]
+    for metric, stats in per_metric.items():
+        rows = [
+            (
+                s.program,
+                f"{s.minimum:.3e}",
+                f"{s.quartile25:.3e}",
+                f"{s.median:.3e}",
+                f"{s.quartile75:.3e}",
+                f"{s.maximum:.3e}",
+                f"{s.baseline:.3e}",
+                f"{s.spread:.1f}x",
+            )
+            for s in stats.values()
+        ]
+        table = format_table(
+            ("program", "min", "q25", "median", "q75", "max", "baseline",
+             "spread"),
+            rows,
+        )
+        sections.append(f"\n({metric.value})\n{table}")
+    record_artifact("fig04_program_variation", "\n".join(sections))
+
+    cycles = per_metric[Metric.CYCLES]
+    # Fig. 4a: programs differ wildly in level (mcf slowest) and spread
+    # (art varies enormously, parser only slightly).
+    medians = {name: s.median for name, s in cycles.items()}
+    assert max(medians, key=medians.get) in ("mcf", "art")
+    assert cycles["art"].spread > 1.5 * cycles["parser"].spread

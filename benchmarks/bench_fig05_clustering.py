@@ -1,0 +1,62 @@
+"""Fig. 5: hierarchical clustering of SPEC CPU 2000 (4 dendrograms)."""
+
+import numpy as np
+
+from scale import SAMPLE_SIZE
+
+from repro.analysis import (
+    average_linkage,
+    distance_matrix,
+    merge_height_of,
+    outlier_scores,
+    render_dendrogram,
+)
+from repro.exploration import scale_banner
+from repro.sim import Metric
+
+
+def test_fig05_clustering(benchmark, spec_dataset, record_artifact):
+    def regenerate():
+        result = {}
+        for metric in Metric.all():
+            distances, programs = distance_matrix(spec_dataset, metric)
+            result[metric] = (
+                average_linkage(distances, programs),
+                outlier_scores(distances, programs),
+            )
+        return result
+
+    per_metric = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    sections = [
+        scale_banner(
+            "Fig 5 — hierarchical clustering (average linkage, "
+            "baseline-normalised euclidean distance)",
+            samples=SAMPLE_SIZE,
+        )
+    ]
+    for metric, (root, scores) in per_metric.items():
+        ranked = sorted(scores.items(), key=lambda kv: -kv[1])[:5]
+        outliers = ", ".join(f"{name} ({score:.1f})" for name, score in ranked)
+        sections.append(
+            f"\n({metric.value}) top outliers by mean distance: {outliers}\n"
+            + render_dendrogram(root)
+        )
+    record_artifact("fig05_clustering", "\n".join(sections))
+
+    # Section 4.2: art and mcf are the suite's outliers on every
+    # metric (art tops most; mcf leads for cycles in our substrate).
+    art_top_count = 0
+    for metric, (root, scores) in per_metric.items():
+        ranked = sorted(scores, key=scores.get, reverse=True)
+        assert "art" in ranked[:2]
+        assert "mcf" in ranked[:4]
+        if ranked[0] == "art":
+            art_top_count += 1
+        others = [
+            merge_height_of(root, p)
+            for p in spec_dataset.programs
+            if p != "art"
+        ]
+        assert merge_height_of(root, "art") > np.percentile(others, 75)
+    assert art_top_count >= 2

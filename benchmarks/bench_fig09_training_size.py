@@ -1,0 +1,62 @@
+"""Fig. 9: program-specific accuracy vs training-set size T.
+
+The paper concludes T = 512 is the sweet spot: more simulations per
+training program buy little further rmae or correlation.
+"""
+
+from scale import SAMPLE_SIZE
+
+from repro.exploration import format_series, scale_banner, training_size_sweep
+from repro.sim import Metric
+
+#: Reduced program subset (the full sweep over 26 programs x 4 metrics
+#: is a paper-scale run); chosen to span behaviours incl. the outlier.
+PROGRAMS = ("gzip", "crafty", "parser", "applu", "swim", "mesa", "galgel",
+            "art")
+SIZES = (16, 32, 64, 128, 256, 512)
+
+
+def test_fig09_training_size(benchmark, spec_dataset, record_artifact):
+    def regenerate():
+        return {
+            metric: training_size_sweep(
+                spec_dataset, metric, sizes=SIZES, repeats=1,
+                programs=PROGRAMS,
+            )
+            for metric in (Metric.CYCLES, Metric.ENERGY, Metric.ED,
+                           Metric.EDD)
+        }
+
+    sweeps = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    sections = [
+        scale_banner(
+            "Fig 9 — program-specific accuracy vs training size T",
+            samples=SAMPLE_SIZE, programs=len(PROGRAMS), repeats=1,
+        )
+    ]
+    for metric, sweep in sweeps.items():
+        sections.append(
+            f"\n({metric.value})\n"
+            + format_series(
+                "T",
+                sweep.budgets(),
+                {
+                    "rmae%": [p.rmae_mean for p in sweep.points],
+                    "corr": [p.correlation_mean for p in sweep.points],
+                },
+            )
+        )
+    record_artifact("fig09_training_size", "\n".join(sections))
+
+    for metric, sweep in sweeps.items():
+        first, last = sweep.points[0], sweep.points[-1]
+        # Accuracy improves with T (the figure's monotone trend) and the
+        # paper's T = 512 operating point reaches high accuracy.  Note:
+        # in our substrate the curve has not fully plateaued at 512 (the
+        # Adam-trained MLP keeps improving with data); EXPERIMENTS.md
+        # records this deviation.
+        assert last.rmae_mean < first.rmae_mean
+        assert last.correlation_mean > first.correlation_mean
+        if metric in (Metric.CYCLES, Metric.ENERGY):
+            assert last.correlation_mean > 0.8

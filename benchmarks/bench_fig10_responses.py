@@ -1,0 +1,58 @@
+"""Fig. 10: architecture-centric accuracy vs response count R.
+
+The paper fixes T = 512 and concludes R = 32 responses are enough to
+characterise a new program: more responses bring no significant gain.
+"""
+
+from scale import SAMPLE_SIZE, TRAINING_SIZE
+
+from repro.exploration import format_series, response_sweep, scale_banner
+from repro.sim import Metric
+
+PROGRAMS = ("gzip", "crafty", "parser", "applu", "swim", "mesa", "galgel",
+            "art")
+COUNTS = (4, 8, 16, 32, 64, 128)
+
+
+def test_fig10_responses(benchmark, spec_dataset, record_artifact):
+    def regenerate():
+        return {
+            metric: response_sweep(
+                spec_dataset, metric, counts=COUNTS,
+                training_size=TRAINING_SIZE, repeats=3, programs=PROGRAMS,
+            )
+            for metric in Metric.all()
+        }
+
+    sweeps = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    sections = [
+        scale_banner(
+            "Fig 10 — architecture-centric accuracy vs responses R",
+            samples=SAMPLE_SIZE, T=TRAINING_SIZE, programs=len(PROGRAMS),
+            repeats=3,
+        )
+    ]
+    for metric, sweep in sweeps.items():
+        sections.append(
+            f"\n({metric.value})\n"
+            + format_series(
+                "R",
+                sweep.budgets(),
+                {
+                    "rmae%": [p.rmae_mean for p in sweep.points],
+                    "corr": [p.correlation_mean for p in sweep.points],
+                },
+            )
+        )
+    record_artifact("fig10_responses", "\n".join(sections))
+
+    for metric, sweep in sweeps.items():
+        by_budget = {p.budget: p for p in sweep.points}
+        # R = 32 beats tiny response sets...
+        assert by_budget[32].rmae_mean < by_budget[4].rmae_mean
+        # ...and going to 128 responses gains comparatively little.
+        assert by_budget[128].rmae_mean > 0.45 * by_budget[32].rmae_mean
+        # Correlation at the paper's operating point is high.
+        if metric in (Metric.CYCLES, Metric.ENERGY):
+            assert by_budget[32].correlation_mean > 0.85

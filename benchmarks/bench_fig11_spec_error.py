@@ -1,0 +1,69 @@
+"""Fig. 11: per-SPEC-program training and testing error (4 metrics).
+
+Leave-one-out over the whole suite.  The paper reports averages of about
+8% (cycles), 8% (energy), 14% (ED) and 21% (EDD), with art and mcf the
+hardest programs — and shows the training error tracks the testing
+error, giving the architect a confidence signal.
+"""
+
+import numpy as np
+
+from scale import REPEATS, RESPONSES, SAMPLE_SIZE, TRAINING_SIZE
+
+from repro.exploration import ascii_bar_chart, scale_banner
+from repro.exploration.experiments import spec_error_experiment
+from repro.sim import Metric
+
+
+def test_fig11_spec_error(benchmark, spec_dataset, record_artifact):
+    def regenerate():
+        return {
+            metric: spec_error_experiment(
+                spec_dataset, metric, repeats=REPEATS,
+                training_size=TRAINING_SIZE, responses=RESPONSES,
+            )
+            for metric in Metric.all()
+        }
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    sections = [
+        scale_banner(
+            "Fig 11 — leave-one-out error per SPEC CPU 2000 program",
+            samples=SAMPLE_SIZE, T=TRAINING_SIZE, R=RESPONSES,
+            repeats=REPEATS,
+        )
+    ]
+    for metric, result in results.items():
+        programs = list(result.summaries)
+        chart = ascii_bar_chart(
+            programs,
+            [result.summaries[p].mean_rmae for p in programs],
+            unit="%",
+        )
+        train = np.mean(
+            [result.summaries[p].mean_training_error for p in programs]
+        )
+        sections.append(
+            f"\n({metric.value}) mean testing rmae "
+            f"{result.mean_rmae:.1f}% (training {train:.1f}%), "
+            f"mean corr {result.mean_correlation:.3f}\n{chart}"
+        )
+    record_artifact("fig11_spec_error", "\n".join(sections))
+
+    cycles = results[Metric.CYCLES]
+    # art and mcf are the hardest programs (Section 7.2).
+    errors = {p: s.mean_rmae for p, s in cycles.summaries.items()}
+    hardest = sorted(errors, key=errors.get, reverse=True)[:5]
+    assert "art" in hardest
+    assert errors["art"] > cycles.mean_rmae
+    # Error ordering across metrics: cycles/energy < ED < EDD.
+    assert results[Metric.ENERGY].mean_rmae < results[Metric.ED].mean_rmae
+    assert results[Metric.ED].mean_rmae < results[Metric.EDD].mean_rmae
+    # Training error tracks testing error across programs.
+    train = np.array(
+        [s.mean_training_error for s in cycles.summaries.values()]
+    )
+    test = np.array([s.mean_rmae for s in cycles.summaries.values()])
+    ranks = lambda a: np.argsort(np.argsort(a))
+    assert np.corrcoef(ranks(train), ranks(test))[0, 1] > 0.3

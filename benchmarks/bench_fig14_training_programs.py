@@ -1,0 +1,62 @@
+"""Fig. 14: accuracy vs number of offline training programs.
+
+Section 8's answer to "offline training is too expensive": five randomly
+chosen training programs already give > 0.85 correlation, and the curve
+plateaus around 15 programs.
+"""
+
+from scale import RESPONSES, SAMPLE_SIZE, TRAINING_SIZE
+
+from repro.exploration import (
+    format_series,
+    scale_banner,
+    training_programs_sweep,
+)
+from repro.sim import Metric
+
+POOL_SIZES = (2, 5, 10, 15, 20)
+METRICS = (Metric.CYCLES, Metric.ENERGY)
+
+
+def test_fig14_training_programs(benchmark, spec_dataset, record_artifact):
+    def regenerate():
+        return {
+            metric: training_programs_sweep(
+                spec_dataset, metric, pool_sizes=POOL_SIZES,
+                training_size=TRAINING_SIZE, responses=RESPONSES,
+                repeats=2,
+            )
+            for metric in METRICS
+        }
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    sections = [
+        scale_banner(
+            "Fig 14 — accuracy vs number of offline training programs",
+            samples=SAMPLE_SIZE, T=TRAINING_SIZE, R=RESPONSES, repeats=2,
+        )
+    ]
+    for metric, sweep in results.items():
+        sections.append(
+            f"\n({metric.value})\n"
+            + format_series(
+                "programs",
+                sweep.budgets(),
+                {
+                    "rmae%": [p.rmae_mean for p in sweep.points],
+                    "corr": [p.correlation_mean for p in sweep.points],
+                },
+            )
+        )
+    record_artifact("fig14_training_programs", "\n".join(sections))
+
+    for sweep in results.values():
+        by_size = {p.budget: p for p in sweep.points}
+        # Five programs already give a usable predictor...
+        assert by_size[5].correlation_mean > 0.85
+        # ...more programs help, with a plateau by ~15.
+        assert by_size[15].rmae_mean <= by_size[2].rmae_mean
+        plateau_gain = by_size[15].rmae_mean - by_size[20].rmae_mean
+        early_gain = by_size[2].rmae_mean - by_size[5].rmae_mean
+        assert plateau_gain < max(early_gain, 1.5)

@@ -1,0 +1,71 @@
+"""Simulator throughput: the speed/fidelity trade the repository offers.
+
+Not a paper artefact — an engineering table a downstream user needs:
+how many (program, configuration) evaluations per second does each
+simulator tier deliver?  The whole methodology only works because the
+bulk tier is orders of magnitude faster than detailed simulation, so
+this bench also guards against performance regressions in the
+vectorised interval model.
+"""
+
+import time
+
+from repro.designspace import DesignSpace, sample_configurations
+from repro.exploration import format_table, scale_banner
+from repro.sim import IntervalSimulator, MonteCarloSimulator
+from repro.sim.pipeline import PipelineSimulator
+from repro.workloads import generate_trace, spec2000_suite
+
+BATCH = 2000
+TRACE_LENGTH = 20_000
+
+
+def test_simulator_throughput(benchmark, record_artifact):
+    space = DesignSpace()
+    profile = spec2000_suite()["gzip"]
+    configs = sample_configurations(space, BATCH, seed=77)
+    interval = IntervalSimulator(space)
+
+    def interval_batch():
+        return interval.simulate_batch(profile, configs)
+
+    benchmark(interval_batch)
+
+    # One-shot measurements for the slower tiers.
+    start = time.perf_counter()
+    interval.simulate_batch(profile, configs)
+    interval_rate = BATCH / (time.perf_counter() - start)
+
+    montecarlo = MonteCarloSimulator(space, replications=8)
+    start = time.perf_counter()
+    for config in configs[:20]:
+        montecarlo.simulate(profile, config, seed=1)
+    montecarlo_rate = 20 / (time.perf_counter() - start)
+
+    trace = generate_trace(profile, TRACE_LENGTH)
+    start = time.perf_counter()
+    PipelineSimulator(space.baseline).run(trace)
+    pipeline_seconds = time.perf_counter() - start
+    pipeline_rate = 1.0 / pipeline_seconds
+
+    rows = [
+        ("interval (vectorised)", f"{interval_rate:,.0f}", "bulk experiments"),
+        ("monte-carlo (8 windows)", f"{montecarlo_rate:,.1f}",
+         "noisy-response studies"),
+        (f"pipeline ({TRACE_LENGTH} instr)", f"{pipeline_rate:,.2f}",
+         "deep-dive / fidelity checks"),
+    ]
+    text = (
+        scale_banner(
+            "Simulator throughput (configurations evaluated per second)",
+            batch=BATCH,
+        )
+        + "\n"
+        + format_table(("simulator", "configs/second", "role"), rows)
+    )
+    record_artifact("simulator_throughput", text)
+
+    # The methodology's premise: the bulk tier is vastly faster.
+    assert interval_rate > 100 * montecarlo_rate
+    assert montecarlo_rate > 10 * pipeline_rate
+    assert interval_rate > 1000

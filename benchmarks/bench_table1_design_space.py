@@ -1,0 +1,19 @@
+"""Table 1: the varied design parameters and the size of the space."""
+
+from repro.designspace import DesignSpace, render_table1
+from repro.exploration import scale_banner
+
+
+def test_table1_design_space(benchmark, record_artifact):
+    space = DesignSpace()
+
+    def regenerate() -> str:
+        return render_table1(space)
+
+    table = benchmark(regenerate)
+    banner = scale_banner("Table 1 — microarchitectural design parameters",
+                          parameters=space.dimensions)
+    record_artifact("table1_design_space", f"{banner}\n{table}")
+
+    assert space.raw_size == 62_668_800_000
+    assert space.legal_size == 18_952_704_000

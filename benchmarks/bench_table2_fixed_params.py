@@ -1,0 +1,23 @@
+"""Table 2: constant parameters and width-scaled functional units."""
+
+from repro.designspace import render_table2
+from repro.exploration import scale_banner
+from repro.sim import FixedParameters, functional_units
+from repro.sim.machine import width_scaling_rows
+
+
+def test_table2_fixed_params(benchmark, record_artifact):
+    fixed = FixedParameters()
+
+    def regenerate() -> str:
+        return render_table2(fixed.as_rows(), width_scaling_rows())
+
+    table = benchmark(regenerate)
+    banner = scale_banner("Table 2 — parameters not explicitly varied")
+    record_artifact("table2_fixed_params", f"{banner}\n{table}")
+
+    # The paper's example: a four-way machine has four integer ALUs, two
+    # integer multipliers, two FP ALUs and one FP multiplier/divider.
+    units = functional_units(4)
+    assert (units["int_alu"], units["int_mul"], units["fp_alu"],
+            units["fp_mul"]) == (4, 2, 2, 1)

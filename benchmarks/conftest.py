@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Every bench regenerates one table or figure of the paper.  The shared
+dataset here uses a reduced default scale (1,500 sampled configurations,
+1 repeat) so the whole harness finishes in minutes; the experiment
+runners accept paper-scale arguments (3,000 samples, 20 repeats) for a
+full run.  Each bench prints the artefact it regenerates and writes it
+under ``benchmarks/results/`` so the numbers survive pytest's capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.training import TrainingPool
+from repro.exploration import DesignSpaceDataset
+from repro.sim import Metric
+from repro.workloads import mibench_suite, spec2000_suite
+
+from scale import REPEATS, RESPONSES, SAMPLE_SIZE, TRAINING_SIZE
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def spec_dataset() -> DesignSpaceDataset:
+    return DesignSpaceDataset.sampled(
+        spec2000_suite(), sample_size=SAMPLE_SIZE, seed=2007
+    )
+
+
+@pytest.fixture(scope="session")
+def mibench_dataset(spec_dataset) -> DesignSpaceDataset:
+    # Share the configuration sample (the paper simulates the same
+    # sampled architectures for every benchmark).
+    return DesignSpaceDataset(
+        mibench_suite(), spec_dataset.configs, spec_dataset.simulator
+    )
+
+
+@pytest.fixture(scope="session")
+def pools(spec_dataset):
+    """Lazily trained per-metric offline pools, shared across benches."""
+    cache = {}
+
+    def get(metric: Metric) -> TrainingPool:
+        if metric not in cache:
+            cache[metric] = TrainingPool(
+                spec_dataset, metric, training_size=TRAINING_SIZE, seed=40
+            )
+        return cache[metric]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def record_artifact():
+    """Print an artefact and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write

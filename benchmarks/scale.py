@@ -1,0 +1,10 @@
+"""Scale settings shared by the benchmark harnesses.
+
+Reduced defaults (the paper: 3,000 samples, T=512, R=32, 20 repeats) so
+the whole harness finishes in minutes; raise them for a paper-scale run.
+"""
+
+SAMPLE_SIZE = 1500
+TRAINING_SIZE = 512
+RESPONSES = 32
+REPEATS = 1

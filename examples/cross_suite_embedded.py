@@ -1,0 +1,73 @@
+"""Cross-suite prediction: size an embedded core with a SPEC-trained model.
+
+Section 7.3's scenario: the offline pool was trained on general-purpose
+SPEC CPU 2000 workloads, but the program we must design for is an
+embedded MiBench kernel from a different application domain.  The model
+still only needs 32 simulations of the new kernel — and its own training
+error tells us whether to trust it.
+
+Run:  python examples/cross_suite_embedded.py
+"""
+
+from repro import (
+    ArchitectureCentricPredictor,
+    DesignSpaceDataset,
+    Metric,
+    TrainingPool,
+    mibench_suite,
+    spec2000_suite,
+)
+from repro.analysis import nearest_pool_programs
+
+KERNELS = ("rijndael", "fft", "dijkstra", "tiff2rgba")
+
+
+def main() -> None:
+    spec = spec2000_suite()
+    mibench = mibench_suite()
+
+    spec_dataset = DesignSpaceDataset.sampled(spec, sample_size=1000, seed=5)
+    mibench_dataset = DesignSpaceDataset(
+        mibench, spec_dataset.configs, spec_dataset.simulator
+    )
+
+    pool = TrainingPool(spec_dataset, Metric.EDD, training_size=512, seed=0)
+    models = pool.models()  # the full SPEC pool — MiBench is all unseen
+    print(f"Offline pool: {len(models)} SPEC-trained models (metric: EDD)\n")
+
+    print(f"{'kernel':<12} {'train err':>9} {'test rmae':>9} "
+          f"{'corr':>6}  verdict")
+    for kernel in KERNELS:
+        response_idx, holdout_idx = mibench_dataset.split_indices(
+            32, seed=hash(kernel) % 2**32
+        )
+        predictor = ArchitectureCentricPredictor(models)
+        predictor.fit_responses(
+            mibench_dataset.subset_configs(response_idx),
+            mibench_dataset.subset_values(kernel, Metric.EDD, response_idx),
+        )
+        scores = predictor.evaluate(
+            mibench_dataset.subset_configs(holdout_idx),
+            mibench_dataset.subset_values(kernel, Metric.EDD, holdout_idx),
+        )
+        # Section 7.2/7.3: a high training error flags a program unlike
+        # anything in the pool — build a program-specific model instead.
+        verdict = (
+            "trust the cross-suite model"
+            if predictor.training_error < 15.0
+            else "unlike SPEC; consider a program-specific model"
+        )
+        neighbours = nearest_pool_programs(
+            models,
+            mibench_dataset.subset_configs(response_idx),
+            mibench_dataset.subset_values(kernel, Metric.EDD, response_idx),
+            count=2,
+        )
+        resembles = "/".join(name for name, _ in neighbours)
+        print(f"{kernel:<12} {predictor.training_error:>8.1f}% "
+              f"{scores['rmae']:>8.1f}% {scores['correlation']:>6.3f}  "
+              f"{verdict}  (behaves like: {resembles})")
+
+
+if __name__ == "__main__":
+    main()

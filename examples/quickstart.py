@@ -1,0 +1,72 @@
+"""Quickstart: predict a brand-new program from 32 simulations.
+
+The workflow of the paper in five steps:
+
+1. sample the legal design space (shared across all programs);
+2. train one small ANN per *training* program, offline (T = 512
+   simulations each) — this cost is paid once, ever;
+3. when a new program arrives, simulate it at just R = 32 sampled
+   configurations (the "responses");
+4. fit the architecture-centric linear combiner on those responses;
+5. predict the new program anywhere in the 18-billion-point space.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ArchitectureCentricPredictor,
+    DesignSpaceDataset,
+    Metric,
+    TrainingPool,
+    correlation,
+    rmae,
+    spec2000_suite,
+)
+
+NEW_PROGRAM = "applu"  # pretend we have never seen this one
+
+
+def main() -> None:
+    suite = spec2000_suite()
+    print(f"Suite: {len(suite)} programs; new program: {NEW_PROGRAM}")
+
+    # 1. One shared sample of the legal space (paper: 3,000 points).
+    dataset = DesignSpaceDataset.sampled(suite, sample_size=1000, seed=42)
+    space = dataset.simulator.space
+    print(f"Design space: {space.legal_size:,} legal configurations, "
+          f"sampled {len(dataset)}")
+
+    # 2. Offline training on every *other* program.
+    pool = TrainingPool(dataset, Metric.CYCLES, training_size=512, seed=0)
+    models = pool.models(exclude=[NEW_PROGRAM])
+    print(f"Offline pool: {len(models)} program-specific ANNs at T=512")
+
+    # 3. + 4. Thirty-two responses from the new program.
+    response_idx, holdout_idx = dataset.split_indices(32, seed=7)
+    predictor = ArchitectureCentricPredictor(models)
+    predictor.fit_responses(
+        dataset.subset_configs(response_idx),
+        dataset.subset_values(NEW_PROGRAM, Metric.CYCLES, response_idx),
+    )
+    print(f"Fitted on 32 responses; training error "
+          f"{predictor.training_error:.1f}% (the confidence signal)")
+
+    # 5. Predict everywhere; score against held-out simulations.
+    predictions = predictor.predict(dataset.subset_configs(holdout_idx))
+    actual = dataset.subset_values(NEW_PROGRAM, Metric.CYCLES, holdout_idx)
+    print(f"Held-out accuracy over {len(holdout_idx)} configurations: "
+          f"rmae {rmae(predictions, actual):.1f}%, "
+          f"correlation {correlation(predictions, actual):.3f}")
+
+    baseline = space.baseline
+    predicted = predictor.predict_one(baseline)
+    simulated = dataset.simulator.simulate(
+        suite[NEW_PROGRAM], baseline
+    ).cycles
+    print(f"Baseline machine: predicted {predicted:.3e} cycles, "
+          f"simulated {simulated:.3e} "
+          f"({abs(predicted - simulated) / simulated * 100:.1f}% off)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Recompile a program, predict the new binary from 32 simulations.
+
+The paper's introduction points out the Achilles heel of program-
+specific predictors: "there is a large overhead even if the designer
+just wants to compile with a different optimization level" — the new
+binary is, to the predictor, a brand-new program.  This example plays
+the scenario: the offline pool knows the standard (-O2-class) SPEC
+binaries; we then "recompile" gzip at -O0, -O3 and with aggressive
+unrolling, characterise each rebuild with 32 simulations, and compare
+against training a fresh program-specific model on the same 32.
+
+Run:  python examples/recompile_and_predict.py
+"""
+
+from repro import (
+    DesignSpaceDataset,
+    Metric,
+    TrainingPool,
+    evaluate_on_program,
+    program_specific_score,
+    spec2000_suite,
+)
+from repro.workloads import BenchmarkSuite, optimization_variant
+
+PROGRAM = "gzip"
+LEVELS = ("O0", "O1", "O3", "unrolled")
+
+
+def main() -> None:
+    suite = spec2000_suite()
+    dataset = DesignSpaceDataset.sampled(suite, sample_size=1000, seed=29)
+    pool = TrainingPool(dataset, Metric.CYCLES, training_size=512, seed=0)
+    models = pool.models()  # includes the -O2-class gzip
+    print(f"Offline pool: {len(models)} models over the standard binaries\n")
+
+    rebuilds = [
+        optimization_variant(suite[PROGRAM], level) for level in LEVELS
+    ]
+    rebuild_dataset = DesignSpaceDataset(
+        BenchmarkSuite("rebuilds", rebuilds), dataset.configs,
+        dataset.simulator,
+    )
+
+    print(f"{'rebuild':<15} | {'ours rmae':>9} | {'ours corr':>9} | "
+          f"{'fresh-model rmae':>16}")
+    print("-" * 60)
+    for profile in rebuilds:
+        ours = evaluate_on_program(
+            models, rebuild_dataset, profile.name, responses=32, seed=13
+        )
+        fresh = program_specific_score(
+            rebuild_dataset, profile.name, Metric.CYCLES, 32, seed=13
+        )
+        print(f"{profile.name:<15} | {ours.rmae:>8.1f}% | "
+              f"{ours.correlation:>9.3f} | {fresh.rmae:>15.1f}%")
+
+    print(
+        "\nEach rebuild cost 32 simulations to characterise under the "
+        "architecture-centric\nmodel; a program-specific model given the "
+        "same 32 simulations cannot find the\ntrend — recompilation is "
+        "exactly the cheap event the paper promises."
+    )
+
+
+if __name__ == "__main__":
+    main()

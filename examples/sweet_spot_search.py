@@ -1,0 +1,77 @@
+"""Find energy-delay sweet spots for a new program without simulating it.
+
+The scenario the paper's introduction motivates: an architect wants the
+configurations where performance and power are optimally balanced
+("sweet spots") for a workload, but can only afford a few real
+simulations of it.  This example:
+
+1. characterises the new program with 32 responses,
+2. *predicts* ED over a 20,000-configuration sample of the space,
+3. short-lists the predicted-best machines,
+4. spends a handful of real simulations verifying the short-list.
+
+Run:  python examples/sweet_spot_search.py
+"""
+
+import numpy as np
+
+from repro import (
+    ArchitectureCentricPredictor,
+    DesignSpaceDataset,
+    Metric,
+    TrainingPool,
+    sample_configurations,
+    spec2000_suite,
+)
+
+NEW_PROGRAM = "equake"
+SEARCH_SIZE = 20_000
+SHORTLIST = 8
+
+
+def main() -> None:
+    suite = spec2000_suite()
+    dataset = DesignSpaceDataset.sampled(suite, sample_size=1000, seed=3)
+    space = dataset.simulator.space
+
+    pool = TrainingPool(dataset, Metric.ED, training_size=512, seed=0)
+    predictor = ArchitectureCentricPredictor(
+        pool.models(exclude=[NEW_PROGRAM])
+    )
+    response_idx, _ = dataset.split_indices(32, seed=11)
+    predictor.fit_responses(
+        dataset.subset_configs(response_idx),
+        dataset.subset_values(NEW_PROGRAM, Metric.ED, response_idx),
+    )
+    print(f"Characterised {NEW_PROGRAM} with 32 simulations "
+          f"(training error {predictor.training_error:.1f}%)")
+
+    # Predict a much larger sample of the space than we could simulate.
+    candidates = sample_configurations(space, SEARCH_SIZE, seed=99)
+    predicted = predictor.predict(candidates)
+    order = np.argsort(predicted)
+    print(f"Predicted ED over {SEARCH_SIZE:,} candidate configurations")
+
+    # Verify the shortlist with real simulations.
+    profile = suite[NEW_PROGRAM]
+    print(f"\nTop {SHORTLIST} predicted sweet spots (verified):")
+    print(f"{'rank':>4} {'predicted ED':>14} {'simulated ED':>14}  machine")
+    shortlist_actual = []
+    for rank, index in enumerate(order[:SHORTLIST], start=1):
+        config = candidates[index]
+        actual = dataset.simulator.simulate(profile, config).ed
+        shortlist_actual.append(actual)
+        summary = (f"width={config.width} rob={config.rob_size} "
+                   f"rf={config.rf_size} L2={config.l2cache_kb}KB")
+        print(f"{rank:>4} {predicted[index]:>14.4e} {actual:>14.4e}  {summary}")
+
+    baseline_ed = dataset.simulator.simulate(profile, space.baseline).ed
+    best = min(shortlist_actual)
+    print(f"\nBaseline machine ED: {baseline_ed:.4e}")
+    print(f"Best verified sweet spot improves ED by "
+          f"{(1 - best / baseline_ed) * 100:.1f}% over the baseline, "
+          f"found with 32 + {SHORTLIST} real simulations in total.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Design-space analyses of Sections 3.4 and 4 of the paper.
+
+Public surface:
+
+* :func:`extreme_frequencies` — best/worst 1 % parameter values (Figs. 2-3).
+* :func:`suite_statistics` — per-program space summaries (Fig. 4).
+* :func:`distance_matrix` / :func:`average_linkage` — program similarity
+  and hierarchical clustering (Fig. 5).
+"""
+
+from .clustering import (
+    DendrogramNode,
+    average_linkage,
+    cut_tree,
+    merge_height_of,
+    render_dendrogram,
+)
+from .extremes import ExtremeFrequencies, dominant_values, extreme_frequencies
+from .reports import suite_report
+from .residuals import (
+    ResidualProfile,
+    error_hotspots,
+    residual_profile,
+    residuals_by_parameter,
+    worst_regions,
+)
+from .sensitivity import (
+    main_effects,
+    parameter_correlations,
+    ranked_sensitivities,
+    suite_main_effects,
+)
+from .similarity import (
+    distance_matrix,
+    nearest_neighbours,
+    normalised_behaviour_matrix,
+    outlier_scores,
+)
+from .space_stats import SpaceStatistics, program_statistics, suite_statistics
+from .transfer import (
+    nearest_pool_programs,
+    response_space_distances,
+    transferability_score,
+)
+
+__all__ = [
+    "DendrogramNode",
+    "ExtremeFrequencies",
+    "ResidualProfile",
+    "SpaceStatistics",
+    "average_linkage",
+    "cut_tree",
+    "distance_matrix",
+    "dominant_values",
+    "error_hotspots",
+    "extreme_frequencies",
+    "main_effects",
+    "merge_height_of",
+    "nearest_neighbours",
+    "nearest_pool_programs",
+    "normalised_behaviour_matrix",
+    "outlier_scores",
+    "parameter_correlations",
+    "program_statistics",
+    "ranked_sensitivities",
+    "residual_profile",
+    "residuals_by_parameter",
+    "response_space_distances",
+    "suite_main_effects",
+    "suite_report",
+    "render_dendrogram",
+    "suite_statistics",
+    "transferability_score",
+    "worst_regions",
+]

@@ -1,0 +1,169 @@
+"""Agglomerative hierarchical clustering and dendrograms (Fig. 5).
+
+A from-scratch implementation of average-linkage (UPGMA) agglomerative
+clustering — the paper's ``hclust(..., method="average")`` — over the
+program distance matrix of :mod:`repro.analysis.similarity`.  The result
+is a dendrogram tree whose merge heights are the average inter-cluster
+distances; cutting it reproduces the paper's observations (art on its
+own branch far from everything, mcf next).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DendrogramNode:
+    """A node of the clustering tree.
+
+    Leaves carry a program name; internal nodes carry the merge height
+    (the average distance between the two merged clusters) and their
+    children.
+    """
+
+    height: float
+    members: Tuple[str, ...]
+    program: Optional[str] = None
+    left: Optional["DendrogramNode"] = None
+    right: Optional["DendrogramNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.program is not None
+
+    def leaves(self) -> Tuple[str, ...]:
+        """Member programs in dendrogram (left-to-right) order."""
+        if self.is_leaf:
+            return (self.program,)
+        return self.left.leaves() + self.right.leaves()
+
+
+def average_linkage(
+    distances: np.ndarray, labels: Sequence[str]
+) -> DendrogramNode:
+    """Cluster with average linkage (UPGMA); returns the dendrogram root.
+
+    Args:
+        distances: Symmetric (n, n) distance matrix, zero diagonal.
+        labels: One label per row.
+    """
+    distances = np.asarray(distances, dtype=float)
+    n = distances.shape[0]
+    if distances.shape != (n, n):
+        raise ValueError("distance matrix must be square")
+    if len(labels) != n:
+        raise ValueError("one label per matrix row is required")
+    if n == 0:
+        raise ValueError("cannot cluster zero items")
+    if not np.allclose(distances, distances.T):
+        raise ValueError("distance matrix must be symmetric")
+
+    nodes: Dict[int, DendrogramNode] = {
+        i: DendrogramNode(height=0.0, members=(labels[i],), program=labels[i])
+        for i in range(n)
+    }
+    sizes: Dict[int, int] = {i: 1 for i in range(n)}
+    # Working copy with inf diagonal so argmin never picks it.
+    work = distances.astype(float).copy()
+    np.fill_diagonal(work, np.inf)
+    active = set(range(n))
+    next_id = n
+
+    while len(active) > 1:
+        # Find the closest active pair.
+        best = (np.inf, -1, -1)
+        active_list = sorted(active)
+        for index, i in enumerate(active_list):
+            for j in active_list[index + 1:]:
+                if work[i, j] < best[0]:
+                    best = (work[i, j], i, j)
+        height, i, j = best
+        merged = DendrogramNode(
+            height=float(height),
+            members=nodes[i].members + nodes[j].members,
+            left=nodes[i],
+            right=nodes[j],
+        )
+        # Average linkage: distance to the merged cluster is the
+        # size-weighted mean of the distances to its parts.
+        size_i, size_j = sizes[i], sizes[j]
+        total = size_i + size_j
+        new_row = np.full(work.shape[0] + 1, np.inf)
+        for k in active:
+            if k in (i, j):
+                continue
+            new_row[k] = (size_i * work[i, k] + size_j * work[j, k]) / total
+        work = np.pad(work, ((0, 1), (0, 1)), constant_values=np.inf)
+        work[next_id, : new_row.shape[0]] = new_row
+        work[: new_row.shape[0], next_id] = new_row
+        active.discard(i)
+        active.discard(j)
+        active.add(next_id)
+        nodes[next_id] = merged
+        sizes[next_id] = total
+        next_id += 1
+
+    return nodes[active.pop()]
+
+
+def cut_tree(root: DendrogramNode, height: float) -> List[Tuple[str, ...]]:
+    """Clusters obtained by cutting the dendrogram at a height."""
+    clusters: List[Tuple[str, ...]] = []
+
+    def descend(node: DendrogramNode) -> None:
+        if node.is_leaf or node.height <= height:
+            clusters.append(node.members)
+            return
+        descend(node.left)
+        descend(node.right)
+
+    descend(root)
+    return clusters
+
+
+def merge_height_of(root: DendrogramNode, program: str) -> float:
+    """Height at which a program first joins any other cluster.
+
+    A large value marks an outlier: the paper reads art's ~500 ED merge
+    height straight off the dendrogram.
+    """
+
+    def descend(node: DendrogramNode) -> Optional[float]:
+        if node.is_leaf:
+            return None
+        if program in node.left.members and node.left.is_leaf:
+            return node.height
+        if program in node.right.members and node.right.is_leaf:
+            return node.height
+        if program in node.left.members:
+            return descend(node.left)
+        if program in node.right.members:
+            return descend(node.right)
+        return None
+
+    height = descend(root)
+    if height is None:
+        raise KeyError(f"program {program!r} is not in the dendrogram")
+    return height
+
+
+def render_dendrogram(root: DendrogramNode, width: int = 72) -> str:
+    """ASCII rendering of the dendrogram (leaves left, merges right)."""
+    lines: List[str] = []
+
+    def descend(node: DendrogramNode, prefix: str, connector: str) -> None:
+        if node.is_leaf:
+            lines.append(f"{prefix}{connector}{node.program}")
+            return
+        label = f"+-[{node.height:.3g}]"
+        lines.append(f"{prefix}{connector}{label}")
+        child_prefix = prefix + ("|  " if connector == "+--" else "   ")
+        descend(node.left, child_prefix, "+--")
+        descend(node.right, child_prefix, "+--")
+
+    descend(root, "", "")
+    return "\n".join(lines)

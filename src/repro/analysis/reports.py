@@ -1,0 +1,118 @@
+"""One-call textual reports over a simulated design-space dataset.
+
+Combines the Section 3-4 analyses — per-program statistics, outlier
+ranking, dominant extreme-tail parameter values, sensitivities and the
+clustering dendrogram — into a single human-readable report, used by
+``python -m repro analyze --full`` and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exploration.dataset import DesignSpaceDataset
+from repro.exploration.reporting import format_table
+from repro.sim.metrics import Metric
+
+from .clustering import average_linkage, render_dendrogram
+from .extremes import dominant_values, extreme_frequencies
+from .sensitivity import suite_main_effects
+from .similarity import distance_matrix, outlier_scores
+from .space_stats import suite_statistics
+
+
+def suite_report(
+    dataset: DesignSpaceDataset,
+    metric: Metric,
+    include_dendrogram: bool = True,
+    extreme_fraction: float = 0.01,
+) -> str:
+    """A full design-space characterisation report for one metric.
+
+    Sections: per-program five-number summaries, the outlier ranking,
+    the dominant best/worst-tail parameter values, suite-average
+    parameter sensitivities, and (optionally) the clustering dendrogram.
+    """
+    sections: List[str] = [
+        f"==== design-space report: suite={dataset.suite.name} "
+        f"metric={metric.value} samples={len(dataset)} ===="
+    ]
+
+    # Per-program statistics ------------------------------------------------
+    stats = suite_statistics(dataset, metric)
+    rows = [
+        (
+            s.program,
+            f"{s.minimum:.3e}",
+            f"{s.median:.3e}",
+            f"{s.maximum:.3e}",
+            f"{s.spread:.1f}x",
+            f"{s.baseline:.3e}",
+        )
+        for s in stats.values()
+    ]
+    sections.append(
+        "\n-- per-program space statistics --\n"
+        + format_table(
+            ("program", "min", "median", "max", "spread", "baseline"), rows
+        )
+    )
+
+    # Outliers ---------------------------------------------------------------
+    distances, programs = distance_matrix(dataset, metric)
+    scores = outlier_scores(distances, programs)
+    ranked = sorted(scores.items(), key=lambda item: -item[1])
+    sections.append(
+        "\n-- outliers (mean behavioural distance to the rest) --\n"
+        + format_table(
+            ("program", "mean distance"),
+            [(name, round(score, 2)) for name, score in ranked[:8]],
+        )
+    )
+
+    # Extreme tails ----------------------------------------------------------
+    for tail in ("best", "worst"):
+        frequencies = extreme_frequencies(
+            dataset, metric, tail, fraction=extreme_fraction
+        )
+        dominant = dominant_values(frequencies, threshold=0.3)
+        rows = [
+            (parameter, value, f"{share * 100:.0f}%",
+             f"{frequencies.lift(parameter, value):.1f}x")
+            for parameter, value, share in dominant[:6]
+        ]
+        sections.append(
+            f"\n-- dominant values in the {tail} "
+            f"{extreme_fraction * 100:.0f}% --\n"
+            + (
+                format_table(
+                    ("parameter", "value", "share", "lift"), rows
+                )
+                if rows
+                else "(no value clears the dominance threshold)"
+            )
+        )
+
+    # Sensitivities ----------------------------------------------------------
+    effects = suite_main_effects(dataset, metric)
+    ranked_effects = sorted(effects.items(), key=lambda item: -item[1])
+    sections.append(
+        "\n-- suite-average parameter main effects --\n"
+        + format_table(
+            ("parameter", "variance share"),
+            [
+                (name, f"{value * 100:.1f}%")
+                for name, value in ranked_effects[:8]
+            ],
+        )
+    )
+
+    # Dendrogram -------------------------------------------------------------
+    if include_dendrogram:
+        root = average_linkage(distances, programs)
+        sections.append(
+            "\n-- hierarchical clustering (average linkage) --\n"
+            + render_dendrogram(root)
+        )
+
+    return "\n".join(sections)

@@ -1,0 +1,92 @@
+"""Program similarity in design-space behaviour (Section 4.2).
+
+The paper measures similarity between two programs as the euclidean
+distance between their design-space vectors over the 3,000 sampled
+configurations, with each program's vector normalised to its value on
+the baseline architecture.  This differs from feature-based similarity
+work (instruction mix, miss rates): similarity here is defined by how
+the programs *respond to the architecture*, which is exactly the
+property the architecture-centric predictor exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.sim.metrics import Metric
+
+from repro.exploration.dataset import DesignSpaceDataset
+
+
+def normalised_behaviour_matrix(
+    dataset: DesignSpaceDataset, metric: Metric
+) -> Tuple[np.ndarray, Tuple[str, ...]]:
+    """(programs, configurations) matrix normalised to the baseline.
+
+    Each program's row is its metric over the sampled configurations
+    divided by its metric on the baseline machine, so programs with very
+    different absolute scales (art vs parser) become comparable and the
+    distance measures *shape*, as in the paper's footnote 1.
+    """
+    space = dataset.simulator.space
+    baseline = space.baseline
+    rows = []
+    for program in dataset.programs:
+        values = dataset.values(program, metric)
+        base = dataset.simulator.simulate(
+            dataset.suite[program], baseline
+        ).metric(metric)
+        rows.append(values / base)
+    return np.stack(rows), dataset.programs
+
+
+def distance_matrix(
+    dataset: DesignSpaceDataset, metric: Metric
+) -> Tuple[np.ndarray, Tuple[str, ...]]:
+    """Pairwise euclidean distances between program behaviours.
+
+    Returns a symmetric (P, P) matrix with zero diagonal, plus the
+    program names in matrix order.
+    """
+    matrix, programs = normalised_behaviour_matrix(dataset, metric)
+    # ||a - b||^2 = ||a||^2 + ||b||^2 - 2 a.b, computed in one pass.
+    squared_norms = np.sum(matrix * matrix, axis=1)
+    gram = matrix @ matrix.T
+    squared = squared_norms[:, None] + squared_norms[None, :] - 2.0 * gram
+    distances = np.sqrt(np.maximum(squared, 0.0))
+    np.fill_diagonal(distances, 0.0)
+    return distances, programs
+
+
+def nearest_neighbours(
+    distances: np.ndarray, programs: Tuple[str, ...]
+) -> dict[str, Tuple[str, float]]:
+    """Each program's closest other program and the distance to it."""
+    if distances.shape[0] != len(programs):
+        raise ValueError("distance matrix and program list disagree")
+    result = {}
+    for i, program in enumerate(programs):
+        row = distances[i].copy()
+        row[i] = np.inf
+        j = int(np.argmin(row))
+        result[program] = (programs[j], float(row[j]))
+    return result
+
+
+def outlier_scores(
+    distances: np.ndarray, programs: Tuple[str, ...]
+) -> dict[str, float]:
+    """Mean distance of each program to all others (outlier ranking).
+
+    The paper's Section 4.2 observation — art and mcf sit far from the
+    rest of SPEC CPU 2000 — falls out as the largest scores here.
+    """
+    if distances.shape[0] != len(programs):
+        raise ValueError("distance matrix and program list disagree")
+    count = len(programs)
+    if count < 2:
+        return {program: 0.0 for program in programs}
+    means = distances.sum(axis=1) / (count - 1)
+    return {program: float(mean) for program, mean in zip(programs, means)}

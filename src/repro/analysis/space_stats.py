@@ -1,0 +1,70 @@
+"""Per-program design-space statistics (Fig. 4).
+
+Section 4.1: for every program and metric, the minimum, 25 percent
+quartile, median, 75 percent quartile and maximum across the sampled
+design space, plus the baseline machine's value — showing how wildly
+programs differ in both level and spread (art varies by an order of
+magnitude, parser barely moves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.sim.metrics import Metric
+
+from repro.exploration.dataset import DesignSpaceDataset
+
+
+@dataclass(frozen=True)
+class SpaceStatistics:
+    """Five-number summary (plus baseline) of one program's space."""
+
+    program: str
+    metric: Metric
+    minimum: float
+    quartile25: float
+    median: float
+    quartile75: float
+    maximum: float
+    baseline: float
+
+    @property
+    def spread(self) -> float:
+        """max / min — how much the design space matters for this program."""
+        return self.maximum / self.minimum
+
+
+def program_statistics(
+    dataset: DesignSpaceDataset, program: str, metric: Metric
+) -> SpaceStatistics:
+    """Five-number summary of one program over the sampled space."""
+    values = dataset.values(program, metric)
+    baseline_config = dataset.simulator.space.baseline
+    baseline = dataset.simulator.simulate(
+        dataset.suite[program], baseline_config
+    ).metric(metric)
+    q25, median, q75 = np.percentile(values, (25.0, 50.0, 75.0))
+    return SpaceStatistics(
+        program=program,
+        metric=metric,
+        minimum=float(values.min()),
+        quartile25=float(q25),
+        median=float(median),
+        quartile75=float(q75),
+        maximum=float(values.max()),
+        baseline=float(baseline),
+    )
+
+
+def suite_statistics(
+    dataset: DesignSpaceDataset, metric: Metric
+) -> Dict[str, SpaceStatistics]:
+    """Fig. 4 data: the per-program summaries for a whole suite."""
+    return {
+        program: program_statistics(dataset, program, metric)
+        for program in dataset.programs
+    }

@@ -1,0 +1,94 @@
+"""Which training programs does a new workload resemble?
+
+Section 7.3 reads program similarity off full-space dendrograms, which
+need thousands of simulations per program.  In practice the architect
+has exactly R = 32 responses of the new program — but those responses,
+compared against each pool model's predictions *at the same
+configurations*, already locate the newcomer in behaviour space:
+
+* :func:`response_space_distances` — normalised distance from the new
+  program's responses to every pool program's predicted behaviour;
+* :func:`nearest_pool_programs` — the ranked neighbour list ("this
+  kernel behaves like swim and applu");
+* :func:`transferability_score` — a single 0-1 score (distance to the
+  closest pool member, squashed), which correlates with prediction
+  accuracy and complements the combiner's training-error signal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.designspace.configuration import Configuration
+from repro.core.program_model import ProgramSpecificPredictor
+
+
+def response_space_distances(
+    models: Sequence[ProgramSpecificPredictor],
+    response_configs: Sequence[Configuration],
+    response_values: np.ndarray,
+) -> Dict[str, float]:
+    """Distance from the new program to each pool program.
+
+    Both sides are log10-transformed and centred (each program's mean
+    level removed), so the distance measures *shape* over the response
+    configurations — the same normalisation idea as the paper's
+    baseline-normalised dendrograms, computable from R points.
+    """
+    if not models:
+        raise ValueError("at least one pool model is required")
+    response_values = np.asarray(response_values, dtype=float).reshape(-1)
+    if len(response_configs) != response_values.shape[0]:
+        raise ValueError("configs and values disagree on sample count")
+    if np.any(response_values <= 0.0):
+        raise ValueError("metric values must be positive")
+
+    target = np.log10(response_values)
+    target = target - target.mean()
+    scale = max(float(np.linalg.norm(target)), 1e-12)
+
+    distances = {}
+    for model in models:
+        predicted = np.log10(model.predict(response_configs))
+        predicted = predicted - predicted.mean()
+        distances[model.program] = float(
+            np.linalg.norm(predicted - target) / scale
+        )
+    return distances
+
+
+def nearest_pool_programs(
+    models: Sequence[ProgramSpecificPredictor],
+    response_configs: Sequence[Configuration],
+    response_values: np.ndarray,
+    count: int = 5,
+) -> List[Tuple[str, float]]:
+    """The ``count`` most-similar pool programs, closest first."""
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    distances = response_space_distances(
+        models, response_configs, response_values
+    )
+    ranked = sorted(distances.items(), key=lambda item: item[1])
+    return ranked[:count]
+
+
+def transferability_score(
+    models: Sequence[ProgramSpecificPredictor],
+    response_configs: Sequence[Configuration],
+    response_values: np.ndarray,
+) -> float:
+    """0-1 score: how well the pool covers the new program's behaviour.
+
+    1 means some pool program's shape matches the responses almost
+    exactly; values near 0 mean nothing in the pool behaves like the
+    newcomer (expect elevated prediction error).  Computed as
+    ``exp(-nearest distance)``.
+    """
+    distances = response_space_distances(
+        models, response_configs, response_values
+    )
+    nearest = min(distances.values())
+    return float(np.exp(-nearest))

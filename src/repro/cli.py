@@ -1,0 +1,307 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Lets a user poke the reproduction without writing code:
+
+* ``table1`` / ``table2`` — print the design-space tables.
+* ``simulate --program applu [--width 8 ...]`` — simulate one machine.
+* ``predict --program applu`` — run the full architecture-centric
+  workflow (offline pool, 32 responses, held-out accuracy report).
+* ``analyze --metric cycles`` — space statistics, outliers and the most
+  influential parameters.
+* ``plan --budget 2000 --new-programs 5`` — how to split a simulation
+  budget between offline training and per-program responses.
+
+Every command accepts ``--samples`` and ``--seed`` to control scale and
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import (
+    distance_matrix,
+    outlier_scores,
+    suite_main_effects,
+    suite_statistics,
+)
+from repro.core import ArchitectureCentricPredictor, TrainingPool
+from repro.designspace import DesignSpace, render_table1, render_table2
+from repro.exploration import DesignSpaceDataset, format_table
+from repro.ml import correlation, rmae
+from repro.sim import FixedParameters, Metric
+from repro.sim.machine import width_scaling_rows
+from repro.workloads import mibench_suite, spec2000_suite
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Architecture-centric design space exploration "
+        "(Dubach, Jones, O'Boyle — MICRO 2007).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (the design space)")
+    sub.add_parser("table2", help="print Table 2 (fixed parameters)")
+
+    simulate = sub.add_parser("simulate", help="simulate one machine")
+    _common(simulate)
+    simulate.add_argument("--program", default="gzip")
+    for name in DesignSpace().parameters:
+        simulate.add_argument(
+            f"--{name.name.replace('_', '-')}", type=int, default=None,
+            dest=name.name,
+        )
+
+    predict = sub.add_parser(
+        "predict", help="predict a new program from 32 responses"
+    )
+    _common(predict)
+    predict.add_argument("--program", default="applu")
+    predict.add_argument("--metric", default="cycles")
+    predict.add_argument("--responses", type=int, default=32)
+    predict.add_argument("--training-size", type=int, default=512)
+
+    analyze = sub.add_parser("analyze", help="characterise the space")
+    _common(analyze)
+    analyze.add_argument("--metric", default="cycles")
+    analyze.add_argument(
+        "--suite", default="spec2000", choices=("spec2000", "mibench")
+    )
+    analyze.add_argument(
+        "--full", action="store_true",
+        help="print the complete characterisation report",
+    )
+
+    plan = sub.add_parser(
+        "plan", help="split a simulation budget between offline/online"
+    )
+    plan.add_argument("--budget", type=int, required=True)
+    plan.add_argument("--new-programs", type=int, default=1)
+    plan.add_argument("--top", type=int, default=5)
+
+    explore = sub.add_parser(
+        "explore",
+        help="full workflow: characterise a program and scan for sweet "
+        "spots",
+    )
+    _common(explore)
+    explore.add_argument("--program", default="applu")
+    explore.add_argument("--metric", default="ed")
+    explore.add_argument("--responses", type=int, default=32)
+    explore.add_argument("--training-size", type=int, default=512)
+    explore.add_argument("--candidates", type=int, default=5000)
+    return parser
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--samples", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _suite(name: str):
+    return spec2000_suite() if name == "spec2000" else mibench_suite()
+
+
+def _cmd_table1() -> int:
+    print(render_table1(DesignSpace()))
+    return 0
+
+
+def _cmd_table2() -> int:
+    print(render_table2(FixedParameters().as_rows(), width_scaling_rows()))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    suite = spec2000_suite()
+    if args.program not in suite:
+        suite = mibench_suite()
+    if args.program not in suite:
+        print(f"unknown program {args.program!r}", file=sys.stderr)
+        return 2
+    space = DesignSpace()
+    overrides = {
+        p.name: getattr(args, p.name)
+        for p in space.parameters
+        if getattr(args, p.name) is not None
+    }
+    config = space.baseline.replace(**overrides)
+    try:
+        space.validate(config)
+    except ValueError as error:
+        print(f"illegal configuration: {error}", file=sys.stderr)
+        return 2
+    from repro.sim import IntervalSimulator
+
+    result = IntervalSimulator(space).simulate(suite[args.program], config)
+    print(f"program : {args.program}")
+    print(f"machine : {config}")
+    print(f"cycles  : {result.cycles:.4e}")
+    print(f"energy  : {result.energy:.4e} nJ")
+    print(f"ED      : {result.ed:.4e}")
+    print(f"EDD     : {result.edd:.4e}")
+    print(f"IPC     : {1.0 / result.breakdown['cpi']:.2f} "
+          f"(window {result.breakdown['window']:.0f})")
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    metric = Metric.from_name(args.metric)
+    suite = spec2000_suite()
+    if args.program not in suite:
+        print(f"unknown SPEC program {args.program!r}", file=sys.stderr)
+        return 2
+    dataset = DesignSpaceDataset.sampled(
+        suite, sample_size=args.samples, seed=args.seed
+    )
+    print(f"offline: training {len(suite) - 1} program models "
+          f"(T={args.training_size}) ...")
+    pool = TrainingPool(
+        dataset, metric, training_size=args.training_size, seed=args.seed
+    )
+    predictor = ArchitectureCentricPredictor(
+        pool.models(exclude=[args.program])
+    )
+    response_idx, holdout_idx = dataset.split_indices(
+        args.responses, seed=args.seed
+    )
+    predictor.fit_responses(
+        dataset.subset_configs(response_idx),
+        dataset.subset_values(args.program, metric, response_idx),
+    )
+    predictions = predictor.predict(dataset.subset_configs(holdout_idx))
+    actual = dataset.subset_values(args.program, metric, holdout_idx)
+    print(f"new program    : {args.program} ({metric.value})")
+    print(f"responses      : {args.responses} simulations")
+    print(f"training error : {predictor.training_error:.1f}%")
+    print(f"held-out rmae  : {rmae(predictions, actual):.1f}% "
+          f"over {len(holdout_idx)} configurations")
+    print(f"correlation    : {correlation(predictions, actual):.3f}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    metric = Metric.from_name(args.metric)
+    dataset = DesignSpaceDataset.sampled(
+        _suite(args.suite), sample_size=args.samples, seed=args.seed
+    )
+    if args.full:
+        from repro.analysis import suite_report
+
+        print(suite_report(dataset, metric))
+        return 0
+    stats = suite_statistics(dataset, metric)
+    rows = [
+        (s.program, f"{s.median:.3e}", f"{s.spread:.1f}x")
+        for s in stats.values()
+    ]
+    print(f"== per-program {metric.value} over {args.samples} sampled "
+          f"configurations ==")
+    print(format_table(("program", "median", "spread"), rows))
+
+    distances, programs = distance_matrix(dataset, metric)
+    scores = outlier_scores(distances, programs)
+    ranked = sorted(scores.items(), key=lambda kv: -kv[1])[:5]
+    print("\noutliers:", ", ".join(f"{p} ({v:.1f})" for p, v in ranked))
+
+    effects = suite_main_effects(dataset, metric)
+    top = sorted(effects.items(), key=lambda kv: -kv[1])[:5]
+    print("most influential parameters:",
+          ", ".join(f"{name} ({value * 100:.0f}%)" for name, value in top))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.exploration import plan_budget
+
+    plans = plan_budget(
+        args.budget, new_programs=args.new_programs, top=args.top
+    )
+    if not plans:
+        print("no admissible split fits that budget", file=sys.stderr)
+        return 1
+    print(f"== best splits for {args.budget} simulations serving "
+          f"{args.new_programs} new program(s) ==")
+    rows = [
+        (plan.pool_size, plan.training_size, plan.responses,
+         plan.offline_simulations, plan.online_simulations,
+         f"{plan.expected_rmae:.1f}%")
+        for plan in plans
+    ]
+    print(format_table(
+        ("N (pool)", "T (train)", "R (resp)", "offline", "online",
+         "expected rmae"),
+        rows,
+    ))
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from repro.core import explore_new_program
+    from repro.sim import IntervalSimulator
+
+    metric = Metric.from_name(args.metric)
+    suite = spec2000_suite()
+    if args.program not in suite:
+        suite = mibench_suite()
+    if args.program not in suite:
+        print(f"unknown program {args.program!r}", file=sys.stderr)
+        return 2
+    spec = spec2000_suite()
+    dataset = DesignSpaceDataset.sampled(
+        spec, sample_size=args.samples, seed=args.seed
+    )
+    print(f"offline: training the SPEC pool (T={args.training_size}) ...")
+    pool = TrainingPool(
+        dataset, metric, training_size=args.training_size, seed=args.seed
+    )
+    models = pool.models(
+        exclude=[args.program] if args.program in spec else None
+    )
+    report = explore_new_program(
+        models,
+        suite[args.program],
+        simulator=IntervalSimulator(dataset.simulator.space),
+        responses=args.responses,
+        sweet_spot_candidates=args.candidates,
+        seed=args.seed,
+    )
+    print(f"program        : {report.program} ({metric.value})")
+    print(f"simulations    : {report.simulations_spent}")
+    print(f"training error : {report.training_error:.1f}% "
+          f"-> verdict: {report.verdict}")
+    if report.sweet_spots:
+        print(f"\npredicted sweet spots (of {args.candidates:,} candidates):")
+        for rank, (config, value) in enumerate(report.sweet_spots, start=1):
+            print(f"  {rank}. {value:.4e}  width={config.width} "
+                  f"rob={config.rob_size} rf={config.rf_size} "
+                  f"L2={config.l2cache_kb}KB")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "table2":
+        return _cmd_table2()
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "predict":
+        return _cmd_predict(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
+    if args.command == "explore":
+        return _cmd_explore(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

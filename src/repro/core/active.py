@@ -1,0 +1,98 @@
+"""Active response selection (an extension beyond the paper).
+
+The paper draws the R = 32 responses uniformly at random (Section 5.3)
+and leaves smarter selection open.  This module implements the natural
+extension: pick response configurations where the offline program models
+*disagree* most, since disagreement marks the regions of the space where
+programs genuinely differ — exactly where observing the new program is
+informative.  Selection is greedy with a diversity term so the chosen
+configurations do not cluster.
+
+The ``bench_ablation_response_selection`` harness compares this policy
+against the paper's uniform-random choice.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.designspace.configuration import Configuration
+
+from .program_model import ProgramSpecificPredictor
+
+
+def model_disagreement(
+    models: Sequence[ProgramSpecificPredictor],
+    configs: Sequence[Configuration],
+) -> np.ndarray:
+    """Per-configuration disagreement among the offline models.
+
+    Measured as the standard deviation of the models' log10 predictions:
+    scale-free, so fast-and-slow configurations are comparable.
+    """
+    if not models:
+        raise ValueError("at least one model is required")
+    if not configs:
+        return np.empty(0)
+    predictions = np.stack(
+        [np.log10(model.predict(configs)) for model in models]
+    )
+    return predictions.std(axis=0)
+
+
+def select_responses(
+    models: Sequence[ProgramSpecificPredictor],
+    candidates: Sequence[Configuration],
+    count: int,
+    diversity_weight: float = 0.5,
+    seed: Optional[int] = None,
+) -> List[int]:
+    """Greedily pick ``count`` informative response configurations.
+
+    Each step picks the candidate maximising
+    ``disagreement + diversity_weight * distance_to_chosen`` (distances
+    in normalised log-prediction feature space), starting from the most
+    disagreed-upon candidate.  Returns indices into ``candidates``.
+
+    Args:
+        models: The offline-trained program models.
+        candidates: Configurations to choose from (e.g. the sampled
+            pool the experiments share).
+        count: Number of responses (the paper's R).
+        diversity_weight: Trade-off between informativeness and spread;
+            0 degenerates to pure top-k disagreement.
+        seed: Tie-breaking seed.
+    """
+    if count < 1 or count > len(candidates):
+        raise ValueError(f"count must be in [1, {len(candidates)}]")
+    if diversity_weight < 0:
+        raise ValueError("diversity_weight must be non-negative")
+
+    rng = np.random.default_rng(seed)
+    predictions = np.stack(
+        [np.log10(model.predict(candidates)) for model in models], axis=1
+    )
+    disagreement = predictions.std(axis=1)
+    # Feature space for diversity: standardised model predictions.
+    features = predictions - predictions.mean(axis=0)
+    spread = features.std(axis=0)
+    features = features / np.where(spread > 0, spread, 1.0)
+
+    jitter = rng.uniform(0.0, 1e-9, size=len(candidates))
+    chosen: List[int] = [int(np.argmax(disagreement + jitter))]
+    min_distance = np.linalg.norm(
+        features - features[chosen[0]], axis=1
+    )
+    scale = max(float(min_distance.max()), 1e-12)
+    while len(chosen) < count:
+        score = disagreement + diversity_weight * (
+            disagreement.mean() * min_distance / scale
+        )
+        score[chosen] = -np.inf
+        pick = int(np.argmax(score + jitter))
+        chosen.append(pick)
+        distance_to_new = np.linalg.norm(features - features[pick], axis=1)
+        min_distance = np.minimum(min_distance, distance_to_new)
+    return chosen

@@ -1,0 +1,102 @@
+"""Program-specific baseline family from the paper's related work.
+
+Section 9.4 groups the prior program-specific predictors into three
+families; this module wraps the two non-ANN ones behind the same
+interface as :class:`~repro.core.program_model.ProgramSpecificPredictor`
+so the comparison bench can pit them all against the
+architecture-centric model under equal simulation budgets:
+
+* :class:`LinearBaselinePredictor` — linear regression on the raw
+  parameter vector (Joseph et al., HPCA 2006; the paper notes it is
+  mainly used to identify key parameters).
+* :class:`SplineBaselinePredictor` — additive restricted cubic spline
+  regression (Lee & Brooks, ASPLOS 2006 / HPCA 2007).
+
+Both learn log10 targets, like the ANN wrapper, so their errors are
+directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.designspace.configuration import Configuration
+from repro.designspace.space import DesignSpace
+from repro.ml.linear import LinearRegressor
+from repro.ml.spline import SplineRegressor
+from repro.sim.metrics import Metric
+
+
+class _RegressionPredictor:
+    """Shared scaffolding: encode configs, learn log10 targets."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        metric: Metric,
+        program: str = "",
+    ) -> None:
+        self.space = space
+        self.metric = metric
+        self.program = program
+        self._model = self._build()
+        self._trained = False
+        self.training_size_ = 0
+
+    def _build(self):
+        raise NotImplementedError
+
+    def fit(
+        self, configs: Sequence[Configuration], values: np.ndarray
+    ) -> "_RegressionPredictor":
+        """Train on simulated (configuration, metric value) pairs."""
+        values = np.asarray(values, dtype=float).reshape(-1)
+        if len(configs) != values.shape[0]:
+            raise ValueError("configs and values disagree on sample count")
+        if np.any(values <= 0.0):
+            raise ValueError("metric values must be positive")
+        features = self.space.encode_many(list(configs))
+        self._model.fit(features, np.log10(values))
+        self._trained = True
+        self.training_size_ = len(configs)
+        return self
+
+    def predict(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Predict the metric for a batch of configurations."""
+        if not self._trained:
+            raise RuntimeError(
+                f"{type(self).__name__} for {self.program!r} is untrained"
+            )
+        features = self.space.encode_many(list(configs))
+        log_prediction = self._model.predict(features)
+        return np.power(10.0, np.clip(log_prediction, -30.0, 30.0))
+
+    def predict_one(self, config: Configuration) -> float:
+        """Predict a single configuration."""
+        return float(self.predict([config])[0])
+
+
+class LinearBaselinePredictor(_RegressionPredictor):
+    """Linear regression on the raw 13-parameter vector."""
+
+    def _build(self) -> LinearRegressor:
+        return LinearRegressor(fit_intercept=True, ridge=1e-6)
+
+
+class SplineBaselinePredictor(_RegressionPredictor):
+    """Additive restricted cubic spline regression (Lee & Brooks)."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        metric: Metric,
+        program: str = "",
+        knots: int = 4,
+    ) -> None:
+        self._knots = knots
+        super().__init__(space, metric, program)
+
+    def _build(self) -> SplineRegressor:
+        return SplineRegressor(knots=self._knots, ridge=1e-6)

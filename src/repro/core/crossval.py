@@ -1,0 +1,257 @@
+"""Cross-validation harnesses (Sections 6, 7 and 8 of the paper).
+
+Three evaluation protocols:
+
+* :func:`evaluate_on_program` — fit the architecture-centric model for
+  one new program from R responses and score it on the held-out sample.
+* :func:`leave_one_out` — the paper's main protocol: for every program,
+  train on all others, characterise the left-out program with R
+  responses, validate on the rest of the 3,000-point sample, repeated
+  with independent seeds.
+* :func:`cross_suite` — train the pool on one suite (SPEC CPU 2000) and
+  predict every program of another (MiBench), Section 7.3.
+
+Each record carries both the testing error/correlation and the training
+error of the response fit, which Section 7.2 uses as the signal that a
+program (art, mcf, tiff2rgba, patricia) has unique behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ml.metrics import correlation, rmae
+from repro.sim.metrics import Metric
+from repro.workloads.profile import stable_seed
+
+from .predictor import ArchitectureCentricPredictor
+from .program_model import ProgramSpecificPredictor
+from .training import TrainingPool
+
+if TYPE_CHECKING:  # avoid a package-level import cycle with exploration
+    from repro.exploration.dataset import DesignSpaceDataset
+
+
+@dataclass(frozen=True)
+class PredictionScore:
+    """Accuracy of one fitted predictor on one program."""
+
+    program: str
+    metric: Metric
+    rmae: float
+    correlation: float
+    training_error: float
+    responses: int
+
+
+@dataclass
+class ProgramSummary:
+    """Aggregated scores for one program across repeats."""
+
+    program: str
+    scores: List[PredictionScore] = field(default_factory=list)
+
+    @property
+    def mean_rmae(self) -> float:
+        return float(np.mean([s.rmae for s in self.scores]))
+
+    @property
+    def std_rmae(self) -> float:
+        return float(np.std([s.rmae for s in self.scores]))
+
+    @property
+    def mean_correlation(self) -> float:
+        return float(np.mean([s.correlation for s in self.scores]))
+
+    @property
+    def mean_training_error(self) -> float:
+        return float(np.mean([s.training_error for s in self.scores]))
+
+
+@dataclass
+class CrossValidationResult:
+    """Result of a full cross-validation run."""
+
+    metric: Metric
+    summaries: Dict[str, ProgramSummary]
+
+    @property
+    def mean_rmae(self) -> float:
+        """Average testing rmae across programs."""
+        return float(
+            np.mean([s.mean_rmae for s in self.summaries.values()])
+        )
+
+    @property
+    def mean_correlation(self) -> float:
+        """Average correlation coefficient across programs."""
+        return float(
+            np.mean([s.mean_correlation for s in self.summaries.values()])
+        )
+
+    def program(self, name: str) -> ProgramSummary:
+        """Summary for one program."""
+        try:
+            return self.summaries[name]
+        except KeyError:
+            raise KeyError(
+                f"no summary for program {name!r}; "
+                f"known: {sorted(self.summaries)}"
+            ) from None
+
+
+def evaluate_on_program(
+    models: Sequence[ProgramSpecificPredictor],
+    dataset: DesignSpaceDataset,
+    program: str,
+    responses: int = 32,
+    seed: int = 0,
+    ridge: float = 0.05,
+) -> PredictionScore:
+    """Fit and score the architecture-centric predictor on one program.
+
+    The R responses are drawn from the dataset's configuration pool and
+    the score is computed on the remaining configurations, exactly the
+    paper's protocol.
+    """
+    metric = models[0].metric
+    response_idx, holdout_idx = dataset.split_indices(responses, seed=seed)
+    predictor = ArchitectureCentricPredictor(models, ridge=ridge)
+    predictor.fit_responses(
+        dataset.subset_configs(response_idx),
+        dataset.subset_values(program, metric, response_idx),
+    )
+    predictions = predictor.predict(dataset.subset_configs(holdout_idx))
+    actual = dataset.subset_values(program, metric, holdout_idx)
+    return PredictionScore(
+        program=program,
+        metric=metric,
+        rmae=rmae(predictions, actual),
+        correlation=correlation(predictions, actual),
+        training_error=predictor.training_error,
+        responses=responses,
+    )
+
+
+def leave_one_out(
+    dataset: DesignSpaceDataset,
+    metric: Metric,
+    training_size: int = 512,
+    responses: int = 32,
+    repeats: int = 5,
+    seed: int = 0,
+    programs: Optional[Sequence[str]] = None,
+) -> CrossValidationResult:
+    """Leave-one-out cross-validation over a suite (Section 7.1/7.2).
+
+    Args:
+        dataset: Shared simulated dataset for the suite.
+        metric: Target metric.
+        training_size: T simulations per training program.
+        responses: R simulations from each left-out program.
+        repeats: Independent repetitions with fresh splits/initialisation
+            (the paper repeats 20 times; benches default lower and say so).
+        seed: Base seed.
+        programs: Restrict evaluation to these left-out programs
+            (training still uses the whole suite minus the one left out).
+    """
+    targets = list(programs) if programs is not None else list(dataset.programs)
+    summaries = {name: ProgramSummary(name) for name in targets}
+    for repeat in range(repeats):
+        pool = TrainingPool(
+            dataset,
+            metric,
+            training_size=training_size,
+            seed=stable_seed("loo", str(seed), str(repeat)),
+        )
+        for name in targets:
+            models = pool.models(exclude=[name])
+            score = evaluate_on_program(
+                models,
+                dataset,
+                name,
+                responses=responses,
+                seed=stable_seed("loo-resp", name, str(seed), str(repeat)),
+            )
+            summaries[name].scores.append(score)
+    return CrossValidationResult(metric=metric, summaries=summaries)
+
+
+def cross_suite(
+    train_dataset: DesignSpaceDataset,
+    test_dataset: DesignSpaceDataset,
+    metric: Metric,
+    training_size: int = 512,
+    responses: int = 32,
+    repeats: int = 5,
+    seed: int = 0,
+) -> CrossValidationResult:
+    """Train on one suite, predict every program of another (Section 7.3).
+
+    Both datasets must share a design space; they need not share
+    configurations (responses come from the test dataset's own pool).
+    """
+    summaries = {
+        name: ProgramSummary(name) for name in test_dataset.programs
+    }
+    for repeat in range(repeats):
+        pool = TrainingPool(
+            train_dataset,
+            metric,
+            training_size=training_size,
+            seed=stable_seed("xsuite", str(seed), str(repeat)),
+        )
+        models = pool.models()
+        for name in test_dataset.programs:
+            score = evaluate_on_program(
+                models,
+                test_dataset,
+                name,
+                responses=responses,
+                seed=stable_seed("xsuite-resp", name, str(seed), str(repeat)),
+            )
+            summaries[name].scores.append(score)
+    return CrossValidationResult(metric=metric, summaries=summaries)
+
+
+def program_specific_score(
+    dataset: DesignSpaceDataset,
+    program: str,
+    metric: Metric,
+    training_size: int,
+    seed: int = 0,
+) -> PredictionScore:
+    """Score a program-specific ANN given ``training_size`` simulations.
+
+    The comparison baseline of Section 7.4: the same simulation budget
+    the architecture-centric model spends on responses is spent training
+    a fresh per-program network instead.
+    """
+    train_idx, holdout_idx = dataset.split_indices(training_size, seed=seed)
+    predictor = ProgramSpecificPredictor(
+        space=dataset.simulator.space,
+        metric=metric,
+        program=program,
+        seed=stable_seed("ps-net", program, str(seed)),
+    )
+    predictor.fit(
+        dataset.subset_configs(train_idx),
+        dataset.subset_values(program, metric, train_idx),
+    )
+    train_predictions = predictor.predict(dataset.subset_configs(train_idx))
+    training_error = rmae(
+        train_predictions, dataset.subset_values(program, metric, train_idx)
+    )
+    predictions = predictor.predict(dataset.subset_configs(holdout_idx))
+    actual = dataset.subset_values(program, metric, holdout_idx)
+    return PredictionScore(
+        program=program,
+        metric=metric,
+        rmae=rmae(predictions, actual),
+        correlation=correlation(predictions, actual),
+        training_error=training_error,
+        responses=training_size,
+    )

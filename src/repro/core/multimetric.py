@@ -1,0 +1,110 @@
+"""Predicting all four metrics from one response set.
+
+The paper trains an independent predictor per target metric.  But ED
+and EDD are *products* of cycles and energy, which suggests an
+alternative: predict cycles and energy (the easy, low-error targets)
+and **compose** ED = energy x cycles and EDD = energy x cycles^2
+algebraically.  Composition reuses one set of responses for all four
+metrics and inherits the low error of the base targets — at the price
+of multiplying their errors where they correlate.
+
+:class:`MultiMetricPredictor` packages both routes; the
+``bench_ablation_composed_metrics`` harness measures which wins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.designspace.configuration import Configuration
+from repro.sim.metrics import Metric
+
+from .predictor import ArchitectureCentricPredictor
+from .program_model import ProgramSpecificPredictor
+
+
+class MultiMetricPredictor:
+    """All four target metrics from one pair of fitted base predictors.
+
+    Args:
+        cycles_models: Offline pool for the cycles metric.
+        energy_models: Offline pool for the energy metric.
+        ridge: Ridge setting for both combining regressors.
+    """
+
+    def __init__(
+        self,
+        cycles_models: Sequence[ProgramSpecificPredictor],
+        energy_models: Sequence[ProgramSpecificPredictor],
+        ridge: float = 0.05,
+    ) -> None:
+        if not cycles_models or not energy_models:
+            raise ValueError("both model pools are required")
+        if cycles_models[0].metric is not Metric.CYCLES:
+            raise ValueError("cycles_models must target cycles")
+        if energy_models[0].metric is not Metric.ENERGY:
+            raise ValueError("energy_models must target energy")
+        self._cycles = ArchitectureCentricPredictor(cycles_models, ridge=ridge)
+        self._energy = ArchitectureCentricPredictor(energy_models, ridge=ridge)
+        self._fitted = False
+
+    def fit_responses(
+        self,
+        response_configs: Sequence[Configuration],
+        cycles_values: np.ndarray,
+        energy_values: np.ndarray,
+    ) -> "MultiMetricPredictor":
+        """Fit both base combiners on one shared response set.
+
+        The same R simulations yield both cycles and energy readings, so
+        no extra simulation is spent relative to a single-metric fit.
+        """
+        self._cycles.fit_responses(response_configs, cycles_values)
+        self._energy.fit_responses(response_configs, energy_values)
+        self._fitted = True
+        return self
+
+    def predict(
+        self, configs: Sequence[Configuration], metric: Metric
+    ) -> np.ndarray:
+        """Predict any of the four metrics by composition."""
+        if not self._fitted:
+            raise RuntimeError("the predictor has not been fitted yet")
+        cycles = self._cycles.predict(configs)
+        if metric is Metric.CYCLES:
+            return cycles
+        energy = self._energy.predict(configs)
+        if metric is Metric.ENERGY:
+            return energy
+        if metric is Metric.ED:
+            return energy * cycles
+        if metric is Metric.EDD:
+            return energy * cycles * cycles
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def predict_all(
+        self, configs: Sequence[Configuration]
+    ) -> Dict[Metric, np.ndarray]:
+        """All four metrics in one call (base predictions reused)."""
+        if not self._fitted:
+            raise RuntimeError("the predictor has not been fitted yet")
+        cycles = self._cycles.predict(configs)
+        energy = self._energy.predict(configs)
+        return {
+            Metric.CYCLES: cycles,
+            Metric.ENERGY: energy,
+            Metric.ED: energy * cycles,
+            Metric.EDD: energy * cycles * cycles,
+        }
+
+    @property
+    def training_error(self) -> Dict[Metric, float]:
+        """Training errors of the two base fits (the confidence signal)."""
+        if not self._fitted:
+            raise RuntimeError("the predictor has not been fitted yet")
+        return {
+            Metric.CYCLES: self._cycles.training_error,
+            Metric.ENERGY: self._energy.training_error,
+        }

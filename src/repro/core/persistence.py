@@ -1,0 +1,98 @@
+"""Saving and loading trained offline pools.
+
+Offline training is the architecture-centric workflow's one-off expense
+(N programs x T simulations plus N network trainings); a production
+user trains once and ships the pool.  A pool serialises to a single
+``.npz`` archive of network weights and scaler state; loading restores
+ready-to-use :class:`ProgramSpecificPredictor` objects without touching
+a simulator.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.designspace.space import DesignSpace
+from repro.ml.mlp import MultilayerPerceptron
+from repro.sim.metrics import Metric
+
+from .program_model import ProgramSpecificPredictor
+
+_FORMAT_VERSION = 1
+
+
+def save_models(
+    models: Sequence[ProgramSpecificPredictor],
+    path: Union[str, pathlib.Path],
+) -> pathlib.Path:
+    """Serialise trained program models to one ``.npz`` archive."""
+    if not models:
+        raise ValueError("at least one trained model is required")
+    metrics = {model.metric for model in models}
+    if len(metrics) != 1:
+        raise ValueError("all models must target the same metric")
+    path = pathlib.Path(path)
+    payload = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "metric": np.array(models[0].metric.value),
+        "programs": np.array([model.program for model in models]),
+        "log_target": np.array([model.log_target for model in models]),
+        "training_sizes": np.array(
+            [model.training_size_ for model in models]
+        ),
+    }
+    for index, model in enumerate(models):
+        weights = model._network.get_weights()
+        for name, array in weights.items():
+            payload[f"model{index}_{name}"] = array
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_models(
+    path: Union[str, pathlib.Path],
+    space: DesignSpace | None = None,
+) -> List[ProgramSpecificPredictor]:
+    """Restore program models saved by :func:`save_models`.
+
+    Args:
+        path: The ``.npz`` archive.
+        space: Design space for configuration encoding (defaults to the
+            full Table 1 space; pass the same restricted space the pool
+            was trained on, if any).
+    """
+    path = pathlib.Path(path)
+    space = space if space is not None else DesignSpace()
+    models: List[ProgramSpecificPredictor] = []
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported pool format version {version}")
+        metric = Metric.from_name(str(archive["metric"]))
+        programs = [str(name) for name in archive["programs"]]
+        log_targets = archive["log_target"]
+        training_sizes = archive["training_sizes"]
+        for index, program in enumerate(programs):
+            predictor = ProgramSpecificPredictor(
+                space=space,
+                metric=metric,
+                program=program,
+                log_target=bool(log_targets[index]),
+            )
+            weights = {
+                name: archive[f"model{index}_{name}"]
+                for name in (
+                    "hidden_weights", "hidden_bias", "output_weights",
+                    "output_bias", "x_mean", "x_scale", "y_mean", "y_scale",
+                )
+            }
+            network = MultilayerPerceptron()
+            network.set_weights(weights)
+            predictor._network = network
+            predictor._trained = True
+            predictor.training_size_ = int(training_sizes[index])
+            models.append(predictor)
+    return models

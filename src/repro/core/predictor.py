@@ -1,0 +1,161 @@
+"""The architecture-centric predictor — the paper's contribution.
+
+Section 5.3: the design space of a *new* program is modelled as a linear
+combination of the design spaces of previously seen programs.  Offline,
+one program-specific ANN is trained per training program (T simulations
+each).  Online, the new program is simulated at only R configurations
+(the *responses*); a linear regressor is fitted mapping the training
+models' predictions at those configurations to the new program's
+responses.  Predicting any point of the 18-billion-point space is then
+one forward pass through N small ANNs and a weighted sum.
+
+The training error of the linear fit doubles as a confidence signal
+(Section 7.2): a program whose responses the combination cannot fit —
+art, mcf — will also predict poorly, telling the architect to fall back
+to a program-specific model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.designspace.configuration import Configuration
+from repro.ml.linear import LinearRegressor
+from repro.ml.metrics import correlation, rmae
+from repro.sim.metrics import Metric
+
+from .program_model import ProgramSpecificPredictor
+
+
+class ArchitectureCentricPredictor:
+    """Cross-program predictor built from offline-trained program models.
+
+    Args:
+        program_models: Trained :class:`ProgramSpecificPredictor` objects,
+            one per offline training program, all for the same metric.
+        ridge: Ridge penalty of the combining regressor.  The default
+            of 0.05 matters: with N ~ 25 training programs and R = 32
+            responses the least-squares problem sits near the
+            interpolation threshold, where an unregularised fit has a
+            classic variance peak (predicting *worse* at R = 32 than at
+            R = 8); a modest ridge flattens it (ablation A2 sweeps this).
+    """
+
+    def __init__(
+        self,
+        program_models: Sequence[ProgramSpecificPredictor],
+        ridge: float = 0.05,
+    ) -> None:
+        if not program_models:
+            raise ValueError("at least one trained program model is required")
+        metrics = {model.metric for model in program_models}
+        if len(metrics) != 1:
+            raise ValueError(
+                f"all program models must target the same metric, got {metrics}"
+            )
+        self.metric: Metric = program_models[0].metric
+        self.program_models: List[ProgramSpecificPredictor] = list(program_models)
+        self._regressor = LinearRegressor(fit_intercept=True, ridge=ridge)
+        self._fitted = False
+        self.training_error_: float = float("nan")
+        self.response_count_: int = 0
+
+    # ------------------------------------------------------------------
+    # Fitting on responses
+    # ------------------------------------------------------------------
+    def _model_matrix(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """(n, N) matrix of each program model's predictions.
+
+        Predictions are taken in log10 space so that the combination
+        weighs programs by shape rather than by sheer magnitude, and the
+        final prediction is mapped back to raw units.
+        """
+        columns = [model.predict(configs) for model in self.program_models]
+        return np.log10(np.stack(columns, axis=1))
+
+    def fit_responses(
+        self,
+        response_configs: Sequence[Configuration],
+        response_values: np.ndarray,
+    ) -> "ArchitectureCentricPredictor":
+        """Fit the combining regressor on the new program's responses.
+
+        Args:
+            response_configs: The R simulated configurations.
+            response_values: The new program's measured metric at those
+                configurations.
+        """
+        response_values = np.asarray(response_values, dtype=float).reshape(-1)
+        if len(response_configs) != response_values.shape[0]:
+            raise ValueError("configs and values disagree on sample count")
+        if len(response_configs) < 2:
+            raise ValueError("at least two responses are required")
+        if np.any(response_values <= 0.0):
+            raise ValueError("metric values must be positive")
+
+        design = self._model_matrix(response_configs)
+        targets = np.log10(response_values)
+        self._regressor.fit(design, targets)
+        self._fitted = True
+        self.response_count_ = len(response_configs)
+        self.training_error_ = rmae(
+            self.predict(response_configs), response_values
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Predict the new program's metric anywhere in the space."""
+        if not self._fitted:
+            raise RuntimeError(
+                "the predictor has not been fitted on responses yet"
+            )
+        design = self._model_matrix(configs)
+        log_prediction = self._regressor.predict(design)
+        return np.power(10.0, np.clip(log_prediction, -30.0, 30.0))
+
+    def predict_one(self, config: Configuration) -> float:
+        """Predict a single configuration."""
+        return float(self.predict([config])[0])
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def training_error(self) -> float:
+        """rmae (%) of the fit on the responses — the confidence signal."""
+        if not self._fitted:
+            raise RuntimeError(
+                "the predictor has not been fitted on responses yet"
+            )
+        return self.training_error_
+
+    @property
+    def program_weights(self) -> Dict[str, float]:
+        """Fitted combination weight per training program."""
+        if not self._fitted:
+            raise RuntimeError(
+                "the predictor has not been fitted on responses yet"
+            )
+        return {
+            model.program: float(weight)
+            for model, weight in zip(
+                self.program_models, self._regressor.coefficients
+            )
+        }
+
+    def evaluate(
+        self,
+        configs: Sequence[Configuration],
+        actual_values: np.ndarray,
+    ) -> Dict[str, float]:
+        """rmae and correlation against held-out simulated truth."""
+        predictions = self.predict(configs)
+        return {
+            "rmae": rmae(predictions, actual_values),
+            "correlation": correlation(predictions, actual_values),
+        }

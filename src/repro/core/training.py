@@ -1,0 +1,111 @@
+"""Offline training of the per-program model pool.
+
+The architecture-centric scheme trains one program-specific ANN per
+training program, offline, on T simulations each (Section 5.2, Fig. 6).
+:class:`TrainingPool` owns that step: it trains the models once over a
+shared dataset and serves arbitrary subsets (leave-one-out folds, random
+few-program pools for the Section 8 cost study) without retraining,
+because a program's model does not depend on which fold it appears in.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.sim.metrics import Metric
+from repro.workloads.profile import stable_seed
+
+from .program_model import ProgramSpecificPredictor
+
+if TYPE_CHECKING:  # avoid a package-level import cycle with exploration
+    from repro.exploration.dataset import DesignSpaceDataset
+
+
+class TrainingPool:
+    """Per-program predictors trained offline over a shared dataset.
+
+    Args:
+        dataset: Simulated (program x configuration) metric data.
+        metric: Target metric of every model in the pool.
+        training_size: T — simulations per training program (the paper
+            settles on 512).
+        seed: Base seed; each program derives its own training split and
+            network initialisation from it deterministically.
+        hidden_neurons: ANN hidden width (the paper uses 10).
+    """
+
+    def __init__(
+        self,
+        dataset: DesignSpaceDataset,
+        metric: Metric,
+        training_size: int = 512,
+        seed: int = 0,
+        hidden_neurons: int = 10,
+    ) -> None:
+        if training_size < 2:
+            raise ValueError("training_size must be at least 2")
+        if training_size > len(dataset):
+            raise ValueError(
+                f"training_size {training_size} exceeds the dataset's "
+                f"{len(dataset)} configurations"
+            )
+        self.dataset = dataset
+        self.metric = metric
+        self.training_size = training_size
+        self.seed = seed
+        self.hidden_neurons = hidden_neurons
+        self._models: Dict[str, ProgramSpecificPredictor] = {}
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def model(self, program: str) -> ProgramSpecificPredictor:
+        """The trained model for one program (trained on first use)."""
+        if program not in self._models:
+            self._models[program] = self._train(program)
+        return self._models[program]
+
+    def _train(self, program: str) -> ProgramSpecificPredictor:
+        split_seed = stable_seed(
+            "pool-split", program, str(self.seed), str(self.training_size)
+        )
+        train_idx, _ = self.dataset.split_indices(
+            self.training_size, seed=split_seed
+        )
+        configs = self.dataset.subset_configs(train_idx)
+        values = self.dataset.subset_values(program, self.metric, train_idx)
+        predictor = ProgramSpecificPredictor(
+            space=self.dataset.simulator.space,
+            metric=self.metric,
+            program=program,
+            hidden_neurons=self.hidden_neurons,
+            seed=stable_seed("pool-net", program, str(self.seed)),
+        )
+        return predictor.fit(configs, values)
+
+    def train_all(self) -> "TrainingPool":
+        """Eagerly train every program's model (otherwise lazy)."""
+        for program in self.dataset.programs:
+            self.model(program)
+        return self
+
+    # ------------------------------------------------------------------
+    # Serving folds
+    # ------------------------------------------------------------------
+    def models(
+        self,
+        include: Optional[Sequence[str]] = None,
+        exclude: Optional[Sequence[str]] = None,
+    ) -> List[ProgramSpecificPredictor]:
+        """Trained models for a fold.
+
+        Args:
+            include: Programs to include (defaults to the whole suite).
+            exclude: Programs to drop (e.g. the left-out test program).
+        """
+        names = list(include) if include is not None else list(self.dataset.programs)
+        dropped = set(exclude or ())
+        unknown = (set(names) | dropped) - set(self.dataset.programs)
+        if unknown:
+            raise KeyError(f"programs not in the dataset: {sorted(unknown)}")
+        return [self.model(name) for name in names if name not in dropped]

@@ -1,0 +1,138 @@
+"""The one-call workflow: characterise a new program end to end.
+
+Everything the paper's Fig. 6 pipeline does, packaged for a user who
+has a trained offline pool and a brand-new workload:
+
+1. simulate the new program at R sampled configurations (the only
+   simulations spent);
+2. fit the architecture-centric combiner on those responses;
+3. read the training error as the confidence signal (Section 7.2) and
+   turn it into an explicit verdict;
+4. optionally scan a large candidate set for predicted sweet spots.
+
+The returned :class:`ExplorationReport` carries the fitted predictor,
+so all further prediction is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.designspace.configuration import Configuration
+from repro.designspace.sampling import sample_configurations
+from repro.sim.interval import IntervalSimulator
+from repro.sim.metrics import Metric
+from repro.workloads.profile import WorkloadProfile
+
+from .predictor import ArchitectureCentricPredictor
+from .program_model import ProgramSpecificPredictor
+
+#: Training-error (%) thresholds for the confidence verdict.
+_TRUSTED_BELOW = 8.0
+_SUSPECT_ABOVE = 15.0
+
+
+@dataclass(frozen=True)
+class ExplorationReport:
+    """Everything :func:`explore_new_program` learned.
+
+    Attributes:
+        program: The new program's name.
+        metric: Target metric.
+        predictor: The fitted architecture-centric predictor (reusable).
+        responses: The configurations that were simulated.
+        training_error: rmae (%) of the response fit — the confidence
+            signal.
+        verdict: ``"trusted"`` / ``"usable"`` / ``"suspect"`` from the
+            training error (Section 7.2's decision rule made explicit).
+        sweet_spots: Predicted-best configurations with their predicted
+            values (empty when scanning was disabled).
+        simulations_spent: Real simulations consumed (== R).
+    """
+
+    program: str
+    metric: Metric
+    predictor: ArchitectureCentricPredictor
+    responses: Tuple[Configuration, ...]
+    training_error: float
+    verdict: str
+    sweet_spots: Tuple[Tuple[Configuration, float], ...]
+    simulations_spent: int
+
+    @property
+    def trustworthy(self) -> bool:
+        """True unless the confidence signal flags unique behaviour."""
+        return self.verdict != "suspect"
+
+
+def _verdict(training_error: float) -> str:
+    if training_error < _TRUSTED_BELOW:
+        return "trusted"
+    if training_error <= _SUSPECT_ABOVE:
+        return "usable"
+    return "suspect"
+
+
+def explore_new_program(
+    models: Sequence[ProgramSpecificPredictor],
+    profile: WorkloadProfile,
+    simulator: Optional[IntervalSimulator] = None,
+    responses: int = 32,
+    sweet_spot_candidates: int = 5000,
+    sweet_spots: int = 5,
+    seed: int = 0,
+) -> ExplorationReport:
+    """Characterise a new program from R simulations and scan the space.
+
+    Args:
+        models: The offline-trained per-program pool (all one metric).
+        profile: The new program.
+        simulator: Simulator supplying the responses (defaults to a
+            fresh interval simulator over the full Table 1 space).
+        responses: R — simulations of the new program (the only cost).
+        sweet_spot_candidates: Random candidates scanned by prediction;
+            0 disables the scan.
+        sweet_spots: Predicted-best configurations to report.
+        seed: Sampling seed.
+
+    Returns:
+        An :class:`ExplorationReport`; its ``predictor`` predicts any
+        configuration of the space from here on for free.
+    """
+    if responses < 2:
+        raise ValueError("at least two responses are required")
+    simulator = simulator if simulator is not None else IntervalSimulator()
+    space = simulator.space
+    metric = models[0].metric
+
+    response_configs = sample_configurations(space, responses, seed=seed)
+    batch = simulator.simulate_batch(profile, response_configs)
+    response_values = batch.metric(metric)
+
+    predictor = ArchitectureCentricPredictor(models)
+    predictor.fit_responses(response_configs, response_values)
+
+    spots: List[Tuple[Configuration, float]] = []
+    if sweet_spot_candidates > 0:
+        candidates = sample_configurations(
+            space, sweet_spot_candidates, seed=seed + 1
+        )
+        predictions = predictor.predict(candidates)
+        order = np.argsort(predictions)[:sweet_spots]
+        spots = [
+            (candidates[i], float(predictions[i])) for i in order
+        ]
+
+    return ExplorationReport(
+        program=profile.name,
+        metric=metric,
+        predictor=predictor,
+        responses=tuple(response_configs),
+        training_error=predictor.training_error,
+        verdict=_verdict(predictor.training_error),
+        sweet_spots=tuple(spots),
+        simulations_spent=responses,
+    )

@@ -1,0 +1,40 @@
+"""The microarchitectural design space (Table 1 / Table 2 of the paper).
+
+Public surface:
+
+* :class:`Parameter` — one design-space axis.
+* :class:`Configuration` — one point of the space (hashable value object).
+* :class:`DesignSpace` — the 13-parameter legal space, encoding, counting.
+* :func:`sample_configurations` — uniform random sampling of legal points.
+"""
+
+from .configuration import PARAMETER_ORDER, Configuration
+from .parameters import Parameter, geometric_grid, linear_grid
+from .restrict import embedded_space, restrict, server_space
+from .sampling import (
+    corner_biased_sample,
+    sample_configurations,
+    split_responses,
+    stratified_sample,
+)
+from .space import DesignSpace, table1_parameters
+from .tables import render_table1, render_table2
+
+__all__ = [
+    "PARAMETER_ORDER",
+    "Configuration",
+    "DesignSpace",
+    "Parameter",
+    "corner_biased_sample",
+    "embedded_space",
+    "geometric_grid",
+    "linear_grid",
+    "render_table1",
+    "render_table2",
+    "restrict",
+    "server_space",
+    "sample_configurations",
+    "split_responses",
+    "stratified_sample",
+    "table1_parameters",
+]

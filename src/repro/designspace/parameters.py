@@ -1,0 +1,132 @@
+"""Definitions of individual microarchitectural design parameters.
+
+A :class:`Parameter` describes one axis of the design space of Table 1 in
+the paper: its name, the grid of values it may take, the baseline value,
+and how the value is encoded into the 13-element feature vector consumed
+by the machine-learning models (the paper encodes the baseline machine as
+``x_baseline = (4, 96, 32, 48, 96, 8, 4, 16, 4, 16, 32, 32, 2)``, i.e.
+caches in KB/MB and predictor tables in K-entries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """One microarchitectural design parameter.
+
+    Attributes:
+        name: Machine-readable identifier (e.g. ``"rob_size"``).
+        label: Human-readable label used when rendering Table 1.
+        values: The ordered grid of raw values the parameter can take.
+            Raw values are in natural units (entries, bytes, ports).
+        baseline: The raw value used by the paper's baseline machine.
+        unit: Unit of the raw values, for table rendering.
+        encoding_divisor: Raw values are divided by this when building
+            the model feature vector, reproducing the paper's encoding
+            (e.g. a 16384-entry gshare encodes as ``16``).
+    """
+
+    name: str
+    label: str
+    values: Tuple[int, ...]
+    baseline: int
+    unit: str = ""
+    encoding_divisor: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"parameter {self.name!r} has an empty value grid")
+        if list(self.values) != sorted(set(self.values)):
+            raise ValueError(
+                f"parameter {self.name!r} values must be strictly increasing"
+            )
+        if self.baseline not in self.values:
+            raise ValueError(
+                f"baseline {self.baseline} of parameter {self.name!r} is not "
+                f"on its value grid {self.values}"
+            )
+        if self.encoding_divisor <= 0:
+            raise ValueError("encoding_divisor must be positive")
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values this parameter can take."""
+        return len(self.values)
+
+    @property
+    def minimum(self) -> int:
+        """Smallest raw value on the grid."""
+        return self.values[0]
+
+    @property
+    def maximum(self) -> int:
+        """Largest raw value on the grid."""
+        return self.values[-1]
+
+    def index_of(self, value: int) -> int:
+        """Return the grid index of ``value``.
+
+        Raises:
+            ValueError: if ``value`` is not on the grid.
+        """
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"{value} is not a legal value for parameter {self.name!r}; "
+                f"legal values are {self.values}"
+            ) from None
+
+    def encode(self, value: int) -> float:
+        """Encode a raw value as a model feature (paper's unit convention)."""
+        self.index_of(value)  # validate
+        return value / self.encoding_divisor
+
+    def decode(self, feature: float) -> int:
+        """Invert :meth:`encode`, snapping to the nearest grid value."""
+        raw = feature * self.encoding_divisor
+        return min(self.values, key=lambda v: abs(v - raw))
+
+    def describe_range(self) -> str:
+        """Render the value range the way Table 1 does (min-max : step)."""
+        if self.cardinality == 1:
+            return str(self.values[0])
+        steps = {b - a for a, b in zip(self.values, self.values[1:])}
+        if len(steps) == 1:
+            step = steps.pop()
+            return f"{self.minimum}-{self.maximum} : {step}"
+        ratios = {
+            b / a for a, b in zip(self.values, self.values[1:]) if a != 0
+        }
+        if len(ratios) == 1:
+            return f"{self.minimum}-{self.maximum} : x{int(ratios.pop())}"
+        return ",".join(str(v) for v in self.values)
+
+
+def geometric_grid(start: int, stop: int, factor: int = 2) -> Tuple[int, ...]:
+    """Build a geometric value grid ``start, start*factor, ..., stop``."""
+    if start <= 0 or factor <= 1:
+        raise ValueError("geometric grids need start > 0 and factor > 1")
+    values = []
+    value = start
+    while value <= stop:
+        values.append(value)
+        value *= factor
+    if not values or values[-1] != stop:
+        raise ValueError(
+            f"stop {stop} is not reachable from {start} with factor {factor}"
+        )
+    return tuple(values)
+
+
+def linear_grid(start: int, stop: int, step: int) -> Tuple[int, ...]:
+    """Build a linear value grid ``start, start+step, ..., stop``."""
+    if step <= 0:
+        raise ValueError("step must be positive")
+    if (stop - start) % step != 0:
+        raise ValueError(f"stop {stop} not on grid from {start} step {step}")
+    return tuple(range(start, stop + 1, step))

@@ -1,0 +1,105 @@
+"""Restricting the design space to a subrange of interest.
+
+Architects rarely explore the full Table 1 space; an embedded-core study
+caps the width at 4 and the L2 at a megabyte, a server study floors
+them.  :func:`restrict` builds a new, fully functional
+:class:`~repro.designspace.space.DesignSpace` whose parameter grids are
+clipped to given (min, max) windows — every downstream component
+(sampling, datasets, predictors, search) works on the restricted space
+unchanged, because they only ever talk to the ``DesignSpace`` interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Tuple
+
+from .parameters import Parameter
+from .space import DesignSpace
+
+
+def restrict(
+    space: DesignSpace, **windows: Tuple[int, int]
+) -> DesignSpace:
+    """Clip parameter grids to inclusive (low, high) windows.
+
+    Args:
+        space: The space to restrict.
+        windows: ``parameter_name=(low, high)`` keyword arguments; values
+            outside the window are dropped from that parameter's grid.
+            Baselines falling outside a window snap to the nearest
+            surviving grid value.
+
+    Returns:
+        A new design space over the clipped grids.
+
+    Raises:
+        KeyError: for an unknown parameter name.
+        ValueError: if a window empties a parameter's grid.
+
+    Example::
+
+        embedded = restrict(
+            DesignSpace(), width=(2, 4), l2cache_kb=(256, 1024)
+        )
+    """
+    known = {parameter.name for parameter in space.parameters}
+    unknown = set(windows) - known
+    if unknown:
+        raise KeyError(f"unknown parameters: {sorted(unknown)}")
+
+    new_parameters = []
+    for parameter in space.parameters:
+        if parameter.name not in windows:
+            new_parameters.append(parameter)
+            continue
+        low, high = windows[parameter.name]
+        if low > high:
+            raise ValueError(
+                f"{parameter.name}: window low {low} exceeds high {high}"
+            )
+        values = tuple(v for v in parameter.values if low <= v <= high)
+        if not values:
+            raise ValueError(
+                f"{parameter.name}: window ({low}, {high}) leaves no grid "
+                f"values out of {parameter.values}"
+            )
+        baseline = parameter.baseline
+        if not low <= baseline <= high:
+            baseline = min(values, key=lambda v: abs(v - parameter.baseline))
+        new_parameters.append(
+            replace(parameter, values=values, baseline=baseline)
+        )
+    return DesignSpace(new_parameters)
+
+
+def embedded_space(space: DesignSpace | None = None) -> DesignSpace:
+    """A ready-made embedded-class subspace (narrow, small memories)."""
+    return restrict(
+        space if space is not None else DesignSpace(),
+        width=(2, 4),
+        rob_size=(32, 96),
+        iq_size=(8, 48),
+        lsq_size=(8, 48),
+        rf_size=(40, 104),
+        rf_read_ports=(2, 8),
+        rf_write_ports=(1, 4),
+        gshare_size=(1024, 8192),
+        icache_kb=(8, 32),
+        dcache_kb=(8, 32),
+        l2cache_kb=(256, 1024),
+    )
+
+
+def server_space(space: DesignSpace | None = None) -> DesignSpace:
+    """A ready-made server-class subspace (wide, large memories)."""
+    return restrict(
+        space if space is not None else DesignSpace(),
+        width=(4, 8),
+        rob_size=(96, 160),
+        rf_size=(96, 160),
+        gshare_size=(8192, 32768),
+        icache_kb=(32, 128),
+        dcache_kb=(32, 128),
+        l2cache_kb=(1024, 4096),
+    )

@@ -1,0 +1,298 @@
+"""The 13-parameter microarchitectural design space of Table 1.
+
+The paper varies 13 parameters of a superscalar out-of-order core for a
+raw cross product of roughly 63 billion configurations, then filters out
+points that "do not make architectural sense" (e.g. a reorder buffer
+smaller than the issue queue), leaving roughly 18 billion legal points.
+:class:`DesignSpace` reproduces both the grid and the filtering, computes
+the exact legal-point count by factored enumeration, and converts between
+:class:`~repro.designspace.configuration.Configuration` objects and the
+13-element feature vectors used by the predictors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .configuration import PARAMETER_ORDER, Configuration
+from .parameters import Parameter, geometric_grid, linear_grid
+
+
+def table1_parameters() -> Tuple[Parameter, ...]:
+    """Build the 13 varied parameters of the paper's Table 1.
+
+    The grids reproduce the ranges, steps and cardinalities of Table 1
+    (4 x 17 x 10 x 10 x 16 x 8 x 8 x 6 x 3 x 4 x 5 x 5 x 5 which is about
+    63 billion raw points) and the baseline machine encodes to the
+    paper's ``x_baseline = (4, 96, 32, 48, 96, 8, 4, 16, 4, 16, 32, 32, 2)``.
+    """
+    return (
+        Parameter("width", "Pipeline width", (2, 4, 6, 8), 4, "insns"),
+        Parameter("rob_size", "Reorder buffer", linear_grid(32, 160, 8), 96, "entries"),
+        Parameter("iq_size", "Issue queue", linear_grid(8, 80, 8), 32, "entries"),
+        Parameter("lsq_size", "Load/store queue", linear_grid(8, 80, 8), 48, "entries"),
+        Parameter("rf_size", "Register file", linear_grid(40, 160, 8), 96, "regs"),
+        Parameter("rf_read_ports", "RF read ports", linear_grid(2, 16, 2), 8, "ports"),
+        Parameter("rf_write_ports", "RF write ports", linear_grid(1, 8, 1), 4, "ports"),
+        Parameter(
+            "gshare_size",
+            "Gshare predictor",
+            geometric_grid(1024, 32768),
+            16384,
+            "entries",
+            encoding_divisor=1024,
+        ),
+        Parameter(
+            "btb_size",
+            "Branch target buffer",
+            geometric_grid(1024, 4096),
+            4096,
+            "entries",
+            encoding_divisor=1024,
+        ),
+        Parameter("max_branches", "In-flight branches", (8, 16, 24, 32), 16, "branches"),
+        Parameter("icache_kb", "L1 I-cache", geometric_grid(8, 128), 32, "KB"),
+        Parameter("dcache_kb", "L1 D-cache", geometric_grid(8, 128), 32, "KB"),
+        Parameter(
+            "l2cache_kb",
+            "L2 unified cache",
+            geometric_grid(256, 4096),
+            2048,
+            "KB",
+            encoding_divisor=1024,
+        ),
+    )
+
+
+class DesignSpace:
+    """The legal microarchitectural design space.
+
+    Legality constraints (the paper names the first explicitly; the rest
+    are the analogous "architectural sense" filters needed to reach the
+    reported ~18 billion legal points):
+
+    * ``rob_size >= iq_size`` — instructions in the issue queue occupy
+      reorder-buffer slots.
+    * ``rob_size >= lsq_size`` — likewise for the load/store queue.
+    * ``rf_read_ports <= 2 * width`` — a width-``w`` machine can consume
+      at most ``2w`` operand reads per cycle.
+    * ``rf_write_ports <= width`` — at most ``w`` results written back.
+    * ``l2cache_kb >= 8 * max(icache_kb, dcache_kb)`` — the unified L2
+      must meaningfully back the L1s.
+    """
+
+    def __init__(self, parameters: Sequence[Parameter] | None = None) -> None:
+        self._parameters: Tuple[Parameter, ...] = tuple(
+            parameters if parameters is not None else table1_parameters()
+        )
+        names = tuple(p.name for p in self._parameters)
+        if names != PARAMETER_ORDER:
+            raise ValueError(
+                "parameters must match the canonical 13-parameter order; "
+                f"got {names}"
+            )
+        self._by_name: Dict[str, Parameter] = {p.name: p for p in self._parameters}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def parameters(self) -> Tuple[Parameter, ...]:
+        """The 13 varied parameters in canonical order."""
+        return self._parameters
+
+    @property
+    def dimensions(self) -> int:
+        """Number of varied parameters (13)."""
+        return len(self._parameters)
+
+    def parameter(self, name: str) -> Parameter:
+        """Look a parameter up by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown parameter {name!r}; known: {sorted(self._by_name)}"
+            ) from None
+
+    @property
+    def raw_size(self) -> int:
+        """Size of the unfiltered cross product (about 63 billion)."""
+        size = 1
+        for parameter in self._parameters:
+            size *= parameter.cardinality
+        return size
+
+    @property
+    def legal_size(self) -> int:
+        """Exact number of legal points (about 18 billion).
+
+        The constraints factor into three independent groups —
+        (rob, iq, lsq), (width, read ports, write ports) and
+        (icache, dcache, l2) — so the count is a product of three small
+        enumerations times the cardinalities of the unconstrained
+        parameters.
+        """
+        rob = self.parameter("rob_size").values
+        iq = self.parameter("iq_size").values
+        lsq = self.parameter("lsq_size").values
+        window_group = sum(
+            sum(1 for q in iq if q <= r) * sum(1 for s in lsq if s <= r)
+            for r in rob
+        )
+
+        widths = self.parameter("width").values
+        rports = self.parameter("rf_read_ports").values
+        wports = self.parameter("rf_write_ports").values
+        port_group = sum(
+            sum(1 for rp in rports if rp <= 2 * w)
+            * sum(1 for wp in wports if wp <= w)
+            for w in widths
+        )
+
+        icache = self.parameter("icache_kb").values
+        dcache = self.parameter("dcache_kb").values
+        l2 = self.parameter("l2cache_kb").values
+        cache_group = sum(
+            sum(1 for c in l2 if c >= 8 * max(i, d))
+            for i in icache
+            for d in dcache
+        )
+
+        unconstrained = 1
+        for name in ("rf_size", "gshare_size", "btb_size", "max_branches"):
+            unconstrained *= self.parameter(name).cardinality
+        return window_group * port_group * cache_group * unconstrained
+
+    # ------------------------------------------------------------------
+    # Legality
+    # ------------------------------------------------------------------
+    def is_on_grid(self, config: Configuration) -> bool:
+        """True if every parameter value lies on its Table 1 grid."""
+        return all(
+            getattr(config, p.name) in p.values for p in self._parameters
+        )
+
+    def satisfies_constraints(self, config: Configuration) -> bool:
+        """True if the configuration makes architectural sense."""
+        return (
+            config.rob_size >= config.iq_size
+            and config.rob_size >= config.lsq_size
+            and config.rf_read_ports <= 2 * config.width
+            and config.rf_write_ports <= config.width
+            and config.l2cache_kb >= 8 * max(config.icache_kb, config.dcache_kb)
+        )
+
+    def is_legal(self, config: Configuration) -> bool:
+        """True if the configuration is on the grid and legal."""
+        return self.is_on_grid(config) and self.satisfies_constraints(config)
+
+    def validate(self, config: Configuration) -> None:
+        """Raise ``ValueError`` with a diagnosis if ``config`` is illegal."""
+        for parameter in self._parameters:
+            value = getattr(config, parameter.name)
+            if value not in parameter.values:
+                raise ValueError(
+                    f"{parameter.name}={value} is off the grid "
+                    f"{parameter.values}"
+                )
+        if not self.satisfies_constraints(config):
+            raise ValueError(f"configuration violates legality constraints: {config}")
+
+    # ------------------------------------------------------------------
+    # Baseline and encoding
+    # ------------------------------------------------------------------
+    @property
+    def baseline(self) -> Configuration:
+        """The paper's baseline machine (Table 1, last column)."""
+        return Configuration(
+            **{p.name: p.baseline for p in self._parameters}
+        )
+
+    def encode(self, config: Configuration) -> np.ndarray:
+        """Encode a configuration as the paper's 13-element feature vector."""
+        return np.array(
+            [p.encode(getattr(config, p.name)) for p in self._parameters],
+            dtype=float,
+        )
+
+    def encode_many(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Encode a sequence of configurations as an (n, 13) matrix."""
+        if not configs:
+            return np.empty((0, self.dimensions), dtype=float)
+        return np.stack([self.encode(c) for c in configs])
+
+    def decode(self, features: Sequence[float]) -> Configuration:
+        """Invert :meth:`encode`, snapping each feature to its grid."""
+        if len(features) != self.dimensions:
+            raise ValueError(
+                f"expected {self.dimensions} features, got {len(features)}"
+            )
+        values = {
+            p.name: p.decode(f) for p, f in zip(self._parameters, features)
+        }
+        return Configuration(**values)
+
+    # ------------------------------------------------------------------
+    # Normalisation helpers used by the ML front end
+    # ------------------------------------------------------------------
+    def feature_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-feature (min, max) in encoded units, for scaling."""
+        lo = np.array(
+            [p.encode(p.minimum) for p in self._parameters], dtype=float
+        )
+        hi = np.array(
+            [p.encode(p.maximum) for p in self._parameters], dtype=float
+        )
+        return lo, hi
+
+    def enumerate(self, limit: int = 1_000_000):
+        """Yield every legal configuration of the space, in grid order.
+
+        Intended for *restricted* spaces (see
+        :mod:`repro.designspace.restrict`) whose legal size is small
+        enough to walk exhaustively; the full Table 1 space is 19
+        billion points and is guarded by ``limit``.
+
+        Args:
+            limit: Raise ``ValueError`` if the legal size exceeds this,
+                as a protection against accidentally iterating the full
+                space.
+
+        Yields:
+            Legal :class:`Configuration` objects.
+        """
+        if self.legal_size > limit:
+            raise ValueError(
+                f"space has {self.legal_size:,} legal points, above the "
+                f"enumeration limit of {limit:,}; restrict it first"
+            )
+        import itertools
+
+        names = [p.name for p in self._parameters]
+        grids = [p.values for p in self._parameters]
+        for combo in itertools.product(*grids):
+            config = Configuration(**dict(zip(names, combo)))
+            if self.satisfies_constraints(config):
+                yield config
+
+    def neighbours(self, config: Configuration) -> List[Configuration]:
+        """All legal single-parameter-step neighbours of ``config``.
+
+        Useful for local search over the space (e.g. sweet-spot hill
+        climbing in the examples).
+        """
+        result: List[Configuration] = []
+        for parameter in self._parameters:
+            index = parameter.index_of(getattr(config, parameter.name))
+            for step in (-1, 1):
+                neighbour_index = index + step
+                if 0 <= neighbour_index < parameter.cardinality:
+                    candidate = config.replace(
+                        **{parameter.name: parameter.values[neighbour_index]}
+                    )
+                    if self.satisfies_constraints(candidate):
+                        result.append(candidate)
+        return result

@@ -1,0 +1,61 @@
+"""Rendering of the paper's Table 1 and Table 2 as ASCII tables.
+
+These renderers back the ``bench_table1_design_space`` and
+``bench_table2_fixed_params`` benchmark targets, which print the design
+space inventory exactly the way the paper tabulates it: parameter, value
+range with step, number of distinct values, and the baseline value.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .space import DesignSpace
+
+
+def _render(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a minimal aligned ASCII table."""
+    columns = [list(column) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1(space: DesignSpace) -> str:
+    """Render Table 1: varied parameters, ranges, cardinalities, baseline."""
+    rows: List[Tuple[str, str, str, str]] = []
+    for parameter in space.parameters:
+        rows.append(
+            (
+                parameter.label,
+                f"{parameter.describe_range()} {parameter.unit}".strip(),
+                str(parameter.cardinality),
+                str(parameter.baseline),
+            )
+        )
+    table = _render(("Parameter", "Range : step", "Values", "Baseline"), rows)
+    footer = (
+        f"\nRaw cross product : {space.raw_size:,} configurations"
+        f"\nLegal subspace    : {space.legal_size:,} configurations"
+    )
+    return table + footer
+
+
+def render_table2(fixed_parameters: Sequence[Tuple[str, str]],
+                  width_scaled: Sequence[Tuple[str, str]]) -> str:
+    """Render Table 2: (a) constant parameters, (b) width-scaled units.
+
+    Args:
+        fixed_parameters: (name, value) pairs that never vary.
+        width_scaled: (name, rule) pairs scaled from the pipeline width.
+    """
+    part_a = _render(("Constant parameter", "Value"),
+                     [tuple(row) for row in fixed_parameters])
+    part_b = _render(("Width-scaled unit", "Count rule"),
+                     [tuple(row) for row in width_scaled])
+    return f"(a) Constant\n{part_a}\n\n(b) Related to width\n{part_b}"

@@ -1,0 +1,82 @@
+"""Datasets, experiment runners and reporting.
+
+Public surface:
+
+* :class:`DesignSpaceDataset` — simulate-once, reuse-everywhere data.
+* One runner per figure of the paper (see :mod:`.experiments`).
+* ASCII reporting helpers used by the benchmark harnesses.
+"""
+
+from .budget import BudgetPlan, amortisation_curve, expected_rmae, plan_budget
+from .calibration import AccuracyModel, fit_accuracy_model, measure_operating_points
+from .dataset import DesignSpaceDataset
+from .experiments import (
+    ComparisonResult,
+    MotivationResult,
+    SweepPoint,
+    SweepResult,
+    comparison_sweep,
+    drift_sweep,
+    mibench_experiment,
+    motivation_experiment,
+    noise_sweep,
+    response_sweep,
+    spec_error_experiment,
+    training_programs_sweep,
+    training_size_sweep,
+)
+from .persistence import load_dataset, save_dataset
+from .reporting import (
+    ascii_bar_chart,
+    format_series,
+    format_table,
+    scale_banner,
+)
+from .search import (
+    RankedCandidate,
+    SearchResult,
+    TradeOffPoint,
+    dominated_fraction,
+    hill_climb,
+    pareto_front,
+    predicted_best,
+    simulated_annealing,
+)
+
+__all__ = [
+    "AccuracyModel",
+    "BudgetPlan",
+    "ComparisonResult",
+    "DesignSpaceDataset",
+    "MotivationResult",
+    "SweepPoint",
+    "SweepResult",
+    "RankedCandidate",
+    "SearchResult",
+    "TradeOffPoint",
+    "amortisation_curve",
+    "ascii_bar_chart",
+    "comparison_sweep",
+    "dominated_fraction",
+    "drift_sweep",
+    "expected_rmae",
+    "fit_accuracy_model",
+    "hill_climb",
+    "load_dataset",
+    "measure_operating_points",
+    "pareto_front",
+    "plan_budget",
+    "predicted_best",
+    "save_dataset",
+    "format_series",
+    "format_table",
+    "mibench_experiment",
+    "motivation_experiment",
+    "noise_sweep",
+    "response_sweep",
+    "scale_banner",
+    "simulated_annealing",
+    "spec_error_experiment",
+    "training_programs_sweep",
+    "training_size_sweep",
+]

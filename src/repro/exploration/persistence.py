@@ -1,0 +1,103 @@
+"""Saving and loading simulated datasets.
+
+Simulating a dataset is cheap with the interval model but not free, and
+downstream users may want to version, share or diff the exact data an
+experiment ran on.  A dataset round-trips through a single ``.npz``
+archive holding the raw configuration matrix and every cached metric
+matrix; loading restores a fully usable
+:class:`~repro.exploration.dataset.DesignSpaceDataset` whose values are
+served from the archive instead of being re-simulated.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.designspace.configuration import PARAMETER_ORDER, Configuration
+from repro.sim.interval import IntervalSimulator
+from repro.sim.metrics import Metric
+from repro.workloads.suite import BenchmarkSuite
+
+from .dataset import DesignSpaceDataset
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(
+    dataset: DesignSpaceDataset, path: Union[str, pathlib.Path]
+) -> pathlib.Path:
+    """Write a dataset (configurations + all metric matrices) to ``.npz``.
+
+    Every program's metrics are materialised first, so the archive is
+    complete regardless of what the caller already touched.
+    """
+    path = pathlib.Path(path)
+    configs = np.array(
+        [list(config.values()) for config in dataset.configs], dtype=np.int64
+    )
+    payload = {
+        "format_version": np.array(_FORMAT_VERSION),
+        "suite_name": np.array(dataset.suite.name),
+        "programs": np.array(list(dataset.programs)),
+        "configs": configs,
+    }
+    for metric in Metric.all():
+        payload[f"metric_{metric.value}"] = dataset.matrix(metric)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_dataset(
+    path: Union[str, pathlib.Path],
+    suite: BenchmarkSuite,
+    simulator: IntervalSimulator | None = None,
+) -> DesignSpaceDataset:
+    """Load a dataset saved by :func:`save_dataset`.
+
+    Args:
+        path: The ``.npz`` archive.
+        suite: The suite the archive was built from (profiles are not
+            serialised; the caller must supply the same suite, which is
+            validated by name and program list).
+        simulator: Optional simulator for the restored dataset (used
+            only for the design space / any future re-simulation).
+
+    Raises:
+        ValueError: if the archive does not match the supplied suite.
+    """
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset format version {version}"
+            )
+        suite_name = str(archive["suite_name"])
+        programs = [str(name) for name in archive["programs"]]
+        if suite.name != suite_name:
+            raise ValueError(
+                f"archive was built from suite {suite_name!r}, "
+                f"got {suite.name!r}"
+            )
+        if list(suite.programs) != programs:
+            raise ValueError(
+                "archive program list does not match the supplied suite"
+            )
+        configs = [
+            Configuration(**dict(zip(PARAMETER_ORDER, row)))
+            for row in archive["configs"].tolist()
+        ]
+        dataset = DesignSpaceDataset(suite, configs, simulator)
+        for metric in Metric.all():
+            matrix = archive[f"metric_{metric.value}"]
+            if matrix.shape != (len(programs), len(configs)):
+                raise ValueError(
+                    f"metric matrix {metric.value} has shape {matrix.shape}, "
+                    f"expected {(len(programs), len(configs))}"
+                )
+            for row, program in enumerate(programs):
+                dataset._cache[(program, metric)] = matrix[row]
+    return dataset

@@ -1,0 +1,97 @@
+"""ASCII reporting helpers used by the benchmark harnesses.
+
+The benches regenerate the paper's tables and figures as text: aligned
+tables for tabular artefacts and aligned numeric series for the figure
+sweeps, each prefixed with the experiment's scale so reduced-scale runs
+are never mistaken for paper-scale ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered))
+        if rendered
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0.0:
+            return "0"
+        if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+) -> str:
+    """Render one or more y-series against a shared x axis."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [values[i] for values in series.values()])
+    return format_table(headers, rows)
+
+
+def format_five_number(
+    program: str,
+    minimum: float,
+    quartile25: float,
+    median: float,
+    quartile75: float,
+    maximum: float,
+    baseline: float,
+) -> List[object]:
+    """One Fig. 4 row."""
+    return [program, minimum, quartile25, median, quartile75, maximum, baseline]
+
+
+def scale_banner(description: str, **scale: object) -> str:
+    """A one-line banner stating the scale an experiment ran at."""
+    settings = ", ".join(f"{key}={value}" for key, value in scale.items())
+    return f"== {description} [{settings}] =="
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bars (used for per-program error charts)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return "(empty)"
+    peak = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        length = 0 if peak == 0 else int(round(width * value / peak))
+        lines.append(
+            f"{label.ljust(label_width)} | {'#' * length} {value:.1f}{unit}"
+        )
+    return "\n".join(lines)

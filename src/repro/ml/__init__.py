@@ -1,0 +1,28 @@
+"""Machine-learning machinery implemented from scratch on numpy.
+
+Public surface:
+
+* :class:`MultilayerPerceptron` — the paper's per-program ANN (Fig. 7).
+* :class:`LinearRegressor` — the architecture-centric combiner (Fig. 8).
+* :func:`rmae` / :func:`correlation` — the paper's accuracy metrics.
+* :class:`StandardScaler` / :class:`MinMaxScaler` — data conditioning.
+"""
+
+from .linear import LinearRegressor, normal_equation_weights
+from .metrics import correlation, rmae
+from .mlp import MLPTrainingRecord, MultilayerPerceptron
+from .scaling import MinMaxScaler, StandardScaler
+from .spline import SplineRegressor, restricted_cubic_basis
+
+__all__ = [
+    "LinearRegressor",
+    "MLPTrainingRecord",
+    "MinMaxScaler",
+    "MultilayerPerceptron",
+    "SplineRegressor",
+    "StandardScaler",
+    "correlation",
+    "normal_equation_weights",
+    "restricted_cubic_basis",
+    "rmae",
+]

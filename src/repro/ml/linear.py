@@ -1,0 +1,95 @@
+"""Least-squares linear regression (the architecture-centric combiner).
+
+Section 5.3.1 of the paper: the architecture-centric model combines the
+outputs of the per-program predictors with a linear regressor whose
+weights minimise the squared error against the responses, i.e. the
+normal-equation solution ``beta = (X X^T)^-1 X^T y`` (the paper's eq. 5).
+We solve the same problem through ``numpy.linalg.lstsq`` (SVD-based, so
+rank-deficient systems — e.g. more training programs than responses —
+still yield the minimum-norm solution), with an optional ridge penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LinearRegressor:
+    """Ordinary least squares with optional intercept and ridge penalty.
+
+    Args:
+        fit_intercept: Learn the ``beta_0`` offset term.
+        ridge: L2 penalty strength; 0 gives plain least squares.
+    """
+
+    def __init__(self, fit_intercept: bool = True, ridge: float = 0.0) -> None:
+        if ridge < 0:
+            raise ValueError("ridge must be non-negative")
+        self.fit_intercept = fit_intercept
+        self.ridge = ridge
+        self.weights_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "LinearRegressor":
+        """Fit weights minimising the (optionally ridge-penalised) squared
+        error."""
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        targets = np.asarray(targets, dtype=float).reshape(-1)
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets disagree on sample count")
+        if features.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+
+        design = features
+        if self.fit_intercept:
+            design = np.hstack(
+                [np.ones((features.shape[0], 1)), features]
+            )
+
+        if self.ridge > 0.0:
+            # Augment with sqrt(ridge) * I rows (the intercept is not
+            # penalised), turning ridge into an ordinary lstsq problem.
+            columns = design.shape[1]
+            penalty = np.sqrt(self.ridge) * np.eye(columns)
+            if self.fit_intercept:
+                penalty[0, 0] = 0.0
+            design = np.vstack([design, penalty])
+            targets = np.concatenate([targets, np.zeros(columns)])
+
+        solution, _, _, _ = np.linalg.lstsq(design, targets, rcond=None)
+        if self.fit_intercept:
+            self.intercept_ = float(solution[0])
+            self.weights_ = solution[1:]
+        else:
+            self.intercept_ = 0.0
+            self.weights_ = solution
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for raw feature vectors."""
+        if self.weights_ is None:
+            raise RuntimeError("the regressor has not been fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return features @ self.weights_ + self.intercept_
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Fitted weights (excluding the intercept)."""
+        if self.weights_ is None:
+            raise RuntimeError("the regressor has not been fitted")
+        return self.weights_
+
+
+def normal_equation_weights(features: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Textbook normal-equation solution (the paper's eq. 5).
+
+    Provided for exposition and as a cross-check oracle in the tests;
+    :class:`LinearRegressor` is the production path.  The matrix must be
+    full column rank.
+    """
+    x = np.atleast_2d(np.asarray(features, dtype=float))
+    y = np.asarray(targets, dtype=float).reshape(-1)
+    gram = x.T @ x
+    return np.linalg.solve(gram, x.T @ y)

@@ -1,0 +1,53 @@
+"""Evaluation metrics: relative mean absolute error and correlation.
+
+Section 6.1 of the paper: predictor accuracy is measured with the
+relative mean absolute error ``rmae = |(prediction - actual) / actual| *
+100%`` — an rmae of 100 percent means predictions are off by the actual
+value on average — and with the Pearson correlation coefficient, which
+captures how well the predictor follows the *shape* of the space (the
+property design-space exploration actually needs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmae(predictions: np.ndarray, actuals: np.ndarray) -> float:
+    """Relative mean absolute error, in percent.
+
+    Raises:
+        ValueError: on shape mismatch, empty input, or zero actuals
+            (relative error is undefined there).
+    """
+    predictions = np.asarray(predictions, dtype=float).reshape(-1)
+    actuals = np.asarray(actuals, dtype=float).reshape(-1)
+    if predictions.shape != actuals.shape:
+        raise ValueError("predictions and actuals must align")
+    if predictions.size == 0:
+        raise ValueError("rmae of zero samples is undefined")
+    if np.any(actuals == 0.0):
+        raise ValueError("rmae is undefined for zero actual values")
+    return float(np.mean(np.abs((predictions - actuals) / actuals)) * 100.0)
+
+
+def correlation(predictions: np.ndarray, actuals: np.ndarray) -> float:
+    """Pearson correlation coefficient between predictions and actuals.
+
+    Returns 0.0 when either side has zero variance (no linear relation
+    can be measured), rather than propagating NaN.
+    """
+    predictions = np.asarray(predictions, dtype=float).reshape(-1)
+    actuals = np.asarray(actuals, dtype=float).reshape(-1)
+    if predictions.shape != actuals.shape:
+        raise ValueError("predictions and actuals must align")
+    if predictions.size < 2:
+        raise ValueError("correlation needs at least two samples")
+    prediction_std = predictions.std()
+    actual_std = actuals.std()
+    if prediction_std == 0.0 or actual_std == 0.0:
+        return 0.0
+    covariance = np.mean(
+        (predictions - predictions.mean()) * (actuals - actuals.mean())
+    )
+    return float(covariance / (prediction_std * actual_std))

@@ -1,0 +1,98 @@
+"""Feature and target scalers used by the learning machinery.
+
+Neural networks need inputs and targets in a numerically friendly range.
+Both scalers follow the fit/transform protocol, are exactly invertible,
+and tolerate constant columns (zero spread maps to zero, not NaN).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Zero-mean unit-variance scaler."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation."""
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            raise ValueError("cannot fit a scaler on empty data")
+        self.mean_ = values.mean(axis=0)
+        scale = values.std(axis=0)
+        self.scale_ = np.where(scale > 0.0, scale, 1.0)
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Scale values using the fitted statistics."""
+        self._require_fitted()
+        return (np.asarray(values, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        """Fit and transform in one step."""
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        """Map scaled values back to the original units."""
+        self._require_fitted()
+        return np.asarray(values, dtype=float) * self.scale_ + self.mean_
+
+    def _require_fitted(self) -> None:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler has not been fitted")
+
+
+class MinMaxScaler:
+    """Scaler mapping each column onto [0, 1] over the fitted range.
+
+    Bounds may also be supplied directly (``fit_bounds``) — the design
+    space knows its exact grid extents, which beats estimating them from
+    a small training sample.
+    """
+
+    def __init__(self) -> None:
+        self.low_: np.ndarray | None = None
+        self.high_: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray) -> "MinMaxScaler":
+        """Learn per-column bounds from data."""
+        values = np.asarray(values, dtype=float)
+        if values.size == 0:
+            raise ValueError("cannot fit a scaler on empty data")
+        return self.fit_bounds(values.min(axis=0), values.max(axis=0))
+
+    def fit_bounds(self, low: np.ndarray, high: np.ndarray) -> "MinMaxScaler":
+        """Use known exact bounds instead of estimating them."""
+        low = np.asarray(low, dtype=float)
+        high = np.asarray(high, dtype=float)
+        if low.shape != high.shape:
+            raise ValueError("low and high must have the same shape")
+        if np.any(high < low):
+            raise ValueError("high must be >= low")
+        self.low_ = low
+        self.high_ = high
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Scale values into the unit interval."""
+        self._require_fitted()
+        spread = np.where(self.high_ > self.low_, self.high_ - self.low_, 1.0)
+        return (np.asarray(values, dtype=float) - self.low_) / spread
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        """Fit and transform in one step."""
+        return self.fit(values).transform(values)
+
+    def inverse_transform(self, values: np.ndarray) -> np.ndarray:
+        """Map unit-interval values back to the original units."""
+        self._require_fitted()
+        spread = np.where(self.high_ > self.low_, self.high_ - self.low_, 1.0)
+        return np.asarray(values, dtype=float) * spread + self.low_
+
+    def _require_fitted(self) -> None:
+        if self.low_ is None or self.high_ is None:
+            raise RuntimeError("scaler has not been fitted")

@@ -1,0 +1,128 @@
+"""Restricted cubic spline regression (the Lee & Brooks baseline family).
+
+The paper's related work (Section 9.4) spans three program-specific
+model families: linear regression on the raw parameters (Joseph et al.,
+HPCA 2006), spline-based regression (Lee & Brooks, ASPLOS/HPCA
+2006-2007) and ANNs (Ipek et al., the paper's comparison target).  This
+module supplies the spline family: each feature is expanded into a
+restricted (natural) cubic spline basis — linear beyond the boundary
+knots, cubic between them — and a ridge-regularised linear model is
+fitted on the concatenated bases.
+
+The standard restricted-cubic-spline construction with knots
+``t_1 < ... < t_K`` contributes, per feature, the identity plus ``K-2``
+basis functions
+
+    C_j(x) = d_j(x) - d_{K-1}(x),
+    d_j(x) = [(x - t_j)+^3 - (x - t_K)+^3 * (t_K - t_j)/(t_K - t_{K-1})]
+             / (t_K - t_1)^2
+
+which guarantees linearity outside [t_1, t_K] — important here because
+predictions are made across the whole grid while training samples may
+not cover the corners.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .linear import LinearRegressor
+
+
+def restricted_cubic_basis(
+    values: np.ndarray, knots: np.ndarray
+) -> np.ndarray:
+    """Spline basis columns (excluding the identity) for one feature.
+
+    Args:
+        values: Length-n feature values.
+        knots: K >= 3 strictly increasing knot positions.
+
+    Returns:
+        (n, K-2) matrix of restricted cubic basis functions.
+    """
+    values = np.asarray(values, dtype=float).reshape(-1)
+    knots = np.asarray(knots, dtype=float).reshape(-1)
+    if knots.size < 3:
+        raise ValueError("restricted cubic splines need at least 3 knots")
+    if np.any(np.diff(knots) <= 0):
+        raise ValueError("knots must be strictly increasing")
+    first, last, penultimate = knots[0], knots[-1], knots[-2]
+    scale = (last - first) ** 2
+
+    def plus_cubed(x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0) ** 3
+
+    columns = []
+    for knot in knots[:-2]:
+        term = (
+            plus_cubed(values - knot)
+            - plus_cubed(values - penultimate)
+            * (last - knot)
+            / (last - penultimate)
+            + plus_cubed(values - last)
+            * (penultimate - knot)
+            / (last - penultimate)
+        )
+        columns.append(term / scale)
+    return np.stack(columns, axis=1)
+
+
+class SplineRegressor:
+    """Additive restricted-cubic-spline regression over many features.
+
+    Args:
+        knots: Knots per feature (placed at training quantiles).
+            Features with too few distinct values fall back to identity
+            (pure linear) terms.
+        ridge: L2 penalty of the underlying linear fit.
+    """
+
+    def __init__(self, knots: int = 4, ridge: float = 1e-6) -> None:
+        if knots < 3:
+            raise ValueError("at least 3 knots are required")
+        self.knots = knots
+        self.ridge = ridge
+        self._knot_positions: List[Optional[np.ndarray]] = []
+        self._regressor = LinearRegressor(fit_intercept=True, ridge=ridge)
+        self._fitted = False
+
+    def _design(self, features: np.ndarray) -> np.ndarray:
+        columns = [features]
+        for index, knots in enumerate(self._knot_positions):
+            if knots is None:
+                continue
+            columns.append(
+                restricted_cubic_basis(features[:, index], knots)
+            )
+        return np.hstack(columns)
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "SplineRegressor":
+        """Place knots at training quantiles and fit the linear model."""
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        targets = np.asarray(targets, dtype=float).reshape(-1)
+        if features.shape[0] != targets.shape[0]:
+            raise ValueError("features and targets disagree on sample count")
+        if features.shape[0] < self.knots:
+            raise ValueError("need at least as many samples as knots")
+
+        quantiles = np.linspace(5.0, 95.0, self.knots)
+        self._knot_positions = []
+        for column in features.T:
+            knots = np.unique(np.percentile(column, quantiles))
+            if knots.size < 3:
+                self._knot_positions.append(None)  # linear-only feature
+            else:
+                self._knot_positions.append(knots)
+        self._regressor.fit(self._design(features), targets)
+        self._fitted = True
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict targets for raw feature vectors."""
+        if not self._fitted:
+            raise RuntimeError("the spline regressor has not been fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return self._regressor.predict(self._design(features))

@@ -1,0 +1,68 @@
+"""Simulation substrate: machine model, energy model, and simulators.
+
+Public surface:
+
+* :class:`MachineSpec` / :class:`FixedParameters` — Table 2.
+* :class:`EnergyModel` — Cacti/Wattch-style energy accounting.
+* :class:`IntervalSimulator` — the fast vectorised bulk simulator.
+* :class:`Metric` — the four target metrics.
+* :mod:`repro.sim.pipeline` — the detailed trace-driven OoO simulator.
+"""
+
+from .branch import BranchPenalties, branch_penalties
+from .caches import (
+    HierarchyMissRatios,
+    effective_capacity,
+    hierarchy_miss_ratios,
+    misses_per_kilo_instruction,
+)
+from .energy import (
+    ALU_ENERGY,
+    EnergyModel,
+    StructureEnergies,
+    array_area,
+    array_read_energy,
+    array_write_energy,
+    cache_access_energy,
+    cache_area,
+    cam_search_energy,
+)
+from .interval import BatchResult, IntervalSimulator, SimulationResult, simulate
+from .montecarlo import MonteCarloResult, MonteCarloSimulator, noisy_responses
+from .machine import (
+    FixedParameters,
+    MachineSpec,
+    functional_units,
+    width_scaling_rows,
+)
+from .metrics import Metric, derive_metrics
+
+__all__ = [
+    "ALU_ENERGY",
+    "BatchResult",
+    "BranchPenalties",
+    "EnergyModel",
+    "FixedParameters",
+    "HierarchyMissRatios",
+    "IntervalSimulator",
+    "MachineSpec",
+    "Metric",
+    "MonteCarloResult",
+    "MonteCarloSimulator",
+    "SimulationResult",
+    "StructureEnergies",
+    "array_area",
+    "array_read_energy",
+    "array_write_energy",
+    "branch_penalties",
+    "cache_access_energy",
+    "cache_area",
+    "cam_search_energy",
+    "derive_metrics",
+    "effective_capacity",
+    "functional_units",
+    "hierarchy_miss_ratios",
+    "misses_per_kilo_instruction",
+    "noisy_responses",
+    "simulate",
+]

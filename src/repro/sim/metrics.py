@@ -1,0 +1,58 @@
+"""Target metrics: cycles, energy, ED and EDD.
+
+The paper evaluates four targets (Section 3.2): cycles, energy (nJ), the
+energy-delay product ED = energy x cycles, and the energy-delay-squared
+product EDD = energy x cycles^2.  ED weighs energy and delay equally;
+EDD emphasises performance — both are "lower is better" efficiency
+metrics.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict
+
+import numpy as np
+
+
+class Metric(Enum):
+    """The four target metrics of the paper."""
+
+    CYCLES = "cycles"
+    ENERGY = "energy"
+    ED = "ed"
+    EDD = "edd"
+
+    @classmethod
+    def all(cls) -> tuple["Metric", ...]:
+        """All four metrics in the paper's order of presentation."""
+        return (cls.CYCLES, cls.ENERGY, cls.ED, cls.EDD)
+
+    @classmethod
+    def from_name(cls, name: str) -> "Metric":
+        """Look up a metric by its string name (case-insensitive)."""
+        try:
+            return cls(name.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown metric {name!r}; known: "
+                f"{[m.value for m in cls]}"
+            ) from None
+
+
+def derive_metrics(cycles, energy) -> Dict[Metric, np.ndarray]:
+    """Compute all four metrics from cycles and energy.
+
+    Accepts scalars or arrays (broadcast together); values must be
+    positive, since all four metrics are physical quantities.
+    """
+    cycles = np.asarray(cycles, dtype=float)
+    energy = np.asarray(energy, dtype=float)
+    if np.any(cycles <= 0) or np.any(energy <= 0):
+        raise ValueError("cycles and energy must be positive")
+    return {
+        Metric.CYCLES: cycles,
+        Metric.ENERGY: energy,
+        Metric.ED: energy * cycles,
+        Metric.EDD: energy * cycles * cycles,
+    }

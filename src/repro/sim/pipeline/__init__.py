@@ -1,0 +1,30 @@
+"""Detailed trace-driven out-of-order pipeline simulator.
+
+Public surface:
+
+* :class:`PipelineSimulator` — cycle-level simulation of one machine.
+* :class:`SetAssociativeCache` / :func:`build_hierarchy` — functional caches.
+* :class:`GsharePredictor` / :class:`BranchTargetBuffer` — functional
+  branch prediction.
+"""
+
+from .cachesim import CacheStats, SetAssociativeCache, build_hierarchy
+from .core import PipelineResult, PipelineSimulator, PipelineStats
+from .predictor import BranchTargetBuffer, GsharePredictor, PredictorStats
+from .report import compare_runs, describe_machine, describe_run, stall_breakdown
+
+__all__ = [
+    "BranchTargetBuffer",
+    "CacheStats",
+    "GsharePredictor",
+    "PipelineResult",
+    "PipelineSimulator",
+    "PipelineStats",
+    "PredictorStats",
+    "SetAssociativeCache",
+    "build_hierarchy",
+    "compare_runs",
+    "describe_machine",
+    "describe_run",
+    "stall_breakdown",
+]

@@ -1,0 +1,138 @@
+"""Functional set-associative cache hierarchy with LRU replacement.
+
+Used by the detailed pipeline simulator: every instruction fetch and
+data access walks a real tag array, so miss behaviour emerges from the
+actual address stream rather than from an analytic locality model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CacheStats:
+    """Access/miss counters for one cache level."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access (0 when the cache was never accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class SetAssociativeCache:
+    """One level of a cache hierarchy (LRU, allocate-on-miss).
+
+    Args:
+        name: Level name for reporting (``"L1D"``).
+        capacity_bytes: Total capacity.
+        line_bytes: Line size (power of two).
+        associativity: Ways per set.
+        hit_latency: Cycles for a hit in this level.
+        next_level: The level behind this one; ``None`` means the miss
+            goes to memory.
+        memory_latency: Cycles charged when ``next_level`` is ``None``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bytes: int,
+        line_bytes: int,
+        associativity: int,
+        hit_latency: int,
+        next_level: Optional["SetAssociativeCache"] = None,
+        memory_latency: int = 200,
+    ) -> None:
+        if capacity_bytes < line_bytes:
+            raise ValueError(f"{name}: capacity smaller than one line")
+        if line_bytes & (line_bytes - 1):
+            raise ValueError(f"{name}: line size must be a power of two")
+        if associativity < 1:
+            raise ValueError(f"{name}: associativity must be at least 1")
+        lines = capacity_bytes // line_bytes
+        self.sets = max(1, lines // associativity)
+        self.name = name
+        self.line_bytes = line_bytes
+        self.associativity = min(associativity, lines)
+        self.hit_latency = hit_latency
+        self.next_level = next_level
+        self.memory_latency = memory_latency
+        self.stats = CacheStats()
+        # Per-set LRU stacks of tags, most recent last.
+        self._ways: List[List[int]] = [[] for _ in range(self.sets)]
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.sets, line // self.sets
+
+    def lookup(self, address: int) -> bool:
+        """Probe without updating recency or counters (for tests)."""
+        index, tag = self._locate(address)
+        return tag in self._ways[index]
+
+    def access(self, address: int) -> int:
+        """Access an address; returns total latency including lower levels.
+
+        Misses allocate in this level and recurse into the next level
+        (or memory), modelling an inclusive hierarchy.
+        """
+        if address < 0:
+            raise ValueError("addresses must be non-negative")
+        index, tag = self._locate(address)
+        ways = self._ways[index]
+        self.stats.accesses += 1
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            return self.hit_latency
+        self.stats.misses += 1
+        ways.append(tag)
+        if len(ways) > self.associativity:
+            ways.pop(0)
+        if self.next_level is not None:
+            return self.hit_latency + self.next_level.access(address)
+        return self.hit_latency + self.memory_latency
+
+    def reset_stats(self) -> None:
+        """Clear counters (contents are kept, e.g. after warmup)."""
+        self.stats = CacheStats()
+
+
+def build_hierarchy(
+    icache_kb: int,
+    dcache_kb: int,
+    l2cache_kb: int,
+    l1_line_bytes: int = 32,
+    l2_line_bytes: int = 64,
+    l1_associativity: int = 2,
+    l2_associativity: int = 8,
+    l1_latency: int = 2,
+    l2_latency: int = 12,
+    memory_latency: int = 200,
+) -> Dict[str, SetAssociativeCache]:
+    """Build the paper's two-level hierarchy: split L1s over a shared L2."""
+    l2 = SetAssociativeCache(
+        "L2",
+        l2cache_kb * 1024,
+        l2_line_bytes,
+        l2_associativity,
+        l2_latency,
+        next_level=None,
+        memory_latency=memory_latency,
+    )
+    l1i = SetAssociativeCache(
+        "L1I", icache_kb * 1024, l1_line_bytes, l1_associativity,
+        l1_latency, next_level=l2,
+    )
+    l1d = SetAssociativeCache(
+        "L1D", dcache_kb * 1024, l1_line_bytes, l1_associativity,
+        l1_latency, next_level=l2,
+    )
+    return {"l1i": l1i, "l1d": l1d, "l2": l2}

@@ -1,0 +1,660 @@
+"""Trace-driven out-of-order superscalar pipeline simulator.
+
+The detailed counterpart to :mod:`repro.sim.interval`: a cycle-by-cycle
+model of the machine of Tables 1 and 2 — fetch through a real I-cache
+and real gshare/BTB, rename against a finite physical register file,
+dispatch into ROB/IQ/LSQ, oldest-first issue limited by register-file
+read ports, functional units and D-cache ports, write-back limited by
+register-file write ports, and in-order commit.
+
+Modelling simplifications (standard for trace-driven simulators, and
+documented here so the fidelity ablation is honest):
+
+* By default wrong-path instructions are not fetched; a mispredicted
+  branch stalls fetch from the following instruction until it resolves,
+  then charges the front-end redirect penalty, and wrong-path *energy*
+  is charged statistically from the misprediction count.  With
+  ``wrong_path=True`` the simulator instead keeps fetching down the
+  wrong path (using upcoming trace instructions as statistically
+  faithful stand-ins): phantom instructions consume fetch/rename/issue
+  resources, pollute the caches and burn measured energy until the
+  branch resolves and they are squashed — at which point the rename
+  state is restored from a checkpoint.
+* Stores retire through a store buffer: they access the cache hierarchy
+  for miss statistics but complete in one cycle on the critical path.
+* Both register files share one rename pool (the trace uses a unified
+  logical register namespace).
+* Loads that miss the L1 occupy an MSHR until their data returns;
+  when all MSHRs are busy further memory operations cannot issue, so
+  memory-level parallelism is genuinely bounded by the MSHR count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.designspace.configuration import Configuration
+from repro.sim.energy import EnergyModel
+from repro.sim.machine import FixedParameters, MachineSpec, functional_units
+from repro.workloads.tracegen import OpClass, TraceInstruction
+
+#: Cycles without a commit after which the simulator declares a hang.
+_DEADLOCK_LIMIT = 20000
+
+
+@dataclass
+class _Op:
+    """In-flight state of one instruction."""
+
+    __slots__ = (
+        "instr",
+        "seq",
+        "producers",
+        "completed",
+        "issued",
+        "result_cycle",
+        "mispredicted",
+        "btb_missed",
+        "wrong_path",
+    )
+
+    instr: TraceInstruction
+    seq: int
+    producers: List["_Op"]
+    completed: bool
+    issued: bool
+    result_cycle: int
+    mispredicted: bool
+    btb_missed: bool
+    wrong_path: bool
+
+    @property
+    def has_dest(self) -> bool:
+        return self.instr.dest is not None
+
+    @property
+    def is_memory(self) -> bool:
+        return self.instr.op.is_memory
+
+    def ready(self) -> bool:
+        """All source operands produced?"""
+        return all(producer.completed for producer in self.producers)
+
+
+@dataclass
+class PipelineStats:
+    """Counters accumulated over a simulation run."""
+
+    cycles: int = 0
+    committed: int = 0
+    dispatched: int = 0
+    issued: int = 0
+    rf_reads: int = 0
+    rf_writes: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    btb_misses: int = 0
+    icache_accesses: int = 0
+    icache_misses: int = 0
+    dcache_accesses: int = 0
+    dcache_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    alu_ops: Dict[str, int] = field(default_factory=dict)
+    stall_cycles: Dict[str, int] = field(default_factory=dict)
+    wrong_path_fetched: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.committed / self.cycles
+
+    @property
+    def mispredict_ratio(self) -> float:
+        """Mispredictions per executed branch."""
+        if self.branches == 0:
+            return 0.0
+        return self.mispredicts / self.branches
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of one pipeline simulation."""
+
+    cycles: int
+    energy: float
+    stats: PipelineStats
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle."""
+        return self.stats.ipc
+
+    @property
+    def ed(self) -> float:
+        """Energy-delay product."""
+        return self.energy * self.cycles
+
+    @property
+    def edd(self) -> float:
+        """Energy-delay-squared product."""
+        return self.energy * self.cycles * self.cycles
+
+
+class PipelineSimulator:
+    """Cycle-level simulator of one machine configuration."""
+
+    def __init__(
+        self,
+        config: Configuration,
+        fixed: Optional[FixedParameters] = None,
+        wrong_path: bool = False,
+    ) -> None:
+        from .cachesim import build_hierarchy
+        from .predictor import BranchTargetBuffer, GsharePredictor
+
+        self.wrong_path = wrong_path
+        self.spec = MachineSpec(config, fixed or FixedParameters())
+        fixed = self.spec.fixed
+        self.caches = build_hierarchy(
+            config.icache_kb,
+            config.dcache_kb,
+            config.l2cache_kb,
+            l1_line_bytes=fixed.l1_line_bytes,
+            l2_line_bytes=fixed.l2_line_bytes,
+            l1_associativity=fixed.l1_associativity,
+            l2_associativity=fixed.l2_associativity,
+            l1_latency=fixed.l1_latency,
+            l2_latency=fixed.l2_latency,
+            memory_latency=fixed.memory_latency,
+        )
+        self.gshare = GsharePredictor(config.gshare_size)
+        self.btb = BranchTargetBuffer(config.btb_size)
+        self.units = functional_units(config.width)
+        self._latency = {
+            OpClass.INT_ALU: fixed.int_alu_latency,
+            OpClass.INT_MUL: fixed.int_mul_latency,
+            OpClass.FP_ALU: fixed.fp_alu_latency,
+            OpClass.FP_MUL: fixed.fp_mul_latency,
+            OpClass.BRANCH: fixed.int_alu_latency,
+            OpClass.STORE: 1,
+        }
+        self._fu_class = {
+            OpClass.INT_ALU: "int_alu",
+            OpClass.INT_MUL: "int_mul",
+            OpClass.FP_ALU: "fp_alu",
+            OpClass.FP_MUL: "fp_mul",
+            OpClass.BRANCH: "int_alu",
+            OpClass.LOAD: "int_alu",
+            OpClass.STORE: "int_alu",
+        }
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Sequence[TraceInstruction],
+        warmup: int = 0,
+    ) -> PipelineResult:
+        """Simulate the trace to completion and account energy.
+
+        Args:
+            trace: Dynamic instruction stream.
+            warmup: Number of leading instructions used only to warm the
+                caches and predictors (the paper warms for 10 M
+                instructions before each SimPoint interval); counters and
+                cycles reported cover the remaining instructions.
+        """
+        if not trace:
+            raise ValueError("cannot simulate an empty trace")
+        if not 0 <= warmup < len(trace):
+            raise ValueError("warmup must leave at least one measured instruction")
+        config = self.spec.configuration
+        fixed = self.spec.fixed
+        stats = PipelineStats()
+        width = config.width
+        rename_pool = self.spec.rename_registers
+        if rename_pool < 1:
+            raise ValueError("register file leaves no rename registers")
+
+        rob: List[_Op] = []
+        iq: List[_Op] = []
+        executing: List[_Op] = []
+        fetch_buffer: List[_Op] = []
+        # Outstanding L1 misses: (completion cycle) per busy MSHR.
+        mshrs: List[int] = []
+        lsq_used = 0
+        branches_used = 0
+        regs_free = rename_pool
+        # Maps logical register -> in-flight producing op (None = in RF).
+        rename_map: Dict[int, Optional[_Op]] = {}
+
+        next_fetch = 0  # trace index of the next instruction to fetch
+        fetch_resume = 0  # earliest cycle fetch may proceed
+        fetch_block: Optional[_Op] = None  # unresolved mispredicted branch
+        # Wrong-path episode state (wrong_path mode only): the
+        # mispredicted branch being speculated past, the rename-map
+        # checkpoint taken at the mispredict, and the phantom counter.
+        speculating_past: Optional[_Op] = None
+        rename_checkpoint: Optional[Dict[int, Optional[_Op]]] = None
+        phantom_offset = 0
+        phantom_seq = len(trace)
+        now = 0
+        last_commit_cycle = 0
+        warm_snapshot: Optional[Dict[str, float]] = None
+
+        while stats.committed < len(trace):
+            if warm_snapshot is None and stats.committed >= warmup > 0:
+                warm_snapshot = self._snapshot(stats, now)
+            # ---------------- commit ----------------------------------
+            commits = 0
+            while rob and rob[0].completed and commits < width:
+                op = rob.pop(0)
+                if op.is_memory:
+                    lsq_used -= 1
+                if op.instr.op is OpClass.BRANCH:
+                    branches_used -= 1
+                if op.has_dest:
+                    regs_free += 1
+                    if rename_map.get(op.instr.dest) is op:
+                        rename_map[op.instr.dest] = None
+                stats.committed += 1
+                commits += 1
+                last_commit_cycle = now
+
+            # ---------------- MSHR release -----------------------------
+            if mshrs:
+                mshrs = [cycle for cycle in mshrs if cycle > now]
+
+            # ---------------- writeback -------------------------------
+            finished = [op for op in executing if op.result_cycle <= now]
+            finished.sort(key=lambda op: op.seq)
+            writebacks = 0
+            speculation_resolved = False
+            for op in finished:
+                if op.has_dest:
+                    if writebacks >= config.rf_write_ports:
+                        op.result_cycle = now + 1  # retry next cycle
+                        continue
+                    writebacks += 1
+                    stats.rf_writes += 1
+                executing.remove(op)
+                op.completed = True
+                if op is fetch_block:
+                    fetch_resume = now + fixed.branch_redirect_penalty + 1
+                    fetch_block = None
+                if op is speculating_past:
+                    speculation_resolved = True
+
+            if speculation_resolved:
+                # Squash every wrong-path op and restore rename state
+                # (done after the write-back loop so its iteration list
+                # stays valid).
+                released_regs = sum(
+                    1 for w in rob if w.wrong_path and w.has_dest
+                )
+                released_lsq = sum(
+                    1 for w in rob if w.wrong_path and w.is_memory
+                )
+                released_branches = sum(
+                    1 for w in rob
+                    if w.wrong_path and w.instr.op is OpClass.BRANCH
+                )
+                rob = [w for w in rob if not w.wrong_path]
+                iq = [w for w in iq if not w.wrong_path]
+                executing = [w for w in executing if not w.wrong_path]
+                fetch_buffer = [w for w in fetch_buffer if not w.wrong_path]
+                regs_free += released_regs
+                lsq_used -= released_lsq
+                branches_used -= released_branches
+                rename_map = dict(rename_checkpoint)
+                rename_checkpoint = None
+                speculating_past = None
+                fetch_resume = now + fixed.branch_redirect_penalty + 1
+
+            # ---------------- issue ------------------------------------
+            issue_budget = width
+            read_port_budget = config.rf_read_ports
+            dcache_port_budget = self.units["dcache_ports"]
+            fu_budget = dict(self.units)
+            # Dispatch appends in program order, so the issue queue
+            # is already oldest-first.
+            for op in list(iq):
+                if issue_budget == 0:
+                    break
+                if not op.ready():
+                    continue
+                fu = self._fu_class[op.instr.op]
+                reads = len(op.instr.sources)
+                if fu_budget[fu] == 0 or read_port_budget < reads:
+                    continue
+                if op.is_memory and dcache_port_budget == 0:
+                    continue
+                if (
+                    op.is_memory
+                    and len(mshrs) >= fixed.mshr_entries
+                    and not self.caches["l1d"].lookup(op.instr.address)
+                ):
+                    # The access would miss but no MSHR is free.
+                    continue
+                # Issue the operation.
+                iq.remove(op)
+                op.issued = True
+                issue_budget -= 1
+                fu_budget[fu] -= 1
+                read_port_budget -= reads
+                stats.issued += 1
+                stats.rf_reads += reads
+                if op.is_memory:
+                    dcache_port_budget -= 1
+                    latency = self.caches["l1d"].access(op.instr.address)
+                    if latency > fixed.l1_latency:
+                        mshrs.append(now + latency)
+                    if op.instr.op is OpClass.STORE:
+                        stats.stores += 1
+                        latency = self._latency[OpClass.STORE]
+                    else:
+                        stats.loads += 1
+                else:
+                    latency = self._latency[op.instr.op]
+                if op.instr.op is OpClass.BRANCH and not op.wrong_path:
+                    stats.branches += 1
+                    mispredicted = self.gshare.update(
+                        op.instr.pc, op.instr.taken
+                    )
+                    op.mispredicted = mispredicted
+                    if op.instr.taken:
+                        self.btb.update(op.instr.pc, 0)
+                    if mispredicted:
+                        stats.mispredicts += 1
+                stats.alu_ops[fu] = stats.alu_ops.get(fu, 0) + 1
+                op.result_cycle = now + max(1, latency)
+                executing.append(op)
+
+            # ---------------- rename / dispatch ------------------------
+            dispatch_budget = width
+            while fetch_buffer and dispatch_budget > 0:
+                op = fetch_buffer[0]
+                if len(rob) >= config.rob_size or len(iq) >= config.iq_size:
+                    break
+                if op.is_memory and lsq_used >= config.lsq_size:
+                    break
+                if (
+                    op.instr.op is OpClass.BRANCH
+                    and branches_used >= config.max_branches
+                ):
+                    break
+                if op.has_dest and regs_free == 0:
+                    break
+                fetch_buffer.pop(0)
+                # Source renaming: find in-flight producers.
+                op.producers = [
+                    producer
+                    for source in op.instr.sources
+                    if (producer := rename_map.get(source)) is not None
+                    and not producer.completed
+                ]
+                if op.has_dest:
+                    regs_free -= 1
+                    rename_map[op.instr.dest] = op
+                if op.is_memory:
+                    lsq_used += 1
+                if op.instr.op is OpClass.BRANCH:
+                    branches_used += 1
+                rob.append(op)
+                iq.append(op)
+                dispatch_budget -= 1
+                stats.dispatched += 1
+
+            # ---------------- fetch -------------------------------------
+            if (
+                self.wrong_path
+                and speculating_past is not None
+                and now >= fetch_resume
+            ):
+                # Keep fetching down the wrong path: upcoming trace
+                # instructions serve as statistically faithful phantoms
+                # (short speculation mostly revisits the same loops).
+                fetched = 0
+                current_line = -1
+                while (
+                    fetched < width
+                    and len(fetch_buffer) < fixed.fetch_buffer_entries
+                ):
+                    template = trace[
+                        (next_fetch + phantom_offset) % len(trace)
+                    ]
+                    line = template.pc // fixed.l1_line_bytes
+                    if line != current_line:
+                        stats.icache_accesses += 1
+                        latency = self.caches["l1i"].access(template.pc)
+                        current_line = line
+                        if latency > fixed.l1_latency:
+                            fetch_resume = now + latency
+                            break
+                    fetch_buffer.append(
+                        _Op(
+                            instr=template,
+                            seq=phantom_seq,
+                            producers=[],
+                            completed=False,
+                            issued=False,
+                            result_cycle=-1,
+                            mispredicted=False,
+                            btb_missed=False,
+                            wrong_path=True,
+                        )
+                    )
+                    phantom_seq += 1
+                    phantom_offset += 1
+                    fetched += 1
+                    stats.wrong_path_fetched += 1
+            elif (
+                fetch_block is None
+                and speculating_past is None
+                and now >= fetch_resume
+                and next_fetch < len(trace)
+            ):
+                fetched = 0
+                current_line = -1
+                while (
+                    fetched < width
+                    and len(fetch_buffer) < fixed.fetch_buffer_entries
+                    and next_fetch < len(trace)
+                ):
+                    instr = trace[next_fetch]
+                    line = instr.pc // fixed.l1_line_bytes
+                    if line != current_line:
+                        stats.icache_accesses += 1
+                        latency = self.caches["l1i"].access(instr.pc)
+                        current_line = line
+                        if latency > fixed.l1_latency:
+                            # Fetch stalls for the miss; this line's
+                            # instructions arrive when it returns.
+                            fetch_resume = now + latency
+                            break
+                    op = _Op(
+                        instr=instr,
+                        seq=next_fetch,
+                        producers=[],
+                        completed=False,
+                        issued=False,
+                        result_cycle=-1,
+                        mispredicted=False,
+                        btb_missed=False,
+                        wrong_path=False,
+                    )
+                    next_fetch += 1
+                    fetched += 1
+                    fetch_buffer.append(op)
+                    if instr.op is OpClass.BRANCH:
+                        predicted_taken = self.gshare.predict(instr.pc)
+                        if predicted_taken != instr.taken:
+                            if self.wrong_path:
+                                # Speculate past it: checkpoint rename
+                                # state and start fetching phantoms.
+                                speculating_past = op
+                                rename_checkpoint = dict(rename_map)
+                                phantom_offset = 0
+                                break
+                            # Default: block fetch until resolution.
+                            fetch_block = op
+                            break
+                        if instr.taken:
+                            target = self.btb.lookup(instr.pc)
+                            if target is None:
+                                op.btb_missed = True
+                                stats.btb_misses += 1
+                                fetch_resume = (
+                                    now + fixed.branch_redirect_penalty + 1
+                                )
+                            break  # taken branch ends the fetch group
+
+            # ---------------- stall accounting --------------------------
+            if commits == 0:
+                if not rob:
+                    if fetch_block is not None:
+                        reason = "mispredict_block"
+                    elif now < fetch_resume:
+                        reason = "fetch_miss"
+                    else:
+                        reason = "fetch_supply"
+                else:
+                    head = rob[0]
+                    if not head.issued:
+                        reason = "issue_wait"
+                    elif head.is_memory:
+                        reason = "memory_wait"
+                    else:
+                        reason = "execute_wait"
+                stats.stall_cycles[reason] = stats.stall_cycles.get(reason, 0) + 1
+
+            now += 1
+            if now - last_commit_cycle > _DEADLOCK_LIMIT:
+                raise RuntimeError(
+                    f"pipeline deadlock at cycle {now}: "
+                    f"{stats.committed}/{len(trace)} committed, "
+                    f"rob={len(rob)} iq={len(iq)} regs_free={regs_free}"
+                )
+
+        stats.cycles = now
+        self._harvest_cache_stats(stats)
+        if warm_snapshot is not None:
+            stats = self._subtract_snapshot(stats, warm_snapshot)
+        energy = self._account_energy(stats)
+        return PipelineResult(cycles=stats.cycles, energy=energy, stats=stats)
+
+    def run_profile(
+        self,
+        profile,
+        length: int = 40_000,
+        warmup: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> PipelineResult:
+        """Generate a synthetic trace for ``profile`` and simulate it.
+
+        Args:
+            profile: A :class:`~repro.workloads.profile.WorkloadProfile`.
+            length: Total trace length in instructions.
+            warmup: Warmup instructions (defaults to half the trace).
+            seed: Trace seed (defaults to the profile's stable seed).
+        """
+        from repro.workloads.tracegen import generate_trace
+
+        if warmup is None:
+            warmup = length // 2
+        trace = generate_trace(profile, length, seed=seed)
+        return self.run(trace, warmup=warmup)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _snapshot(self, stats: PipelineStats, now: int) -> Dict[str, float]:
+        """Capture counters at the end of warmup."""
+        snapshot: Dict[str, float] = {"cycles": now}
+        for name in (
+            "committed", "dispatched", "issued", "rf_reads", "rf_writes",
+            "loads", "stores", "branches", "mispredicts", "btb_misses",
+            "icache_accesses", "wrong_path_fetched",
+        ):
+            snapshot[name] = getattr(stats, name)
+        for level in ("l1i", "l1d", "l2"):
+            snapshot[f"{level}_accesses"] = self.caches[level].stats.accesses
+            snapshot[f"{level}_misses"] = self.caches[level].stats.misses
+        snapshot["alu_ops"] = dict(stats.alu_ops)
+        snapshot["stall_cycles"] = dict(stats.stall_cycles)
+        return snapshot
+
+    def _subtract_snapshot(
+        self, stats: PipelineStats, snapshot: Dict[str, float]
+    ) -> PipelineStats:
+        """Report only the post-warmup portion of the run."""
+        measured = PipelineStats()
+        measured.cycles = stats.cycles - int(snapshot["cycles"])
+        for name in (
+            "committed", "dispatched", "issued", "rf_reads", "rf_writes",
+            "loads", "stores", "branches", "mispredicts", "btb_misses",
+            "icache_accesses", "wrong_path_fetched",
+        ):
+            setattr(measured, name, getattr(stats, name) - int(snapshot[name]))
+        measured.icache_misses = stats.icache_misses - int(snapshot["l1i_misses"])
+        measured.dcache_accesses = (
+            stats.dcache_accesses - int(snapshot["l1d_accesses"])
+        )
+        measured.dcache_misses = stats.dcache_misses - int(snapshot["l1d_misses"])
+        measured.l2_accesses = stats.l2_accesses - int(snapshot["l2_accesses"])
+        measured.l2_misses = stats.l2_misses - int(snapshot["l2_misses"])
+        measured.alu_ops = {
+            fu: count - snapshot["alu_ops"].get(fu, 0)
+            for fu, count in stats.alu_ops.items()
+        }
+        measured.stall_cycles = {
+            reason: count - snapshot["stall_cycles"].get(reason, 0)
+            for reason, count in stats.stall_cycles.items()
+        }
+        return measured
+
+    def _harvest_cache_stats(self, stats: PipelineStats) -> None:
+        stats.icache_misses = self.caches["l1i"].stats.misses
+        stats.dcache_accesses = self.caches["l1d"].stats.accesses
+        stats.dcache_misses = self.caches["l1d"].stats.misses
+        stats.l2_accesses = self.caches["l2"].stats.accesses
+        stats.l2_misses = self.caches["l2"].stats.misses
+
+    def _account_energy(self, stats: PipelineStats) -> float:
+        """Wattch-style energy from the run's activity counters."""
+        model = EnergyModel(self.spec)
+        if self.wrong_path:
+            # Speculative work was executed and counted; no inflation.
+            wrong_path = 1.0
+        else:
+            # Wrong-path inflation estimated from misprediction stalls.
+            wrong_path = 1.0 + min(
+                1.5, 0.4 * stats.mispredicts * self.spec.configuration.width
+                / max(1, stats.committed)
+            )
+        activity: Dict[str, float] = {
+            "icache_access": stats.icache_accesses * wrong_path,
+            "gshare_access": 2.0 * stats.branches * wrong_path,
+            "btb_access": stats.branches * wrong_path,
+            "rename_access": stats.dispatched * wrong_path,
+            "rob_write": stats.dispatched * wrong_path,
+            "rob_read": stats.committed,
+            "iq_write": stats.dispatched * wrong_path,
+            "iq_wakeup": stats.issued,
+            "rf_read": stats.rf_reads,
+            "rf_write": stats.rf_writes,
+            "lsq_write": stats.loads + stats.stores,
+            "lsq_search": stats.loads,
+            "dcache_access": stats.dcache_accesses,
+            "l2_access": stats.l2_accesses,
+        }
+        for fu, count in stats.alu_ops.items():
+            activity[fu] = activity.get(fu, 0.0) + count
+        return model.total_energy(activity, stats.cycles)

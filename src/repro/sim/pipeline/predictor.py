@@ -1,0 +1,105 @@
+"""Functional branch predictors: gshare and a branch target buffer.
+
+The design space varies the gshare table size, the BTB size and the
+number of in-flight branches; the pipeline simulator exercises real
+two-bit counters and a real global history register so that predictor
+sizing matters through genuine aliasing, not an analytic formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass
+class PredictorStats:
+    """Prediction outcome counters."""
+
+    predictions: int = 0
+    mispredictions: int = 0
+    btb_lookups: int = 0
+    btb_misses: int = 0
+
+    @property
+    def mispredict_ratio(self) -> float:
+        """Mispredictions per prediction (0 when never used)."""
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class GsharePredictor:
+    """Gshare: global history XOR PC indexing a 2-bit counter table."""
+
+    def __init__(self, entries: int) -> None:
+        if not _is_power_of_two(entries):
+            raise ValueError("gshare table size must be a power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._history_bits = max(1, entries.bit_length() - 1)
+        self._history = 0
+        # Two-bit saturating counters, initialised weakly taken.
+        self._table = bytearray([2] * entries)
+        self.stats = PredictorStats()
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict taken/not-taken for the branch at ``pc``."""
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Train on the resolved outcome; returns mispredicted?.
+
+        Updates the counter at the *pre-update* history index and then
+        shifts the outcome into the history register, the standard
+        in-order training discipline.
+        """
+        index = self._index(pc)
+        prediction = self._table[index] >= 2
+        counter = self._table[index]
+        if taken:
+            self._table[index] = min(3, counter + 1)
+        else:
+            self._table[index] = max(0, counter - 1)
+        history_mask = (1 << self._history_bits) - 1
+        self._history = ((self._history << 1) | int(taken)) & history_mask
+        self.stats.predictions += 1
+        mispredicted = prediction != taken
+        if mispredicted:
+            self.stats.mispredictions += 1
+        return mispredicted
+
+
+class BranchTargetBuffer:
+    """Direct-mapped BTB storing (tag, target) per entry."""
+
+    def __init__(self, entries: int) -> None:
+        if not _is_power_of_two(entries):
+            raise ValueError("BTB size must be a power of two")
+        self.entries = entries
+        self._mask = entries - 1
+        self._tags = [-1] * entries
+        self._targets = [0] * entries
+        self.stats = PredictorStats()
+
+    def lookup(self, pc: int) -> int | None:
+        """Predicted target for a taken branch, or ``None`` on miss."""
+        index = (pc >> 2) & self._mask
+        tag = pc >> 2
+        self.stats.btb_lookups += 1
+        if self._tags[index] == tag:
+            return self._targets[index]
+        self.stats.btb_misses += 1
+        return None
+
+    def update(self, pc: int, target: int) -> None:
+        """Install/refresh the target of a taken branch."""
+        index = (pc >> 2) & self._mask
+        self._tags[index] = pc >> 2
+        self._targets[index] = target

@@ -1,0 +1,105 @@
+"""Textual reports over detailed pipeline runs.
+
+Turns a :class:`~repro.sim.pipeline.core.PipelineResult` into the
+summary an architect reads: throughput, front-end quality, memory
+behaviour, the energy bill and a stall-cause breakdown — the library
+form of what ``examples/pipeline_deep_dive.py`` prints.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.designspace.configuration import Configuration
+
+from .core import PipelineResult
+
+
+def describe_machine(config: Configuration) -> str:
+    """One-line machine summary for report headers."""
+    return (
+        f"width={config.width} rob={config.rob_size} iq={config.iq_size} "
+        f"lsq={config.lsq_size} rf={config.rf_size} "
+        f"ports={config.rf_read_ports}r/{config.rf_write_ports}w "
+        f"gshare={config.gshare_size} "
+        f"L1={config.icache_kb}/{config.dcache_kb}KB "
+        f"L2={config.l2cache_kb}KB"
+    )
+
+
+def describe_run(result: PipelineResult, config: Configuration) -> str:
+    """Multi-line report of one pipeline simulation."""
+    stats = result.stats
+    lines: List[str] = [
+        f"machine : {describe_machine(config)}",
+        f"IPC     : {result.ipc:.2f}  "
+        f"({result.cycles} cycles, {stats.committed} instructions)",
+    ]
+    if stats.branches:
+        lines.append(
+            f"branches: {stats.mispredict_ratio * 100:.1f}% mispredicted "
+            f"({stats.mispredicts}/{stats.branches}), "
+            f"{stats.btb_misses} BTB misses"
+        )
+    if stats.dcache_accesses:
+        l1 = stats.dcache_misses / stats.dcache_accesses
+        l2 = stats.l2_misses / max(1, stats.l2_accesses)
+        lines.append(
+            f"caches  : L1D {l1 * 100:.1f}% miss, "
+            f"L2 {l2 * 100:.1f}% local miss "
+            f"({stats.l2_accesses} L2 accesses)"
+        )
+    per_instruction = result.energy / max(1, stats.committed)
+    lines.append(
+        f"energy  : {result.energy:.3e} nJ "
+        f"({per_instruction:.3f} nJ/instruction)"
+    )
+    if stats.wrong_path_fetched:
+        lines.append(
+            f"spec.   : {stats.wrong_path_fetched} wrong-path "
+            f"instructions fetched and squashed"
+        )
+    lines.append(stall_breakdown(result))
+    return "\n".join(lines)
+
+
+def stall_breakdown(result: PipelineResult) -> str:
+    """One-line stall-cause shares, largest first."""
+    stats = result.stats
+    total = sum(stats.stall_cycles.values())
+    if total == 0 or result.cycles == 0:
+        return "stalls  : none recorded"
+    ranked = sorted(
+        stats.stall_cycles.items(), key=lambda item: -item[1]
+    )
+    shares = ", ".join(
+        f"{reason} {count / result.cycles * 100:.0f}%"
+        for reason, count in ranked
+        if count > 0
+    )
+    return f"stalls  : {shares}"
+
+
+def compare_runs(
+    labels: List[str],
+    results: List[PipelineResult],
+) -> str:
+    """Side-by-side comparison table of several runs."""
+    if len(labels) != len(results):
+        raise ValueError("one label per result is required")
+    if not results:
+        raise ValueError("at least one result is required")
+    header = (
+        f"{'machine':<16} {'IPC':>6} {'cycles':>10} {'energy':>12} "
+        f"{'nJ/instr':>9} {'mispred':>8}"
+    )
+    rows = [header, "-" * len(header)]
+    for label, result in zip(labels, results):
+        stats = result.stats
+        rows.append(
+            f"{label:<16} {result.ipc:>6.2f} {result.cycles:>10} "
+            f"{result.energy:>12.3e} "
+            f"{result.energy / max(1, stats.committed):>9.3f} "
+            f"{stats.mispredict_ratio * 100:>7.1f}%"
+        )
+    return "\n".join(rows)

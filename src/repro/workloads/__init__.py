@@ -1,0 +1,80 @@
+"""Benchmark substrate: statistical workload profiles and suites.
+
+Public surface:
+
+* :class:`WorkloadProfile` and its component models.
+* :func:`spec2000_suite` / :func:`mibench_suite` — the two suites.
+* :func:`decompose` — SimPoint-like phase decomposition.
+* :func:`generate_trace` — synthetic traces for the pipeline simulator.
+"""
+
+from .builders import make_mix, make_profile
+from .mibench import mibench_profile, mibench_suite
+from .optimization import (
+    OPTIMIZATION_LEVELS,
+    optimization_family,
+    optimization_variant,
+)
+from .phases import Phase, combine_phase_metrics, decompose
+from .profile import (
+    BranchBehaviour,
+    Idiosyncrasy,
+    InstructionMix,
+    LocalityModel,
+    WorkloadProfile,
+    stable_seed,
+)
+from .spec2000 import SPEC_FP, SPEC_INT, spec2000_profile, spec2000_suite
+from .suite import BenchmarkSuite
+from .synthetic import drift_study_suites, random_profile, synthetic_suite
+from .trace_stats import (
+    TraceCharacteristics,
+    characterise_trace,
+    mix_deviation,
+    reuse_histogram,
+)
+from .tracegen import (
+    LINE_BYTES,
+    LOGICAL_REGISTERS,
+    OpClass,
+    TraceGenerator,
+    TraceInstruction,
+    generate_trace,
+)
+
+__all__ = [
+    "BenchmarkSuite",
+    "BranchBehaviour",
+    "Idiosyncrasy",
+    "InstructionMix",
+    "LINE_BYTES",
+    "LOGICAL_REGISTERS",
+    "LocalityModel",
+    "OPTIMIZATION_LEVELS",
+    "OpClass",
+    "Phase",
+    "SPEC_FP",
+    "SPEC_INT",
+    "TraceCharacteristics",
+    "TraceGenerator",
+    "TraceInstruction",
+    "WorkloadProfile",
+    "characterise_trace",
+    "combine_phase_metrics",
+    "decompose",
+    "drift_study_suites",
+    "generate_trace",
+    "make_mix",
+    "make_profile",
+    "mibench_profile",
+    "mix_deviation",
+    "mibench_suite",
+    "optimization_family",
+    "optimization_variant",
+    "random_profile",
+    "reuse_histogram",
+    "spec2000_profile",
+    "spec2000_suite",
+    "stable_seed",
+    "synthetic_suite",
+]

@@ -1,0 +1,157 @@
+"""Helpers that turn high-level program knobs into full profiles.
+
+Suites describe each program with a handful of architect-level knobs
+(how memory bound, how branchy, how much ILP, what working sets).  This
+module expands those into a complete :class:`WorkloadProfile`, adding a
+small deterministic per-program jitter so that no two programs are exact
+scalings of one another.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .profile import (
+    BranchBehaviour,
+    Idiosyncrasy,
+    InstructionMix,
+    LocalityModel,
+    WorkloadProfile,
+    stable_seed,
+)
+
+KB = 1024
+
+
+def _jitter(rng: np.random.Generator, value: float, spread: float = 0.08) -> float:
+    """Multiplicative +-spread jitter, deterministic per program."""
+    return float(value * (1.0 + rng.uniform(-spread, spread)))
+
+
+def make_mix(
+    rng: np.random.Generator,
+    memory_fraction: float,
+    branch_fraction: float,
+    fp_fraction: float,
+    store_share: float = 0.32,
+    mul_share: float = 0.12,
+) -> InstructionMix:
+    """Build an instruction mix from aggregate fractions.
+
+    Args:
+        rng: Per-program jitter source.
+        memory_fraction: loads + stores.
+        branch_fraction: branches.
+        fp_fraction: share of the *compute* instructions that are FP.
+        store_share: share of memory instructions that are stores.
+        mul_share: share of compute instructions that are multiplies.
+    """
+    memory_fraction = _jitter(rng, memory_fraction, 0.05)
+    branch_fraction = _jitter(rng, branch_fraction, 0.05)
+    compute = 1.0 - memory_fraction - branch_fraction
+    if compute <= 0:
+        raise ValueError("memory + branch fractions leave no compute")
+    fp = compute * fp_fraction
+    integer = compute - fp
+    return InstructionMix(
+        int_alu=integer * (1.0 - mul_share),
+        int_mul=integer * mul_share,
+        fp_alu=fp * (1.0 - mul_share),
+        fp_mul=fp * mul_share,
+        load=memory_fraction * (1.0 - store_share),
+        store=memory_fraction * store_share,
+        branch=branch_fraction,
+    ).normalised()
+
+
+def make_profile(
+    name: str,
+    suite: str,
+    category: str,
+    *,
+    memory_fraction: float,
+    branch_fraction: float,
+    fp_fraction: float,
+    ilp_max: float,
+    ilp_window_scale: float,
+    working_sets_kb: Sequence[Tuple[float, float]],
+    cold_miss: float,
+    instruction_footprint_kb: float,
+    mispredict_floor: float,
+    mispredict_scale: float,
+    mispredict_alpha: float = 0.5,
+    mlp_max: float = 3.0,
+    idiosyncrasy: float = 0.05,
+    taken_fraction: float = 0.6,
+    static_branches: int = 256,
+    instructions: int = 10_000_000,
+) -> WorkloadProfile:
+    """Expand architect-level knobs into a full :class:`WorkloadProfile`.
+
+    Args:
+        working_sets_kb: (size in KB, miss weight) pairs for the data
+            stream; weights plus ``cold_miss`` must not exceed 1.
+        instruction_footprint_kb: Hot code size; a second cold tail a
+            factor of 8 larger is added automatically.
+        idiosyncrasy: Amplitude of the program's private non-linear
+            residual (0.03-0.08 typical, larger for outliers).
+
+    Everything else maps one-to-one onto :class:`WorkloadProfile` fields,
+    with deterministic per-program jitter applied to the soft knobs.
+    """
+    rng = np.random.default_rng(stable_seed(suite, name, "knobs"))
+    mix = make_mix(rng, memory_fraction, branch_fraction, fp_fraction)
+    branches = BranchBehaviour(
+        floor=_jitter(rng, mispredict_floor),
+        scale=_jitter(rng, mispredict_scale),
+        alpha=_jitter(rng, mispredict_alpha, 0.05),
+        btb_floor=_jitter(rng, 0.01),
+        btb_scale=_jitter(rng, 0.02),
+        taken_fraction=min(0.9, _jitter(rng, taken_fraction, 0.05)),
+        static_branches=static_branches,
+    )
+    data_locality = LocalityModel(
+        working_sets=tuple(
+            (_jitter(rng, size_kb) * KB, _jitter(rng, weight, 0.05))
+            for size_kb, weight in working_sets_kb
+        ),
+        cold=cold_miss,
+        sharpness=_jitter(rng, 1.0, 0.15),
+    )
+    # Instruction streams are far more cacheable than data streams: the
+    # weights here are per-access miss contributions, so even a code
+    # footprint larger than the I-cache yields miss ratios of a few
+    # percent, matching measured icache behaviour.
+    hot_code = _jitter(rng, instruction_footprint_kb) * KB
+    instruction_locality = LocalityModel(
+        working_sets=((hot_code, 0.05), (hot_code * 8.0, 0.015)),
+        cold=0.0005,
+        sharpness=1.2,
+    )
+    return WorkloadProfile(
+        name=name,
+        suite=suite,
+        category=category,
+        mix=mix,
+        ilp_max=_jitter(rng, ilp_max),
+        ilp_window_scale=_jitter(rng, ilp_window_scale),
+        iq_pressure=_jitter(rng, 0.35, 0.15),
+        dest_fraction=_jitter(rng, 0.72, 0.06),
+        reads_per_instruction=_jitter(rng, 1.55, 0.08),
+        branches=branches,
+        data_locality=data_locality,
+        instruction_locality=instruction_locality,
+        mlp_max=max(1.0, _jitter(rng, mlp_max)),
+        latency_hiding_scale=_jitter(rng, 55.0, 0.2),
+        idiosyncrasy_performance=Idiosyncrasy(
+            amplitude=idiosyncrasy,
+            seed=stable_seed(suite, name, "idio-perf"),
+        ),
+        idiosyncrasy_energy=Idiosyncrasy(
+            amplitude=idiosyncrasy * 0.8,
+            seed=stable_seed(suite, name, "idio-energy"),
+        ),
+        instructions=instructions,
+    )

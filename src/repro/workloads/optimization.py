@@ -1,0 +1,118 @@
+"""Compiler-optimisation variants of a workload profile.
+
+The paper's introduction motivates the architecture-centric model with
+exactly this scenario: "there is a large overhead even if the designer
+just wants to compile with a different optimization level" (citing
+Vaswani et al., CGO 2007).  Under a program-specific predictor, gcc -O3
+output of the same source is a brand-new program needing hundreds of
+fresh simulations; under the architecture-centric model it needs 32.
+
+This module derives optimisation-level variants from a base profile by
+applying the first-order effects compiler optimisation has on the
+characteristics the simulators consume:
+
+* **-O0** (no optimisation): more dynamic instructions (no CSE, stack
+  traffic), heavier memory fraction (spills), shorter dependency
+  distances (no scheduling), larger hot-code footprint.
+* **-O2**: the reference point — profiles in this repository model
+  "highest optimisation level" binaries, so -O2/-O3 are near identity.
+* **-O3 / unrolled**: fewer dynamic branches (unrolling), slightly
+  higher ILP, larger code footprint, marginally fewer instructions.
+
+Each variant keeps the program's idiosyncrasy *seed* lineage but
+re-derives it per variant (the same source at a different optimisation
+level is a similar-but-not-identical point in behaviour space).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .profile import Idiosyncrasy, InstructionMix, WorkloadProfile, stable_seed
+
+#: Per-level first-order transformation knobs:
+#: (instruction multiplier, memory-fraction multiplier, branch multiplier,
+#:  ILP multiplier, dependency/window-scale multiplier, code-size multiplier)
+_LEVELS: Dict[str, Tuple[float, float, float, float, float, float]] = {
+    "O0": (1.6, 1.35, 1.05, 0.75, 0.7, 1.3),
+    "O1": (1.2, 1.12, 1.02, 0.9, 0.85, 1.1),
+    "O2": (1.0, 1.0, 1.0, 1.0, 1.0, 1.0),
+    "O3": (0.97, 0.97, 0.85, 1.08, 1.15, 1.25),
+    "unrolled": (0.95, 0.98, 0.6, 1.15, 1.3, 1.6),
+}
+
+OPTIMIZATION_LEVELS: Tuple[str, ...] = tuple(_LEVELS)
+
+
+def optimization_variant(
+    profile: WorkloadProfile, level: str
+) -> WorkloadProfile:
+    """Derive the ``level`` build of a program from its base profile.
+
+    Args:
+        profile: The base (``-O2``-class) profile.
+        level: One of :data:`OPTIMIZATION_LEVELS`.
+
+    Returns:
+        A new profile named ``"<name>-<level>"`` with the transformed
+        characteristics and a fresh (but deterministic) idiosyncrasy.
+    """
+    try:
+        (instr_mult, mem_mult, branch_mult, ilp_mult, window_mult,
+         code_mult) = _LEVELS[level]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimisation level {level!r}; "
+            f"known: {list(_LEVELS)}"
+        ) from None
+
+    mix = profile.mix
+    new_memory = min(0.55, mix.memory * mem_mult)
+    new_branch = min(0.25, mix.branch * branch_mult)
+    compute = 1.0 - new_memory - new_branch
+    old_compute = 1.0 - mix.memory - mix.branch
+    scale = compute / old_compute
+    store_share = mix.store / mix.memory if mix.memory > 0 else 0.3
+    new_mix = InstructionMix(
+        int_alu=mix.int_alu * scale,
+        int_mul=mix.int_mul * scale,
+        fp_alu=mix.fp_alu * scale,
+        fp_mul=mix.fp_mul * scale,
+        load=new_memory * (1.0 - store_share),
+        store=new_memory * store_share,
+        branch=new_branch,
+    ).normalised()
+
+    code = profile.instruction_locality
+    new_instruction_locality = type(code)(
+        working_sets=tuple(
+            (size * code_mult, weight) for size, weight in code.working_sets
+        ),
+        cold=code.cold,
+        sharpness=code.sharpness,
+    )
+    name = f"{profile.name}-{level}"
+    return profile.with_overrides(
+        name=name,
+        mix=new_mix,
+        ilp_max=max(0.5, profile.ilp_max * ilp_mult),
+        ilp_window_scale=max(5.0, profile.ilp_window_scale * window_mult),
+        instruction_locality=new_instruction_locality,
+        instructions=int(profile.instructions * instr_mult),
+        idiosyncrasy_performance=Idiosyncrasy(
+            amplitude=profile.idiosyncrasy_performance.amplitude,
+            seed=stable_seed(profile.suite, name, "idio-perf"),
+        ),
+        idiosyncrasy_energy=Idiosyncrasy(
+            amplitude=profile.idiosyncrasy_energy.amplitude,
+            seed=stable_seed(profile.suite, name, "idio-energy"),
+        ),
+    )
+
+
+def optimization_family(
+    profile: WorkloadProfile,
+    levels: Tuple[str, ...] = OPTIMIZATION_LEVELS,
+) -> Dict[str, WorkloadProfile]:
+    """All requested optimisation variants of one program, keyed by level."""
+    return {level: optimization_variant(profile, level) for level in levels}

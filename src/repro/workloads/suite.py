@@ -1,0 +1,75 @@
+"""Benchmark suite container."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from .profile import WorkloadProfile
+
+
+class BenchmarkSuite:
+    """An ordered, name-indexed collection of workload profiles."""
+
+    def __init__(self, name: str, profiles: Sequence[WorkloadProfile]) -> None:
+        if not profiles:
+            raise ValueError("a benchmark suite needs at least one program")
+        names = [profile.name for profile in profiles]
+        if len(set(names)) != len(names):
+            duplicates = sorted(
+                {n for n in names if names.count(n) > 1}
+            )
+            raise ValueError(f"duplicate program names: {duplicates}")
+        self.name = name
+        self._profiles: Tuple[WorkloadProfile, ...] = tuple(profiles)
+        self._by_name: Dict[str, WorkloadProfile] = {
+            profile.name: profile for profile in self._profiles
+        }
+
+    @property
+    def programs(self) -> Tuple[str, ...]:
+        """Program names in suite order."""
+        return tuple(profile.name for profile in self._profiles)
+
+    @property
+    def profiles(self) -> Tuple[WorkloadProfile, ...]:
+        """All profiles in suite order."""
+        return self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> Iterator[WorkloadProfile]:
+        return iter(self._profiles)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> WorkloadProfile:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no program {name!r} in suite {self.name!r}; "
+                f"programs: {list(self.programs)}"
+            ) from None
+
+    def subset(self, names: Sequence[str]) -> "BenchmarkSuite":
+        """A new suite restricted to ``names`` (suite order preserved)."""
+        wanted = set(names)
+        missing = wanted - set(self.programs)
+        if missing:
+            raise KeyError(f"programs not in suite {self.name!r}: {sorted(missing)}")
+        kept = [p for p in self._profiles if p.name in wanted]
+        return BenchmarkSuite(self.name, kept)
+
+    def without(self, name: str) -> "BenchmarkSuite":
+        """A new suite with one program removed (leave-one-out folds)."""
+        if name not in self._by_name:
+            raise KeyError(f"no program {name!r} in suite {self.name!r}")
+        return BenchmarkSuite(
+            self.name, [p for p in self._profiles if p.name != name]
+        )
+
+    def by_category(self, category: str) -> List[WorkloadProfile]:
+        """All profiles in a category (``int``/``fp``/MiBench group)."""
+        return [p for p in self._profiles if p.category == category]

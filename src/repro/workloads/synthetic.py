@@ -1,0 +1,147 @@
+"""Parametric random workload generation for robustness studies.
+
+The two fixed suites mimic SPEC CPU 2000 and MiBench.  For stress
+testing the predictor beyond them — how does accuracy degrade as new
+programs drift away from the training distribution? — this module draws
+random but plausible profiles from a parametric family whose *drift*
+knob interpolates between "another typical SPEC-like program" (0.0) and
+"far outside anything in the pools" (1.0).
+
+Used by the robustness example/tests; a generated suite behaves exactly
+like the built-in ones (it is a normal :class:`BenchmarkSuite`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .builders import make_profile
+from .profile import WorkloadProfile, stable_seed
+from .suite import BenchmarkSuite
+
+#: Knob ranges spanned by the typical (drift = 0) population; roughly the
+#: envelope of the SPEC CPU 2000 profiles.
+_TYPICAL = {
+    "memory_fraction": (0.28, 0.40),
+    "branch_fraction": (0.04, 0.17),
+    "fp_fraction": (0.0, 0.6),
+    "ilp_max": (1.8, 3.9),
+    "ilp_window_scale": (40.0, 100.0),
+    "hot_ws_kb": (12.0, 512.0),
+    "big_ws_kb": (160.0, 24000.0),
+    "big_weight": (0.02, 0.22),
+    "ifootprint_kb": (16.0, 512.0),
+    "mispredict_floor": (0.006, 0.08),
+    "mlp_max": (1.25, 6.5),
+}
+
+#: How far (multiplicatively, in log space) the drifted population may
+#: exceed the typical envelope at drift = 1.
+_DRIFT_STRETCH = 2.5
+
+
+def _draw(rng: np.random.Generator, low: float, high: float,
+          drift: float) -> float:
+    """Sample within the typical range, stretched outward by drift.
+
+    Positive ranges are sampled log-uniformly (scale knobs: working
+    sets, ILP); ranges touching zero are sampled linearly.
+    """
+    if low <= 0.0:
+        stretch = drift * (high - low) * (_DRIFT_STRETCH - 1.0) / 2.0
+        return float(rng.uniform(max(0.0, low - stretch), high + stretch))
+    log_low, log_high = np.log(low), np.log(high)
+    stretch = drift * np.log(_DRIFT_STRETCH)
+    value = rng.uniform(log_low - stretch, log_high + stretch)
+    return float(np.exp(value))
+
+
+def random_profile(
+    name: str,
+    seed: Optional[int] = None,
+    drift: float = 0.0,
+    idiosyncrasy: float = 0.06,
+) -> WorkloadProfile:
+    """Draw one random workload profile.
+
+    Args:
+        name: Program name for the generated profile.
+        seed: Draw seed (defaults to a stable hash of the name).
+        drift: 0 = within the SPEC-like envelope; 1 = far outside it.
+        idiosyncrasy: Private non-linear residual amplitude.
+    """
+    if not 0.0 <= drift <= 1.0:
+        raise ValueError("drift must be in [0, 1]")
+    if seed is None:
+        seed = stable_seed("synthetic", name)
+    rng = np.random.default_rng(seed)
+    knobs = {
+        key: _draw(rng, low, high, drift)
+        for key, (low, high) in _TYPICAL.items()
+    }
+    # Keep probabilities legal regardless of drift.
+    memory = float(np.clip(knobs["memory_fraction"], 0.12, 0.5))
+    branch = float(np.clip(knobs["branch_fraction"], 0.02, 0.24))
+    fp = float(np.clip(knobs["fp_fraction"], 0.0, 0.8))
+    floor = float(np.clip(knobs["mispredict_floor"], 0.002, 0.18))
+    big_weight = float(np.clip(knobs["big_weight"], 0.005, 0.32))
+    return make_profile(
+        name,
+        "synthetic",
+        "generated",
+        memory_fraction=memory,
+        branch_fraction=branch,
+        fp_fraction=fp,
+        ilp_max=float(np.clip(knobs["ilp_max"], 1.2, 6.0)),
+        ilp_window_scale=float(np.clip(knobs["ilp_window_scale"], 15, 250)),
+        working_sets_kb=[
+            (float(np.clip(knobs["hot_ws_kb"], 2, 2048)), 0.04),
+            (float(np.clip(knobs["big_ws_kb"], 64, 64000)), big_weight),
+        ],
+        cold_miss=0.004,
+        instruction_footprint_kb=float(
+            np.clip(knobs["ifootprint_kb"], 4, 2048)
+        ),
+        mispredict_floor=floor,
+        mispredict_scale=floor * 0.8 + 0.005,
+        mlp_max=float(np.clip(knobs["mlp_max"], 1.0, 8.0)),
+        idiosyncrasy=idiosyncrasy + 0.06 * drift,
+    )
+
+
+def synthetic_suite(
+    count: int,
+    seed: int = 0,
+    drift: float = 0.0,
+    name: str = "synthetic",
+) -> BenchmarkSuite:
+    """Generate a whole random suite of ``count`` programs."""
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    rng = np.random.default_rng(seed)
+    profiles = [
+        random_profile(
+            f"{name}{index:03d}",
+            seed=int(rng.integers(0, 2**32)),
+            drift=drift,
+        )
+        for index in range(count)
+    ]
+    return BenchmarkSuite(name, profiles)
+
+
+def drift_study_suites(
+    count: int,
+    drifts: Sequence[float] = (0.0, 0.25, 0.5, 1.0),
+    seed: int = 0,
+) -> dict:
+    """One suite per drift level, for degradation studies."""
+    return {
+        drift: synthetic_suite(
+            count, seed=seed + int(drift * 1000), drift=drift,
+            name=f"drift{int(drift * 100):03d}",
+        )
+        for drift in drifts
+    }

@@ -1,0 +1,133 @@
+"""Measuring the characteristics of a generated trace.
+
+The synthetic trace generator promises that its streams follow the
+source profile's distributions; this module measures a trace and
+reports what it actually contains, closing the loop.  Used by the test
+suite to validate the generator and handy when debugging workload
+models ("is this trace really 30 percent memory operations?").
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from .profile import WorkloadProfile
+from .tracegen import LINE_BYTES, OpClass, TraceInstruction
+
+
+@dataclass(frozen=True)
+class TraceCharacteristics:
+    """Measured properties of a dynamic instruction stream."""
+
+    length: int
+    mix: Dict[str, float]
+    taken_fraction: float
+    branch_sites: int
+    data_lines_touched: int
+    data_footprint_bytes: int
+    code_lines_touched: int
+    code_footprint_bytes: int
+    pc_reuse: float  # 1 - unique PCs / instructions
+
+    @property
+    def memory_fraction(self) -> float:
+        return self.mix.get("LOAD", 0.0) + self.mix.get("STORE", 0.0)
+
+    @property
+    def branch_fraction(self) -> float:
+        return self.mix.get("BRANCH", 0.0)
+
+
+def characterise_trace(
+    trace: Sequence[TraceInstruction],
+) -> TraceCharacteristics:
+    """Measure the characteristics of a trace."""
+    if not trace:
+        raise ValueError("cannot characterise an empty trace")
+    counts = Counter(instr.op.name for instr in trace)
+    n = len(trace)
+    mix = {name: count / n for name, count in counts.items()}
+
+    branches = [t for t in trace if t.op is OpClass.BRANCH]
+    taken = sum(1 for t in branches if t.taken)
+    taken_fraction = taken / len(branches) if branches else 0.0
+    branch_sites = len({t.branch_id for t in branches})
+
+    data_lines = {
+        t.address // LINE_BYTES for t in trace if t.address is not None
+    }
+    code_lines = {t.pc // LINE_BYTES for t in trace}
+    unique_pcs = len({t.pc for t in trace})
+
+    return TraceCharacteristics(
+        length=n,
+        mix=mix,
+        taken_fraction=taken_fraction,
+        branch_sites=branch_sites,
+        data_lines_touched=len(data_lines),
+        data_footprint_bytes=len(data_lines) * LINE_BYTES,
+        code_lines_touched=len(code_lines),
+        code_footprint_bytes=len(code_lines) * LINE_BYTES,
+        pc_reuse=1.0 - unique_pcs / n,
+    )
+
+
+def mix_deviation(
+    characteristics: TraceCharacteristics, profile: WorkloadProfile
+) -> float:
+    """Largest absolute deviation between measured and intended mix.
+
+    Near zero for a faithful generator on a long trace; the test suite
+    bounds it.
+    """
+    intended = {
+        "INT_ALU": profile.mix.int_alu,
+        "INT_MUL": profile.mix.int_mul,
+        "FP_ALU": profile.mix.fp_alu,
+        "FP_MUL": profile.mix.fp_mul,
+        "LOAD": profile.mix.load,
+        "STORE": profile.mix.store,
+        "BRANCH": profile.mix.branch,
+    }
+    return max(
+        abs(characteristics.mix.get(name, 0.0) - fraction)
+        for name, fraction in intended.items()
+    )
+
+
+def reuse_histogram(
+    trace: Sequence[TraceInstruction], buckets: Sequence[int] = (1, 8, 64, 512, 4096)
+) -> Dict[str, int]:
+    """Histogram of data-line reuse distances (in distinct lines).
+
+    Bucket ``"<=k"`` counts accesses whose reuse distance (number of
+    distinct lines touched since the previous access to the same line)
+    is at most ``k``; ``"cold"`` counts first touches.
+    """
+    last_seen: Dict[int, int] = {}
+    stack: list = []  # LRU order of lines, most recent last
+    histogram = {f"<={k}": 0 for k in buckets}
+    histogram["cold"] = 0
+    histogram[">max"] = 0
+    for instr in trace:
+        if instr.address is None:
+            continue
+        line = instr.address // LINE_BYTES
+        if line not in last_seen:
+            histogram["cold"] += 1
+        else:
+            depth = len(stack) - 1 - stack.index(line)
+            for k in buckets:
+                if depth <= k:
+                    histogram[f"<={k}"] += 1
+                    break
+            else:
+                histogram[">max"] += 1
+            stack.remove(line)
+        stack.append(line)
+        last_seen[line] = instr.index
+    return histogram

@@ -1,0 +1,274 @@
+"""Synthetic instruction trace generation for the pipeline simulator.
+
+The detailed out-of-order simulator (:mod:`repro.sim.pipeline`) is
+trace-driven.  This module synthesises a dynamic instruction stream from
+a :class:`~repro.workloads.profile.WorkloadProfile`:
+
+* operation classes are drawn from the instruction mix;
+* register dataflow follows a geometric dependency-distance model tuned
+  to the profile's ILP curve (short distances -> serial code, long
+  distances -> independent work for the window to find);
+* data addresses are drawn from a working-set region model consistent
+  with the profile's locality mixture;
+* instruction addresses walk basic blocks sequentially and jump on taken
+  branches within the profile's code footprint;
+* branch outcomes come from a static-branch population with per-branch
+  bias, so a real gshare predictor can (and must) learn them.
+
+Traces are deterministic given (profile, seed, length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .profile import WorkloadProfile, stable_seed
+
+#: Cache line size assumed by the address generators (bytes).
+LINE_BYTES = 32
+#: Architected registers per file (int and fp each).
+LOGICAL_REGISTERS = 32
+
+
+class OpClass(Enum):
+    """Operation classes recognised by the pipeline simulator."""
+
+    INT_ALU = auto()
+    INT_MUL = auto()
+    FP_ALU = auto()
+    FP_MUL = auto()
+    LOAD = auto()
+    STORE = auto()
+    BRANCH = auto()
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_fp(self) -> bool:
+        return self in (OpClass.FP_ALU, OpClass.FP_MUL)
+
+
+@dataclass
+class TraceInstruction:
+    """One dynamic instruction of a synthetic trace."""
+
+    __slots__ = (
+        "index",
+        "op",
+        "pc",
+        "dest",
+        "sources",
+        "address",
+        "branch_id",
+        "taken",
+    )
+
+    index: int
+    op: OpClass
+    pc: int
+    dest: Optional[int]
+    sources: Tuple[int, ...]
+    address: Optional[int]
+    branch_id: Optional[int]
+    taken: Optional[bool]
+
+
+class TraceGenerator:
+    """Deterministic synthetic trace generator for one profile."""
+
+    def __init__(self, profile: WorkloadProfile, seed: Optional[int] = None) -> None:
+        self.profile = profile
+        if seed is None:
+            seed = stable_seed(profile.suite, profile.name, "trace")
+        self._rng = np.random.default_rng(seed)
+        self._op_classes = list(OpClass)
+        self._op_probabilities = np.array(profile.mix.as_tuple(), dtype=float)
+        self._op_probabilities /= self._op_probabilities.sum()
+
+        # Dependency distances: geometric with a mean tied to how much of
+        # the ILP curve a moderate window unlocks; serial programs have
+        # short producer->consumer distances.
+        self._dependency_mean = max(2.0, profile.ilp_window_scale / 6.0)
+
+        # Data regions: each working set becomes an address region whose
+        # access probability scales with its miss weight; residual
+        # probability goes to a small hot region.
+        regions: List[Tuple[int, float]] = []
+        base = 1 << 30
+        total_weight = 0.0
+        for size_bytes, weight in profile.data_locality.working_sets:
+            lines = max(4, int(size_bytes // LINE_BYTES))
+            probability = min(0.9, weight)
+            regions.append((lines, probability))
+            total_weight += probability
+        hot_probability = max(0.05, 1.0 - total_weight)
+        regions.append((64, hot_probability))
+        probabilities = np.array([p for _, p in regions], dtype=float)
+        probabilities /= probabilities.sum()
+        self._region_lines = [lines for lines, _ in regions]
+        self._region_bases = [
+            base + i * (1 << 26) for i in range(len(regions))
+        ]
+        self._region_probabilities = probabilities
+
+        # Static branch population.  Most branches are loop back-edges
+        # (strongly biased taken, short backward targets) so the code
+        # actually loops: predictors train on revisited sites and the
+        # I-cache sees a hot working set, as in real programs.  The rest
+        # are data-dependent branches whose bias hardness tracks the
+        # profile's irreducible misprediction floor.
+        count = profile.branches.static_branches
+        is_loop = self._rng.random(count) < 0.65
+        hardness = np.clip(profile.branches.floor * 8.0, 0.05, 0.9)
+        data_bias = self._rng.beta(0.4, 0.4, size=count)
+        easy = np.where(data_bias > 0.5, 0.97, 0.03)
+        hard_mask = self._rng.random(count) < hardness
+        self._branch_bias = np.where(hard_mask, data_bias, easy)
+        self._branch_is_loop = is_loop
+        # Loop branches follow a trip-count pattern: taken (trip - 1)
+        # times, then not taken once, with a small data-dependent noise
+        # flip.  History-based predictors can learn the exits, so bigger
+        # gshare tables genuinely help, as on real codes.
+        self._trip_counts = self._rng.integers(3, 25, size=count)
+        self._trip_positions = np.zeros(count, dtype=np.int64)
+        self._loop_noise = np.clip(
+            profile.branches.floor * 0.5
+            + self._rng.uniform(0.0, 0.02, size=count),
+            0.0,
+            0.2,
+        )
+        # Loop back-edges jump a few basic blocks backward; other taken
+        # branches jump a short distance forward.
+        self._back_bytes = (
+            np.maximum(1, self._rng.geometric(1.0 / 10.0, size=count)) * 16
+        )
+        self._forward_bytes = (
+            np.maximum(1, self._rng.geometric(1.0 / 6.0, size=count)) * 16
+        )
+        footprint_lines = max(
+            64, int(profile.instruction_locality.footprint // LINE_BYTES)
+        )
+        self._code_bytes = footprint_lines * LINE_BYTES
+
+    def generate(self, length: int) -> List[TraceInstruction]:
+        """Generate a trace of ``length`` dynamic instructions."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        rng = self._rng
+        profile = self.profile
+
+        ops = rng.choice(
+            len(self._op_classes), size=length, p=self._op_probabilities
+        )
+        dep_distances = rng.geometric(
+            1.0 / self._dependency_mean, size=(length, 2)
+        )
+        region_choices = rng.choice(
+            len(self._region_lines), size=length, p=self._region_probabilities
+        )
+        line_draws = rng.random(length)
+        outcome_draws = rng.random(length)
+        source_counts_fp = rng.random(length)
+
+        trace: List[TraceInstruction] = []
+        # dest register of each previous instruction, for dataflow.
+        recent_dests: List[Optional[int]] = []
+        pc = 0
+        next_logical = 0
+        for i in range(length):
+            op = self._op_classes[int(ops[i])]
+
+            # Register dataflow -------------------------------------------------
+            sources: List[int] = []
+            source_count = 2 if source_counts_fp[i] < 0.6 else 1
+            if op is OpClass.BRANCH:
+                source_count = 1
+            for s in range(source_count):
+                distance = int(dep_distances[i, s])
+                if op is OpClass.BRANCH:
+                    # Branch conditions hang off short side-chains (loop
+                    # counters, compare results), not the program's
+                    # longest dependency chain, so they resolve early.
+                    distance = 24 + distance
+                producer = i - distance
+                if 0 <= producer < len(recent_dests):
+                    dest = recent_dests[producer]
+                    if dest is not None:
+                        sources.append(dest)
+                        continue
+                # No in-flight producer: read an architected register.
+                sources.append(int(line_draws[i] * LOGICAL_REGISTERS) % LOGICAL_REGISTERS)
+
+            dest: Optional[int] = None
+            if op not in (OpClass.STORE, OpClass.BRANCH):
+                dest = next_logical
+                next_logical = (next_logical + 1) % LOGICAL_REGISTERS
+
+            # Memory address ----------------------------------------------------
+            address: Optional[int] = None
+            if op.is_memory:
+                # Power-law reuse inside each region: the head of the
+                # region is touched far more often than the tail, giving
+                # a realistic stack-distance profile (uniform access
+                # would make every touch effectively cold).
+                region = int(region_choices[i])
+                position = line_draws[i] ** 2.5
+                line = int(position * self._region_lines[region])
+                address = self._region_bases[region] + line * LINE_BYTES
+
+            # Branches ----------------------------------------------------------
+            branch_id: Optional[int] = None
+            taken: Optional[bool] = None
+            if op is OpClass.BRANCH:
+                # The static branch is a deterministic function of the
+                # code address, as in a real program: the same location
+                # always holds the same branch, so a history-based
+                # predictor can learn its behaviour.
+                branch_id = (pc // 16) % len(self._branch_bias)
+                if self._branch_is_loop[branch_id]:
+                    trip = int(self._trip_counts[branch_id])
+                    position = int(self._trip_positions[branch_id])
+                    taken = (position % trip) != (trip - 1)
+                    self._trip_positions[branch_id] = position + 1
+                    if outcome_draws[i] < self._loop_noise[branch_id]:
+                        taken = not taken
+                else:
+                    taken = bool(
+                        outcome_draws[i] < self._branch_bias[branch_id]
+                    )
+
+            instruction = TraceInstruction(
+                index=i,
+                op=op,
+                pc=pc,
+                dest=dest,
+                sources=tuple(sources),
+                address=address,
+                branch_id=branch_id,
+                taken=taken,
+            )
+            trace.append(instruction)
+            recent_dests.append(dest)
+
+            # Instruction address walk -----------------------------------------
+            if op is OpClass.BRANCH and taken:
+                if self._branch_is_loop[branch_id]:
+                    pc = max(0, pc - int(self._back_bytes[branch_id]))
+                else:
+                    pc = (pc + int(self._forward_bytes[branch_id])) % self._code_bytes
+            else:
+                pc = (pc + 4) % self._code_bytes
+        return trace
+
+
+def generate_trace(
+    profile: WorkloadProfile, length: int, seed: Optional[int] = None
+) -> List[TraceInstruction]:
+    """Convenience wrapper: build a generator and produce one trace."""
+    return TraceGenerator(profile, seed=seed).generate(length)

@@ -1,0 +1,133 @@
+"""Tests for average-linkage clustering, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from scipy.cluster import hierarchy as scipy_hierarchy
+from scipy.spatial.distance import squareform
+
+from repro.analysis import (
+    average_linkage,
+    cut_tree,
+    distance_matrix,
+    merge_height_of,
+    render_dendrogram,
+)
+from repro.sim import Metric
+
+
+def _toy_distances():
+    """Four points: two tight pairs far apart."""
+    labels = ["a", "b", "c", "d"]
+    matrix = np.array(
+        [
+            [0.0, 1.0, 10.0, 10.5],
+            [1.0, 0.0, 9.5, 10.0],
+            [10.0, 9.5, 0.0, 1.2],
+            [10.5, 10.0, 1.2, 0.0],
+        ]
+    )
+    return matrix, labels
+
+
+class TestToyClustering:
+    def test_pairs_merge_first(self):
+        matrix, labels = _toy_distances()
+        root = average_linkage(matrix, labels)
+        clusters = {frozenset(c) for c in cut_tree(root, 2.0)}
+        assert clusters == {frozenset({"a", "b"}), frozenset({"c", "d"})}
+
+    def test_root_contains_everything(self):
+        matrix, labels = _toy_distances()
+        root = average_linkage(matrix, labels)
+        assert set(root.members) == set(labels)
+
+    def test_root_height_is_average_of_cross_distances(self):
+        matrix, labels = _toy_distances()
+        root = average_linkage(matrix, labels)
+        expected = np.mean([10.0, 10.5, 9.5, 10.0])
+        assert root.height == pytest.approx(expected)
+
+    def test_heights_monotone_up_the_tree(self):
+        matrix, labels = _toy_distances()
+        root = average_linkage(matrix, labels)
+        assert root.height >= root.left.height
+        assert root.height >= root.right.height
+
+    def test_leaves_preserved(self):
+        matrix, labels = _toy_distances()
+        root = average_linkage(matrix, labels)
+        assert sorted(root.leaves()) == sorted(labels)
+
+    def test_single_item(self):
+        root = average_linkage(np.zeros((1, 1)), ["only"])
+        assert root.is_leaf
+        assert root.program == "only"
+
+    def test_asymmetric_matrix_rejected(self):
+        bad = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            average_linkage(bad, ["a", "b"])
+
+    def test_label_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            average_linkage(np.zeros((2, 2)), ["a"])
+
+
+class TestAgainstScipy:
+    def test_merge_heights_match_scipy_upgma(self, small_dataset):
+        matrix, programs = distance_matrix(small_dataset, Metric.CYCLES)
+        root = average_linkage(matrix, programs)
+        linkage = scipy_hierarchy.linkage(
+            squareform(matrix, checks=False), method="average"
+        )
+        ours = []
+
+        def collect(node):
+            if node.is_leaf:
+                return
+            ours.append(node.height)
+            collect(node.left)
+            collect(node.right)
+
+        collect(root)
+        assert np.allclose(sorted(ours), sorted(linkage[:, 2]), rtol=1e-9)
+
+    def test_flat_clusters_match_scipy(self, small_dataset):
+        matrix, programs = distance_matrix(small_dataset, Metric.CYCLES)
+        root = average_linkage(matrix, programs)
+        linkage = scipy_hierarchy.linkage(
+            squareform(matrix, checks=False), method="average"
+        )
+        cut_height = float(np.median(linkage[:, 2]))
+        ours = {frozenset(c) for c in cut_tree(root, cut_height)}
+        flat = scipy_hierarchy.fcluster(
+            linkage, t=cut_height, criterion="distance"
+        )
+        theirs = {}
+        for program, cluster in zip(programs, flat):
+            theirs.setdefault(cluster, set()).add(program)
+        assert ours == {frozenset(v) for v in theirs.values()}
+
+
+class TestDendrogramOnData:
+    def test_art_merges_last_or_high(self, small_dataset):
+        matrix, programs = distance_matrix(small_dataset, Metric.CYCLES)
+        root = average_linkage(matrix, programs)
+        art_height = merge_height_of(root, "art")
+        others = [
+            merge_height_of(root, p) for p in programs if p != "art"
+        ]
+        assert art_height > np.median(others)
+
+    def test_merge_height_unknown_program(self, small_dataset):
+        matrix, programs = distance_matrix(small_dataset, Metric.CYCLES)
+        root = average_linkage(matrix, programs)
+        with pytest.raises(KeyError):
+            merge_height_of(root, "doom")
+
+    def test_render_contains_all_programs(self, small_dataset):
+        matrix, programs = distance_matrix(small_dataset, Metric.CYCLES)
+        root = average_linkage(matrix, programs)
+        text = render_dendrogram(root)
+        for program in programs:
+            assert program in text

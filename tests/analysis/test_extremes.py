@@ -1,0 +1,88 @@
+"""Tests for the best/worst-1% parameter analysis (Figs. 2-3)."""
+
+import pytest
+
+from repro.analysis import dominant_values, extreme_frequencies
+from repro.sim import Metric
+
+
+@pytest.fixture(scope="module")
+def worst_cycles(small_dataset):
+    return extreme_frequencies(small_dataset, Metric.CYCLES, "worst",
+                               fraction=0.02)
+
+
+@pytest.fixture(scope="module")
+def best_energy(small_dataset):
+    return extreme_frequencies(small_dataset, Metric.ENERGY, "best",
+                               fraction=0.02)
+
+
+class TestFrequencies:
+    def test_frequencies_are_probabilities(self, worst_cycles):
+        for values in worst_cycles.frequencies.values():
+            for frequency in values.values():
+                assert 0.0 <= frequency <= 1.0
+
+    def test_per_parameter_frequencies_sum_to_one(self, worst_cycles):
+        for parameter, values in worst_cycles.frequencies.items():
+            assert sum(values.values()) == pytest.approx(1.0)
+
+    def test_marginals_sum_to_one(self, worst_cycles):
+        for values in worst_cycles.marginals.values():
+            assert sum(values.values()) == pytest.approx(1.0)
+
+    def test_small_rf_dominates_worst_cycles(self, worst_cycles):
+        """The paper's headline Section 3.4 finding."""
+        value, frequency = worst_cycles.top_value("rf_size")
+        assert value == 40
+        assert frequency > 0.5
+        assert worst_cycles.lift("rf_size", 40) > 3.0
+
+    def test_narrow_machines_dominate_best_energy(self, best_energy):
+        # width=2 is only ~3.5% of the legal space (port-combination
+        # skew), so the robust signal is its lift, not raw frequency.
+        assert best_energy.lift("width", 2) > 3.0
+        narrow = (
+            best_energy.frequencies["width"][2]
+            + best_energy.frequencies["width"][4]
+        )
+        assert narrow > 0.8
+
+    def test_small_l2_favoured_for_energy(self, best_energy):
+        small = sum(
+            best_energy.frequencies["l2cache_kb"][v] for v in (256, 512)
+        )
+        large = best_energy.frequencies["l2cache_kb"][4096]
+        assert small > large
+
+    def test_invalid_tail_rejected(self, small_dataset):
+        with pytest.raises(ValueError, match="tail"):
+            extreme_frequencies(small_dataset, Metric.CYCLES, "middle")
+
+    def test_invalid_fraction_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            extreme_frequencies(small_dataset, Metric.CYCLES, "best",
+                                fraction=0.9)
+
+
+class TestDominantValues:
+    def test_sorted_by_frequency(self, worst_cycles):
+        dominant = dominant_values(worst_cycles, threshold=0.2)
+        frequencies = [frequency for _, _, frequency in dominant]
+        assert frequencies == sorted(frequencies, reverse=True)
+
+    def test_rf40_is_reported(self, worst_cycles):
+        dominant = dominant_values(worst_cycles, threshold=0.3)
+        assert any(
+            parameter == "rf_size" and value == 40
+            for parameter, value, _ in dominant
+        )
+
+    def test_lift_filter_drops_base_rate_artifacts(self, worst_cycles):
+        """width=8 is >50% of all legal points; without lift it would be
+        reported as 'dominant' in every tail."""
+        dominant = dominant_values(worst_cycles, threshold=0.3,
+                                   minimum_lift=1.25)
+        for parameter, value, _ in dominant:
+            assert worst_cycles.lift(parameter, value) >= 1.25

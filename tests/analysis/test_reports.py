@@ -1,0 +1,33 @@
+"""Tests for the one-call suite report."""
+
+from repro.analysis import suite_report
+from repro.sim import Metric
+
+
+class TestSuiteReport:
+    def test_contains_all_sections(self, small_dataset):
+        report = suite_report(small_dataset, Metric.CYCLES)
+        for needle in (
+            "design-space report",
+            "per-program space statistics",
+            "outliers",
+            "best 1%",
+            "worst 1%",
+            "main effects",
+            "hierarchical clustering",
+        ):
+            assert needle in report
+
+    def test_mentions_every_program(self, small_dataset):
+        report = suite_report(small_dataset, Metric.CYCLES)
+        for program in small_dataset.programs:
+            assert program in report
+
+    def test_dendrogram_optional(self, small_dataset):
+        report = suite_report(small_dataset, Metric.CYCLES,
+                              include_dendrogram=False)
+        assert "hierarchical clustering" not in report
+
+    def test_metric_in_header(self, small_dataset):
+        report = suite_report(small_dataset, Metric.EDD)
+        assert "metric=edd" in report

@@ -1,0 +1,117 @@
+"""Tests for predictor residual analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    error_hotspots,
+    residual_profile,
+    residuals_by_parameter,
+    worst_regions,
+)
+
+
+class TestResidualProfile:
+    def test_perfect_predictions(self):
+        actual = np.array([10.0, 20.0, 30.0])
+        profile = residual_profile(actual, actual)
+        assert profile.mean_absolute == 0.0
+        assert profile.bias == 0.0
+        assert profile.worst == 0.0
+
+    def test_percent_equals_rmae(self):
+        from repro.ml import rmae
+        rng = np.random.default_rng(0)
+        actual = rng.uniform(10, 20, size=50)
+        predictions = actual * rng.uniform(0.8, 1.2, size=50)
+        profile = residual_profile(predictions, actual)
+        assert profile.percent == pytest.approx(rmae(predictions, actual))
+
+    def test_bias_sign(self):
+        actual = np.array([10.0, 10.0])
+        over = residual_profile(np.array([12.0, 12.0]), actual)
+        under = residual_profile(np.array([8.0, 8.0]), actual)
+        assert over.bias > 0 > under.bias
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            residual_profile(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            residual_profile(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            residual_profile(np.ones(2), np.array([1.0, 0.0]))
+
+
+class TestByParameter:
+    def test_covers_every_parameter_value_present(self, space, configs):
+        subset = list(configs[:100])
+        residuals = np.random.default_rng(1).normal(0, 0.1, size=100)
+        table = residuals_by_parameter(space, subset, residuals)
+        assert set(table) == {p.name for p in space.parameters}
+        widths_present = {c.width for c in subset}
+        assert set(table["width"]) == widths_present
+
+    def test_localised_error_shows_up(self, space, configs):
+        """Injected error on rf_size=40 must surface in that bucket."""
+        subset = list(configs[:200])
+        residuals = np.full(200, 0.02)
+        for i, config in enumerate(subset):
+            if config.rf_size == 40:
+                residuals[i] = 0.5
+        table = residuals_by_parameter(space, subset, residuals)
+        if 40 in table["rf_size"]:
+            others = [v for k, v in table["rf_size"].items() if k != 40]
+            assert table["rf_size"][40] > 2 * max(others)
+
+    def test_alignment_validated(self, space, configs):
+        with pytest.raises(ValueError):
+            residuals_by_parameter(space, list(configs[:5]), np.ones(4))
+
+
+class TestWorstRegions:
+    def test_sorted_by_severity(self, configs):
+        subset = list(configs[:50])
+        residuals = np.linspace(-0.5, 0.5, 50)
+        worst = worst_regions(subset, residuals, count=5)
+        magnitudes = [abs(r) for _, r in worst]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_count_respected(self, configs):
+        worst = worst_regions(list(configs[:20]), np.ones(20), count=3)
+        assert len(worst) == 3
+
+    def test_invalid_count(self, configs):
+        with pytest.raises(ValueError):
+            worst_regions(list(configs[:5]), np.ones(5), count=0)
+
+
+class TestHotspots:
+    def test_injected_hotspot_found(self, space, configs):
+        subset = list(configs[:200])
+        residuals = np.full(200, 0.02)
+        for i, config in enumerate(subset):
+            if config.width == 2:
+                residuals[i] = 0.6
+        hotspots = error_hotspots(space, subset, residuals, threshold=2.0)
+        assert any(
+            name == "width" and value == 2 for name, value, _ in hotspots
+        )
+
+    def test_uniform_error_has_no_hotspots(self, space, configs):
+        subset = list(configs[:100])
+        hotspots = error_hotspots(
+            space, subset, np.full(100, 0.05), threshold=1.5
+        )
+        assert hotspots == []
+
+    def test_real_predictor_hotspots(self, space, small_dataset, cycles_pool):
+        """The ANN's residuals concentrate somewhere non-uniformly."""
+        from repro.sim import Metric
+        model = cycles_pool.model("gzip")
+        configs = list(small_dataset.configs)
+        predictions = model.predict(configs)
+        actual = small_dataset.values("gzip", Metric.CYCLES)
+        profile = residual_profile(predictions, actual)
+        table = residuals_by_parameter(space, configs, profile.residuals)
+        rf_errors = table["rf_size"]
+        assert max(rf_errors.values()) > profile.mean_absolute

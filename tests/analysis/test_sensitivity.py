@@ -1,0 +1,81 @@
+"""Tests for the per-parameter sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    main_effects,
+    parameter_correlations,
+    ranked_sensitivities,
+    suite_main_effects,
+)
+from repro.sim import Metric
+
+
+class TestMainEffects:
+    def test_covers_all_parameters(self, small_dataset, space):
+        effects = main_effects(small_dataset, "gzip", Metric.CYCLES)
+        assert set(effects) == {p.name for p in space.parameters}
+
+    def test_effects_are_fractions(self, small_dataset):
+        effects = main_effects(small_dataset, "gzip", Metric.CYCLES)
+        for value in effects.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_rf_size_dominates_cycles(self, small_dataset):
+        """Section 3.4: the register file is the critical parameter."""
+        effects = main_effects(small_dataset, "gzip", Metric.CYCLES)
+        assert max(effects, key=effects.get) == "rf_size"
+
+    def test_lsq_matters_more_for_memory_heavy_programs(self, small_dataset):
+        """Memory-heavy programs bind the window on the LSQ far more
+        than compute-heavy ones."""
+        art = main_effects(small_dataset, "art", Metric.CYCLES)
+        gzip = main_effects(small_dataset, "gzip", Metric.CYCLES)
+        assert art["lsq_size"] > 2 * gzip["lsq_size"]
+
+    def test_width_and_l2_drive_energy(self, small_dataset):
+        effects = main_effects(small_dataset, "gzip", Metric.ENERGY)
+        top3 = sorted(effects, key=effects.get, reverse=True)[:3]
+        assert {"width", "l2cache_kb"} & set(top3)
+
+
+class TestCorrelations:
+    def test_bounded(self, small_dataset):
+        correlations = parameter_correlations(
+            small_dataset, "gzip", Metric.CYCLES
+        )
+        for value in correlations.values():
+            assert -1.0 <= value <= 1.0
+
+    def test_rf_size_negative_for_cycles(self, small_dataset):
+        """More registers -> fewer cycles."""
+        correlations = parameter_correlations(
+            small_dataset, "gzip", Metric.CYCLES
+        )
+        assert correlations["rf_size"] < 0
+
+    def test_l2_positive_for_energy(self, small_dataset):
+        """Bigger L2 -> more leakage energy."""
+        correlations = parameter_correlations(
+            small_dataset, "gzip", Metric.ENERGY
+        )
+        assert correlations["l2cache_kb"] > 0
+
+
+class TestSummaries:
+    def test_ranked_sensitivities_sorted(self, small_dataset):
+        rows = ranked_sensitivities(small_dataset, "gzip", Metric.CYCLES)
+        effects = [effect for _, effect, _ in rows]
+        assert effects == sorted(effects, reverse=True)
+        assert len(rows) == 13
+
+    def test_suite_main_effects_averaged(self, small_dataset):
+        suite_effects = suite_main_effects(small_dataset, Metric.CYCLES)
+        per_program = [
+            main_effects(small_dataset, p, Metric.CYCLES)["rf_size"]
+            for p in small_dataset.programs
+        ]
+        assert suite_effects["rf_size"] == pytest.approx(
+            np.mean(per_program)
+        )

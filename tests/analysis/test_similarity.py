@@ -1,0 +1,76 @@
+"""Tests for program-similarity measurement (Section 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    distance_matrix,
+    nearest_neighbours,
+    normalised_behaviour_matrix,
+    outlier_scores,
+)
+from repro.sim import Metric
+
+
+@pytest.fixture(scope="module")
+def distances(small_dataset):
+    return distance_matrix(small_dataset, Metric.CYCLES)
+
+
+class TestBehaviourMatrix:
+    def test_shape(self, small_dataset):
+        matrix, programs = normalised_behaviour_matrix(
+            small_dataset, Metric.CYCLES
+        )
+        assert matrix.shape == (len(programs), len(small_dataset))
+
+    def test_normalised_to_baseline(self, small_dataset):
+        matrix, _ = normalised_behaviour_matrix(small_dataset, Metric.CYCLES)
+        # Values hover around 1 (the baseline machine's level).
+        assert 0.1 < np.median(matrix) < 10.0
+
+
+class TestDistanceMatrix:
+    def test_metric_properties(self, distances):
+        matrix, programs = distances
+        assert matrix.shape == (len(programs), len(programs))
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.all(matrix >= 0.0)
+
+    def test_triangle_inequality(self, distances):
+        matrix, _ = distances
+        n = matrix.shape[0]
+        for i in range(n):
+            for j in range(n):
+                for k in range(n):
+                    assert matrix[i, j] <= matrix[i, k] + matrix[k, j] + 1e-9
+
+    def test_matches_bruteforce(self, small_dataset, distances):
+        matrix, programs = distances
+        reference, _ = normalised_behaviour_matrix(
+            small_dataset, Metric.CYCLES
+        )
+        brute = np.linalg.norm(reference[0] - reference[1])
+        assert matrix[0, 1] == pytest.approx(brute)
+
+
+class TestOutliers:
+    def test_art_is_the_outlier(self, distances):
+        matrix, programs = distances
+        scores = outlier_scores(matrix, programs)
+        assert max(scores, key=scores.get) == "art"
+
+    def test_nearest_neighbours_consistent(self, distances):
+        matrix, programs = distances
+        neighbours = nearest_neighbours(matrix, programs)
+        for program, (other, distance) in neighbours.items():
+            assert other != program
+            assert distance >= 0
+
+    def test_shape_mismatch_rejected(self, distances):
+        matrix, programs = distances
+        with pytest.raises(ValueError):
+            outlier_scores(matrix, programs[:-1])
+        with pytest.raises(ValueError):
+            nearest_neighbours(matrix, programs[:-1])

@@ -1,0 +1,45 @@
+"""Tests for per-program design-space statistics (Fig. 4)."""
+
+import pytest
+
+from repro.analysis import program_statistics, suite_statistics
+from repro.sim import Metric
+
+
+class TestProgramStatistics:
+    def test_five_numbers_ordered(self, small_dataset):
+        stats = program_statistics(small_dataset, "gzip", Metric.CYCLES)
+        assert (
+            stats.minimum
+            <= stats.quartile25
+            <= stats.median
+            <= stats.quartile75
+            <= stats.maximum
+        )
+
+    def test_baseline_inside_the_space(self, small_dataset):
+        stats = program_statistics(small_dataset, "gzip", Metric.CYCLES)
+        assert stats.minimum * 0.5 < stats.baseline < stats.maximum * 2.0
+
+    def test_spread(self, small_dataset):
+        stats = program_statistics(small_dataset, "art", Metric.CYCLES)
+        assert stats.spread == pytest.approx(stats.maximum / stats.minimum)
+        assert stats.spread > 1.0
+
+    def test_art_varies_more_than_mesa(self, small_dataset):
+        """Fig. 4: art varies enormously, cache-friendly codes less."""
+        art = program_statistics(small_dataset, "art", Metric.CYCLES)
+        mesa = program_statistics(small_dataset, "mesa", Metric.CYCLES)
+        assert art.spread > mesa.spread
+
+
+class TestSuiteStatistics:
+    def test_covers_all_programs(self, small_dataset):
+        stats = suite_statistics(small_dataset, Metric.ENERGY)
+        assert set(stats) == set(small_dataset.programs)
+
+    def test_each_entry_tagged(self, small_dataset):
+        stats = suite_statistics(small_dataset, Metric.ENERGY)
+        for name, entry in stats.items():
+            assert entry.program == name
+            assert entry.metric is Metric.ENERGY

@@ -1,0 +1,86 @@
+"""Tests for response-space transfer analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    nearest_pool_programs,
+    response_space_distances,
+    transferability_score,
+)
+from repro.sim import Metric
+
+
+@pytest.fixture(scope="module")
+def setting(cycles_pool, small_dataset):
+    models = cycles_pool.models(exclude=["swim"])
+    response_idx, _ = small_dataset.split_indices(32, seed=55)
+    configs = small_dataset.subset_configs(response_idx)
+    values = small_dataset.subset_values("swim", Metric.CYCLES, response_idx)
+    return models, configs, values
+
+
+class TestDistances:
+    def test_one_distance_per_pool_program(self, setting):
+        models, configs, values = setting
+        distances = response_space_distances(models, configs, values)
+        assert set(distances) == {m.program for m in models}
+        assert all(d >= 0 for d in distances.values())
+
+    def test_self_distance_is_smallest(self, cycles_pool, small_dataset):
+        """A program's own responses are closest to its own model."""
+        models = cycles_pool.models()  # includes gzip
+        response_idx, _ = small_dataset.split_indices(32, seed=56)
+        configs = small_dataset.subset_configs(response_idx)
+        values = small_dataset.subset_values(
+            "gzip", Metric.CYCLES, response_idx
+        )
+        distances = response_space_distances(models, configs, values)
+        assert min(distances, key=distances.get) == "gzip"
+
+    def test_memory_streamer_matches_memory_streamer(self, setting):
+        """swim's nearest behavioural neighbour in this subset should be
+        the other memory-streaming fp code (applu), not mesa/crafty."""
+        models, configs, values = setting
+        nearest = nearest_pool_programs(models, configs, values, count=2)
+        names = [name for name, _ in nearest]
+        assert "applu" in names
+
+    def test_validation(self, setting):
+        models, configs, values = setting
+        with pytest.raises(ValueError):
+            response_space_distances([], configs, values)
+        with pytest.raises(ValueError):
+            response_space_distances(models, configs, values[:-1])
+        with pytest.raises(ValueError):
+            response_space_distances(models, configs, np.zeros_like(values))
+
+
+class TestScore:
+    def test_score_in_unit_interval(self, setting):
+        models, configs, values = setting
+        score = transferability_score(models, configs, values)
+        assert 0.0 < score <= 1.0
+
+    def test_own_model_in_pool_raises_the_score(
+        self, cycles_pool, small_dataset
+    ):
+        """Perfect coverage (the program's own model in the pool) must
+        score higher than leave-one-out coverage."""
+        response_idx, _ = small_dataset.split_indices(32, seed=57)
+        configs = small_dataset.subset_configs(response_idx)
+        values = small_dataset.subset_values(
+            "gzip", Metric.CYCLES, response_idx
+        )
+        with_self = transferability_score(
+            cycles_pool.models(), configs, values
+        )
+        without_self = transferability_score(
+            cycles_pool.models(exclude=["gzip"]), configs, values
+        )
+        assert with_self > without_self
+
+    def test_nearest_count_validated(self, setting):
+        models, configs, values = setting
+        with pytest.raises(ValueError):
+            nearest_pool_programs(models, configs, values, count=0)

@@ -1,0 +1,64 @@
+"""Shared fixtures: a design space, a small suite, and small datasets.
+
+Dataset and pool fixtures are session-scoped because the interval
+simulations and ANN trainings they run are the expensive part of the
+suite; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.training import TrainingPool
+from repro.designspace import DesignSpace, sample_configurations
+from repro.exploration import DesignSpaceDataset
+from repro.sim import IntervalSimulator, Metric
+from repro.workloads import mibench_suite, spec2000_suite
+
+#: Programs used by the reduced suite: a spread of behaviours plus the
+#: art outlier.
+SMALL_PROGRAMS = ("gzip", "crafty", "applu", "swim", "mesa", "art")
+
+
+@pytest.fixture(scope="session")
+def space() -> DesignSpace:
+    return DesignSpace()
+
+
+@pytest.fixture(scope="session")
+def spec_suite():
+    return spec2000_suite()
+
+
+@pytest.fixture(scope="session")
+def mibench():
+    return mibench_suite()
+
+
+@pytest.fixture(scope="session")
+def small_suite(spec_suite):
+    return spec_suite.subset(SMALL_PROGRAMS)
+
+
+@pytest.fixture(scope="session")
+def simulator(space) -> IntervalSimulator:
+    return IntervalSimulator(space)
+
+
+@pytest.fixture(scope="session")
+def configs(space):
+    return sample_configurations(space, 700, seed=101)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_suite, configs, simulator) -> DesignSpaceDataset:
+    return DesignSpaceDataset(small_suite, configs, simulator)
+
+
+@pytest.fixture(scope="session")
+def cycles_pool(small_dataset) -> TrainingPool:
+    pool = TrainingPool(
+        small_dataset, Metric.CYCLES, training_size=400, seed=7
+    )
+    pool.train_all()
+    return pool

@@ -1,0 +1,62 @@
+"""Tests for the related-work baseline predictors."""
+
+import numpy as np
+import pytest
+
+from repro.core import LinearBaselinePredictor, SplineBaselinePredictor
+from repro.ml import correlation, rmae
+from repro.sim import Metric
+
+
+@pytest.fixture(scope="module")
+def training(small_dataset):
+    idx, rest = small_dataset.split_indices(300, seed=66)
+    return (
+        small_dataset.subset_configs(idx),
+        small_dataset.subset_values("applu", Metric.CYCLES, idx),
+        small_dataset.subset_configs(rest),
+        small_dataset.subset_values("applu", Metric.CYCLES, rest),
+    )
+
+
+class TestBaselines:
+    def test_linear_baseline_learns_the_trend(self, space, training):
+        configs, values, test_configs, actual = training
+        model = LinearBaselinePredictor(space, Metric.CYCLES, "applu")
+        model.fit(configs, values)
+        assert correlation(model.predict(test_configs), actual) > 0.5
+
+    def test_spline_beats_plain_linear(self, space, training):
+        configs, values, test_configs, actual = training
+        linear = LinearBaselinePredictor(space, Metric.CYCLES, "applu")
+        linear.fit(configs, values)
+        spline = SplineBaselinePredictor(space, Metric.CYCLES, "applu")
+        spline.fit(configs, values)
+        assert rmae(spline.predict(test_configs), actual) < rmae(
+            linear.predict(test_configs), actual
+        )
+
+    def test_predictions_positive(self, space, training):
+        configs, values, test_configs, _ = training
+        for cls in (LinearBaselinePredictor, SplineBaselinePredictor):
+            model = cls(space, Metric.CYCLES, "applu").fit(configs, values)
+            assert np.all(model.predict(test_configs) > 0)
+
+    def test_predict_one(self, space, training):
+        configs, values, *_ = training
+        model = SplineBaselinePredictor(space, Metric.CYCLES, "applu")
+        model.fit(configs, values)
+        assert model.predict_one(space.baseline) > 0
+
+    def test_untrained_rejected(self, space):
+        model = LinearBaselinePredictor(space, Metric.CYCLES, "x")
+        with pytest.raises(RuntimeError):
+            model.predict([space.baseline])
+
+    def test_non_positive_values_rejected(self, space):
+        model = LinearBaselinePredictor(space, Metric.CYCLES, "x")
+        with pytest.raises(ValueError):
+            model.fit(
+                [space.baseline, space.baseline.replace(width=8)],
+                np.array([1.0, 0.0]),
+            )

@@ -1,0 +1,95 @@
+"""Tests for the cross-validation harnesses (at reduced scale)."""
+
+import pytest
+
+from repro.core import (
+    cross_suite,
+    evaluate_on_program,
+    leave_one_out,
+    program_specific_score,
+)
+from repro.exploration import DesignSpaceDataset
+from repro.sim import Metric
+
+
+class TestEvaluateOnProgram:
+    def test_score_fields(self, cycles_pool, small_dataset):
+        models = cycles_pool.models(exclude=["swim"])
+        score = evaluate_on_program(models, small_dataset, "swim",
+                                    responses=32, seed=5)
+        assert score.program == "swim"
+        assert score.metric is Metric.CYCLES
+        assert score.responses == 32
+        assert 0 <= score.rmae < 100
+        assert -1 <= score.correlation <= 1
+
+    def test_seed_changes_split(self, cycles_pool, small_dataset):
+        models = cycles_pool.models(exclude=["swim"])
+        a = evaluate_on_program(models, small_dataset, "swim", seed=1)
+        b = evaluate_on_program(models, small_dataset, "swim", seed=2)
+        assert a.rmae != b.rmae
+
+
+class TestLeaveOneOut:
+    @pytest.fixture(scope="class")
+    def result(self, small_dataset):
+        return leave_one_out(
+            small_dataset, Metric.CYCLES, training_size=128,
+            responses=32, repeats=2, seed=0,
+        )
+
+    def test_covers_every_program(self, result, small_dataset):
+        assert set(result.summaries) == set(small_dataset.programs)
+
+    def test_repeats_recorded(self, result):
+        assert all(len(s.scores) == 2 for s in result.summaries.values())
+
+    def test_mean_rmae_reasonable(self, result):
+        assert 0 < result.mean_rmae < 60
+
+    def test_correlation_positive(self, result):
+        assert result.mean_correlation > 0.5
+
+    def test_art_is_harder_than_average(self, result):
+        """The outlier must show elevated error (Section 7.2)."""
+        assert result.program("art").mean_rmae > result.mean_rmae
+
+    def test_program_lookup_unknown(self, result):
+        with pytest.raises(KeyError):
+            result.program("doom")
+
+    def test_restricted_targets(self, small_dataset):
+        result = leave_one_out(
+            small_dataset, Metric.CYCLES, training_size=128,
+            responses=16, repeats=1, programs=["gzip"],
+        )
+        assert set(result.summaries) == {"gzip"}
+
+
+class TestCrossSuite:
+    def test_spec_predicts_mibench(self, small_dataset, mibench, configs,
+                                   simulator):
+        target = DesignSpaceDataset(
+            mibench.subset(["qsort", "sha", "fft"]), configs, simulator
+        )
+        result = cross_suite(
+            small_dataset, target, Metric.CYCLES,
+            training_size=128, responses=32, repeats=1, seed=3,
+        )
+        assert set(result.summaries) == {"qsort", "sha", "fft"}
+        assert result.mean_correlation > 0.5
+
+
+class TestProgramSpecificScore:
+    def test_large_training_beats_small(self, small_dataset):
+        small = program_specific_score(small_dataset, "gzip",
+                                       Metric.CYCLES, 16, seed=9)
+        large = program_specific_score(small_dataset, "gzip",
+                                       Metric.CYCLES, 256, seed=9)
+        assert large.rmae < small.rmae
+        assert large.correlation > small.correlation
+
+    def test_training_error_reported(self, small_dataset):
+        score = program_specific_score(small_dataset, "gzip",
+                                       Metric.CYCLES, 64, seed=9)
+        assert score.training_error >= 0

@@ -1,0 +1,89 @@
+"""Tests for the composed multi-metric predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultiMetricPredictor, TrainingPool
+from repro.sim import Metric
+
+
+@pytest.fixture(scope="module")
+def energy_pool(small_dataset):
+    pool = TrainingPool(small_dataset, Metric.ENERGY, training_size=400,
+                        seed=7)
+    pool.train_all()
+    return pool
+
+
+@pytest.fixture(scope="module")
+def fitted(cycles_pool, energy_pool, small_dataset):
+    predictor = MultiMetricPredictor(
+        cycles_pool.models(exclude=["applu"]),
+        energy_pool.models(exclude=["applu"]),
+    )
+    response_idx, holdout_idx = small_dataset.split_indices(32, seed=88)
+    predictor.fit_responses(
+        small_dataset.subset_configs(response_idx),
+        small_dataset.subset_values("applu", Metric.CYCLES, response_idx),
+        small_dataset.subset_values("applu", Metric.ENERGY, response_idx),
+    )
+    return predictor, holdout_idx
+
+
+class TestComposition:
+    def test_products_are_consistent(self, fitted, small_dataset):
+        predictor, holdout = fitted
+        configs = small_dataset.subset_configs(holdout[:50])
+        everything = predictor.predict_all(configs)
+        assert np.allclose(
+            everything[Metric.ED],
+            everything[Metric.CYCLES] * everything[Metric.ENERGY],
+        )
+        assert np.allclose(
+            everything[Metric.EDD],
+            everything[Metric.ED] * everything[Metric.CYCLES],
+        )
+
+    def test_single_metric_matches_predict_all(self, fitted, small_dataset):
+        predictor, holdout = fitted
+        configs = small_dataset.subset_configs(holdout[:20])
+        assert np.allclose(
+            predictor.predict(configs, Metric.EDD),
+            predictor.predict_all(configs)[Metric.EDD],
+        )
+
+    def test_composed_edd_is_accurate(self, fitted, small_dataset):
+        from repro.ml import correlation
+        predictor, holdout = fitted
+        configs = small_dataset.subset_configs(holdout)
+        prediction = predictor.predict(configs, Metric.EDD)
+        actual = small_dataset.subset_values("applu", Metric.EDD, holdout)
+        assert correlation(prediction, actual) > 0.8
+
+    def test_training_errors_exposed(self, fitted):
+        predictor, _ = fitted
+        errors = predictor.training_error
+        assert set(errors) == {Metric.CYCLES, Metric.ENERGY}
+        assert all(value >= 0 for value in errors.values())
+
+
+class TestValidation:
+    def test_wrong_pool_metrics_rejected(self, cycles_pool):
+        models = cycles_pool.models(exclude=["applu"])
+        with pytest.raises(ValueError, match="energy"):
+            MultiMetricPredictor(models, models)
+
+    def test_empty_pools_rejected(self, cycles_pool, energy_pool):
+        with pytest.raises(ValueError):
+            MultiMetricPredictor([], energy_pool.models())
+
+    def test_predict_before_fit_rejected(self, cycles_pool, energy_pool,
+                                         space):
+        predictor = MultiMetricPredictor(
+            cycles_pool.models(exclude=["applu"]),
+            energy_pool.models(exclude=["applu"]),
+        )
+        with pytest.raises(RuntimeError):
+            predictor.predict([space.baseline], Metric.ED)
+        with pytest.raises(RuntimeError):
+            predictor.training_error

@@ -1,0 +1,76 @@
+"""Tests for trained-pool save/load round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArchitectureCentricPredictor, load_models, save_models
+from repro.sim import Metric
+
+
+@pytest.fixture()
+def archive(tmp_path, cycles_pool):
+    models = cycles_pool.models()
+    return save_models(models, tmp_path / "pool.npz"), models
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, archive, small_dataset, space):
+        path, originals = archive
+        restored = load_models(path, space)
+        probe = list(small_dataset.configs[:30])
+        for original, clone in zip(originals, restored):
+            assert clone.program == original.program
+            assert np.allclose(clone.predict(probe), original.predict(probe))
+
+    def test_metadata_restored(self, archive, space):
+        path, originals = archive
+        restored = load_models(path, space)
+        for original, clone in zip(originals, restored):
+            assert clone.metric is original.metric
+            assert clone.training_size_ == original.training_size_
+            assert clone.log_target == original.log_target
+
+    def test_restored_pool_drives_the_predictor(self, archive,
+                                                small_dataset, space):
+        path, _ = archive
+        restored = [
+            model for model in load_models(path, space)
+            if model.program != "applu"
+        ]
+        predictor = ArchitectureCentricPredictor(restored)
+        idx, rest = small_dataset.split_indices(32, seed=44)
+        predictor.fit_responses(
+            small_dataset.subset_configs(idx),
+            small_dataset.subset_values("applu", Metric.CYCLES, idx),
+        )
+        scores = predictor.evaluate(
+            small_dataset.subset_configs(rest),
+            small_dataset.subset_values("applu", Metric.CYCLES, rest),
+        )
+        assert scores["correlation"] > 0.8
+
+
+class TestValidation:
+    def test_empty_pool_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_models([], tmp_path / "pool.npz")
+
+    def test_mixed_metrics_rejected(self, tmp_path, cycles_pool,
+                                    small_dataset):
+        from repro.core import TrainingPool
+        energy_pool = TrainingPool(
+            small_dataset, Metric.ENERGY, training_size=64, seed=1
+        )
+        mixed = [cycles_pool.model("gzip"), energy_pool.model("gzip")]
+        with pytest.raises(ValueError, match="same metric"):
+            save_models(mixed, tmp_path / "pool.npz")
+
+    def test_untrained_network_export_rejected(self):
+        from repro.ml import MultilayerPerceptron
+        with pytest.raises(RuntimeError):
+            MultilayerPerceptron().get_weights()
+
+    def test_incomplete_weights_rejected(self):
+        from repro.ml import MultilayerPerceptron
+        with pytest.raises(ValueError, match="missing"):
+            MultilayerPerceptron().set_weights({"hidden_weights": np.ones(2)})

@@ -1,0 +1,155 @@
+"""Tests for the architecture-centric predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArchitectureCentricPredictor, ProgramSpecificPredictor
+from repro.ml import correlation, rmae
+from repro.sim import Metric
+
+
+@pytest.fixture(scope="module")
+def fitted(cycles_pool, small_dataset):
+    """Predictor for applu built from the other five programs."""
+    models = cycles_pool.models(exclude=["applu"])
+    predictor = ArchitectureCentricPredictor(models)
+    response_idx, holdout_idx = small_dataset.split_indices(32, seed=21)
+    predictor.fit_responses(
+        small_dataset.subset_configs(response_idx),
+        small_dataset.subset_values("applu", Metric.CYCLES, response_idx),
+    )
+    return predictor, holdout_idx
+
+
+class TestPrediction:
+    def test_beats_the_trivial_mean_model(self, fitted, small_dataset):
+        predictor, holdout = fitted
+        predictions = predictor.predict(small_dataset.subset_configs(holdout))
+        actual = small_dataset.subset_values("applu", Metric.CYCLES, holdout)
+        mean_error = rmae(np.full_like(actual, actual.mean()), actual)
+        assert rmae(predictions, actual) < 0.6 * mean_error
+
+    def test_tracks_the_space_shape(self, fitted, small_dataset):
+        predictor, holdout = fitted
+        predictions = predictor.predict(small_dataset.subset_configs(holdout))
+        actual = small_dataset.subset_values("applu", Metric.CYCLES, holdout)
+        assert correlation(predictions, actual) > 0.8
+
+    def test_training_error_below_testing_error_scale(self, fitted):
+        predictor, _ = fitted
+        assert 0.0 <= predictor.training_error < 30.0
+
+    def test_predict_one(self, fitted, space):
+        predictor, _ = fitted
+        assert predictor.predict_one(space.baseline) > 0
+
+    def test_program_weights_expose_combination(self, fitted):
+        predictor, _ = fitted
+        weights = predictor.program_weights
+        assert set(weights) == {"gzip", "crafty", "swim", "mesa", "art"}
+
+    def test_evaluate_helper(self, fitted, small_dataset):
+        predictor, holdout = fitted
+        scores = predictor.evaluate(
+            small_dataset.subset_configs(holdout),
+            small_dataset.subset_values("applu", Metric.CYCLES, holdout),
+        )
+        assert {"rmae", "correlation"} == set(scores)
+
+
+class TestValidation:
+    def test_no_models_rejected(self):
+        with pytest.raises(ValueError):
+            ArchitectureCentricPredictor([])
+
+    def test_mixed_metrics_rejected(self, cycles_pool, small_dataset):
+        other = ProgramSpecificPredictor(
+            small_dataset.simulator.space, Metric.ENERGY, "x"
+        )
+        with pytest.raises(ValueError, match="same metric"):
+            ArchitectureCentricPredictor(
+                [cycles_pool.model("gzip"), other]
+            )
+
+    def test_predict_before_fit_rejected(self, cycles_pool, space):
+        predictor = ArchitectureCentricPredictor(
+            cycles_pool.models(exclude=["applu"])
+        )
+        with pytest.raises(RuntimeError, match="responses"):
+            predictor.predict([space.baseline])
+
+    def test_training_error_before_fit_rejected(self, cycles_pool):
+        predictor = ArchitectureCentricPredictor(
+            cycles_pool.models(exclude=["applu"])
+        )
+        with pytest.raises(RuntimeError):
+            predictor.training_error
+
+    def test_too_few_responses_rejected(self, cycles_pool, small_dataset, space):
+        predictor = ArchitectureCentricPredictor(
+            cycles_pool.models(exclude=["applu"])
+        )
+        with pytest.raises(ValueError, match="two responses"):
+            predictor.fit_responses([space.baseline], np.array([1.0]))
+
+    def test_non_positive_responses_rejected(self, cycles_pool, space):
+        predictor = ArchitectureCentricPredictor(
+            cycles_pool.models(exclude=["applu"])
+        )
+        configs = [space.baseline, space.baseline.replace(width=8)]
+        with pytest.raises(ValueError, match="positive"):
+            predictor.fit_responses(configs, np.array([1.0, 0.0]))
+
+    def test_mismatched_lengths_rejected(self, cycles_pool, space):
+        predictor = ArchitectureCentricPredictor(
+            cycles_pool.models(exclude=["applu"])
+        )
+        with pytest.raises(ValueError, match="sample count"):
+            predictor.fit_responses([space.baseline], np.array([1.0, 2.0]))
+
+
+class TestInvariances:
+    def test_scale_equivariance(self, cycles_pool, small_dataset):
+        """Multiplying all responses by a constant multiplies every
+        prediction by the same constant (the log-space linear combiner
+        absorbs it into the intercept)."""
+        models = cycles_pool.models(exclude=["applu"])
+        idx, rest = small_dataset.split_indices(32, seed=91)
+        configs = small_dataset.subset_configs(idx)
+        values = small_dataset.subset_values("applu", Metric.CYCLES, idx)
+        probe = small_dataset.subset_configs(rest[:20])
+
+        base = ArchitectureCentricPredictor(models)
+        base.fit_responses(configs, values)
+        scaled = ArchitectureCentricPredictor(models)
+        scaled.fit_responses(configs, values * 7.5)
+
+        ratio = scaled.predict(probe) / base.predict(probe)
+        assert np.allclose(ratio, 7.5, rtol=1e-6)
+
+    def test_response_order_irrelevant(self, cycles_pool, small_dataset):
+        models = cycles_pool.models(exclude=["applu"])
+        idx, rest = small_dataset.split_indices(24, seed=92)
+        configs = small_dataset.subset_configs(idx)
+        values = small_dataset.subset_values("applu", Metric.CYCLES, idx)
+        probe = small_dataset.subset_configs(rest[:10])
+
+        forward = ArchitectureCentricPredictor(models)
+        forward.fit_responses(configs, values)
+        backward = ArchitectureCentricPredictor(models)
+        backward.fit_responses(configs[::-1], values[::-1])
+        assert np.allclose(
+            forward.predict(probe), backward.predict(probe), rtol=1e-8
+        )
+
+    def test_duplicate_responses_do_not_crash(self, cycles_pool,
+                                              small_dataset):
+        models = cycles_pool.models(exclude=["applu"])
+        idx, _ = small_dataset.split_indices(8, seed=93)
+        configs = small_dataset.subset_configs(idx) * 2  # duplicated
+        values = np.tile(
+            small_dataset.subset_values("applu", Metric.CYCLES, idx), 2
+        )
+        predictor = ArchitectureCentricPredictor(models)
+        predictor.fit_responses(configs, values)
+        assert predictor.training_error >= 0

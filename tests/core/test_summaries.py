@@ -1,0 +1,54 @@
+"""Tests for the cross-validation result aggregation objects."""
+
+import pytest
+
+from repro.core import CrossValidationResult, PredictionScore, ProgramSummary
+from repro.sim import Metric
+
+
+def _score(program, rmae, corr, train=1.0):
+    return PredictionScore(
+        program=program, metric=Metric.CYCLES, rmae=rmae,
+        correlation=corr, training_error=train, responses=32,
+    )
+
+
+@pytest.fixture()
+def result():
+    summaries = {
+        "alpha": ProgramSummary(
+            "alpha", [_score("alpha", 10.0, 0.9), _score("alpha", 14.0, 0.8)]
+        ),
+        "beta": ProgramSummary(
+            "beta", [_score("beta", 20.0, 0.7), _score("beta", 24.0, 0.6)]
+        ),
+    }
+    return CrossValidationResult(metric=Metric.CYCLES, summaries=summaries)
+
+
+class TestProgramSummary:
+    def test_mean_rmae(self, result):
+        assert result.program("alpha").mean_rmae == pytest.approx(12.0)
+
+    def test_std_rmae(self, result):
+        assert result.program("alpha").std_rmae == pytest.approx(2.0)
+
+    def test_mean_correlation(self, result):
+        assert result.program("beta").mean_correlation == pytest.approx(0.65)
+
+    def test_mean_training_error(self, result):
+        assert result.program("alpha").mean_training_error == pytest.approx(1.0)
+
+
+class TestCrossValidationResult:
+    def test_mean_rmae_averages_programs(self, result):
+        # (12 + 22) / 2 — per-program means first, then across programs,
+        # matching the paper's per-program bar charts.
+        assert result.mean_rmae == pytest.approx(17.0)
+
+    def test_mean_correlation(self, result):
+        assert result.mean_correlation == pytest.approx(0.75)
+
+    def test_unknown_program_rejected(self, result):
+        with pytest.raises(KeyError, match="no summary"):
+            result.program("gamma")

@@ -1,0 +1,62 @@
+"""Tests for the offline training pool."""
+
+import pytest
+
+from repro.core import TrainingPool
+from repro.sim import Metric
+
+
+class TestTrainingPool:
+    def test_models_lazy_and_cached(self, small_dataset):
+        pool = TrainingPool(small_dataset, Metric.CYCLES,
+                            training_size=64, seed=1)
+        first = pool.model("gzip")
+        second = pool.model("gzip")
+        assert first is second
+
+    def test_train_all_covers_suite(self, cycles_pool, small_dataset):
+        models = cycles_pool.models()
+        assert len(models) == len(small_dataset.programs)
+
+    def test_exclude(self, cycles_pool, small_dataset):
+        models = cycles_pool.models(exclude=["art"])
+        assert len(models) == len(small_dataset.programs) - 1
+        assert all(model.program != "art" for model in models)
+
+    def test_include(self, cycles_pool):
+        models = cycles_pool.models(include=["gzip", "art"])
+        assert [model.program for model in models] == ["gzip", "art"]
+
+    def test_unknown_program_rejected(self, cycles_pool):
+        with pytest.raises(KeyError):
+            cycles_pool.models(include=["doom"])
+        with pytest.raises(KeyError):
+            cycles_pool.models(exclude=["doom"])
+
+    def test_models_trained_at_requested_size(self, cycles_pool):
+        assert cycles_pool.model("gzip").training_size_ == 400
+
+    def test_oversized_training_rejected(self, small_dataset):
+        with pytest.raises(ValueError, match="exceeds"):
+            TrainingPool(small_dataset, Metric.CYCLES,
+                         training_size=len(small_dataset) + 1)
+
+    def test_undersized_training_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            TrainingPool(small_dataset, Metric.CYCLES, training_size=1)
+
+    def test_seed_changes_models(self, small_dataset):
+        a = TrainingPool(small_dataset, Metric.CYCLES,
+                         training_size=64, seed=1).model("gzip")
+        b = TrainingPool(small_dataset, Metric.CYCLES,
+                         training_size=64, seed=2).model("gzip")
+        config = small_dataset.configs[0]
+        assert a.predict_one(config) != b.predict_one(config)
+
+    def test_same_seed_reproduces(self, small_dataset):
+        a = TrainingPool(small_dataset, Metric.CYCLES,
+                         training_size=64, seed=1).model("gzip")
+        b = TrainingPool(small_dataset, Metric.CYCLES,
+                         training_size=64, seed=1).model("gzip")
+        config = small_dataset.configs[0]
+        assert a.predict_one(config) == b.predict_one(config)

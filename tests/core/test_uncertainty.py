@@ -1,0 +1,106 @@
+"""Tests for bootstrap prediction intervals."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArchitectureCentricPredictor,
+    UncertainPrediction,
+    bootstrap_predict,
+    coverage,
+)
+from repro.sim import Metric
+
+
+@pytest.fixture(scope="module")
+def setting(cycles_pool, small_dataset):
+    models = cycles_pool.models(exclude=["applu"])
+    response_idx, holdout_idx = small_dataset.split_indices(32, seed=77)
+    response_configs = small_dataset.subset_configs(response_idx)
+    response_values = small_dataset.subset_values(
+        "applu", Metric.CYCLES, response_idx
+    )
+    predictor = ArchitectureCentricPredictor(models)
+    predictor.fit_responses(response_configs, response_values)
+    holdout_configs = small_dataset.subset_configs(holdout_idx[:60])
+    actual = small_dataset.subset_values(
+        "applu", Metric.CYCLES, holdout_idx[:60]
+    )
+    return predictor, response_configs, response_values, holdout_configs, actual
+
+
+@pytest.fixture(scope="module")
+def prediction(setting):
+    predictor, r_configs, r_values, h_configs, _ = setting
+    return bootstrap_predict(
+        predictor, r_configs, r_values, h_configs,
+        resamples=60, seed=1,
+    )
+
+
+class TestIntervals:
+    def test_bounds_ordered(self, prediction):
+        assert np.all(prediction.lower <= prediction.mean + 1e-9)
+        assert np.all(prediction.mean <= prediction.upper + 1e-9)
+
+    def test_std_nonnegative(self, prediction):
+        assert np.all(prediction.std >= 0)
+
+    def test_mean_close_to_point_prediction(self, setting, prediction):
+        predictor, _, _, h_configs, _ = setting
+        point = predictor.predict(h_configs)
+        relative = np.abs(prediction.mean - point) / point
+        assert np.median(relative) < 0.15
+
+    def test_interval_width_positive(self, prediction):
+        assert np.all(prediction.interval_width() >= 0)
+
+    def test_deterministic_given_seed(self, setting):
+        predictor, r_configs, r_values, h_configs, _ = setting
+        a = bootstrap_predict(predictor, r_configs, r_values,
+                              h_configs[:10], resamples=20, seed=3)
+        b = bootstrap_predict(predictor, r_configs, r_values,
+                              h_configs[:10], resamples=20, seed=3)
+        assert np.allclose(a.mean, b.mean)
+
+    def test_coverage_meaningful(self, prediction, setting):
+        *_, actual = setting
+        observed = coverage(prediction, actual)
+        # Bootstrap intervals on a (slightly biased) surrogate
+        # under-cover; they must still catch a sizeable share.
+        assert observed > 0.3
+
+    def test_wider_confidence_wider_intervals(self, setting):
+        predictor, r_configs, r_values, h_configs, _ = setting
+        narrow = bootstrap_predict(predictor, r_configs, r_values,
+                                   h_configs[:20], resamples=40,
+                                   confidence=0.5, seed=5)
+        wide = bootstrap_predict(predictor, r_configs, r_values,
+                                 h_configs[:20], resamples=40,
+                                 confidence=0.95, seed=5)
+        assert np.all(wide.upper - wide.lower
+                      >= narrow.upper - narrow.lower - 1e-9)
+
+
+class TestValidation:
+    def test_bad_resamples(self, setting):
+        predictor, r_configs, r_values, h_configs, _ = setting
+        with pytest.raises(ValueError):
+            bootstrap_predict(predictor, r_configs, r_values,
+                              h_configs[:5], resamples=1)
+
+    def test_bad_confidence(self, setting):
+        predictor, r_configs, r_values, h_configs, _ = setting
+        with pytest.raises(ValueError):
+            bootstrap_predict(predictor, r_configs, r_values,
+                              h_configs[:5], confidence=1.5)
+
+    def test_mismatched_responses(self, setting):
+        predictor, r_configs, r_values, h_configs, _ = setting
+        with pytest.raises(ValueError):
+            bootstrap_predict(predictor, r_configs, r_values[:-1],
+                              h_configs[:5])
+
+    def test_coverage_shape_mismatch(self, prediction):
+        with pytest.raises(ValueError):
+            coverage(prediction, np.ones(3))

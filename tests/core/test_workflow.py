@@ -1,0 +1,87 @@
+"""Tests for the one-call exploration workflow."""
+
+import pytest
+
+from repro.core import explore_new_program
+from repro.sim import Metric
+
+
+@pytest.fixture(scope="module")
+def report(cycles_pool, small_dataset, small_suite):
+    models = cycles_pool.models(exclude=["applu"])
+    return explore_new_program(
+        models,
+        small_suite["applu"],
+        simulator=small_dataset.simulator,
+        responses=32,
+        sweet_spot_candidates=800,
+        sweet_spots=4,
+        seed=5,
+    )
+
+
+class TestExploreNewProgram:
+    def test_report_fields(self, report):
+        assert report.program == "applu"
+        assert report.metric is Metric.CYCLES
+        assert report.simulations_spent == 32
+        assert len(report.responses) == 32
+        assert report.verdict in ("trusted", "usable", "suspect")
+
+    def test_predictor_is_reusable(self, report, space):
+        assert report.predictor.predict_one(space.baseline) > 0
+
+    def test_sweet_spots_sorted(self, report):
+        values = [value for _, value in report.sweet_spots]
+        assert values == sorted(values)
+        assert len(report.sweet_spots) == 4
+
+    def test_verified_shortlist_beats_the_baseline(self, report,
+                                                   small_dataset,
+                                                   small_suite, space):
+        """The top-1 prediction suffers the winner's curse (the argmin
+        of a noisy predictor is optimistic), which is why the report
+        returns a short-list: its best *verified* member must beat the
+        baseline machine."""
+        baseline = small_dataset.simulator.simulate(
+            small_suite["applu"], space.baseline
+        ).cycles
+        verified = [
+            small_dataset.simulator.simulate(
+                small_suite["applu"], config
+            ).cycles
+            for config, _ in report.sweet_spots
+        ]
+        assert min(verified) < baseline
+
+    def test_similar_program_is_trusted(self, report):
+        assert report.trustworthy
+
+    def test_scan_can_be_disabled(self, cycles_pool, small_dataset,
+                                  small_suite):
+        models = cycles_pool.models(exclude=["applu"])
+        report = explore_new_program(
+            models, small_suite["applu"],
+            simulator=small_dataset.simulator,
+            responses=16, sweet_spot_candidates=0,
+        )
+        assert report.sweet_spots == ()
+
+    def test_too_few_responses_rejected(self, cycles_pool, small_suite,
+                                        small_dataset):
+        models = cycles_pool.models(exclude=["applu"])
+        with pytest.raises(ValueError):
+            explore_new_program(
+                models, small_suite["applu"],
+                simulator=small_dataset.simulator, responses=1,
+            )
+
+    def test_outlier_flagged(self, cycles_pool, small_dataset, small_suite):
+        """art (trained-out) should draw a worse verdict than applu."""
+        models = cycles_pool.models(exclude=["art"])
+        art_report = explore_new_program(
+            models, small_suite["art"],
+            simulator=small_dataset.simulator, responses=32, seed=5,
+            sweet_spot_candidates=0,
+        )
+        assert art_report.training_error > 0

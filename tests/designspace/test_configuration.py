@@ -1,0 +1,62 @@
+"""Tests for the Configuration value object."""
+
+import pytest
+
+from repro.designspace import Configuration
+from repro.designspace.configuration import PARAMETER_ORDER
+
+
+def _baseline() -> Configuration:
+    return Configuration(
+        width=4, rob_size=96, iq_size=32, lsq_size=48, rf_size=96,
+        rf_read_ports=8, rf_write_ports=4, gshare_size=16384,
+        btb_size=4096, max_branches=16, icache_kb=32, dcache_kb=32,
+        l2cache_kb=2048,
+    )
+
+
+class TestConfiguration:
+    def test_values_follow_canonical_order(self):
+        config = _baseline()
+        values = config.values()
+        assert values[0] == config.width
+        assert values[-1] == config.l2cache_kb
+        assert len(values) == len(PARAMETER_ORDER)
+
+    def test_as_dict_round_trips(self):
+        config = _baseline()
+        assert Configuration.from_values(config.as_dict()) == config
+
+    def test_from_values_tuple(self):
+        config = _baseline()
+        assert Configuration.from_values(config.values()) == config
+
+    def test_from_values_wrong_length(self):
+        with pytest.raises(ValueError, match="13"):
+            Configuration.from_values((1, 2, 3))
+
+    def test_replace(self):
+        config = _baseline().replace(width=8)
+        assert config.width == 8
+        assert config.rob_size == 96
+
+    def test_replace_unknown_parameter(self):
+        with pytest.raises(ValueError, match="unknown"):
+            _baseline().replace(cache_levels=3)
+
+    def test_hashable_and_equal(self):
+        assert _baseline() == _baseline()
+        assert hash(_baseline()) == hash(_baseline())
+        assert len({_baseline(), _baseline().replace(width=8)}) == 2
+
+    def test_iter(self):
+        assert tuple(_baseline()) == _baseline().values()
+
+    def test_str_mentions_parameters(self):
+        text = str(_baseline())
+        assert "width=4" in text
+        assert "l2cache_kb=2048" in text
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            _baseline().width = 8

@@ -1,0 +1,106 @@
+"""Tests for individual design parameters."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.designspace.parameters import Parameter, geometric_grid, linear_grid
+
+
+class TestGrids:
+    def test_linear_grid(self):
+        assert linear_grid(32, 160, 8) == tuple(range(32, 161, 8))
+
+    def test_linear_grid_endpoints(self):
+        grid = linear_grid(8, 80, 8)
+        assert grid[0] == 8 and grid[-1] == 80 and len(grid) == 10
+
+    def test_linear_grid_off_grid_stop_rejected(self):
+        with pytest.raises(ValueError):
+            linear_grid(8, 81, 8)
+
+    def test_linear_grid_bad_step_rejected(self):
+        with pytest.raises(ValueError):
+            linear_grid(8, 80, 0)
+
+    def test_geometric_grid(self):
+        assert geometric_grid(1024, 32768) == (
+            1024, 2048, 4096, 8192, 16384, 32768,
+        )
+
+    def test_geometric_grid_unreachable_stop_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_grid(1024, 3000)
+
+    def test_geometric_grid_bad_factor_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_grid(8, 64, factor=1)
+
+
+class TestParameter:
+    def _width(self) -> Parameter:
+        return Parameter("width", "Pipeline width", (2, 4, 6, 8), 4, "insns")
+
+    def test_cardinality(self):
+        assert self._width().cardinality == 4
+
+    def test_min_max(self):
+        parameter = self._width()
+        assert parameter.minimum == 2
+        assert parameter.maximum == 8
+
+    def test_index_of(self):
+        assert self._width().index_of(6) == 2
+
+    def test_index_of_off_grid_rejected(self):
+        with pytest.raises(ValueError, match="not a legal value"):
+            self._width().index_of(5)
+
+    def test_baseline_must_be_on_grid(self):
+        with pytest.raises(ValueError, match="not .* grid"):
+            Parameter("width", "w", (2, 4, 6, 8), 5)
+
+    def test_values_must_increase(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Parameter("width", "w", (4, 2), 4)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Parameter("width", "w", (), 4)
+
+    def test_encode_uses_divisor(self):
+        gshare = Parameter(
+            "gshare_size", "Gshare", (1024, 2048), 1024,
+            encoding_divisor=1024,
+        )
+        assert gshare.encode(2048) == 2.0
+
+    def test_encode_validates(self):
+        with pytest.raises(ValueError):
+            self._width().encode(5)
+
+    def test_decode_snaps_to_grid(self):
+        assert self._width().decode(4.9) == 4
+        assert self._width().decode(5.1) == 6
+
+    def test_describe_linear_range(self):
+        rob = Parameter("rob_size", "ROB", tuple(range(32, 161, 8)), 96)
+        assert rob.describe_range() == "32-160 : 8"
+
+    def test_describe_geometric_range(self):
+        l2 = Parameter("l2", "L2", (256, 512, 1024), 512)
+        assert l2.describe_range() == "256-1024 : x2"
+
+    def test_describe_irregular_range(self):
+        p = Parameter("p", "P", (1, 2, 5), 2)
+        assert p.describe_range() == "1,2,5"
+
+    def test_describe_single_value(self):
+        p = Parameter("p", "P", (7,), 7)
+        assert p.describe_range() == "7"
+
+    @given(st.integers(min_value=0, max_value=3))
+    def test_encode_decode_roundtrip(self, index):
+        parameter = self._width()
+        value = parameter.values[index]
+        assert parameter.decode(parameter.encode(value)) == value

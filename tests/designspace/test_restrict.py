@@ -1,0 +1,76 @@
+"""Tests for design-space restriction."""
+
+import pytest
+
+from repro.designspace import (
+    DesignSpace,
+    embedded_space,
+    restrict,
+    sample_configurations,
+    server_space,
+)
+
+
+class TestRestrict:
+    def test_grids_clipped(self, space):
+        narrow = restrict(space, width=(2, 4))
+        assert narrow.parameter("width").values == (2, 4)
+
+    def test_other_parameters_untouched(self, space):
+        narrow = restrict(space, width=(2, 4))
+        assert narrow.parameter("rob_size").values == \
+            space.parameter("rob_size").values
+
+    def test_legal_size_shrinks(self, space):
+        narrow = restrict(space, width=(2, 4), l2cache_kb=(256, 1024))
+        assert narrow.legal_size < space.legal_size
+
+    def test_baseline_snaps_into_window(self, space):
+        narrow = restrict(space, width=(6, 8))
+        assert narrow.baseline.width == 6
+
+    def test_baseline_kept_when_inside(self, space):
+        narrow = restrict(space, width=(2, 8))
+        assert narrow.baseline.width == space.baseline.width
+
+    def test_unknown_parameter_rejected(self, space):
+        with pytest.raises(KeyError):
+            restrict(space, cache_levels=(1, 2))
+
+    def test_empty_window_rejected(self, space):
+        with pytest.raises(ValueError, match="no grid values"):
+            restrict(space, width=(3, 3))
+
+    def test_inverted_window_rejected(self, space):
+        with pytest.raises(ValueError, match="exceeds"):
+            restrict(space, width=(8, 2))
+
+    def test_sampling_respects_restriction(self, space):
+        narrow = restrict(space, width=(2, 2), l2cache_kb=(256, 512))
+        for config in sample_configurations(narrow, 30, seed=1):
+            assert config.width == 2
+            assert config.l2cache_kb in (256, 512)
+            assert narrow.is_legal(config)
+
+
+class TestPresetSpaces:
+    def test_embedded_space_is_narrow(self):
+        embedded = embedded_space()
+        assert embedded.parameter("width").maximum == 4
+        assert embedded.parameter("l2cache_kb").maximum == 1024
+        assert embedded.legal_size > 0
+
+    def test_server_space_is_wide(self):
+        server = server_space()
+        assert server.parameter("width").minimum == 4
+        assert server.parameter("l2cache_kb").minimum == 1024
+
+    def test_preset_baselines_legal(self):
+        for preset in (embedded_space(), server_space()):
+            assert preset.is_legal(preset.baseline)
+
+    def test_presets_are_disjoint_in_l2(self):
+        embedded = embedded_space()
+        server = server_space()
+        assert (embedded.parameter("l2cache_kb").maximum
+                <= server.parameter("l2cache_kb").minimum)

@@ -1,0 +1,75 @@
+"""Property-based tests for design-space restriction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designspace import DesignSpace, restrict
+
+_SPACE = DesignSpace()
+
+
+@st.composite
+def random_windows(draw):
+    """Draw a random non-empty window for 1-3 random parameters."""
+    parameters = draw(
+        st.lists(
+            st.sampled_from([p.name for p in _SPACE.parameters]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    windows = {}
+    for name in parameters:
+        grid = _SPACE.parameter(name).values
+        low_index = draw(st.integers(0, len(grid) - 1))
+        high_index = draw(st.integers(low_index, len(grid) - 1))
+        windows[name] = (grid[low_index], grid[high_index])
+    return windows
+
+
+class TestRestrictProperties:
+    @given(windows=random_windows())
+    @settings(max_examples=40, deadline=None)
+    def test_restriction_never_grows_the_space(self, windows):
+        restricted = restrict(_SPACE, **windows)
+        assert restricted.raw_size <= _SPACE.raw_size
+        assert restricted.legal_size <= _SPACE.legal_size
+
+    @given(windows=random_windows())
+    @settings(max_examples=40, deadline=None)
+    def test_baseline_always_legal_on_grid(self, windows):
+        restricted = restrict(_SPACE, **windows)
+        baseline = restricted.baseline
+        assert restricted.is_on_grid(baseline)
+        for name, (low, high) in windows.items():
+            assert low <= getattr(baseline, name) <= high
+
+    @given(windows=random_windows())
+    @settings(max_examples=25, deadline=None)
+    def test_encoding_roundtrip_survives_restriction(self, windows):
+        restricted = restrict(_SPACE, **windows)
+        baseline = restricted.baseline
+        assert restricted.decode(restricted.encode(baseline)) == baseline
+
+    @given(windows=random_windows())
+    @settings(max_examples=25, deadline=None)
+    def test_grids_subset_of_original(self, windows):
+        restricted = restrict(_SPACE, **windows)
+        for parameter in restricted.parameters:
+            original = set(_SPACE.parameter(parameter.name).values)
+            assert set(parameter.values) <= original
+
+    def test_double_restriction_composes(self):
+        once = restrict(_SPACE, width=(2, 6))
+        twice = restrict(once, width=(4, 6))
+        assert twice.parameter("width").values == (4, 6)
+
+    def test_restriction_of_everything_to_baseline(self):
+        windows = {
+            p.name: (p.baseline, p.baseline) for p in _SPACE.parameters
+        }
+        point = restrict(_SPACE, **windows)
+        assert point.legal_size == 1
+        assert list(point.enumerate()) == [_SPACE.baseline]

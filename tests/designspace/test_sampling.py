@@ -1,0 +1,117 @@
+"""Tests for design-space sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designspace import (
+    corner_biased_sample,
+    sample_configurations,
+    split_responses,
+    stratified_sample,
+)
+
+
+class TestUniformSampling:
+    def test_requested_count(self, space):
+        assert len(sample_configurations(space, 25, seed=0)) == 25
+
+    def test_zero_count(self, space):
+        assert sample_configurations(space, 0, seed=0) == []
+
+    def test_negative_count_rejected(self, space):
+        with pytest.raises(ValueError):
+            sample_configurations(space, -1, seed=0)
+
+    def test_all_legal(self, space):
+        for config in sample_configurations(space, 100, seed=1):
+            assert space.is_legal(config)
+
+    def test_unique_by_default(self, space):
+        sample = sample_configurations(space, 200, seed=2)
+        assert len(set(sample)) == 200
+
+    def test_deterministic_given_seed(self, space):
+        a = sample_configurations(space, 30, seed=3)
+        b = sample_configurations(space, 30, seed=3)
+        assert a == b
+
+    def test_different_seeds_differ(self, space):
+        a = sample_configurations(space, 30, seed=3)
+        b = sample_configurations(space, 30, seed=4)
+        assert a != b
+
+    def test_accepts_generator(self, space):
+        rng = np.random.default_rng(5)
+        sample = sample_configurations(space, 10, seed=rng)
+        assert len(sample) == 10
+
+    def test_marginals_roughly_uniform_for_unconstrained_parameter(self, space):
+        """rf_size is unconstrained, so its sampled marginal is uniform."""
+        sample = sample_configurations(space, 3000, seed=6)
+        values = np.array([c.rf_size for c in sample])
+        grid = space.parameter("rf_size").values
+        counts = np.array([(values == v).sum() for v in grid])
+        expected = len(sample) / len(grid)
+        assert np.all(counts > 0.5 * expected)
+        assert np.all(counts < 1.6 * expected)
+
+
+class TestSplitResponses:
+    def test_disjoint_and_covering(self, space):
+        sample = sample_configurations(space, 50, seed=7)
+        responses, rest = split_responses(sample, 8, seed=8)
+        assert len(responses) == 8
+        assert len(rest) == 42
+        assert set(responses).isdisjoint(rest)
+        assert set(responses) | set(rest) == set(sample)
+
+    def test_out_of_range_rejected(self, space):
+        sample = sample_configurations(space, 10, seed=9)
+        with pytest.raises(ValueError):
+            split_responses(sample, 11)
+
+    @given(count=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_any_count_within_range(self, space, count):
+        sample = sample_configurations(space, 20, seed=10)
+        responses, rest = split_responses(sample, count, seed=count)
+        assert len(responses) == count
+        assert len(responses) + len(rest) == 20
+
+
+class TestStratifiedSampling:
+    def test_covers_every_value(self, space):
+        parameter = space.parameter("width")
+        sample = stratified_sample(space, 4 * parameter.cardinality,
+                                   "width", seed=11)
+        widths = {config.width for config in sample}
+        assert widths == set(parameter.values)
+
+    def test_all_legal(self, space):
+        for config in stratified_sample(space, 12, "width", seed=12):
+            assert space.is_legal(config)
+
+
+class TestCornerBiasedSampling:
+    def test_all_legal(self, space):
+        for config in corner_biased_sample(space, 40, seed=13):
+            assert space.is_legal(config)
+
+    def test_corners_over_represented(self, space):
+        sample = corner_biased_sample(
+            space, 400, seed=14, corner_fraction=0.8
+        )
+        parameter = space.parameter("rf_size")
+        extremes = sum(
+            1
+            for config in sample
+            if config.rf_size in (parameter.minimum, parameter.maximum)
+        )
+        # Under uniform sampling the two extremes would be ~2/16 = 12.5%.
+        assert extremes / len(sample) > 0.4
+
+    def test_bad_fraction_rejected(self, space):
+        with pytest.raises(ValueError):
+            corner_biased_sample(space, 5, corner_fraction=1.5)

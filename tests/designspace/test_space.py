@@ -1,0 +1,149 @@
+"""Tests for the 13-parameter design space (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.designspace import Configuration, DesignSpace
+from repro.designspace.configuration import PARAMETER_ORDER
+
+
+class TestSize:
+    def test_thirteen_parameters(self, space):
+        assert space.dimensions == 13
+        assert tuple(p.name for p in space.parameters) == PARAMETER_ORDER
+
+    def test_raw_size_is_the_papers_63_billion(self, space):
+        assert space.raw_size == 62_668_800_000
+
+    def test_legal_size_is_the_papers_18_billion(self, space):
+        # The paper reports "18 billion" after filtering.
+        assert space.legal_size == 18_952_704_000
+
+    def test_legal_smaller_than_raw(self, space):
+        assert space.legal_size < space.raw_size
+
+    def test_legal_count_matches_sampling_rate(self, space):
+        """The factored count must agree with rejection sampling."""
+        rng = np.random.default_rng(0)
+        grids = [p.values for p in space.parameters]
+        names = [p.name for p in space.parameters]
+        trials = 6000
+        legal = 0
+        for _ in range(trials):
+            config = Configuration(
+                **{
+                    name: int(rng.choice(grid))
+                    for name, grid in zip(names, grids)
+                }
+            )
+            if space.satisfies_constraints(config):
+                legal += 1
+        expected = space.legal_size / space.raw_size
+        observed = legal / trials
+        assert abs(observed - expected) < 0.03
+
+
+class TestBaseline:
+    def test_baseline_is_legal(self, space):
+        assert space.is_legal(space.baseline)
+
+    def test_baseline_encodes_to_the_papers_vector(self, space):
+        encoded = space.encode(space.baseline)
+        expected = [4, 96, 32, 48, 96, 8, 4, 16, 4, 16, 32, 32, 2]
+        assert np.allclose(encoded, expected)
+
+
+class TestConstraints:
+    def test_rob_smaller_than_iq_is_illegal(self, space):
+        config = space.baseline.replace(rob_size=32, iq_size=64)
+        assert not space.satisfies_constraints(config)
+
+    def test_rob_smaller_than_lsq_is_illegal(self, space):
+        config = space.baseline.replace(rob_size=32, lsq_size=64)
+        assert not space.satisfies_constraints(config)
+
+    def test_excess_read_ports_are_illegal(self, space):
+        config = space.baseline.replace(width=2, rf_read_ports=8)
+        assert not space.satisfies_constraints(config)
+
+    def test_excess_write_ports_are_illegal(self, space):
+        config = space.baseline.replace(width=2, rf_write_ports=4)
+        assert not space.satisfies_constraints(config)
+
+    def test_undersized_l2_is_illegal(self, space):
+        config = space.baseline.replace(dcache_kb=128, l2cache_kb=256)
+        assert not space.satisfies_constraints(config)
+
+    def test_off_grid_value_is_not_legal(self, space):
+        config = space.baseline.replace(rob_size=100)
+        assert not space.is_legal(config)
+
+    def test_validate_names_the_offending_parameter(self, space):
+        config = space.baseline.replace(rob_size=100)
+        with pytest.raises(ValueError, match="rob_size"):
+            space.validate(config)
+
+    def test_validate_accepts_baseline(self, space):
+        space.validate(space.baseline)  # must not raise
+
+
+class TestEncoding:
+    def test_encode_decode_roundtrip(self, space, configs):
+        for config in configs[:50]:
+            assert space.decode(space.encode(config)) == config
+
+    def test_encode_many_shape(self, space, configs):
+        matrix = space.encode_many(list(configs[:10]))
+        assert matrix.shape == (10, 13)
+
+    def test_encode_many_empty(self, space):
+        assert space.encode_many([]).shape == (0, 13)
+
+    def test_decode_wrong_length_rejected(self, space):
+        with pytest.raises(ValueError, match="13"):
+            space.decode([1.0, 2.0])
+
+    def test_feature_bounds_cover_encodings(self, space, configs):
+        lo, hi = space.feature_bounds()
+        matrix = space.encode_many(list(configs[:100]))
+        assert np.all(matrix >= lo - 1e-9)
+        assert np.all(matrix <= hi + 1e-9)
+
+
+class TestNeighbours:
+    def test_neighbours_are_legal(self, space):
+        for neighbour in space.neighbours(space.baseline):
+            assert space.is_legal(neighbour)
+
+    def test_neighbours_differ_in_one_parameter(self, space):
+        base = space.baseline.values()
+        for neighbour in space.neighbours(space.baseline):
+            differences = sum(
+                1 for a, b in zip(base, neighbour.values()) if a != b
+            )
+            assert differences == 1
+
+    def test_parameter_lookup_unknown_name(self, space):
+        with pytest.raises(KeyError, match="unknown parameter"):
+            space.parameter("nonsense")
+
+
+class TestEnumeration:
+    def test_full_space_refused(self, space):
+        with pytest.raises(ValueError, match="restrict"):
+            next(space.enumerate())
+
+    def test_restricted_space_enumerates_exactly(self, space):
+        from repro.designspace import restrict
+        tiny = restrict(
+            space,
+            width=(2, 2), rob_size=(32, 48), iq_size=(8, 32),
+            lsq_size=(8, 32), rf_size=(40, 48), rf_read_ports=(2, 4),
+            rf_write_ports=(1, 2), gshare_size=(1024, 2048),
+            btb_size=(1024, 1024), max_branches=(8, 8),
+            icache_kb=(8, 8), dcache_kb=(8, 8), l2cache_kb=(256, 256),
+        )
+        configs = list(tiny.enumerate())
+        assert len(configs) == tiny.legal_size
+        assert len(set(configs)) == len(configs)
+        assert all(tiny.is_legal(c) for c in configs)

@@ -1,0 +1,32 @@
+"""Tests for Table 1 / Table 2 rendering."""
+
+from repro.designspace import render_table1, render_table2
+from repro.sim.machine import FixedParameters, width_scaling_rows
+
+
+class TestTable1:
+    def test_mentions_every_parameter(self, space):
+        table = render_table1(space)
+        for parameter in space.parameters:
+            assert parameter.label in table
+
+    def test_reports_space_sizes(self, space):
+        table = render_table1(space)
+        assert f"{space.raw_size:,}" in table
+        assert f"{space.legal_size:,}" in table
+
+    def test_reports_baselines(self, space):
+        table = render_table1(space)
+        assert "96" in table  # ROB baseline
+        assert "2048" in table  # L2 baseline in KB
+
+
+class TestTable2:
+    def test_both_parts_render(self):
+        table = render_table2(
+            FixedParameters().as_rows(), width_scaling_rows()
+        )
+        assert "(a) Constant" in table
+        assert "(b) Related to width" in table
+        assert "Integer ALUs" in table
+        assert "MSHR entries" in table

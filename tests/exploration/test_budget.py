@@ -1,0 +1,94 @@
+"""Tests for the simulation-budget planner."""
+
+import pytest
+
+from repro.exploration import (
+    amortisation_curve,
+    expected_rmae,
+    plan_budget,
+)
+
+
+class TestExpectedRmae:
+    def test_more_training_helps(self):
+        assert expected_rmae(512, 10, 32) < expected_rmae(32, 10, 32)
+
+    def test_more_programs_help(self):
+        assert expected_rmae(512, 20, 32) < expected_rmae(512, 3, 32)
+
+    def test_more_responses_help(self):
+        assert expected_rmae(512, 10, 64) < expected_rmae(512, 10, 8)
+
+    def test_floor_is_positive(self):
+        assert expected_rmae(10**6, 10**3, 10**4) > 0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            expected_rmae(1, 10, 32)
+        with pytest.raises(ValueError):
+            expected_rmae(512, 0, 32)
+        with pytest.raises(ValueError):
+            expected_rmae(512, 10, 1)
+
+
+class TestPlanBudget:
+    def test_plans_fit_the_budget(self):
+        for plan in plan_budget(3000, new_programs=2):
+            assert plan.total_simulations <= 3000
+
+    def test_plans_sorted_best_first(self):
+        plans = plan_budget(3000, new_programs=2, top=5)
+        errors = [plan.expected_rmae for plan in plans]
+        assert errors == sorted(errors)
+
+    def test_bigger_budget_never_hurts(self):
+        small = plan_budget(1000, top=1)[0]
+        large = plan_budget(10000, top=1)[0]
+        assert large.expected_rmae <= small.expected_rmae
+
+    def test_impossible_budget_returns_empty(self):
+        assert plan_budget(10, new_programs=5,
+                           response_counts=(8,),
+                           training_sizes=(32,)) == []
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            plan_budget(0)
+        with pytest.raises(ValueError):
+            plan_budget(100, new_programs=0)
+
+    def test_offline_cost_accounting(self):
+        plan = plan_budget(3000, top=1)[0]
+        assert plan.offline_simulations == plan.pool_size * plan.training_size
+
+
+class TestAmortisation:
+    def test_per_program_online_share_squeezed(self):
+        curve = amortisation_curve(2000, program_counts=(1, 50))
+        few = curve[0][1]
+        many = curve[1][1]
+        assert few is not None and many is not None
+        assert many.responses <= few.responses
+
+    def test_counts_echoed(self):
+        curve = amortisation_curve(2000, program_counts=(1, 5))
+        assert [count for count, _ in curve] == [1, 5]
+
+
+class TestBudgetProperties:
+    def test_plans_fit_arbitrary_budgets(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(budget=st.integers(min_value=100, max_value=50_000),
+               programs=st.integers(min_value=1, max_value=20))
+        @settings(max_examples=30, deadline=None)
+        def check(budget, programs):
+            for plan in plan_budget(budget, new_programs=programs, top=3):
+                assert plan.total_simulations <= budget
+                assert plan.offline_simulations == (
+                    plan.pool_size * plan.training_size
+                )
+                assert plan.online_simulations == plan.responses * programs
+
+        check()

@@ -1,0 +1,61 @@
+"""Tests for the budget-surrogate calibration."""
+
+import numpy as np
+import pytest
+
+from repro.exploration import AccuracyModel, fit_accuracy_model
+from repro.exploration.calibration import measure_operating_points
+from repro.sim import Metric
+
+
+class TestAccuracyModel:
+    def test_monotone_in_all_axes(self):
+        model = AccuracyModel(
+            base=4.0, training_coefficient=50.0, pool_coefficient=25.0,
+            response_coefficient=30.0, residual_rmse=0.5, measurements=6,
+        )
+        assert model.expected_rmae(512, 10, 32) < model.expected_rmae(64, 10, 32)
+        assert model.expected_rmae(512, 20, 32) < model.expected_rmae(512, 5, 32)
+        assert model.expected_rmae(512, 10, 64) < model.expected_rmae(512, 10, 8)
+
+    def test_invalid_operating_point_rejected(self):
+        model = AccuracyModel(4.0, 50.0, 25.0, 30.0, 0.5, 6)
+        with pytest.raises(ValueError):
+            model.expected_rmae(1, 10, 32)
+
+
+class TestFitting:
+    @pytest.fixture(scope="class")
+    def fitted(self, small_dataset):
+        # Tiny designed measurement over the 6-program fixture suite.
+        points = ((64, 3, 8), (64, 4, 32), (256, 3, 32), (256, 4, 8),
+                  (400, 3, 16))
+        return fit_accuracy_model(
+            small_dataset, Metric.CYCLES, points=points, seed=1
+        )
+
+    def test_fit_reports_residual(self, fitted):
+        assert fitted.residual_rmse >= 0.0
+        assert fitted.measurements == 5
+
+    def test_fitted_model_predicts_measurements_roughly(self, fitted,
+                                                        small_dataset):
+        measured = measure_operating_points(
+            small_dataset, Metric.CYCLES, [(256, 4, 8)], seed=1
+        )[0]
+        predicted = fitted.expected_rmae(256, 4, 8)
+        assert abs(predicted - measured) < max(6.0, 0.6 * measured)
+
+    def test_too_few_points_rejected(self, small_dataset):
+        with pytest.raises(ValueError, match="four"):
+            fit_accuracy_model(
+                small_dataset, Metric.CYCLES,
+                points=((64, 3, 8), (256, 3, 8)),
+            )
+
+    def test_oversized_pool_rejected(self, small_dataset):
+        with pytest.raises(ValueError, match="pool_size"):
+            measure_operating_points(
+                small_dataset, Metric.CYCLES,
+                [(64, len(small_dataset.programs), 8)],
+            )

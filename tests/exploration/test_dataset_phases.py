@@ -1,0 +1,63 @@
+"""Tests for phase-aware dataset simulation."""
+
+import numpy as np
+import pytest
+
+from repro.exploration import DesignSpaceDataset
+from repro.sim import Metric
+
+
+@pytest.fixture(scope="module")
+def phased(small_suite, configs, simulator):
+    return DesignSpaceDataset(
+        small_suite, configs[:100], simulator, phases=3
+    )
+
+
+@pytest.fixture(scope="module")
+def single(small_suite, configs, simulator):
+    return DesignSpaceDataset(small_suite, configs[:100], simulator)
+
+
+class TestPhasedDataset:
+    def test_invalid_phase_count_rejected(self, small_suite, configs,
+                                          simulator):
+        with pytest.raises(ValueError):
+            DesignSpaceDataset(small_suite, configs[:10], simulator,
+                               phases=0)
+
+    def test_values_positive(self, phased):
+        for metric in Metric.all():
+            assert np.all(phased.values("gzip", metric) > 0)
+
+    def test_derived_metric_identities(self, phased):
+        cycles = phased.values("gzip", Metric.CYCLES)
+        energy = phased.values("gzip", Metric.ENERGY)
+        assert np.allclose(
+            phased.values("gzip", Metric.ED), cycles * energy
+        )
+        assert np.allclose(
+            phased.values("gzip", Metric.EDD), cycles * cycles * energy
+        )
+
+    def test_phased_close_to_aggregate(self, phased, single):
+        """Phase-weighted metrics track the aggregate profile closely
+        (phases are small perturbations of the parent)."""
+        a = phased.values("gzip", Metric.CYCLES)
+        b = single.values("gzip", Metric.CYCLES)
+        assert np.corrcoef(a, b)[0, 1] > 0.98
+        assert 0.7 < float(np.median(a / b)) < 1.4
+
+    def test_phased_differs_from_aggregate(self, phased, single):
+        a = phased.values("gzip", Metric.CYCLES)
+        b = single.values("gzip", Metric.CYCLES)
+        assert not np.allclose(a, b)
+
+    def test_deterministic(self, small_suite, configs, simulator):
+        a = DesignSpaceDataset(small_suite, configs[:20], simulator,
+                               phases=3)
+        b = DesignSpaceDataset(small_suite, configs[:20], simulator,
+                               phases=3)
+        assert np.allclose(
+            a.values("art", Metric.ENERGY), b.values("art", Metric.ENERGY)
+        )

@@ -1,0 +1,126 @@
+"""Smoke tests for the per-figure experiment runners (tiny scale)."""
+
+import pytest
+
+from repro.exploration import (
+    DesignSpaceDataset,
+    comparison_sweep,
+    motivation_experiment,
+    response_sweep,
+    training_programs_sweep,
+    training_size_sweep,
+)
+from repro.exploration.experiments import (
+    mibench_experiment,
+    spec_error_experiment,
+)
+from repro.sim import Metric
+
+
+class TestMotivation:
+    def test_architecture_centric_wins(self, small_dataset):
+        result = motivation_experiment(
+            small_dataset, "applu", Metric.ENERGY,
+            responses=32, training_size=256,
+        )
+        assert result.architecture_centric_rmae < result.program_specific_rmae
+
+    def test_series_sorted_by_actual(self, small_dataset):
+        result = motivation_experiment(
+            small_dataset, "applu", Metric.ENERGY,
+            responses=32, training_size=256,
+        )
+        assert list(result.actual) == sorted(result.actual)
+        assert len(result.actual) == len(small_dataset) - 32
+
+
+class TestSweeps:
+    def test_training_size_sweep_improves(self, small_dataset):
+        result = training_size_sweep(
+            small_dataset, Metric.CYCLES, sizes=(16, 256),
+            repeats=1, programs=["applu", "swim"],
+        )
+        assert result.points[0].rmae_mean > result.points[1].rmae_mean
+        assert result.points[1].correlation_mean > result.points[0].correlation_mean
+
+    def test_response_sweep_runs(self, small_dataset):
+        result = response_sweep(
+            small_dataset, Metric.CYCLES, counts=(8, 32),
+            training_size=256, repeats=1, programs=["applu"],
+        )
+        assert result.budgets() == [8, 32]
+        assert all(p.rmae_mean > 0 for p in result.points)
+
+    def test_comparison_sweep_headline(self, small_dataset):
+        result = comparison_sweep(
+            small_dataset, Metric.CYCLES, budgets=(32,),
+            training_size=256, repeats=1, programs=["applu", "swim"],
+        )
+        ours = result.architecture_centric.points[0]
+        theirs = result.program_specific.points[0]
+        assert ours.rmae_mean < theirs.rmae_mean
+        assert ours.correlation_mean > theirs.correlation_mean
+
+    def test_crossover_detection(self, small_dataset):
+        result = comparison_sweep(
+            small_dataset, Metric.CYCLES, budgets=(32, 256),
+            training_size=256, repeats=1, programs=["applu"],
+        )
+        crossover = result.crossover_budget()
+        assert crossover is None or crossover in (32, 256)
+
+    def test_training_programs_sweep(self, small_dataset):
+        result = training_programs_sweep(
+            small_dataset, Metric.CYCLES, pool_sizes=(2, 4),
+            training_size=256, responses=32, repeats=1,
+        )
+        assert [p.budget for p in result.points] == [2, 4]
+
+    def test_training_programs_sweep_bounds(self, small_dataset):
+        with pytest.raises(ValueError):
+            training_programs_sweep(
+                small_dataset, Metric.CYCLES,
+                pool_sizes=(len(small_dataset.programs),),
+            )
+
+
+class TestCrossValidationWrappers:
+    def test_spec_error_experiment(self, small_dataset):
+        result = spec_error_experiment(small_dataset, Metric.CYCLES,
+                                       repeats=1, training_size=256)
+        assert set(result.summaries) == set(small_dataset.programs)
+
+    def test_mibench_experiment(self, small_dataset, mibench, configs,
+                                simulator):
+        target = DesignSpaceDataset(
+            mibench.subset(["sha", "fft"]), configs, simulator
+        )
+        result = mibench_experiment(small_dataset, target, Metric.CYCLES,
+                                    repeats=1, training_size=256)
+        assert set(result.summaries) == {"sha", "fft"}
+
+
+class TestRobustnessSweeps:
+    def test_noise_sweep_degrades_gracefully(self, small_dataset):
+        from repro.exploration import noise_sweep
+        result = noise_sweep(
+            small_dataset, Metric.CYCLES, noise_levels=(0.0, 0.3),
+            training_size=256, responses=24, programs=["applu"],
+        )
+        assert [p.budget for p in result.points] == [0, 30]
+        assert result.points[1].rmae_mean > result.points[0].rmae_mean
+
+    def test_noise_sweep_rejects_negative_noise(self, small_dataset):
+        from repro.exploration import noise_sweep
+        with pytest.raises(ValueError):
+            noise_sweep(small_dataset, Metric.CYCLES,
+                        noise_levels=(-0.1,), training_size=256)
+
+    def test_drift_sweep_runs(self, small_dataset):
+        from repro.exploration import drift_sweep
+        result = drift_sweep(
+            small_dataset, Metric.CYCLES, drifts=(0.0, 1.0),
+            programs_per_level=2, training_size=256, responses=24,
+        )
+        assert [p.budget for p in result.points] == [0, 100]
+        assert all(p.rmae_mean > 0 for p in result.points)

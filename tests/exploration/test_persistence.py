@@ -1,0 +1,59 @@
+"""Tests for dataset save/load round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.exploration import DesignSpaceDataset, load_dataset, save_dataset
+from repro.sim import Metric
+
+
+@pytest.fixture()
+def archive(tmp_path, small_dataset):
+    return save_dataset(small_dataset, tmp_path / "dataset.npz")
+
+
+class TestRoundTrip:
+    def test_values_identical(self, archive, small_dataset, small_suite):
+        restored = load_dataset(archive, small_suite)
+        for metric in Metric.all():
+            for program in small_suite.programs:
+                assert np.allclose(
+                    restored.values(program, metric),
+                    small_dataset.values(program, metric),
+                )
+
+    def test_configs_identical(self, archive, small_dataset, small_suite):
+        restored = load_dataset(archive, small_suite)
+        assert restored.configs == small_dataset.configs
+
+    def test_loaded_values_served_without_simulation(
+        self, archive, small_suite
+    ):
+        restored = load_dataset(archive, small_suite)
+        # Every (program, metric) pair must already be cached.
+        for metric in Metric.all():
+            for program in small_suite.programs:
+                assert (program, metric) in restored._cache
+
+    def test_restored_dataset_supports_splits(self, archive, small_suite):
+        restored = load_dataset(archive, small_suite)
+        first, rest = restored.split_indices(16, seed=3)
+        assert len(first) == 16
+        values = restored.subset_values("gzip", Metric.CYCLES, first)
+        assert values.shape == (16,)
+
+
+class TestValidation:
+    def test_wrong_suite_name_rejected(self, archive, small_suite):
+        renamed = type(small_suite)("other", small_suite.profiles)
+        with pytest.raises(ValueError, match="suite"):
+            load_dataset(archive, renamed)
+
+    def test_wrong_program_list_rejected(self, archive, small_suite):
+        reduced = small_suite.without("art")
+        with pytest.raises(ValueError, match="program list"):
+            load_dataset(archive, reduced)
+
+    def test_archive_is_a_single_file(self, archive):
+        assert archive.exists()
+        assert archive.suffix == ".npz"

@@ -1,0 +1,75 @@
+"""Tests for the ASCII reporting helpers."""
+
+import pytest
+
+from repro.exploration import (
+    ascii_bar_chart,
+    format_series,
+    format_table,
+    scale_banner,
+)
+from repro.exploration.reporting import format_five_number
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        table = format_table(
+            ("name", "value"), [("gzip", 1.5), ("apsi", 20.25)]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_header_present(self):
+        table = format_table(("a", "b"), [(1, 2)])
+        assert table.splitlines()[0].startswith("a")
+
+    def test_empty_rows(self):
+        table = format_table(("a", "b"), [])
+        assert "a" in table
+
+    def test_float_formatting(self):
+        table = format_table(("x",), [(0.123456,), (1234567.0,), (0.0,)])
+        assert "0.123" in table
+        assert "1.23e+06" in table
+
+
+class TestFormatSeries:
+    def test_series_rows(self):
+        text = format_series(
+            "T", [16, 32], {"rmae": [20.0, 10.0], "corr": [0.5, 0.9]}
+        )
+        assert "T" in text and "rmae" in text and "corr" in text
+        assert "16" in text and "0.9" in text
+
+    def test_five_number_row(self):
+        row = format_five_number("gzip", 1, 2, 3, 4, 5, 2.5)
+        assert row[0] == "gzip"
+        assert len(row) == 7
+
+
+class TestBanner:
+    def test_scale_settings_shown(self):
+        banner = scale_banner("Fig 9", samples=1000, repeats=3)
+        assert "Fig 9" in banner
+        assert "samples=1000" in banner
+        assert "repeats=3" in banner
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        chart = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert ascii_bar_chart([], []) == "(empty)"
+
+    def test_zero_values(self):
+        chart = ascii_bar_chart(["a"], [0.0])
+        assert "#" not in chart

@@ -1,0 +1,93 @@
+"""Tests for the least-squares linear regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml import LinearRegressor, normal_equation_weights
+
+
+class TestExactRecovery:
+    def test_recovers_a_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 3))
+        true_weights = np.array([2.0, -1.0, 0.5])
+        y = x @ true_weights + 3.0
+        model = LinearRegressor().fit(x, y)
+        assert np.allclose(model.coefficients, true_weights, atol=1e-8)
+        assert model.intercept_ == pytest.approx(3.0)
+
+    def test_papers_fig8_example_shape(self):
+        """Fig. 8: a 1-D regression line y = b0 + b1 x through points."""
+        x = np.array([[1.0], [2.0], [3.0], [4.0], [5.0]])
+        y = np.array([0.9, 1.0, 1.2, 1.45, 1.6])
+        model = LinearRegressor().fit(x, y)
+        assert model.coefficients[0] > 0  # positive slope
+        prediction = model.predict(np.array([[3.0]]))[0]
+        assert 1.0 < prediction < 1.4
+
+    def test_matches_normal_equations(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(40, 4))
+        y = rng.normal(size=40)
+        model = LinearRegressor(fit_intercept=False).fit(x, y)
+        reference = normal_equation_weights(x, y)
+        assert np.allclose(model.coefficients, reference, atol=1e-8)
+
+    def test_matches_numpy_polyfit(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 10, size=30)
+        y = 2.5 * x + 1.0 + rng.normal(0, 0.1, size=30)
+        model = LinearRegressor().fit(x.reshape(-1, 1), y)
+        slope, intercept = np.polyfit(x, y, 1)
+        assert model.coefficients[0] == pytest.approx(slope, rel=1e-6)
+        assert model.intercept_ == pytest.approx(intercept, rel=1e-6)
+
+
+class TestRobustness:
+    def test_rank_deficient_system_still_fits(self):
+        """More features than samples: lstsq gives the min-norm fit."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(10, 25))
+        y = rng.normal(size=10)
+        model = LinearRegressor().fit(x, y)
+        residual = model.predict(x) - y
+        assert np.max(np.abs(residual)) < 1e-6
+
+    def test_ridge_shrinks_weights(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(30, 5))
+        y = x @ np.array([5.0, -5.0, 3.0, 0.0, 1.0]) + rng.normal(size=30)
+        plain = LinearRegressor(ridge=0.0).fit(x, y)
+        shrunk = LinearRegressor(ridge=100.0).fit(x, y)
+        assert np.linalg.norm(shrunk.coefficients) < np.linalg.norm(
+            plain.coefficients
+        )
+
+    def test_ridge_does_not_penalise_intercept(self):
+        y = np.full(20, 100.0)
+        x = np.random.default_rng(5).normal(size=(20, 2))
+        model = LinearRegressor(ridge=1000.0).fit(x, y)
+        assert model.intercept_ == pytest.approx(100.0, rel=0.05)
+
+    def test_negative_ridge_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegressor(ridge=-1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegressor().fit(np.ones((3, 2)), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRegressor().fit(np.empty((0, 2)), np.empty(0))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressor().predict(np.ones((1, 2)))
+
+    def test_no_intercept_mode(self):
+        x = np.array([[1.0], [2.0]])
+        y = np.array([2.0, 4.0])
+        model = LinearRegressor(fit_intercept=False).fit(x, y)
+        assert model.intercept_ == 0.0
+        assert model.coefficients[0] == pytest.approx(2.0)

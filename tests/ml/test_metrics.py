@@ -1,0 +1,79 @@
+"""Tests for rmae and the correlation coefficient."""
+
+import numpy as np
+import pytest
+
+from repro.ml import correlation, rmae
+
+
+class TestRmae:
+    def test_perfect_prediction_is_zero(self):
+        actual = np.array([1.0, 2.0, 3.0])
+        assert rmae(actual, actual) == 0.0
+
+    def test_papers_definition(self):
+        """rmae of 100 percent = predictions double the actual values."""
+        actual = np.array([1.0, 2.0, 4.0])
+        assert rmae(2 * actual, actual) == pytest.approx(100.0)
+
+    def test_symmetric_under_sign_of_error(self):
+        actual = np.array([10.0, 10.0])
+        over = rmae(np.array([11.0, 11.0]), actual)
+        under = rmae(np.array([9.0, 9.0]), actual)
+        assert over == pytest.approx(under)
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            rmae(np.array([1.0]), np.array([0.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmae(np.array([]), np.array([]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            rmae(np.ones(3), np.ones(4))
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert correlation(2 * x + 1, x) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert correlation(-x, x) == pytest.approx(-1.0)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=100)
+        b = 0.5 * a + rng.normal(size=100)
+        assert correlation(a, b) == pytest.approx(
+            np.corrcoef(a, b)[0, 1], abs=1e-9
+        )
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=50)
+        b = rng.normal(size=50)
+        assert correlation(a, b) == pytest.approx(
+            correlation(1000 * a + 5, b)
+        )
+
+    def test_constant_input_returns_zero(self):
+        assert correlation(np.ones(10), np.arange(10.0)) == 0.0
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            correlation(np.array([1.0]), np.array([1.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            correlation(np.ones(3), np.ones(4))
+
+    def test_bounded(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            a = rng.normal(size=30)
+            b = rng.normal(size=30)
+            assert -1.0 <= correlation(a, b) <= 1.0

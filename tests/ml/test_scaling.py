@@ -1,0 +1,81 @@
+"""Tests for the feature/target scalers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml import MinMaxScaler, StandardScaler
+
+_matrices = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(
+        st.integers(min_value=2, max_value=30),
+        st.integers(min_value=1, max_value=8),
+    ),
+    elements=st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_handled(self):
+        data = np.ones((10, 2))
+        scaled = StandardScaler().fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.empty((0, 3)))
+
+    @given(_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, data):
+        scaler = StandardScaler().fit(data)
+        recovered = scaler.inverse_transform(scaler.transform(data))
+        assert np.allclose(recovered, data, atol=1e-6 * (1 + np.abs(data).max()))
+
+
+class TestMinMaxScaler:
+    def test_unit_interval(self):
+        rng = np.random.default_rng(1)
+        data = rng.uniform(-3.0, 7.0, size=(100, 3))
+        scaled = MinMaxScaler().fit_transform(data)
+        assert scaled.min() >= -1e-12
+        assert scaled.max() <= 1.0 + 1e-12
+
+    def test_fit_bounds(self):
+        scaler = MinMaxScaler().fit_bounds(np.array([0.0]), np.array([10.0]))
+        assert scaler.transform(np.array([[5.0]]))[0, 0] == pytest.approx(0.5)
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit_bounds(np.array([1.0]), np.array([0.0]))
+
+    def test_mismatched_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler().fit_bounds(np.array([1.0]), np.array([2.0, 3.0]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.ones((1, 1)))
+
+    @given(_matrices)
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, data):
+        scaler = MinMaxScaler().fit(data)
+        recovered = scaler.inverse_transform(scaler.transform(data))
+        assert np.allclose(recovered, data, atol=1e-6 * (1 + np.abs(data).max()))

@@ -1,0 +1,89 @@
+"""Tests for restricted cubic spline regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml import SplineRegressor, restricted_cubic_basis
+
+
+class TestBasis:
+    def test_shape(self):
+        x = np.linspace(0, 10, 50)
+        knots = np.array([1.0, 3.0, 6.0, 9.0])
+        basis = restricted_cubic_basis(x, knots)
+        assert basis.shape == (50, 2)
+
+    def test_linear_below_first_knot(self):
+        knots = np.array([2.0, 5.0, 8.0])
+        x = np.array([-5.0, 0.0, 1.0])
+        basis = restricted_cubic_basis(x, knots)
+        assert np.allclose(basis, 0.0)
+
+    def test_linear_beyond_last_knot(self):
+        """Second derivative vanishes past the boundary knots: the
+        basis grows linearly there, so second differences are ~0."""
+        knots = np.array([2.0, 5.0, 8.0])
+        x = np.array([10.0, 12.0, 14.0, 16.0])
+        basis = restricted_cubic_basis(x, knots)
+        second_diff = np.diff(basis[:, 0], n=2)
+        assert np.allclose(second_diff, 0.0, atol=1e-9)
+
+    def test_too_few_knots_rejected(self):
+        with pytest.raises(ValueError):
+            restricted_cubic_basis(np.arange(5.0), np.array([1.0, 2.0]))
+
+    def test_unsorted_knots_rejected(self):
+        with pytest.raises(ValueError):
+            restricted_cubic_basis(
+                np.arange(5.0), np.array([3.0, 2.0, 5.0])
+            )
+
+
+class TestSplineRegressor:
+    def test_fits_a_nonlinear_curve_better_than_linear(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 10, size=(300, 1))
+        y = np.sin(x[:, 0] / 2.0) + 0.1 * x[:, 0]
+        spline = SplineRegressor(knots=5).fit(x, y)
+        from repro.ml import LinearRegressor
+        linear = LinearRegressor().fit(x, y)
+        spline_rmse = np.sqrt(np.mean((spline.predict(x) - y) ** 2))
+        linear_rmse = np.sqrt(np.mean((linear.predict(x) - y) ** 2))
+        assert spline_rmse < 0.5 * linear_rmse
+
+    def test_extrapolates_linearly(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 10, size=(200, 1))
+        y = 2.0 * x[:, 0]
+        spline = SplineRegressor(knots=4).fit(x, y)
+        outside = spline.predict(np.array([[20.0], [40.0]]))
+        assert np.all(np.isfinite(outside))
+        # Linear tails: doubling x roughly doubles the prediction.
+        assert outside[1] == pytest.approx(2 * outside[0], rel=0.25)
+
+    def test_multifeature(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(0, 1, size=(250, 3))
+        y = x[:, 0] ** 2 + np.sin(3 * x[:, 1]) + x[:, 2]
+        spline = SplineRegressor(knots=4).fit(x, y)
+        rmse = np.sqrt(np.mean((spline.predict(x) - y) ** 2))
+        assert rmse < 0.25 * y.std()
+
+    def test_constant_feature_falls_back_to_linear(self):
+        rng = np.random.default_rng(3)
+        x = np.hstack([rng.uniform(0, 1, size=(100, 1)), np.ones((100, 1))])
+        y = x[:, 0]
+        spline = SplineRegressor(knots=4).fit(x, y)
+        assert np.all(np.isfinite(spline.predict(x)))
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            SplineRegressor().predict(np.ones((2, 2)))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            SplineRegressor(knots=4).fit(np.ones((2, 1)), np.ones(2))
+
+    def test_bad_knot_count_rejected(self):
+        with pytest.raises(ValueError):
+            SplineRegressor(knots=2)

@@ -1,0 +1,121 @@
+"""Tests for the functional set-associative caches."""
+
+import pytest
+
+from repro.sim.pipeline import SetAssociativeCache, build_hierarchy
+
+
+def _tiny(assoc=2, sets_lines=8):
+    """A 8-line, 32B-line cache for hand-traceable scenarios."""
+    return SetAssociativeCache(
+        "T", sets_lines * 32, 32, assoc, hit_latency=1,
+        next_level=None, memory_latency=100,
+    )
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        cache = _tiny()
+        assert cache.access(0) == 101
+        assert cache.stats.misses == 1
+
+    def test_second_access_hits(self):
+        cache = _tiny()
+        cache.access(0)
+        assert cache.access(0) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.accesses == 2
+
+    def test_same_line_hits(self):
+        cache = _tiny()
+        cache.access(0)
+        assert cache.access(31) == 1  # same 32-byte line
+
+    def test_different_line_misses(self):
+        cache = _tiny()
+        cache.access(0)
+        assert cache.access(32) == 101
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            _tiny().access(-1)
+
+    def test_miss_ratio(self):
+        cache = _tiny()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_ratio == pytest.approx(0.5)
+
+    def test_reset_stats_keeps_contents(self):
+        cache = _tiny()
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) == 1  # still cached
+
+
+class TestLru:
+    def test_lru_eviction_order(self):
+        # 4 sets x 2 ways; addresses mapping to set 0 are multiples of
+        # 4 lines = 128 bytes.
+        cache = _tiny(assoc=2, sets_lines=8)
+        a, b, c = 0, 128, 256  # all in set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a becomes MRU
+        cache.access(c)  # evicts b (LRU)
+        assert cache.lookup(a)
+        assert not cache.lookup(b)
+        assert cache.lookup(c)
+
+    def test_direct_mapped_conflicts(self):
+        cache = _tiny(assoc=1, sets_lines=8)
+        cache.access(0)
+        cache.access(8 * 32)  # same set, conflicting tag
+        assert not cache.lookup(0)
+
+    def test_full_associativity_capped_at_lines(self):
+        cache = SetAssociativeCache("T", 4 * 32, 32, 16, 1)
+        assert cache.associativity == 4
+
+
+class TestValidation:
+    def test_capacity_below_line_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache("T", 16, 32, 1, 1)
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache("T", 1024, 48, 1, 1)
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache("T", 1024, 32, 0, 1)
+
+
+class TestHierarchy:
+    def test_build_hierarchy_links_levels(self):
+        caches = build_hierarchy(8, 8, 256)
+        assert caches["l1i"].next_level is caches["l2"]
+        assert caches["l1d"].next_level is caches["l2"]
+        assert caches["l2"].next_level is None
+
+    def test_l1_miss_l2_hit_latency(self):
+        caches = build_hierarchy(8, 8, 256, l1_latency=2, l2_latency=12,
+                                 memory_latency=200)
+        # Warm the L2 through the D-cache, then evict from L1 only.
+        caches["l1d"].access(0)
+        first = caches["l1d"].access(0)
+        assert first == 2
+        # Thrash L1 set 0 while L2 keeps the line.
+        l1_sets = caches["l1d"].sets
+        line = caches["l1d"].line_bytes
+        for way in range(1, 4):
+            caches["l1d"].access(way * l1_sets * line)
+        latency = caches["l1d"].access(0)
+        assert latency == 2 + 12  # L1 miss, L2 hit
+
+    def test_memory_latency_charged_at_bottom(self):
+        caches = build_hierarchy(8, 8, 256, l1_latency=2, l2_latency=12,
+                                 memory_latency=200)
+        assert caches["l1d"].access(0) == 2 + 12 + 200

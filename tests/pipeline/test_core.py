@@ -1,0 +1,218 @@
+"""Tests for the detailed out-of-order pipeline simulator."""
+
+import pytest
+
+from repro.sim.pipeline import PipelineSimulator
+from repro.workloads import generate_trace, spec2000_profile
+
+
+@pytest.fixture(scope="module")
+def gzip_trace():
+    return generate_trace(spec2000_profile("gzip"), 8000, seed=3)
+
+
+@pytest.fixture(scope="module")
+def baseline_result(space, gzip_trace):
+    return PipelineSimulator(space.baseline).run(gzip_trace, warmup=2000)
+
+
+class TestConservation:
+    def test_all_instructions_commit(self, space, gzip_trace, baseline_result):
+        assert baseline_result.stats.committed == len(gzip_trace) - 2000
+
+    def test_dispatched_covers_committed(self, baseline_result):
+        # Instructions in flight when the warmup snapshot is taken leave
+        # the post-warmup dispatch/issue counts within one window of the
+        # commit count.
+        stats = baseline_result.stats
+        window = 160  # largest possible ROB
+        assert abs(stats.issued - stats.committed) <= window
+        assert abs(stats.dispatched - stats.committed) <= window
+
+    def test_ipc_bounded_by_width(self, space, baseline_result):
+        assert 0.0 < baseline_result.ipc <= space.baseline.width
+
+    def test_energy_positive(self, baseline_result):
+        assert baseline_result.energy > 0
+
+    def test_ed_edd_relations(self, baseline_result):
+        assert baseline_result.ed == pytest.approx(
+            baseline_result.energy * baseline_result.cycles
+        )
+        assert baseline_result.edd == pytest.approx(
+            baseline_result.ed * baseline_result.cycles
+        )
+
+    def test_empty_trace_rejected(self, space):
+        with pytest.raises(ValueError):
+            PipelineSimulator(space.baseline).run([])
+
+    def test_warmup_bounds(self, space, gzip_trace):
+        with pytest.raises(ValueError):
+            PipelineSimulator(space.baseline).run(gzip_trace,
+                                                  warmup=len(gzip_trace))
+
+
+class TestDeterminism:
+    def test_same_trace_same_result(self, space, gzip_trace):
+        a = PipelineSimulator(space.baseline).run(gzip_trace)
+        b = PipelineSimulator(space.baseline).run(gzip_trace)
+        assert a.cycles == b.cycles
+        assert a.energy == pytest.approx(b.energy)
+
+
+class TestConfigurationSensitivity:
+    def test_bigger_machine_is_not_slower(self, space, gzip_trace, baseline_result):
+        big = space.baseline.replace(
+            width=8, rob_size=160, iq_size=80, lsq_size=80, rf_size=160,
+            rf_read_ports=16, rf_write_ports=8,
+        )
+        result = PipelineSimulator(big).run(gzip_trace, warmup=2000)
+        assert result.cycles <= baseline_result.cycles * 1.05
+
+    def test_tiny_rf_hurts(self, space, gzip_trace, baseline_result):
+        starved = space.baseline.replace(rf_size=40)
+        result = PipelineSimulator(starved).run(gzip_trace, warmup=2000)
+        assert result.cycles > baseline_result.cycles
+
+    def test_tiny_caches_hurt(self, space, baseline_result):
+        art_trace = generate_trace(spec2000_profile("art"), 8000, seed=3)
+        small = space.baseline.replace(dcache_kb=8, l2cache_kb=256,
+                                       icache_kb=8)
+        large = space.baseline.replace(dcache_kb=128, l2cache_kb=4096)
+        small_result = PipelineSimulator(small).run(art_trace, warmup=2000)
+        large_result = PipelineSimulator(large).run(art_trace, warmup=2000)
+        assert small_result.cycles > large_result.cycles
+
+    def test_wide_machine_burns_more_energy(self, space, gzip_trace, baseline_result):
+        wide = space.baseline.replace(width=8, rf_read_ports=16,
+                                      rf_write_ports=8)
+        result = PipelineSimulator(wide).run(gzip_trace, warmup=2000)
+        assert result.energy > baseline_result.energy
+
+    def test_no_rename_registers_rejected(self, space, gzip_trace):
+        config = space.baseline.replace(rf_size=40)
+        simulator = PipelineSimulator(config)
+        simulator.spec.fixed.__class__  # spec exists
+        # rf 40 leaves 8 rename regs: legal.  Force the degenerate case
+        # through a doctored fixed parameter set instead.
+        from repro.sim.machine import FixedParameters
+        degenerate = PipelineSimulator(
+            config, FixedParameters(architected_registers=40)
+        )
+        with pytest.raises(ValueError, match="rename"):
+            degenerate.run(gzip_trace[:100])
+
+
+class TestStatistics:
+    def test_stall_accounting_covers_idle_cycles(self, baseline_result):
+        stats = baseline_result.stats
+        stalls = sum(stats.stall_cycles.values())
+        assert 0 < stalls < stats.cycles
+
+    def test_branch_stats_track_trace(self, gzip_trace, baseline_result):
+        from repro.workloads import OpClass
+        measured = baseline_result.stats.branches
+        total = sum(1 for t in gzip_trace if t.op is OpClass.BRANCH)
+        assert 0 < measured <= total
+
+    def test_mispredict_ratio_reasonable(self, baseline_result):
+        assert 0.0 < baseline_result.stats.mispredict_ratio < 0.5
+
+    def test_cache_stats_harvested(self, baseline_result):
+        stats = baseline_result.stats
+        assert stats.dcache_accesses > 0
+        assert stats.l2_accesses > 0
+        assert stats.dcache_misses <= stats.dcache_accesses
+
+    def test_warmup_reduces_measured_counts(self, space, gzip_trace):
+        full = PipelineSimulator(space.baseline).run(gzip_trace)
+        measured = PipelineSimulator(space.baseline).run(gzip_trace,
+                                                         warmup=4000)
+        assert measured.stats.committed < full.stats.committed
+        assert measured.cycles < full.cycles
+
+
+class TestRunProfile:
+    def test_convenience_runner(self, space):
+        simulator = PipelineSimulator(space.baseline)
+        result = simulator.run_profile(
+            spec2000_profile("gzip"), length=6000, warmup=2000, seed=1
+        )
+        assert result.stats.committed == 4000
+        assert result.energy > 0
+
+    def test_default_warmup_is_half(self, space):
+        simulator = PipelineSimulator(space.baseline)
+        result = simulator.run_profile(
+            spec2000_profile("gzip"), length=4000, seed=1
+        )
+        assert result.stats.committed == 2000
+
+
+class TestMemoryLevelParallelism:
+    def test_more_mshrs_help_memory_bound_code(self, space):
+        """art's performance must scale with the number of outstanding
+        misses the machine supports."""
+        from repro.sim.machine import FixedParameters
+        trace = generate_trace(spec2000_profile("art"), 12000, seed=7)
+        results = {}
+        for mshrs in (1, 8):
+            fixed = FixedParameters(mshr_entries=mshrs)
+            results[mshrs] = PipelineSimulator(
+                space.baseline, fixed
+            ).run(trace, warmup=4000)
+        assert results[8].cycles < 0.7 * results[1].cycles
+
+    def test_mshr_limit_does_not_deadlock(self, space):
+        from repro.sim.machine import FixedParameters
+        trace = generate_trace(spec2000_profile("swim"), 6000, seed=7)
+        fixed = FixedParameters(mshr_entries=1)
+        result = PipelineSimulator(space.baseline, fixed).run(trace)
+        assert result.stats.committed == len(trace)
+
+
+class TestWrongPathExecution:
+    @pytest.fixture(scope="class")
+    def pair(self, space, gzip_trace):
+        default = PipelineSimulator(space.baseline).run(
+            gzip_trace, warmup=2000
+        )
+        speculative = PipelineSimulator(
+            space.baseline, wrong_path=True
+        ).run(gzip_trace, warmup=2000)
+        return default, speculative
+
+    def test_everything_still_commits(self, pair, gzip_trace):
+        _, speculative = pair
+        assert speculative.stats.committed == len(gzip_trace) - 2000
+
+    def test_phantoms_were_fetched(self, pair):
+        _, speculative = pair
+        assert speculative.stats.wrong_path_fetched > 0
+
+    def test_default_mode_fetches_no_phantoms(self, pair):
+        default, _ = pair
+        assert default.stats.wrong_path_fetched == 0
+
+    def test_speculative_energy_counts_real_work(self, pair):
+        """Wrong-path energy is measured, not estimated, and must be in
+        the same ballpark as the statistical estimate."""
+        default, speculative = pair
+        assert 0.5 * default.energy < speculative.energy < 2.0 * default.energy
+
+    def test_cycles_in_same_ballpark(self, pair):
+        default, speculative = pair
+        assert 0.7 * default.cycles < speculative.cycles < 1.3 * default.cycles
+
+    def test_predictor_stats_exclude_phantoms(self, pair, gzip_trace):
+        from repro.workloads import OpClass
+        _, speculative = pair
+        total = sum(1 for t in gzip_trace if t.op is OpClass.BRANCH)
+        assert speculative.stats.branches <= total
+
+    def test_deterministic(self, space, gzip_trace):
+        a = PipelineSimulator(space.baseline, wrong_path=True).run(gzip_trace)
+        b = PipelineSimulator(space.baseline, wrong_path=True).run(gzip_trace)
+        assert a.cycles == b.cycles
+        assert a.stats.wrong_path_fetched == b.stats.wrong_path_fetched

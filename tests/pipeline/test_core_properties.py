@@ -1,0 +1,173 @@
+"""Property-based tests for the pipeline simulator.
+
+Hand-built micro-traces exercise the pipeline mechanics precisely, and
+hypothesis-generated random traces check the global invariants
+(conservation, boundedness, determinism) over arbitrary instruction
+streams.
+"""
+
+from typing import List, Optional, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designspace import DesignSpace
+from repro.sim.pipeline import PipelineSimulator
+from repro.workloads.tracegen import OpClass, TraceInstruction
+
+_SPACE = DesignSpace()
+
+
+def _instruction(
+    index: int,
+    op: OpClass,
+    pc: Optional[int] = None,
+    dest: Optional[int] = None,
+    sources: Tuple[int, ...] = (0,),
+    address: Optional[int] = None,
+    taken: Optional[bool] = None,
+) -> TraceInstruction:
+    if dest is None and op not in (OpClass.STORE, OpClass.BRANCH):
+        dest = index % 32
+    if address is None and op.is_memory:
+        address = 0x1000 + (index % 16) * 32
+    branch_id = index % 8 if op is OpClass.BRANCH else None
+    if op is OpClass.BRANCH and taken is None:
+        taken = False
+    return TraceInstruction(
+        index=index,
+        op=op,
+        pc=pc if pc is not None else index * 4,
+        dest=dest,
+        sources=sources,
+        address=address,
+        branch_id=branch_id,
+        taken=taken,
+    )
+
+
+class TestMicroTraces:
+    def test_single_instruction(self, space):
+        trace = [_instruction(0, OpClass.INT_ALU)]
+        result = PipelineSimulator(space.baseline).run(trace)
+        assert result.stats.committed == 1
+        assert result.cycles >= 1
+
+    def test_serial_dependency_chain_is_latency_bound(self, space):
+        """A pure chain of dependent ALU ops commits ~1 per cycle."""
+        trace = []
+        for i in range(200):
+            trace.append(
+                _instruction(i, OpClass.INT_ALU, pc=(i % 64) * 4,
+                             dest=i % 32, sources=((i - 1) % 32,))
+            )
+        result = PipelineSimulator(space.baseline).run(trace)
+        # Each op waits for its predecessor: >= ~1 cycle per instruction.
+        assert result.cycles >= 190
+
+    def test_independent_ops_reach_high_ipc(self, space):
+        """Fully independent ALU ops in a hot loop flow at multiple per
+        cycle (looping PCs keep the I-cache warm)."""
+        trace = [
+            _instruction(i, OpClass.INT_ALU, pc=(i % 64) * 4,
+                         dest=i % 32, sources=())
+            for i in range(800)
+        ]
+        result = PipelineSimulator(space.baseline).run(trace, warmup=200)
+        assert result.ipc > 1.5
+
+    def test_hot_loads_hit_after_first_touch(self, space):
+        trace = [
+            _instruction(i, OpClass.LOAD, address=0x1000, sources=())
+            for i in range(100)
+        ]
+        result = PipelineSimulator(space.baseline).run(trace)
+        assert result.stats.dcache_misses == 1
+
+    def test_streaming_loads_all_miss(self, space):
+        trace = [
+            _instruction(i, OpClass.LOAD, address=0x100000 + i * 4096,
+                         sources=())
+            for i in range(60)
+        ]
+        result = PipelineSimulator(space.baseline).run(trace)
+        assert result.stats.dcache_misses == 60
+
+    def test_never_taken_branches_learned(self, space):
+        trace = []
+        for i in range(300):
+            op = OpClass.BRANCH if i % 4 == 3 else OpClass.INT_ALU
+            trace.append(_instruction(i, op, pc=(i % 40) * 4, taken=False))
+        result = PipelineSimulator(space.baseline).run(trace, warmup=150)
+        assert result.stats.mispredict_ratio < 0.2
+
+
+_ops = st.sampled_from(list(OpClass))
+
+
+@st.composite
+def random_traces(draw):
+    length = draw(st.integers(min_value=5, max_value=120))
+    trace: List[TraceInstruction] = []
+    for i in range(length):
+        op = draw(_ops)
+        sources = tuple(
+            draw(st.lists(st.integers(0, 31), min_size=0, max_size=2))
+        )
+        taken = draw(st.booleans()) if op is OpClass.BRANCH else None
+        address = (
+            draw(st.integers(0, 1 << 20)) * 32 if op.is_memory else None
+        )
+        trace.append(
+            _instruction(
+                i, op, pc=draw(st.integers(0, 4096)) * 4,
+                sources=sources, address=address, taken=taken,
+            )
+        )
+    return trace
+
+
+class TestRandomTraces:
+    @given(trace=random_traces())
+    @settings(max_examples=25, deadline=None)
+    def test_everything_commits(self, trace):
+        result = PipelineSimulator(_SPACE.baseline).run(trace)
+        assert result.stats.committed == len(trace)
+
+    @given(trace=random_traces())
+    @settings(max_examples=25, deadline=None)
+    def test_ipc_bounded(self, trace):
+        result = PipelineSimulator(_SPACE.baseline).run(trace)
+        assert 0.0 < result.ipc <= _SPACE.baseline.width
+
+    @given(trace=random_traces())
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic(self, trace):
+        a = PipelineSimulator(_SPACE.baseline).run(trace)
+        b = PipelineSimulator(_SPACE.baseline).run(trace)
+        assert a.cycles == b.cycles
+
+    @given(trace=random_traces())
+    @settings(max_examples=15, deadline=None)
+    def test_counters_consistent(self, trace):
+        result = PipelineSimulator(_SPACE.baseline).run(trace)
+        stats = result.stats
+        memory_ops = sum(1 for t in trace if t.op.is_memory)
+        assert stats.loads + stats.stores == memory_ops
+        assert stats.branches == sum(
+            1 for t in trace if t.op is OpClass.BRANCH
+        )
+        assert stats.mispredicts <= stats.branches
+        assert stats.dcache_misses <= stats.dcache_accesses
+
+    @given(trace=random_traces())
+    @settings(max_examples=10, deadline=None)
+    def test_tiny_machine_still_completes(self, trace):
+        tiny = _SPACE.baseline.replace(
+            width=2, rob_size=32, iq_size=8, lsq_size=8, rf_size=40,
+            rf_read_ports=4, rf_write_ports=2, max_branches=8,
+            icache_kb=8, dcache_kb=8, l2cache_kb=256,
+        )
+        result = PipelineSimulator(tiny).run(trace)
+        assert result.stats.committed == len(trace)

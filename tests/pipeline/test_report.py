@@ -1,0 +1,64 @@
+"""Tests for pipeline run reports."""
+
+import pytest
+
+from repro.sim.pipeline import (
+    PipelineSimulator,
+    compare_runs,
+    describe_machine,
+    describe_run,
+    stall_breakdown,
+)
+from repro.workloads import generate_trace, spec2000_profile
+
+
+@pytest.fixture(scope="module")
+def run(space):
+    trace = generate_trace(spec2000_profile("gzip"), 6000, seed=2)
+    return PipelineSimulator(space.baseline).run(trace, warmup=2000)
+
+
+class TestDescribe:
+    def test_machine_line_mentions_key_parameters(self, space):
+        text = describe_machine(space.baseline)
+        assert "width=4" in text
+        assert "L2=2048KB" in text
+
+    def test_run_report_sections(self, run, space):
+        text = describe_run(run, space.baseline)
+        for needle in ("machine", "IPC", "branches", "caches", "energy",
+                       "stalls"):
+            assert needle in text
+
+    def test_stall_breakdown_shares(self, run):
+        text = stall_breakdown(run)
+        assert "stalls" in text
+        assert "%" in text
+
+    def test_wrong_path_line_only_when_present(self, run, space):
+        assert "wrong-path" not in describe_run(run, space.baseline)
+        trace = generate_trace(spec2000_profile("gzip"), 6000, seed=2)
+        speculative = PipelineSimulator(
+            space.baseline, wrong_path=True
+        ).run(trace, warmup=2000)
+        assert "wrong-path" in describe_run(speculative, space.baseline)
+
+
+class TestCompare:
+    def test_side_by_side(self, run, space):
+        trace = generate_trace(spec2000_profile("gzip"), 6000, seed=2)
+        other = PipelineSimulator(
+            space.baseline.replace(width=2, rf_read_ports=4,
+                                   rf_write_ports=2)
+        ).run(trace, warmup=2000)
+        table = compare_runs(["baseline", "narrow"], [run, other])
+        assert "baseline" in table and "narrow" in table
+        assert table.count("\n") >= 3
+
+    def test_mismatched_lengths_rejected(self, run):
+        with pytest.raises(ValueError):
+            compare_runs(["a"], [run, run])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_runs([], [])

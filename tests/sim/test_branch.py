@@ -1,0 +1,51 @@
+"""Tests for the analytic branch model."""
+
+import numpy as np
+import pytest
+
+from repro.sim import branch_penalties
+from repro.workloads import BranchBehaviour
+
+
+@pytest.fixture()
+def behaviour() -> BranchBehaviour:
+    return BranchBehaviour(
+        floor=0.05, scale=0.05, alpha=0.5, btb_floor=0.01,
+        btb_scale=0.02, taken_fraction=0.65, static_branches=128,
+    )
+
+
+class TestBranchPenalties:
+    def test_mispredicts_scale_with_branch_fraction(self, behaviour):
+        low = branch_penalties(behaviour, 0.05, 16384, 4096)
+        high = branch_penalties(behaviour, 0.20, 16384, 4096)
+        assert float(high.mispredicts_per_instruction) == pytest.approx(
+            4 * float(low.mispredicts_per_instruction)
+        )
+
+    def test_bigger_gshare_reduces_mispredicts(self, behaviour):
+        sizes = np.array([1024, 4096, 16384, 32768])
+        penalties = branch_penalties(behaviour, 0.14, sizes, 4096)
+        assert np.all(np.diff(penalties.mispredicts_per_instruction) < 0)
+
+    def test_bigger_btb_reduces_bubbles(self, behaviour):
+        small = branch_penalties(behaviour, 0.14, 16384, 1024)
+        large = branch_penalties(behaviour, 0.14, 16384, 4096)
+        assert float(large.btb_bubbles_per_instruction) < float(
+            small.btb_bubbles_per_instruction
+        )
+
+    def test_btb_bubbles_only_for_taken(self, behaviour):
+        penalties = branch_penalties(behaviour, 0.14, 16384, 4096)
+        assert float(penalties.btb_bubbles_per_instruction) <= (
+            0.14 * behaviour.taken_fraction
+        )
+
+    def test_invalid_branch_fraction_rejected(self, behaviour):
+        with pytest.raises(ValueError):
+            branch_penalties(behaviour, 1.2, 16384, 4096)
+
+    def test_vectorised_over_sizes(self, behaviour):
+        sizes = np.array([1024, 32768])
+        penalties = branch_penalties(behaviour, 0.14, sizes, 4096)
+        assert penalties.mispredict_rate.shape == (2,)

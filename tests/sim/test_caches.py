@@ -1,0 +1,80 @@
+"""Tests for the analytic cache hierarchy model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import effective_capacity, hierarchy_miss_ratios
+from repro.sim.caches import misses_per_kilo_instruction
+from repro.workloads import LocalityModel
+
+
+@pytest.fixture(scope="module")
+def locality() -> LocalityModel:
+    return LocalityModel(
+        working_sets=((64 * 1024, 0.05), (4 * 1024 * 1024, 0.10)),
+        cold=0.004,
+    )
+
+
+class TestEffectiveCapacity:
+    def test_less_than_physical(self):
+        assert effective_capacity(32 * 1024, 2) < 32 * 1024
+
+    def test_grows_with_associativity(self):
+        direct = effective_capacity(32 * 1024, 1)
+        eight_way = effective_capacity(32 * 1024, 8)
+        assert eight_way > direct
+
+    def test_invalid_associativity(self):
+        with pytest.raises(ValueError):
+            effective_capacity(1024, 0)
+
+
+class TestHierarchy:
+    def test_l1_miss_decreases_with_l1_size(self, locality):
+        sizes = np.array([8, 16, 32, 64, 128]) * 1024.0
+        ratios = hierarchy_miss_ratios(locality, sizes, 2 * 1024 * 1024)
+        assert np.all(np.diff(ratios.l1) < 0)
+
+    def test_l2_local_decreases_with_l2_size(self, locality):
+        sizes = np.array([256, 512, 1024, 2048, 4096]) * 1024.0
+        ratios = hierarchy_miss_ratios(locality, 32 * 1024, sizes)
+        assert np.all(np.diff(ratios.l2_local) <= 1e-12)
+
+    def test_local_ratio_is_probability(self, locality):
+        ratios = hierarchy_miss_ratios(locality, 32 * 1024, 2 * 1024 * 1024)
+        assert 0.0 <= float(ratios.l2_local) <= 1.0
+
+    def test_global_is_product(self, locality):
+        ratios = hierarchy_miss_ratios(locality, 32 * 1024, 2 * 1024 * 1024)
+        assert float(ratios.l2_global) == pytest.approx(
+            float(ratios.l1) * float(ratios.l2_local)
+        )
+
+    def test_inclusive_hierarchy_filters(self, locality):
+        """References reaching memory <= references missing L1."""
+        ratios = hierarchy_miss_ratios(locality, 32 * 1024, 2 * 1024 * 1024)
+        assert float(ratios.l2_global) <= float(ratios.l1)
+
+    @given(
+        l1_kb=st.sampled_from([8, 16, 32, 64, 128]),
+        l2_kb=st.sampled_from([256, 512, 1024, 2048, 4096]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_outputs_are_probabilities(self, locality, l1_kb, l2_kb):
+        ratios = hierarchy_miss_ratios(
+            locality, l1_kb * 1024.0, l2_kb * 1024.0
+        )
+        for value in (ratios.l1, ratios.l2_local, ratios.l2_global):
+            assert 0.0 <= float(value) <= 1.0
+
+
+class TestMpki:
+    def test_conversion(self):
+        assert misses_per_kilo_instruction(0.05, 0.3) == pytest.approx(15.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            misses_per_kilo_instruction(0.05, -0.1)

@@ -1,0 +1,126 @@
+"""Tests for the Cacti/Wattch-style energy model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    EnergyModel,
+    MachineSpec,
+    array_area,
+    array_read_energy,
+    array_write_energy,
+    cache_access_energy,
+    cache_area,
+    cam_search_energy,
+)
+
+
+class TestArrayEnergy:
+    def test_grows_with_entries(self):
+        assert array_read_energy(160, 64) > array_read_energy(40, 64)
+
+    def test_grows_with_bits(self):
+        assert array_read_energy(64, 128) > array_read_energy(64, 32)
+
+    def test_grows_with_ports(self):
+        assert array_read_energy(64, 64, 16) > array_read_energy(64, 64, 2)
+
+    def test_write_costs_more_than_read_bitline(self):
+        # Full swing on writes: write > read for wide arrays.
+        assert array_write_energy(4096, 64) > 0
+
+    def test_vectorised(self):
+        entries = np.array([40, 96, 160])
+        energies = array_read_energy(entries, 64, 4)
+        assert energies.shape == (3,)
+        assert np.all(np.diff(energies) > 0)
+
+    def test_invalid_entries_rejected(self):
+        with pytest.raises(ValueError):
+            array_read_energy(0, 64)
+
+    def test_invalid_ports_rejected(self):
+        with pytest.raises(ValueError):
+            array_read_energy(64, 64, 0)
+
+    @given(
+        entries=st.integers(min_value=1, max_value=100_000),
+        bits=st.integers(min_value=1, max_value=512),
+        ports=st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_energy_positive(self, entries, bits, ports):
+        assert array_read_energy(entries, bits, ports) > 0
+        assert array_write_energy(entries, bits, ports) > 0
+        assert array_area(entries, bits, ports) > 0
+
+
+class TestCamAndCache:
+    def test_cam_linear_in_entries(self):
+        small = cam_search_energy(16, 10)
+        large = cam_search_energy(80, 10)
+        assert large == pytest.approx(5 * small)
+
+    def test_cache_energy_grows_with_capacity(self):
+        capacities = np.array([8, 32, 128]) * 1024
+        energies = cache_access_energy(capacities, 32, 2)
+        assert np.all(np.diff(energies) > 0)
+
+    def test_cache_smaller_than_line_rejected(self):
+        with pytest.raises(ValueError):
+            cache_access_energy(16, 32, 2)
+
+    def test_cache_area_linear(self):
+        assert cache_area(2 * 1024) == pytest.approx(2 * cache_area(1024))
+
+
+class TestEnergyModel:
+    def test_total_energy_accumulates(self, space):
+        model = EnergyModel(MachineSpec(space.baseline))
+        idle = model.total_energy({}, cycles=1000)
+        busy = model.total_energy({"rf_read": 1000.0}, cycles=1000)
+        assert busy > idle > 0
+
+    def test_leakage_grows_with_structures(self, space):
+        small = EnergyModel(MachineSpec(space.baseline.replace(l2cache_kb=256,
+                                                               dcache_kb=8)))
+        large = EnergyModel(MachineSpec(space.baseline.replace(l2cache_kb=4096)))
+        assert large.leakage_power > small.leakage_power
+
+    def test_port_replication_raises_area(self, space):
+        narrow = EnergyModel(
+            MachineSpec(space.baseline.replace(rf_read_ports=2,
+                                               rf_write_ports=1))
+        )
+        wide = EnergyModel(
+            MachineSpec(space.baseline.replace(rf_read_ports=16,
+                                               rf_write_ports=8,
+                                               width=8))
+        )
+        assert wide.area > narrow.area
+
+    def test_alu_energy_lookup(self, space):
+        model = EnergyModel(MachineSpec(space.baseline))
+        assert model.alu_energy("fp_mul") > model.alu_energy("int_alu")
+
+    def test_unknown_alu_class_rejected(self, space):
+        model = EnergyModel(MachineSpec(space.baseline))
+        with pytest.raises(KeyError):
+            model.alu_energy("vector_unit")
+
+    def test_negative_activity_rejected(self, space):
+        model = EnergyModel(MachineSpec(space.baseline))
+        with pytest.raises(ValueError):
+            model.total_energy({"rf_read": -1.0}, cycles=10)
+
+    def test_negative_cycles_rejected(self, space):
+        model = EnergyModel(MachineSpec(space.baseline))
+        with pytest.raises(ValueError):
+            model.total_energy({}, cycles=-1)
+
+    def test_alu_activity_counts(self, space):
+        model = EnergyModel(MachineSpec(space.baseline))
+        with_alu = model.total_energy({"int_mul": 100.0}, cycles=0)
+        assert with_alu == pytest.approx(100 * model.alu_energy("int_mul"))

@@ -1,0 +1,98 @@
+"""Property-based tests on the interval simulator's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designspace import Configuration, DesignSpace
+from repro.sim import IntervalSimulator, Metric
+from repro.workloads import spec2000_profile
+
+_SPACE = DesignSpace()
+_SIM = IntervalSimulator(_SPACE)
+_PROFILES = [spec2000_profile(name) for name in ("gzip", "swim", "art")]
+
+
+@st.composite
+def legal_configurations(draw):
+    """Draw a uniformly random legal configuration."""
+    values = {}
+    for parameter in _SPACE.parameters:
+        values[parameter.name] = draw(st.sampled_from(parameter.values))
+    config = Configuration(**values)
+    # Repair the constrained groups instead of rejecting (keeps the
+    # search space dense for hypothesis).
+    repairs = {}
+    if config.iq_size > config.rob_size:
+        repairs["iq_size"] = min(
+            v for v in _SPACE.parameter("iq_size").values
+            if v <= config.rob_size
+        ) if any(v <= config.rob_size
+                 for v in _SPACE.parameter("iq_size").values) else 8
+    if config.lsq_size > config.rob_size:
+        repairs["lsq_size"] = 8
+    if config.rf_read_ports > 2 * config.width:
+        repairs["rf_read_ports"] = 2
+    if config.rf_write_ports > config.width:
+        repairs["rf_write_ports"] = 1
+    if config.l2cache_kb < 8 * max(config.icache_kb, config.dcache_kb):
+        repairs["l2cache_kb"] = 4096
+    if repairs:
+        config = config.replace(**repairs)
+    return config
+
+
+class TestInvariants:
+    @given(config=legal_configurations())
+    @settings(max_examples=60, deadline=None)
+    def test_metrics_positive_and_finite(self, config):
+        for profile in _PROFILES:
+            result = _SIM.simulate(profile, config)
+            for metric in Metric.all():
+                value = result.metric(metric)
+                assert np.isfinite(value)
+                assert value > 0
+
+    @given(config=legal_configurations())
+    @settings(max_examples=40, deadline=None)
+    def test_ipc_bounded_by_width(self, config):
+        for profile in _PROFILES:
+            result = _SIM.simulate(profile, config)
+            ipc = 1.0 / result.breakdown["cpi"]
+            assert ipc <= config.width + 1e-9
+
+    @given(config=legal_configurations())
+    @settings(max_examples=40, deadline=None)
+    def test_window_bounded_by_rob(self, config):
+        for profile in _PROFILES:
+            result = _SIM.simulate(profile, config)
+            assert result.breakdown["window"] <= config.rob_size + 1e-9
+
+    @given(config=legal_configurations())
+    @settings(max_examples=40, deadline=None)
+    def test_derived_metric_identities(self, config):
+        result = _SIM.simulate(_PROFILES[0], config)
+        assert result.ed == pytest.approx(result.cycles * result.energy)
+        assert result.edd == pytest.approx(result.ed * result.cycles)
+
+    @given(config=legal_configurations())
+    @settings(max_examples=30, deadline=None)
+    def test_growing_gshare_never_hurts_cycles(self, config):
+        """The analytic mispredict model is monotone in predictor size."""
+        grid = _SPACE.parameter("gshare_size").values
+        profile = _PROFILES[0]
+        cycles = [
+            _SIM.simulate(profile, config.replace(gshare_size=size)).cycles
+            for size in grid
+        ]
+        assert all(b <= a + 1e-6 for a, b in zip(cycles, cycles[1:]))
+
+    @given(config=legal_configurations())
+    @settings(max_examples=30, deadline=None)
+    def test_mlp_within_model_bounds(self, config):
+        for profile in _PROFILES:
+            result = _SIM.simulate(profile, config)
+            assert 1.0 <= result.breakdown["mlp"] <= max(
+                profile.mlp_max, float(_SIM.fixed.mshr_entries)
+            ) + 1e-9

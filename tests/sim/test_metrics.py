@@ -1,0 +1,48 @@
+"""Tests for the target metric definitions."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Metric, derive_metrics
+
+
+class TestMetricEnum:
+    def test_all_four_in_paper_order(self):
+        assert [m.value for m in Metric.all()] == [
+            "cycles", "energy", "ed", "edd",
+        ]
+
+    def test_from_name(self):
+        assert Metric.from_name("EDD") is Metric.EDD
+        assert Metric.from_name("cycles") is Metric.CYCLES
+
+    def test_from_name_unknown(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            Metric.from_name("ipc")
+
+
+class TestDeriveMetrics:
+    def test_products(self):
+        metrics = derive_metrics(10.0, 3.0)
+        assert metrics[Metric.ED] == pytest.approx(30.0)
+        assert metrics[Metric.EDD] == pytest.approx(300.0)
+
+    def test_vectorised(self):
+        cycles = np.array([10.0, 20.0])
+        energy = np.array([2.0, 4.0])
+        metrics = derive_metrics(cycles, energy)
+        assert metrics[Metric.EDD] == pytest.approx([200.0, 1600.0])
+
+    def test_edd_emphasises_delay(self):
+        """Doubling delay at constant energy quadruples... no: doubles ED
+        and quadruples EDD."""
+        base = derive_metrics(10.0, 3.0)
+        slow = derive_metrics(20.0, 3.0)
+        assert slow[Metric.ED] / base[Metric.ED] == pytest.approx(2.0)
+        assert slow[Metric.EDD] / base[Metric.EDD] == pytest.approx(4.0)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            derive_metrics(0.0, 1.0)
+        with pytest.raises(ValueError):
+            derive_metrics(1.0, -1.0)

@@ -1,0 +1,108 @@
+"""Tests for the Monte Carlo statistical simulator."""
+
+import numpy as np
+import pytest
+
+from repro.sim import IntervalSimulator, MonteCarloSimulator
+from repro.sim.montecarlo import noisy_responses
+from repro.workloads import spec2000_profile
+
+
+@pytest.fixture(scope="module")
+def mc(space):
+    return MonteCarloSimulator(space, window_instructions=1500,
+                               replications=6)
+
+
+class TestEstimates:
+    def test_positive_and_finite(self, mc, space):
+        result = mc.simulate(spec2000_profile("gzip"), space.baseline,
+                             seed=1)
+        assert np.isfinite(result.cycles) and result.cycles > 0
+        assert np.isfinite(result.energy) and result.energy > 0
+        assert result.cycles_std >= 0
+
+    def test_deterministic_given_seed(self, mc, space):
+        profile = spec2000_profile("gzip")
+        a = mc.simulate(profile, space.baseline, seed=3)
+        b = mc.simulate(profile, space.baseline, seed=3)
+        assert a.cycles == b.cycles
+
+    def test_seeds_produce_sampling_noise(self, mc, space):
+        profile = spec2000_profile("gzip")
+        a = mc.simulate(profile, space.baseline, seed=1)
+        b = mc.simulate(profile, space.baseline, seed=2)
+        assert a.cycles != b.cycles
+        # ...but within a plausible sampling band.
+        assert abs(a.cycles - b.cycles) / a.cycles < 0.5
+
+    def test_relative_noise_reported(self, mc, space):
+        result = mc.simulate(spec2000_profile("gzip"), space.baseline,
+                             seed=4)
+        assert 0.0 <= result.relative_noise < 0.5
+
+    def test_more_replications_less_noise(self, space):
+        profile = spec2000_profile("gzip")
+        few = MonteCarloSimulator(space, replications=2,
+                                  window_instructions=1000)
+        many = MonteCarloSimulator(space, replications=24,
+                                   window_instructions=1000)
+        spread_few = np.std(
+            [few.simulate(profile, space.baseline, seed=s).cycles
+             for s in range(8)]
+        )
+        spread_many = np.std(
+            [many.simulate(profile, space.baseline, seed=s).cycles
+             for s in range(8)]
+        )
+        assert spread_many < spread_few
+
+    def test_illegal_config_rejected(self, mc, space):
+        bad = space.baseline.replace(rob_size=32, iq_size=80)
+        with pytest.raises(ValueError):
+            mc.simulate(spec2000_profile("gzip"), bad)
+
+    def test_invalid_construction(self, space):
+        with pytest.raises(ValueError):
+            MonteCarloSimulator(space, window_instructions=5)
+        with pytest.raises(ValueError):
+            MonteCarloSimulator(space, replications=0)
+
+
+class TestQualitativeAgreement:
+    def test_rf_cliff_visible(self, mc, space):
+        profile = spec2000_profile("gzip")
+        base = mc.simulate(profile, space.baseline, seed=5).cycles
+        starved = mc.simulate(
+            profile, space.baseline.replace(rf_size=40), seed=5
+        ).cycles
+        assert starved > 1.2 * base
+
+    def test_memory_bound_program_slower(self, mc, space):
+        gzip = mc.simulate(spec2000_profile("gzip"), space.baseline,
+                           seed=6).cycles
+        art = mc.simulate(spec2000_profile("art"), space.baseline,
+                          seed=6).cycles
+        assert art > gzip
+
+    def test_rank_agreement_with_interval_model(self, mc, space, configs):
+        profile = spec2000_profile("swim")
+        subset = list(configs[:12])
+        interval = IntervalSimulator(space).simulate_batch(profile, subset)
+        estimates = np.array(
+            [mc.simulate(profile, c, seed=7).cycles for c in subset]
+        )
+        ranks = lambda a: np.argsort(np.argsort(a))
+        rho = np.corrcoef(ranks(estimates), ranks(interval.cycles))[0, 1]
+        assert rho > 0.5
+
+
+class TestNoisyResponses:
+    def test_shape_and_determinism(self, mc, space, configs):
+        profile = spec2000_profile("gzip")
+        subset = list(configs[:6])
+        a = noisy_responses(mc, profile, subset, seed=9)
+        b = noisy_responses(mc, profile, subset, seed=9)
+        assert a.shape == (6,)
+        assert np.allclose(a, b)
+        assert np.all(a > 0)

@@ -1,0 +1,120 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTables:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Reorder buffer" in out
+        assert "18,952,704,000" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Integer ALUs" in out
+
+
+class TestSimulate:
+    def test_baseline(self, capsys):
+        assert main(["simulate", "--program", "gzip"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and "IPC" in out
+
+    def test_override_parameters(self, capsys):
+        assert main(
+            ["simulate", "--program", "art", "--l2cache-kb", "4096"]
+        ) == 0
+        assert "l2cache_kb=4096" in capsys.readouterr().out
+
+    def test_mibench_program(self, capsys):
+        assert main(["simulate", "--program", "sha"]) == 0
+
+    def test_unknown_program(self, capsys):
+        assert main(["simulate", "--program", "doom"]) == 2
+        assert "unknown program" in capsys.readouterr().err
+
+    def test_illegal_configuration(self, capsys):
+        code = main(
+            ["simulate", "--program", "gzip", "--rob-size", "32",
+             "--iq-size", "80"]
+        )
+        assert code == 2
+        assert "illegal" in capsys.readouterr().err
+
+
+class TestPredict:
+    def test_small_scale_run(self, capsys):
+        code = main(
+            ["predict", "--program", "applu", "--samples", "300",
+             "--training-size", "200", "--responses", "24"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "held-out rmae" in out
+        assert "correlation" in out
+
+    def test_unknown_program(self, capsys):
+        assert main(["predict", "--program", "doom", "--samples", "100"]) == 2
+
+
+class TestAnalyze:
+    def test_spec_analysis(self, capsys):
+        assert main(
+            ["analyze", "--metric", "cycles", "--samples", "300"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "outliers" in out
+        assert "most influential parameters" in out
+
+    def test_bad_metric(self):
+        with pytest.raises(ValueError):
+            main(["analyze", "--metric", "ipc", "--samples", "100"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestPlan:
+    def test_plan_prints_splits(self, capsys):
+        assert main(["plan", "--budget", "2000", "--new-programs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "best splits" in out
+        assert "expected rmae" in out
+
+    def test_impossible_budget(self, capsys):
+        assert main(["plan", "--budget", "5"]) == 1
+        assert "no admissible split" in capsys.readouterr().err
+
+
+class TestFullReport:
+    def test_full_report(self, capsys):
+        assert main(
+            ["analyze", "--metric", "energy", "--samples", "250", "--full"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "design-space report" in out
+        assert "hierarchical clustering" in out
+        assert "main effects" in out
+
+
+class TestExplore:
+    def test_explore_spec_program(self, capsys):
+        code = main(
+            ["explore", "--program", "applu", "--metric", "cycles",
+             "--samples", "300", "--training-size", "200",
+             "--candidates", "400"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verdict" in out
+        assert "sweet spots" in out
+
+    def test_explore_unknown_program(self, capsys):
+        assert main(
+            ["explore", "--program", "doom", "--samples", "100"]
+        ) == 2

@@ -1,0 +1,73 @@
+"""Golden-value regression pins.
+
+Every simulator and workload constant in this repository is
+deterministic, so a handful of exact values can be pinned to catch
+accidental model drift: a change to any calibration constant, locality
+curve or energy coefficient will trip these before it silently shifts
+every experiment in EXPERIMENTS.md.  When a drift is *intentional*,
+update the pins and re-run the benchmark harness so the recorded
+artefacts move together.
+"""
+
+import pytest
+
+from repro.designspace import DesignSpace
+from repro.sim import IntervalSimulator
+from repro.workloads import spec2000_profile
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return IntervalSimulator(DesignSpace())
+
+
+@pytest.fixture(scope="module")
+def baseline(sim):
+    return sim.space.baseline
+
+
+class TestSimulatorGoldenValues:
+    """Exact interval-model outputs at the baseline machine."""
+
+    def test_gzip_baseline_cycles(self, sim, baseline):
+        result = sim.simulate(spec2000_profile("gzip"), baseline)
+        assert result.cycles == pytest.approx(9.42526e6, rel=1e-3)
+
+    def test_gzip_baseline_energy(self, sim, baseline):
+        result = sim.simulate(spec2000_profile("gzip"), baseline)
+        assert result.energy == pytest.approx(3.66873e7, rel=1e-3)
+
+    def test_art_baseline_cycles(self, sim, baseline):
+        result = sim.simulate(spec2000_profile("art"), baseline)
+        assert result.cycles == pytest.approx(3.68664e7, rel=1e-3)
+
+    def test_mcf_baseline_cycles(self, sim, baseline):
+        result = sim.simulate(spec2000_profile("mcf"), baseline)
+        assert result.cycles == pytest.approx(1.14268e8, rel=1e-3)
+
+
+class TestSpaceGoldenValues:
+    def test_exact_space_sizes(self):
+        space = DesignSpace()
+        assert space.raw_size == 62_668_800_000
+        assert space.legal_size == 18_952_704_000
+
+    def test_baseline_window(self, sim, baseline):
+        result = sim.simulate(spec2000_profile("gzip"), baseline)
+        assert result.breakdown["window"] == pytest.approx(85.29, abs=0.5)
+
+
+class TestProfileGoldenValues:
+    """Seeded profile constants (jitter is part of the contract)."""
+
+    def test_gzip_ilp(self):
+        assert spec2000_profile("gzip").ilp_max == pytest.approx(
+            2.515, abs=0.01
+        )
+
+    def test_art_idiosyncrasy_amplitude(self):
+        assert spec2000_profile("art").idiosyncrasy_performance.amplitude \
+            == pytest.approx(0.50)
+
+    def test_mcf_mlp_cap(self):
+        assert spec2000_profile("mcf").mlp_max == pytest.approx(1.337, abs=0.01)

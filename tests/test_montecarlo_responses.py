@@ -1,0 +1,62 @@
+"""End to end: fitting the predictor on genuinely noisy MC responses.
+
+Ablation A8 injects synthetic noise; this test goes further and feeds
+the predictor responses measured by the Monte Carlo statistical
+simulator — a different simulator with real sampling noise *and* model
+bias — and checks the architecture-centric fit still tracks the
+interval-model ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ArchitectureCentricPredictor
+from repro.ml import correlation
+from repro.sim import Metric, MonteCarloSimulator
+from repro.sim.montecarlo import noisy_responses
+
+
+class TestMonteCarloResponses:
+    def test_predictor_survives_noisy_biased_responses(
+        self, cycles_pool, small_dataset, small_suite, space
+    ):
+        models = cycles_pool.models(exclude=["applu"])
+        response_idx, holdout_idx = small_dataset.split_indices(32, seed=64)
+        response_configs = small_dataset.subset_configs(response_idx)
+
+        montecarlo = MonteCarloSimulator(
+            space, window_instructions=1500, replications=6
+        )
+        responses = noisy_responses(
+            montecarlo, small_suite["applu"], response_configs, seed=1
+        )
+        predictor = ArchitectureCentricPredictor(models)
+        predictor.fit_responses(response_configs, responses)
+
+        predictions = predictor.predict(
+            small_dataset.subset_configs(holdout_idx)
+        )
+        actual = small_dataset.subset_values(
+            "applu", Metric.CYCLES, holdout_idx
+        )
+        # Correlation survives a different, noisy response simulator
+        # (absolute level inherits the MC model's bias, so only the
+        # shape claim is meaningful).
+        assert correlation(predictions, actual) > 0.6
+
+    def test_mc_responses_differ_from_interval_truth(
+        self, small_dataset, small_suite, space
+    ):
+        """Sanity: the test above is non-trivial — the MC responses are
+        genuinely different numbers."""
+        response_idx, _ = small_dataset.split_indices(16, seed=65)
+        configs = small_dataset.subset_configs(response_idx)
+        montecarlo = MonteCarloSimulator(
+            space, window_instructions=1500, replications=6
+        )
+        mc = noisy_responses(montecarlo, small_suite["applu"], configs,
+                             seed=2)
+        truth = small_dataset.subset_values(
+            "applu", Metric.CYCLES, response_idx
+        )
+        assert not np.allclose(mc, truth, rtol=0.05)

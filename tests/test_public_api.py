@@ -1,0 +1,38 @@
+"""The top-level package exposes the documented public surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self, small_dataset, cycles_pool, space):
+        """The README quickstart, condensed."""
+        models = cycles_pool.models(exclude=["applu"])
+        predictor = repro.ArchitectureCentricPredictor(models)
+        responses, _ = small_dataset.split_indices(32, seed=1)
+        predictor.fit_responses(
+            small_dataset.subset_configs(responses),
+            small_dataset.subset_values("applu", repro.Metric.CYCLES,
+                                        responses),
+        )
+        prediction = predictor.predict_one(space.baseline)
+        actual = small_dataset.simulator.simulate(
+            small_dataset.suite["applu"], space.baseline
+        ).cycles
+        assert abs(prediction - actual) / actual < 0.5
+
+    def test_subpackages_importable(self):
+        import repro.analysis
+        import repro.core
+        import repro.designspace
+        import repro.exploration
+        import repro.ml
+        import repro.sim
+        import repro.sim.pipeline
+        import repro.workloads

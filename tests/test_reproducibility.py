@@ -1,0 +1,70 @@
+"""End-to-end determinism: the whole workflow replays bit-identically.
+
+Every random choice in the repository flows from explicit seeds, so two
+fresh runs of any experiment must agree exactly — the property that
+makes EXPERIMENTS.md's numbers reproducible.  These tests rebuild the
+full stack twice from scratch and compare.
+"""
+
+import numpy as np
+
+from repro import (
+    ArchitectureCentricPredictor,
+    DesignSpaceDataset,
+    Metric,
+    TrainingPool,
+    sample_configurations,
+    spec2000_suite,
+)
+from repro.designspace import DesignSpace
+
+
+def _fresh_prediction(seed_bundle):
+    """Build everything from scratch and return one prediction vector."""
+    sample_seed, pool_seed, split_seed = seed_bundle
+    suite = spec2000_suite().subset(("gzip", "applu", "swim", "mesa"))
+    dataset = DesignSpaceDataset.sampled(
+        suite, sample_size=300, seed=sample_seed
+    )
+    pool = TrainingPool(dataset, Metric.CYCLES, training_size=200,
+                        seed=pool_seed)
+    predictor = ArchitectureCentricPredictor(
+        pool.models(exclude=["applu"])
+    )
+    response_idx, holdout_idx = dataset.split_indices(24, seed=split_seed)
+    predictor.fit_responses(
+        dataset.subset_configs(response_idx),
+        dataset.subset_values("applu", Metric.CYCLES, response_idx),
+    )
+    return predictor.predict(dataset.subset_configs(holdout_idx[:40]))
+
+
+class TestEndToEndDeterminism:
+    def test_full_workflow_replays_identically(self):
+        seeds = (11, 12, 13)
+        first = _fresh_prediction(seeds)
+        second = _fresh_prediction(seeds)
+        assert np.array_equal(first, second)
+
+    def test_different_seeds_differ(self):
+        a = _fresh_prediction((11, 12, 13))
+        b = _fresh_prediction((11, 99, 13))
+        assert not np.array_equal(a, b)
+
+    def test_simulation_layer_is_deterministic(self):
+        space = DesignSpace()
+        suite = spec2000_suite()
+        configs = sample_configurations(space, 50, seed=5)
+        from repro.sim import IntervalSimulator
+
+        a = IntervalSimulator(space).simulate_batch(suite["art"], configs)
+        b = IntervalSimulator(space).simulate_batch(suite["art"], configs)
+        assert np.array_equal(a.cycles, b.cycles)
+        assert np.array_equal(a.energy, b.energy)
+
+    def test_profiles_are_process_stable(self):
+        """Profile construction hashes names, not id()s or dict order."""
+        a = spec2000_suite()["mcf"]
+        b = spec2000_suite()["mcf"]
+        assert a == b
+        assert a.idiosyncrasy_performance.seed == b.idiosyncrasy_performance.seed

@@ -1,0 +1,75 @@
+"""Tests for the profile builder helpers."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import make_mix, make_profile
+
+
+class TestMakeMix:
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        mix = make_mix(rng, 0.3, 0.15, 0.4)
+        assert sum(mix.as_tuple()) == pytest.approx(1.0)
+
+    def test_respects_aggregates(self):
+        rng = np.random.default_rng(1)
+        mix = make_mix(rng, 0.3, 0.15, 0.0)
+        assert mix.memory == pytest.approx(0.3, rel=0.1)
+        assert mix.branch == pytest.approx(0.15, rel=0.1)
+        assert mix.fp == 0.0
+
+    def test_fp_share_applies_to_compute(self):
+        rng = np.random.default_rng(2)
+        mix = make_mix(rng, 0.3, 0.1, 0.5)
+        compute = 1.0 - mix.memory - mix.branch
+        assert mix.fp == pytest.approx(compute * 0.5, rel=0.05)
+
+    def test_impossible_mix_rejected(self):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValueError, match="no compute"):
+            make_mix(rng, 0.7, 0.35, 0.0)
+
+
+class TestMakeProfile:
+    def _profile(self, name="synthetic"):
+        return make_profile(
+            name, "testsuite", "int",
+            memory_fraction=0.3,
+            branch_fraction=0.14,
+            fp_fraction=0.0,
+            ilp_max=2.5,
+            ilp_window_scale=50,
+            working_sets_kb=[(64, 0.05), (512, 0.03)],
+            cold_miss=0.002,
+            instruction_footprint_kb=32,
+            mispredict_floor=0.05,
+            mispredict_scale=0.05,
+        )
+
+    def test_profile_is_valid(self):
+        profile = self._profile()
+        assert profile.name == "synthetic"
+        assert profile.suite == "testsuite"
+        assert 0 < profile.iq_pressure <= 1
+
+    def test_jitter_is_deterministic_per_name(self):
+        assert self._profile() == self._profile()
+
+    def test_jitter_differs_across_names(self):
+        a = self._profile("alpha")
+        b = self._profile("beta")
+        assert a.ilp_max != b.ilp_max
+
+    def test_working_sets_scaled_to_bytes(self):
+        profile = self._profile()
+        footprint = profile.data_locality.footprint
+        assert 400 * 1024 < footprint < 640 * 1024
+
+    def test_instruction_stream_is_cacheable(self):
+        """Instruction miss weights stay small (a few percent)."""
+        profile = self._profile()
+        total_weight = sum(
+            w for _, w in profile.instruction_locality.working_sets
+        )
+        assert total_weight < 0.1

@@ -1,0 +1,77 @@
+"""Tests for compiler-optimisation profile variants."""
+
+import pytest
+
+from repro.sim import IntervalSimulator
+from repro.workloads import (
+    OPTIMIZATION_LEVELS,
+    optimization_family,
+    optimization_variant,
+    spec2000_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def base():
+    return spec2000_profile("gzip")
+
+
+class TestVariants:
+    def test_o2_is_near_identity(self, base):
+        variant = optimization_variant(base, "O2")
+        assert variant.instructions == base.instructions
+        assert variant.ilp_max == pytest.approx(base.ilp_max)
+        assert variant.name == "gzip-O2"
+
+    def test_o0_runs_more_instructions(self, base):
+        o0 = optimization_variant(base, "O0")
+        assert o0.instructions > 1.4 * base.instructions
+
+    def test_o0_is_more_memory_bound(self, base):
+        o0 = optimization_variant(base, "O0")
+        assert o0.mix.memory > base.mix.memory
+
+    def test_unrolling_removes_branches(self, base):
+        unrolled = optimization_variant(base, "unrolled")
+        assert unrolled.mix.branch < 0.7 * base.mix.branch
+
+    def test_unrolling_grows_code(self, base):
+        unrolled = optimization_variant(base, "unrolled")
+        assert (unrolled.instruction_locality.footprint
+                > base.instruction_locality.footprint)
+
+    def test_mix_stays_normalised(self, base):
+        for level in OPTIMIZATION_LEVELS:
+            mix = optimization_variant(base, level).mix
+            assert sum(mix.as_tuple()) == pytest.approx(1.0)
+
+    def test_unknown_level_rejected(self, base):
+        with pytest.raises(ValueError, match="unknown"):
+            optimization_variant(base, "Ofast")
+
+    def test_family_covers_levels(self, base):
+        family = optimization_family(base)
+        assert set(family) == set(OPTIMIZATION_LEVELS)
+
+    def test_variants_are_distinct_programs(self, base):
+        """Each variant has its own idiosyncrasy (same source, new
+        binary: similar but not identical behaviour)."""
+        o0 = optimization_variant(base, "O0")
+        assert (o0.idiosyncrasy_performance.seed
+                != base.idiosyncrasy_performance.seed)
+
+
+class TestSimulatedEffects:
+    def test_o0_is_slower(self, base, space):
+        simulator = IntervalSimulator(space)
+        o0 = optimization_variant(base, "O0")
+        baseline_cycles = simulator.simulate(base, space.baseline).cycles
+        o0_cycles = simulator.simulate(o0, space.baseline).cycles
+        assert o0_cycles > 1.3 * baseline_cycles
+
+    def test_o3_not_slower(self, base, space):
+        simulator = IntervalSimulator(space)
+        o3 = optimization_variant(base, "O3")
+        baseline_cycles = simulator.simulate(base, space.baseline).cycles
+        o3_cycles = simulator.simulate(o3, space.baseline).cycles
+        assert o3_cycles < 1.05 * baseline_cycles

@@ -1,0 +1,75 @@
+"""Tests for SimPoint-like phase decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import combine_phase_metrics, decompose, spec2000_profile
+
+
+class TestDecompose:
+    def test_single_phase_is_identity(self):
+        profile = spec2000_profile("gzip")
+        phases = decompose(profile, 1)
+        assert len(phases) == 1
+        assert phases[0].profile == profile
+        assert phases[0].weight == 1.0
+
+    def test_weights_sum_to_one(self):
+        phases = decompose(spec2000_profile("gzip"), 4)
+        assert sum(p.weight for p in phases) == pytest.approx(1.0)
+
+    def test_weights_decrease(self):
+        weights = [p.weight for p in decompose(spec2000_profile("applu"), 5)]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_deterministic(self):
+        a = decompose(spec2000_profile("gzip"), 3)
+        b = decompose(spec2000_profile("gzip"), 3)
+        assert [p.weight for p in a] == [p.weight for p in b]
+        assert [p.profile.ilp_max for p in a] == [p.profile.ilp_max for p in b]
+
+    def test_phases_perturb_the_profile(self):
+        profile = spec2000_profile("gzip")
+        phases = decompose(profile, 3)
+        ilps = {round(p.profile.ilp_max, 6) for p in phases}
+        assert len(ilps) > 1
+
+    def test_phases_keep_identity(self):
+        profile = spec2000_profile("gzip")
+        for phase in decompose(profile, 3):
+            assert phase.profile.name == "gzip"
+            assert phase.profile.suite == "spec2000"
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(spec2000_profile("gzip"), 0)
+
+
+class TestCombine:
+    def test_weighted_sum(self):
+        values = np.array([[10.0, 20.0], [30.0, 40.0]])
+        weights = np.array([0.25, 0.75])
+        combined = combine_phase_metrics(values, weights)
+        assert combined == pytest.approx([25.0, 35.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="one weight per phase"):
+            combine_phase_metrics(np.ones((3, 2)), np.array([0.5, 0.5]))
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            combine_phase_metrics(np.ones((2, 2)), np.array([0.5, 0.6]))
+
+    def test_phase_metrics_combine_through_simulator(self, simulator, space):
+        """End to end: phase-weighted cycles differ from (and bracket
+        reasonably around) the parent profile's cycles."""
+        profile = spec2000_profile("gzip")
+        phases = decompose(profile, 3)
+        config = space.baseline
+        per_phase = np.array(
+            [simulator.simulate(p.profile, config).cycles for p in phases]
+        )
+        weights = np.array([p.weight for p in phases])
+        combined = float(combine_phase_metrics(per_phase, weights))
+        parent = simulator.simulate(profile, config).cycles
+        assert 0.5 * parent < combined < 2.0 * parent

@@ -1,0 +1,123 @@
+"""Tests for the benchmark suites and the suite container."""
+
+import pytest
+
+from repro.workloads import (
+    SPEC_FP,
+    SPEC_INT,
+    BenchmarkSuite,
+    mibench_profile,
+    mibench_suite,
+    spec2000_profile,
+    spec2000_suite,
+)
+
+
+class TestSpec2000:
+    def test_suite_has_26_programs(self, spec_suite):
+        assert len(spec_suite) == 26
+
+    def test_int_fp_split(self):
+        assert len(SPEC_INT) == 12
+        assert len(SPEC_FP) == 14
+        assert set(SPEC_INT).isdisjoint(SPEC_FP)
+
+    def test_canonical_programs_present(self, spec_suite):
+        for name in ("gzip", "gcc", "mcf", "art", "applu", "swim"):
+            assert name in spec_suite
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(KeyError, match="unknown SPEC"):
+            spec2000_profile("doom")
+
+    def test_profiles_are_deterministic(self):
+        assert spec2000_profile("gzip") == spec2000_profile("gzip")
+
+    def test_art_is_memory_bound(self, spec_suite):
+        art = spec_suite["art"]
+        median_footprint = sorted(
+            p.data_locality.footprint for p in spec_suite
+        )[len(spec_suite) // 2]
+        assert art.data_locality.footprint > median_footprint
+        assert art.ilp_max < 2.5
+
+    def test_mcf_has_low_mlp(self, spec_suite):
+        assert spec_suite["mcf"].mlp_max < 1.6
+
+    def test_fp_programs_have_fp_work(self, spec_suite):
+        for name in SPEC_FP:
+            assert spec_suite[name].mix.fp > 0.15
+
+    def test_int_programs_are_branchier_than_fp(self, spec_suite):
+        int_branch = sum(spec_suite[n].mix.branch for n in SPEC_INT) / len(SPEC_INT)
+        fp_branch = sum(spec_suite[n].mix.branch for n in SPEC_FP) / len(SPEC_FP)
+        assert int_branch > fp_branch
+
+
+class TestMiBench:
+    def test_suite_has_24_programs(self, mibench):
+        assert len(mibench) == 24
+
+    def test_ghostscript_is_omitted(self, mibench):
+        assert "ghostscript" not in mibench
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(KeyError, match="unknown MiBench"):
+            mibench_profile("doom")
+
+    def test_embedded_footprints_smaller_than_spec(self, mibench, spec_suite):
+        mibench_median = sorted(
+            p.data_locality.footprint for p in mibench
+        )[len(mibench) // 2]
+        spec_median = sorted(
+            p.data_locality.footprint for p in spec_suite
+        )[len(spec_suite) // 2]
+        assert mibench_median < spec_median
+
+    def test_categories_cover_mibench_groups(self, mibench):
+        categories = {p.category for p in mibench}
+        assert {"automotive", "consumer", "network", "office",
+                "security", "telecomm"} <= categories
+
+
+class TestBenchmarkSuite:
+    def test_lookup(self, spec_suite):
+        assert spec_suite["gzip"].name == "gzip"
+
+    def test_lookup_missing(self, spec_suite):
+        with pytest.raises(KeyError, match="no program"):
+            spec_suite["doom"]
+
+    def test_subset_preserves_order(self, spec_suite):
+        subset = spec_suite.subset(["art", "gzip"])
+        assert subset.programs == ("gzip", "art")  # suite order
+
+    def test_subset_missing_program(self, spec_suite):
+        with pytest.raises(KeyError):
+            spec_suite.subset(["gzip", "doom"])
+
+    def test_without(self, spec_suite):
+        reduced = spec_suite.without("art")
+        assert "art" not in reduced
+        assert len(reduced) == len(spec_suite) - 1
+
+    def test_without_missing(self, spec_suite):
+        with pytest.raises(KeyError):
+            spec_suite.without("doom")
+
+    def test_duplicate_names_rejected(self, spec_suite):
+        gzip = spec_suite["gzip"]
+        with pytest.raises(ValueError, match="duplicate"):
+            BenchmarkSuite("bad", [gzip, gzip])
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            BenchmarkSuite("empty", [])
+
+    def test_by_category(self, spec_suite):
+        fp = spec_suite.by_category("fp")
+        assert all(p.category == "fp" for p in fp)
+        assert len(fp) == len(SPEC_FP)
+
+    def test_iteration_matches_programs(self, spec_suite):
+        assert tuple(p.name for p in spec_suite) == spec_suite.programs

@@ -1,0 +1,88 @@
+"""Tests for the parametric random workload generator."""
+
+import pytest
+
+from repro.sim import IntervalSimulator
+from repro.workloads import (
+    drift_study_suites,
+    random_profile,
+    synthetic_suite,
+)
+
+
+class TestRandomProfile:
+    def test_profile_is_valid(self):
+        profile = random_profile("x", seed=1)
+        assert profile.suite == "synthetic"
+        assert profile.ilp_max > 0
+
+    def test_deterministic_by_name(self):
+        assert random_profile("x") == random_profile("x")
+
+    def test_deterministic_by_seed(self):
+        assert random_profile("x", seed=9) == random_profile("x", seed=9)
+
+    def test_names_differ(self):
+        a = random_profile("a", seed=1)
+        b = random_profile("b", seed=2)
+        assert a.ilp_max != b.ilp_max
+
+    def test_invalid_drift_rejected(self):
+        with pytest.raises(ValueError):
+            random_profile("x", drift=1.5)
+
+    def test_drift_raises_idiosyncrasy(self):
+        typical = random_profile("x", seed=1, drift=0.0)
+        drifted = random_profile("x", seed=1, drift=1.0)
+        assert (drifted.idiosyncrasy_performance.amplitude
+                > typical.idiosyncrasy_performance.amplitude)
+
+    def test_profiles_simulate(self, space):
+        simulator = IntervalSimulator(space)
+        for drift in (0.0, 1.0):
+            profile = random_profile("x", seed=3, drift=drift)
+            result = simulator.simulate(profile, space.baseline)
+            assert result.cycles > 0
+            assert result.energy > 0
+
+
+class TestSyntheticSuite:
+    def test_requested_count(self):
+        assert len(synthetic_suite(7, seed=0)) == 7
+
+    def test_unique_names(self):
+        suite = synthetic_suite(10, seed=0)
+        assert len(set(suite.programs)) == 10
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_suite(0)
+
+    def test_seed_reproducible(self):
+        a = synthetic_suite(3, seed=5)
+        b = synthetic_suite(3, seed=5)
+        assert a.profiles == b.profiles
+
+    def test_drift_spreads_the_population(self, space):
+        """Drifted populations have wider knob spreads than typical."""
+        typical = synthetic_suite(20, seed=2, drift=0.0)
+        drifted = synthetic_suite(20, seed=2, drift=1.0)
+
+        def spread(suite):
+            values = [p.ilp_max for p in suite]
+            return max(values) / min(values)
+
+        assert spread(drifted) > spread(typical)
+
+
+class TestDriftStudy:
+    def test_one_suite_per_level(self):
+        suites = drift_study_suites(3, drifts=(0.0, 0.5))
+        assert set(suites) == {0.0, 0.5}
+        for suite in suites.values():
+            assert len(suite) == 3
+
+    def test_suite_names_distinct(self):
+        suites = drift_study_suites(2, drifts=(0.0, 1.0))
+        names = {suite.name for suite in suites.values()}
+        assert len(names) == 2

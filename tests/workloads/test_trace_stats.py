@@ -1,0 +1,82 @@
+"""Tests closing the loop between profiles and generated traces."""
+
+import pytest
+
+from repro.workloads import (
+    characterise_trace,
+    generate_trace,
+    mix_deviation,
+    reuse_histogram,
+    spec2000_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def gzip_profile():
+    return spec2000_profile("gzip")
+
+
+@pytest.fixture(scope="module")
+def gzip_trace(gzip_profile):
+    return generate_trace(gzip_profile, 20000, seed=42)
+
+
+@pytest.fixture(scope="module")
+def characteristics(gzip_trace):
+    return characterise_trace(gzip_trace)
+
+
+class TestCharacterisation:
+    def test_mix_tracks_the_profile(self, characteristics, gzip_profile):
+        assert mix_deviation(characteristics, gzip_profile) < 0.02
+
+    def test_memory_fraction(self, characteristics, gzip_profile):
+        assert characteristics.memory_fraction == pytest.approx(
+            gzip_profile.mix.memory, abs=0.02
+        )
+
+    def test_code_reuse_present(self, characteristics):
+        """Loops revisit PCs heavily."""
+        assert characteristics.pc_reuse > 0.5
+
+    def test_footprints_positive(self, characteristics):
+        assert characteristics.data_footprint_bytes > 0
+        assert characteristics.code_footprint_bytes > 0
+
+    def test_branch_sites_bounded_by_static_population(
+        self, characteristics, gzip_profile
+    ):
+        assert (characteristics.branch_sites
+                <= gzip_profile.branches.static_branches)
+
+    def test_memory_bound_program_has_bigger_data_footprint(self):
+        art = characterise_trace(
+            generate_trace(spec2000_profile("art"), 20000, seed=42)
+        )
+        gzip = characterise_trace(
+            generate_trace(spec2000_profile("gzip"), 20000, seed=42)
+        )
+        assert art.data_footprint_bytes > gzip.data_footprint_bytes
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            characterise_trace([])
+
+
+class TestReuseHistogram:
+    def test_buckets_cover_all_memory_accesses(self, gzip_trace):
+        histogram = reuse_histogram(gzip_trace)
+        from repro.workloads import OpClass
+        memory_ops = sum(1 for t in gzip_trace if t.op.is_memory)
+        assert sum(histogram.values()) == memory_ops
+
+    def test_short_distances_dominate(self, gzip_trace):
+        """Power-law region reuse concentrates mass at short distances."""
+        histogram = reuse_histogram(gzip_trace)
+        short = histogram["<=1"] + histogram["<=8"] + histogram["<=64"]
+        total = sum(histogram.values())
+        assert short > 0.4 * total
+
+    def test_cold_fraction_small_for_cacheable_code(self, gzip_trace):
+        histogram = reuse_histogram(gzip_trace)
+        assert histogram["cold"] < 0.3 * sum(histogram.values())

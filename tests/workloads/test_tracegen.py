@@ -1,0 +1,145 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    LINE_BYTES,
+    OpClass,
+    TraceGenerator,
+    generate_trace,
+    spec2000_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def gzip_trace():
+    return generate_trace(spec2000_profile("gzip"), 12000, seed=5)
+
+
+class TestTraceShape:
+    def test_length(self, gzip_trace):
+        assert len(gzip_trace) == 12000
+
+    def test_indices_sequential(self, gzip_trace):
+        assert [t.index for t in gzip_trace[:5]] == [0, 1, 2, 3, 4]
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            generate_trace(spec2000_profile("gzip"), 0)
+
+    def test_deterministic_given_seed(self):
+        profile = spec2000_profile("gzip")
+        a = generate_trace(profile, 500, seed=1)
+        b = generate_trace(profile, 500, seed=1)
+        assert [(t.op, t.pc, t.address) for t in a] == [
+            (t.op, t.pc, t.address) for t in b
+        ]
+
+    def test_default_seed_is_stable_per_program(self):
+        profile = spec2000_profile("gzip")
+        a = generate_trace(profile, 200)
+        b = generate_trace(profile, 200)
+        assert [t.pc for t in a] == [t.pc for t in b]
+
+
+class TestInstructionMix:
+    def test_mix_matches_profile(self, gzip_trace):
+        profile = spec2000_profile("gzip")
+        branches = sum(1 for t in gzip_trace if t.op is OpClass.BRANCH)
+        loads = sum(1 for t in gzip_trace if t.op is OpClass.LOAD)
+        n = len(gzip_trace)
+        assert branches / n == pytest.approx(profile.mix.branch, abs=0.02)
+        assert loads / n == pytest.approx(profile.mix.load, abs=0.02)
+
+
+class TestDataflow:
+    def test_memory_ops_have_addresses(self, gzip_trace):
+        for t in gzip_trace:
+            if t.op.is_memory:
+                assert t.address is not None
+                assert t.address % LINE_BYTES == 0
+            else:
+                assert t.address is None
+
+    def test_stores_and_branches_have_no_dest(self, gzip_trace):
+        for t in gzip_trace:
+            if t.op in (OpClass.STORE, OpClass.BRANCH):
+                assert t.dest is None
+
+    def test_compute_ops_have_dest(self, gzip_trace):
+        for t in gzip_trace:
+            if t.op not in (OpClass.STORE, OpClass.BRANCH):
+                assert t.dest is not None
+
+    def test_sources_are_logical_registers(self, gzip_trace):
+        for t in gzip_trace:
+            for source in t.sources:
+                assert 0 <= source < 32
+
+    def test_every_instruction_has_sources(self, gzip_trace):
+        assert all(len(t.sources) >= 1 for t in gzip_trace)
+
+
+class TestBranches:
+    def test_branch_fields(self, gzip_trace):
+        for t in gzip_trace:
+            if t.op is OpClass.BRANCH:
+                assert t.branch_id is not None
+                assert t.taken is not None
+            else:
+                assert t.branch_id is None
+                assert t.taken is None
+
+    def test_branch_id_is_a_function_of_pc(self, gzip_trace):
+        """The same code location always holds the same static branch."""
+        seen = {}
+        for t in gzip_trace:
+            if t.op is OpClass.BRANCH:
+                if t.pc in seen:
+                    assert seen[t.pc] == t.branch_id
+                seen[t.pc] = t.branch_id
+        assert seen  # some branch site repeated or at least existed
+
+    def test_code_loops(self, gzip_trace):
+        """Loop back-edges must make PCs recur (predictors rely on it)."""
+        pcs = [t.pc for t in gzip_trace]
+        assert len(set(pcs)) < len(pcs) / 3
+
+    def test_biased_outcomes(self, gzip_trace):
+        """Branch outcomes must be predictable on average (not 50/50)."""
+        per_site = {}
+        for t in gzip_trace:
+            if t.op is OpClass.BRANCH:
+                per_site.setdefault(t.branch_id, []).append(t.taken)
+        agreement = [
+            max(sum(v), len(v) - sum(v)) / len(v)
+            for v in per_site.values()
+            if len(v) >= 10
+        ]
+        assert np.mean(agreement) > 0.75
+
+
+class TestLocality:
+    def test_addresses_show_reuse(self, gzip_trace):
+        addresses = [t.address for t in gzip_trace if t.op.is_memory]
+        assert len(set(addresses)) < len(addresses) / 2
+
+    def test_memory_bound_program_has_larger_footprint(self):
+        art = generate_trace(spec2000_profile("art"), 12000, seed=5)
+        gzip = generate_trace(spec2000_profile("gzip"), 12000, seed=5)
+        art_lines = {t.address for t in art if t.op.is_memory}
+        gzip_lines = {t.address for t in gzip if t.op.is_memory}
+        assert len(art_lines) > len(gzip_lines)
+
+    def test_pcs_word_aligned(self, gzip_trace):
+        assert all(t.pc % 4 == 0 for t in gzip_trace)
+
+
+class TestGenerator:
+    def test_generator_reuse_continues_stream(self):
+        generator = TraceGenerator(spec2000_profile("gzip"), seed=9)
+        first = generator.generate(100)
+        second = generator.generate(100)
+        # Streams continue rather than repeat.
+        assert [t.pc for t in first] != [t.pc for t in second]

@@ -1,10 +1,14 @@
 """Scale settings shared by the benchmark harnesses.
 
 Reduced defaults (the paper: 3,000 samples, T=512, R=32, 20 repeats) so
-the whole harness finishes in minutes; raise them for a paper-scale run.
+the whole harness finishes in minutes; raise them for a paper-scale run
+or shrink them further via the ``REPRO_*`` environment variables (the
+CI smoke run uses those to finish in seconds).
 """
 
-SAMPLE_SIZE = 1500
-TRAINING_SIZE = 512
-RESPONSES = 32
-REPEATS = 1
+import os
+
+SAMPLE_SIZE = int(os.environ.get("REPRO_SAMPLE_SIZE", 1500))
+TRAINING_SIZE = int(os.environ.get("REPRO_TRAINING_SIZE", 512))
+RESPONSES = int(os.environ.get("REPRO_RESPONSES", 32))
+REPEATS = int(os.environ.get("REPRO_REPEATS", 1))

@@ -33,6 +33,7 @@ The subpackages:
 * :mod:`repro.core` — the architecture-centric predictor itself.
 * :mod:`repro.analysis` — space characterisation and clustering.
 * :mod:`repro.exploration` — datasets and per-figure experiment runners.
+* :mod:`repro.runtime` — fault-tolerant, resumable campaign execution.
 """
 
 from repro.core import (

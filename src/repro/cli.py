@@ -49,6 +49,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     simulate = sub.add_parser("simulate", help="simulate one machine")
     _common(simulate)
+    _checkpoint_options(simulate)
     simulate.add_argument("--program", default="gzip")
     for name in DesignSpace().parameters:
         simulate.add_argument(
@@ -94,6 +95,7 @@ def _build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--responses", type=int, default=32)
     explore.add_argument("--training-size", type=int, default=512)
     explore.add_argument("--candidates", type=int, default=5000)
+    _checkpoint_options(explore)
     return parser
 
 
@@ -102,8 +104,59 @@ def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _checkpoint_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--checkpoint-dir", default=None,
+        help="journal simulation chunks here so an interrupted run can "
+        "be resumed",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue the campaign already checkpointed in "
+        "--checkpoint-dir",
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=128,
+        help="configurations per checkpointed chunk (default 128)",
+    )
+
+
 def _suite(name: str):
     return spec2000_suite() if name == "spec2000" else mibench_suite()
+
+
+def _run_campaign(args: argparse.Namespace, profiles, simulator):
+    """Run a checkpointed campaign; returns the result or None on error.
+
+    Prints the journal accounting so the user can see how much work a
+    resume actually skipped.
+    """
+    from repro.designspace import sample_configurations
+    from repro.runtime import CampaignRunner, IntervalBackend
+
+    configs = sample_configurations(
+        simulator.space, args.samples, seed=args.seed
+    )
+    runner = CampaignRunner(
+        IntervalBackend(simulator),
+        args.checkpoint_dir,
+        chunk_size=args.chunk_size,
+    )
+    try:
+        result = runner.run(profiles, configs, resume=args.resume)
+    except ValueError as error:
+        hint = "" if args.resume else " (pass --resume to continue it)"
+        print(f"checkpoint error: {error}{hint}", file=sys.stderr)
+        return None
+    print(f"campaign  : {result.simulated_cells} chunk(s) simulated, "
+          f"{result.resumed_cells} resumed from "
+          f"{args.checkpoint_dir}")
+    if not result.complete:
+        unfinished = len(result.failed_cells) + len(result.pending_cells)
+        print(f"campaign left {unfinished} chunk(s) unfinished; "
+              "rerun with --resume to continue", file=sys.stderr)
+        return None
+    return result
 
 
 def _cmd_table1() -> int:
@@ -123,6 +176,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.program not in suite:
         print(f"unknown program {args.program!r}", file=sys.stderr)
         return 2
+    if args.checkpoint_dir:
+        return _cmd_simulate_campaign(args, suite)
     space = DesignSpace()
     overrides = {
         p.name: getattr(args, p.name)
@@ -146,6 +201,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"EDD     : {result.edd:.4e}")
     print(f"IPC     : {1.0 / result.breakdown['cpi']:.2f} "
           f"(window {result.breakdown['window']:.0f})")
+    return 0
+
+
+def _cmd_simulate_campaign(args: argparse.Namespace, suite) -> int:
+    """Checkpointed batch simulation of one program over --samples configs."""
+    import numpy as np
+
+    from repro.sim import IntervalSimulator
+
+    result = _run_campaign(
+        args, [suite[args.program]], IntervalSimulator()
+    )
+    if result is None:
+        return 2
+    print(f"program   : {args.program} over {args.samples} configurations")
+    for metric in Metric.all():
+        values = result.values(args.program, metric)
+        print(f"{metric.value:<10}: median {np.median(values):.4e}  "
+              f"min {values.min():.4e}  max {values.max():.4e}")
     return 0
 
 
@@ -252,9 +326,18 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         print(f"unknown program {args.program!r}", file=sys.stderr)
         return 2
     spec = spec2000_suite()
-    dataset = DesignSpaceDataset.sampled(
-        spec, sample_size=args.samples, seed=args.seed
-    )
+    if args.checkpoint_dir:
+        # The offline build is the expensive part: run it as a
+        # journalled campaign so an interrupted run resumes for free.
+        simulator = IntervalSimulator()
+        result = _run_campaign(args, spec, simulator)
+        if result is None:
+            return 2
+        dataset = result.to_dataset(spec, simulator)
+    else:
+        dataset = DesignSpaceDataset.sampled(
+            spec, sample_size=args.samples, seed=args.seed
+        )
     print(f"offline: training the SPEC pool (T={args.training_size}) ...")
     pool = TrainingPool(
         dataset, metric, training_size=args.training_size, seed=args.seed

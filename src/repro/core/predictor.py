@@ -89,9 +89,19 @@ class ArchitectureCentricPredictor:
         """
         response_values = np.asarray(response_values, dtype=float).reshape(-1)
         if len(response_configs) != response_values.shape[0]:
-            raise ValueError("configs and values disagree on sample count")
+            raise ValueError(
+                f"configs and values disagree on sample count: "
+                f"{len(response_configs)} configurations vs "
+                f"{response_values.shape[0]} values"
+            )
         if len(response_configs) < 2:
             raise ValueError("at least two responses are required")
+        if not np.all(np.isfinite(response_values)):
+            bad = int(np.sum(~np.isfinite(response_values)))
+            raise ValueError(
+                f"{bad} response value(s) are NaN/Inf; refusing to fit on "
+                "non-finite metrics (check the simulation backend)"
+            )
         if np.any(response_values <= 0.0):
             raise ValueError("metric values must be positive")
 

@@ -4,11 +4,21 @@ Everything the paper's Fig. 6 pipeline does, packaged for a user who
 has a trained offline pool and a brand-new workload:
 
 1. simulate the new program at R sampled configurations (the only
-   simulations spent);
+   simulations spent) — behind a retrying, fault-tolerant backend;
 2. fit the architecture-centric combiner on those responses;
 3. read the training error as the confidence signal (Section 7.2) and
    turn it into an explicit verdict;
 4. optionally scan a large candidate set for predicted sweet spots.
+
+Responses are simulated in small chunks through
+:func:`repro.runtime.call_with_retry`: a transient backend failure
+costs one retry, a corrupted (NaN/Inf) chunk is discarded and retried,
+and a *permanently* failing chunk is dropped rather than sinking the
+whole characterisation.  When that happens the fit proceeds on the
+surviving responses, the report's ``degraded`` flag is raised, and the
+confidence verdict is demoted one level — a partially characterised
+program must never look more trustworthy than a fully characterised
+one.
 
 The returned :class:`ExplorationReport` carries the fitted predictor,
 so all further prediction is free.
@@ -23,9 +33,16 @@ import numpy as np
 
 from repro.designspace.configuration import Configuration
 from repro.designspace.sampling import sample_configurations
+from repro.runtime.backend import (
+    IntervalBackend,
+    SimulationBackend,
+    SimulationError,
+    validate_batch,
+)
+from repro.runtime.retry import CircuitBreaker, RetryPolicy, call_with_retry
 from repro.sim.interval import IntervalSimulator
 from repro.sim.metrics import Metric
-from repro.workloads.profile import WorkloadProfile
+from repro.workloads.profile import WorkloadProfile, stable_seed
 
 from .predictor import ArchitectureCentricPredictor
 from .program_model import ProgramSpecificPredictor
@@ -33,6 +50,9 @@ from .program_model import ProgramSpecificPredictor
 #: Training-error (%) thresholds for the confidence verdict.
 _TRUSTED_BELOW = 8.0
 _SUSPECT_ABOVE = 15.0
+
+#: Responses simulated per backend call: the unit of retry and of loss.
+_RESPONSE_CHUNK = 8
 
 
 @dataclass(frozen=True)
@@ -43,14 +63,20 @@ class ExplorationReport:
         program: The new program's name.
         metric: Target metric.
         predictor: The fitted architecture-centric predictor (reusable).
-        responses: The configurations that were simulated.
+        responses: The configurations whose simulations survived (and
+            were used for the fit).
         training_error: rmae (%) of the response fit — the confidence
             signal.
         verdict: ``"trusted"`` / ``"usable"`` / ``"suspect"`` from the
-            training error (Section 7.2's decision rule made explicit).
+            training error (Section 7.2's decision rule made explicit),
+            demoted one level when the characterisation is degraded.
         sweet_spots: Predicted-best configurations with their predicted
             values (empty when scanning was disabled).
-        simulations_spent: Real simulations consumed (== R).
+        simulations_spent: Responses that were successfully simulated.
+        degraded: True when some responses failed permanently and the
+            fit ran on a surviving subset.
+        failed_responses: Requested responses that never produced a
+            usable simulation.
     """
 
     program: str
@@ -61,6 +87,8 @@ class ExplorationReport:
     verdict: str
     sweet_spots: Tuple[Tuple[Configuration, float], ...]
     simulations_spent: int
+    degraded: bool = False
+    failed_responses: int = 0
 
     @property
     def trustworthy(self) -> bool:
@@ -76,6 +104,54 @@ def _verdict(training_error: float) -> str:
     return "suspect"
 
 
+def _demote(verdict: str) -> str:
+    """Degraded characterisations drop one confidence level."""
+    return {"trusted": "usable", "usable": "suspect"}.get(verdict, "suspect")
+
+
+def _simulate_responses(
+    backend: SimulationBackend,
+    profile: WorkloadProfile,
+    configs: Sequence[Configuration],
+    metric: Metric,
+    retry_policy: RetryPolicy,
+    seed: int,
+    sleep,
+    clock,
+) -> Tuple[List[Configuration], List[np.ndarray], int]:
+    """Simulate responses chunk by chunk, tolerating permanent failures.
+
+    Returns:
+        (surviving configs, their metric arrays, failed response count).
+    """
+    breaker = CircuitBreaker()
+    surviving: List[Configuration] = []
+    chunks: List[np.ndarray] = []
+    failed = 0
+    for start in range(0, len(configs), _RESPONSE_CHUNK):
+        chunk = list(configs[start : start + _RESPONSE_CHUNK])
+        try:
+            batch = call_with_retry(
+                lambda chunk=chunk: backend.simulate_batch(profile, chunk),
+                retry_policy,
+                seed=stable_seed(
+                    "response-retry", profile.name, str(start), str(seed)
+                ),
+                breaker=breaker,
+                validate=lambda result: validate_batch(
+                    result, f"for {profile.name!r} responses"
+                ),
+                sleep=sleep,
+                clock=clock,
+            )
+        except SimulationError:
+            failed += len(chunk)
+            continue
+        surviving.extend(chunk)
+        chunks.append(batch.metric(metric))
+    return surviving, chunks, failed
+
+
 def explore_new_program(
     models: Sequence[ProgramSpecificPredictor],
     profile: WorkloadProfile,
@@ -84,6 +160,10 @@ def explore_new_program(
     sweet_spot_candidates: int = 5000,
     sweet_spots: int = 5,
     seed: int = 0,
+    backend: Optional[SimulationBackend] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    sleep=None,
+    clock=None,
 ) -> ExplorationReport:
     """Characterise a new program from R simulations and scan the space.
 
@@ -91,29 +171,65 @@ def explore_new_program(
         models: The offline-trained per-program pool (all one metric).
         profile: The new program.
         simulator: Simulator supplying the responses (defaults to a
-            fresh interval simulator over the full Table 1 space).
+            fresh interval simulator over the full Table 1 space);
+            ignored when ``backend`` is given.
         responses: R — simulations of the new program (the only cost).
         sweet_spot_candidates: Random candidates scanned by prediction;
             0 disables the scan.
         sweet_spots: Predicted-best configurations to report.
         seed: Sampling seed.
+        backend: Optional :class:`~repro.runtime.SimulationBackend`
+            supplying the responses (e.g. a fault-injecting or remote
+            one); failures are retried and permanent losses degrade the
+            report instead of raising.
+        retry_policy: Per-chunk retry policy for the response
+            simulations.
+        sleep: Backoff sleep hook (injectable for tests).
+        clock: Monotonic clock hook for the per-call timeout guard.
 
     Returns:
         An :class:`ExplorationReport`; its ``predictor`` predicts any
         configuration of the space from here on for free.
+
+    Raises:
+        SimulationError: when so many responses fail that fewer than
+            two survive — nothing can be fitted from that.
     """
     if responses < 2:
         raise ValueError("at least two responses are required")
-    simulator = simulator if simulator is not None else IntervalSimulator()
-    space = simulator.space
+    if backend is None:
+        simulator = (
+            simulator if simulator is not None else IntervalSimulator()
+        )
+        backend = IntervalBackend(simulator)
+    space = getattr(backend, "space", None)
+    if space is None:
+        space = (
+            simulator.space if simulator is not None else IntervalSimulator().space
+        )
     metric = models[0].metric
+    retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
 
     response_configs = sample_configurations(space, responses, seed=seed)
-    batch = simulator.simulate_batch(profile, response_configs)
-    response_values = batch.metric(metric)
+    surviving, value_chunks, failed = _simulate_responses(
+        backend,
+        profile,
+        response_configs,
+        metric,
+        retry_policy,
+        seed,
+        sleep,
+        clock,
+    )
+    if len(surviving) < 2:
+        raise SimulationError(
+            f"only {len(surviving)} of {responses} responses for "
+            f"{profile.name!r} survived; cannot fit a combiner"
+        )
+    response_values = np.concatenate(value_chunks)
 
     predictor = ArchitectureCentricPredictor(models)
-    predictor.fit_responses(response_configs, response_values)
+    predictor.fit_responses(surviving, response_values)
 
     spots: List[Tuple[Configuration, float]] = []
     if sweet_spot_candidates > 0:
@@ -126,13 +242,20 @@ def explore_new_program(
             (candidates[i], float(predictions[i])) for i in order
         ]
 
+    degraded = failed > 0
+    verdict = _verdict(predictor.training_error)
+    if degraded:
+        verdict = _demote(verdict)
+
     return ExplorationReport(
         program=profile.name,
         metric=metric,
         predictor=predictor,
-        responses=tuple(response_configs),
+        responses=tuple(surviving),
         training_error=predictor.training_error,
-        verdict=_verdict(predictor.training_error),
+        verdict=verdict,
         sweet_spots=tuple(spots),
-        simulations_spent=responses,
+        simulations_spent=len(surviving),
+        degraded=degraded,
+        failed_responses=failed,
     )

@@ -116,6 +116,45 @@ class DesignSpaceDataset:
             self._cache[(program, Metric.EDD)] = energy * cycles * cycles
         return self._cache[key]
 
+    def hydrate(
+        self, program: str, metric: Metric, values: np.ndarray
+    ) -> None:
+        """Install precomputed metric values instead of simulating them.
+
+        The public entry point for anything that already holds a
+        program's metrics — a loaded archive, a finished campaign — so
+        callers never reach into the memoisation cache directly.
+
+        Args:
+            program: A program of this dataset's suite.
+            metric: The metric the values belong to.
+            values: One finite value per configuration of the dataset.
+
+        Raises:
+            ValueError: on an unknown program, a shape mismatch or
+                non-finite values.
+        """
+        if program not in self.programs:
+            raise ValueError(
+                f"program {program!r} is not in suite {self.suite.name!r}"
+            )
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(self.configs),):
+            raise ValueError(
+                f"values for {program!r}/{metric.value} have shape "
+                f"{values.shape}, expected {(len(self.configs),)}"
+            )
+        if not np.all(np.isfinite(values)):
+            raise ValueError(
+                f"values for {program!r}/{metric.value} contain "
+                "non-finite entries"
+            )
+        self._cache[(program, metric)] = values
+
+    def hydrated(self, program: str, metric: Metric) -> bool:
+        """True when the pair is already served without simulation."""
+        return (program, metric) in self._cache
+
     def matrix(self, metric: Metric) -> np.ndarray:
         """(programs, configurations) metric matrix in suite order."""
         return np.stack(

@@ -7,23 +7,36 @@ archive holding the raw configuration matrix and every cached metric
 matrix; loading restores a fully usable
 :class:`~repro.exploration.dataset.DesignSpaceDataset` whose values are
 served from the archive instead of being re-simulated.
+
+Archives carry a SHA-256 content checksum over the configurations and
+every metric matrix.  A truncated download, a bit flip or a hand-edited
+matrix therefore fails loudly at load time with :class:`ValueError` —
+a corrupted archive can never hydrate into a plausible-looking dataset.
 """
 
 from __future__ import annotations
 
 import pathlib
+import zipfile
 from typing import Union
 
 import numpy as np
 
 from repro.designspace.configuration import PARAMETER_ORDER, Configuration
+from repro.runtime.integrity import array_checksum
 from repro.sim.interval import IntervalSimulator
 from repro.sim.metrics import Metric
 from repro.workloads.suite import BenchmarkSuite
 
 from .dataset import DesignSpaceDataset
 
-_FORMAT_VERSION = 1
+#: Version 2 added the mandatory content checksum.
+_FORMAT_VERSION = 2
+
+
+def _content_checksum(configs: np.ndarray, matrices) -> str:
+    """Digest over the configuration matrix and all metric matrices."""
+    return array_checksum(configs, *matrices)
 
 
 def save_dataset(
@@ -32,20 +45,23 @@ def save_dataset(
     """Write a dataset (configurations + all metric matrices) to ``.npz``.
 
     Every program's metrics are materialised first, so the archive is
-    complete regardless of what the caller already touched.
+    complete regardless of what the caller already touched, and a
+    content checksum is embedded so corruption is caught on load.
     """
     path = pathlib.Path(path)
     configs = np.array(
         [list(config.values()) for config in dataset.configs], dtype=np.int64
     )
+    matrices = [dataset.matrix(metric) for metric in Metric.all()]
     payload = {
         "format_version": np.array(_FORMAT_VERSION),
         "suite_name": np.array(dataset.suite.name),
         "programs": np.array(list(dataset.programs)),
         "configs": configs,
+        "checksum": np.array(_content_checksum(configs, matrices)),
     }
-    for metric in Metric.all():
-        payload[f"metric_{metric.value}"] = dataset.matrix(metric)
+    for metric, matrix in zip(Metric.all(), matrices):
+        payload[f"metric_{metric.value}"] = matrix
     np.savez_compressed(path, **payload)
     return path
 
@@ -66,38 +82,60 @@ def load_dataset(
             only for the design space / any future re-simulation).
 
     Raises:
-        ValueError: if the archive does not match the supplied suite.
+        ValueError: if the archive is truncated or otherwise unreadable,
+            fails its content checksum, or does not match the supplied
+            suite.
     """
     path = pathlib.Path(path)
-    with np.load(path, allow_pickle=False) as archive:
-        version = int(archive["format_version"])
-        if version != _FORMAT_VERSION:
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return _hydrate_from_archive(archive, suite, simulator, path)
+    except (zipfile.BadZipFile, EOFError, OSError, KeyError) as error:
+        raise ValueError(
+            f"corrupt or truncated dataset archive {path}: {error}"
+        ) from error
+
+
+def _hydrate_from_archive(
+    archive, suite: BenchmarkSuite, simulator, path: pathlib.Path
+) -> DesignSpaceDataset:
+    version = int(archive["format_version"])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version {version}")
+    suite_name = str(archive["suite_name"])
+    programs = [str(name) for name in archive["programs"]]
+    if suite.name != suite_name:
+        raise ValueError(
+            f"archive was built from suite {suite_name!r}, "
+            f"got {suite.name!r}"
+        )
+    if list(suite.programs) != programs:
+        raise ValueError(
+            "archive program list does not match the supplied suite"
+        )
+    config_matrix = archive["configs"]
+    matrices = []
+    for metric in Metric.all():
+        matrix = archive[f"metric_{metric.value}"]
+        if matrix.shape != (len(programs), len(config_matrix)):
             raise ValueError(
-                f"unsupported dataset format version {version}"
+                f"metric matrix {metric.value} has shape {matrix.shape}, "
+                f"expected {(len(programs), len(config_matrix))}"
             )
-        suite_name = str(archive["suite_name"])
-        programs = [str(name) for name in archive["programs"]]
-        if suite.name != suite_name:
-            raise ValueError(
-                f"archive was built from suite {suite_name!r}, "
-                f"got {suite.name!r}"
-            )
-        if list(suite.programs) != programs:
-            raise ValueError(
-                "archive program list does not match the supplied suite"
-            )
-        configs = [
-            Configuration(**dict(zip(PARAMETER_ORDER, row)))
-            for row in archive["configs"].tolist()
-        ]
-        dataset = DesignSpaceDataset(suite, configs, simulator)
-        for metric in Metric.all():
-            matrix = archive[f"metric_{metric.value}"]
-            if matrix.shape != (len(programs), len(configs)):
-                raise ValueError(
-                    f"metric matrix {metric.value} has shape {matrix.shape}, "
-                    f"expected {(len(programs), len(configs))}"
-                )
-            for row, program in enumerate(programs):
-                dataset._cache[(program, metric)] = matrix[row]
+        matrices.append(matrix)
+    expected = str(archive["checksum"])
+    actual = _content_checksum(config_matrix, matrices)
+    if actual != expected:
+        raise ValueError(
+            f"dataset archive {path} failed its content checksum "
+            "(the file was corrupted or tampered with)"
+        )
+    configs = [
+        Configuration(**dict(zip(PARAMETER_ORDER, row)))
+        for row in config_matrix.tolist()
+    ]
+    dataset = DesignSpaceDataset(suite, configs, simulator)
+    for metric, matrix in zip(Metric.all(), matrices):
+        for row, program in enumerate(programs):
+            dataset.hydrate(program, metric, matrix[row])
     return dataset

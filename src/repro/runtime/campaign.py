@@ -1,0 +1,428 @@
+"""Chunked, journalled, resumable simulation campaigns.
+
+A campaign is the cross product of programs and a shared configuration
+sample — exactly the shape of the paper's offline builds (T = 512
+simulations for each of 26 training programs).  The runner splits every
+program's configurations into fixed chunks, simulates each (program,
+chunk) *cell* behind the retry/breaker machinery, writes the cell's
+metric arrays to its own checksummed ``.npz`` and journals the
+completion.  Interrupt the process at any point and a rerun resumes
+from the journal: verified cells are loaded from disk, unfinished ones
+are re-simulated, and the assembled matrices are bit-identical to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.designspace.configuration import Configuration
+from repro.sim.interval import BatchResult
+from repro.sim.metrics import Metric
+from repro.workloads.profile import WorkloadProfile, stable_seed
+
+from .backend import SimulationBackend, SimulationError, validate_batch
+from .integrity import array_checksum, file_checksum
+from .journal import CampaignJournal
+from .retry import CircuitBreaker, CircuitOpenError, RetryPolicy, call_with_retry
+
+if TYPE_CHECKING:  # lazy import keeps runtime free of exploration
+    from repro.exploration.dataset import DesignSpaceDataset
+    from repro.workloads.suite import BenchmarkSuite
+
+_MANIFEST_VERSION = 1
+_METRIC_FIELDS = ("cycles", "energy", "ed", "edd")
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Assembled matrices plus an accounting of how the run went.
+
+    Attributes:
+        programs: Program names in campaign order.
+        configs: The shared configuration sample.
+        total_cells: Number of (program, chunk) cells in the campaign.
+        simulated_cells: Cells simulated by *this* run.
+        resumed_cells: Cells restored from the checkpoint journal.
+        failed_cells: Cell ids whose retries were exhausted.
+        pending_cells: Cell ids never attempted (early stop or an open
+            circuit breaker).
+        attempts: Backend calls made by this run (retries included).
+    """
+
+    programs: Tuple[str, ...]
+    configs: Tuple[Configuration, ...]
+    total_cells: int
+    simulated_cells: int
+    resumed_cells: int
+    failed_cells: Tuple[str, ...]
+    pending_cells: Tuple[str, ...]
+    attempts: int
+    _values: Dict[Tuple[str, Metric], np.ndarray]
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell of every program finished."""
+        return not self.failed_cells and not self.pending_cells
+
+    def values(self, program: str, metric: Metric) -> np.ndarray:
+        """One program's metric vector (NaN where cells are missing)."""
+        try:
+            return self._values[(program, metric)]
+        except KeyError:
+            raise KeyError(f"program {program!r} is not in this campaign")
+
+    def matrix(self, metric: Metric) -> np.ndarray:
+        """(programs, configurations) metric matrix in campaign order."""
+        return np.stack(
+            [self.values(program, metric) for program in self.programs]
+        )
+
+    def to_dataset(
+        self,
+        suite: "BenchmarkSuite",
+        simulator=None,
+    ) -> "DesignSpaceDataset":
+        """Hydrate a :class:`DesignSpaceDataset` from the campaign.
+
+        Args:
+            suite: The suite the campaign simulated (must contain every
+                campaign program).
+            simulator: Optional simulator for the dataset.
+
+        Raises:
+            ValueError: if the campaign is incomplete or the suite does
+                not cover the campaign's programs.
+        """
+        from repro.exploration.dataset import DesignSpaceDataset
+
+        if not self.complete:
+            missing = len(self.failed_cells) + len(self.pending_cells)
+            raise ValueError(
+                f"cannot build a dataset from an incomplete campaign "
+                f"({missing} unfinished cell(s)); resume it first"
+            )
+        if tuple(suite.programs) != self.programs:
+            raise ValueError(
+                "suite program list does not match the campaign "
+                f"({list(suite.programs)} vs {list(self.programs)})"
+            )
+        dataset = DesignSpaceDataset(suite, self.configs, simulator)
+        for program in self.programs:
+            for metric in Metric.all():
+                dataset.hydrate(
+                    program, metric, self.values(program, metric)
+                )
+        return dataset
+
+
+class CampaignRunner:
+    """Execute a (programs x configurations) campaign with checkpoints.
+
+    Args:
+        backend: Where simulations run (any :class:`SimulationBackend`).
+        checkpoint_dir: Directory for the journal, the manifest and the
+            per-cell result files.
+        chunk_size: Configurations per cell — the unit of retry, of
+            checkpointing and of loss on interruption.
+        retry_policy: Per-cell retry policy (defaults to
+            :class:`RetryPolicy()`).
+        breaker_threshold: Consecutive cell failures that trip the
+            campaign-wide circuit breaker.
+        seed: Base seed of the deterministic retry jitter.
+        sleep: Sleep hook shared by backoff delays (injectable for
+            tests).
+        clock: Monotonic clock hook for the per-call timeout guard.
+    """
+
+    def __init__(
+        self,
+        backend: SimulationBackend,
+        checkpoint_dir: Union[str, pathlib.Path],
+        chunk_size: int = 128,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker_threshold: int = 8,
+        seed: int = 0,
+        sleep=None,
+        clock=None,
+    ) -> None:
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.backend = backend
+        self.checkpoint_dir = pathlib.Path(checkpoint_dir)
+        self.chunk_size = chunk_size
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.breaker_threshold = breaker_threshold
+        self.seed = seed
+        self._sleep = sleep
+        self._clock = clock
+        self.journal = CampaignJournal(self.checkpoint_dir / "journal.jsonl")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        profiles: Union["BenchmarkSuite", Sequence[WorkloadProfile]],
+        configs: Sequence[Configuration],
+        resume: bool = True,
+        max_cells: Optional[int] = None,
+        fail_fast: bool = False,
+    ) -> CampaignResult:
+        """Run (or resume) the campaign.
+
+        Args:
+            profiles: A benchmark suite or an explicit profile sequence.
+            configs: The shared configuration sample.
+            resume: Reuse a compatible existing checkpoint; ``False``
+                refuses to run over one.
+            max_cells: Stop after simulating this many cells (leaves the
+                rest pending; the test hook for interruption).
+            fail_fast: Re-raise the first permanent cell failure instead
+                of recording it and moving on.
+
+        Raises:
+            ValueError: on an incompatible or unexpected checkpoint.
+            SimulationError: with ``fail_fast``, the first permanent
+                failure.
+        """
+        profile_list = self._profiles(profiles)
+        if not configs:
+            raise ValueError("a campaign needs at least one configuration")
+        programs = tuple(profile.name for profile in profile_list)
+        self._check_manifest(programs, configs, resume)
+
+        chunks = self._chunk_bounds(len(configs))
+        cells: List[Tuple[WorkloadProfile, int]] = [
+            (profile, index)
+            for profile in profile_list
+            for index in range(len(chunks))
+        ]
+        completed = self._verified_completed_cells()
+
+        values: Dict[Tuple[str, Metric], np.ndarray] = {
+            (program, metric): np.full(len(configs), np.nan)
+            for program in programs
+            for metric in Metric.all()
+        }
+        breaker = CircuitBreaker(self.breaker_threshold)
+        simulated, resumed, attempts = 0, 0, 0
+        failed: List[str] = []
+        pending: List[str] = []
+
+        for position, (profile, chunk_index) in enumerate(cells):
+            cell = f"{profile.name}:{chunk_index}"
+            start, stop = chunks[chunk_index]
+            if cell in completed:
+                batch = self._load_cell(completed[cell])
+                if len(batch) != stop - start:
+                    raise ValueError(
+                        f"checkpointed cell {cell} holds {len(batch)} "
+                        f"configurations, expected {stop - start}"
+                    )
+                self._fill(values, profile.name, start, stop, batch)
+                resumed += 1
+                continue
+            if max_cells is not None and simulated >= max_cells:
+                pending.extend(
+                    f"{p.name}:{i}"
+                    for p, i in cells[position:]
+                    if f"{p.name}:{i}" not in completed
+                )
+                break
+            chunk_configs = list(configs[start:stop])
+
+            def attempt() -> BatchResult:
+                nonlocal attempts
+                attempts += 1
+                return self.backend.simulate_batch(profile, chunk_configs)
+
+            try:
+                batch = call_with_retry(
+                    attempt,
+                    self.retry_policy,
+                    seed=stable_seed("campaign-retry", cell, str(self.seed)),
+                    breaker=breaker,
+                    validate=lambda result: validate_batch(
+                        result, f"for cell {cell}"
+                    ),
+                    sleep=self._sleep,
+                    clock=self._clock,
+                )
+            except CircuitOpenError:
+                # The backend is down; stop burning attempts and leave
+                # everything from here on pending for a later resume.
+                pending.extend(
+                    f"{p.name}:{i}"
+                    for p, i in cells[position:]
+                    if f"{p.name}:{i}" not in completed
+                )
+                break
+            except SimulationError:
+                if fail_fast:
+                    raise
+                failed.append(cell)
+                continue
+            self._store_cell(cell, profile.name, chunk_index, batch)
+            self._fill(values, profile.name, start, stop, batch)
+            simulated += 1
+
+        return CampaignResult(
+            programs=programs,
+            configs=tuple(configs),
+            total_cells=len(cells),
+            simulated_cells=simulated,
+            resumed_cells=resumed,
+            failed_cells=tuple(failed),
+            pending_cells=tuple(pending),
+            attempts=attempts,
+            _values=values,
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> pathlib.Path:
+        return self.checkpoint_dir / "manifest.json"
+
+    @property
+    def chunks_dir(self) -> pathlib.Path:
+        return self.checkpoint_dir / "chunks"
+
+    @staticmethod
+    def _profiles(
+        profiles: Union["BenchmarkSuite", Sequence[WorkloadProfile]]
+    ) -> List[WorkloadProfile]:
+        items = list(
+            profiles.profiles if hasattr(profiles, "profiles") else profiles
+        )
+        if not items:
+            raise ValueError("a campaign needs at least one program")
+        return items
+
+    def _chunk_bounds(self, count: int) -> List[Tuple[int, int]]:
+        return [
+            (start, min(start + self.chunk_size, count))
+            for start in range(0, count, self.chunk_size)
+        ]
+
+    def _config_checksum(self, configs: Sequence[Configuration]) -> str:
+        matrix = np.array(
+            [list(config.values()) for config in configs], dtype=np.int64
+        )
+        return array_checksum(matrix)
+
+    def _check_manifest(
+        self,
+        programs: Tuple[str, ...],
+        configs: Sequence[Configuration],
+        resume: bool,
+    ) -> None:
+        manifest = {
+            "version": _MANIFEST_VERSION,
+            "programs": list(programs),
+            "config_count": len(configs),
+            "chunk_size": self.chunk_size,
+            "configs_checksum": self._config_checksum(configs),
+        }
+        if self.manifest_path.exists():
+            if not resume:
+                raise ValueError(
+                    f"checkpoint directory {self.checkpoint_dir} already "
+                    "holds a campaign; resume it or start in a fresh "
+                    "directory"
+                )
+            try:
+                existing = json.loads(
+                    self.manifest_path.read_text(encoding="utf-8")
+                )
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"corrupt campaign manifest {self.manifest_path}"
+                ) from error
+            if existing != manifest:
+                raise ValueError(
+                    "checkpoint directory belongs to a different campaign "
+                    "(programs, configurations or chunk size changed)"
+                )
+            return
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self.manifest_path.write_text(
+            json.dumps(manifest, indent=2, sort_keys=True), encoding="utf-8"
+        )
+
+    def _verified_completed_cells(self) -> Dict[str, pathlib.Path]:
+        """Journalled cells whose result files still pass their checksum."""
+        completed: Dict[str, pathlib.Path] = {}
+        for record in self.journal.records():
+            cell = record.get("cell")
+            filename = record.get("file")
+            checksum = record.get("checksum")
+            if not (cell and filename and checksum):
+                continue
+            path = self.checkpoint_dir / filename
+            if not path.exists() or file_checksum(path) != checksum:
+                continue  # damaged or missing: re-simulate this cell
+            completed[cell] = path
+        return completed
+
+    def _cell_path(self, program: str, chunk_index: int) -> pathlib.Path:
+        return self.chunks_dir / f"{program}__{chunk_index:05d}.npz"
+
+    def _store_cell(
+        self, cell: str, program: str, chunk_index: int, batch: BatchResult
+    ) -> None:
+        """Write the cell atomically, then journal it with its checksum."""
+        self.chunks_dir.mkdir(parents=True, exist_ok=True)
+        path = self._cell_path(program, chunk_index)
+        # numpy appends ".npz" to names lacking it, so the scratch file
+        # must already end in ".npz" for the rename below to find it.
+        scratch = path.with_name(path.stem + ".tmp.npz")
+        np.savez_compressed(
+            scratch,
+            **{
+                field: getattr(batch, field) for field in _METRIC_FIELDS
+            },
+        )
+        os.replace(scratch, path)
+        self.journal.append(
+            {
+                "cell": cell,
+                "file": str(path.relative_to(self.checkpoint_dir)),
+                "checksum": file_checksum(path),
+            }
+        )
+
+    def _load_cell(self, path: pathlib.Path) -> BatchResult:
+        with np.load(path, allow_pickle=False) as archive:
+            return BatchResult(
+                **{field: archive[field] for field in _METRIC_FIELDS}
+            )
+
+    @staticmethod
+    def _fill(
+        values: Dict[Tuple[str, Metric], np.ndarray],
+        program: str,
+        start: int,
+        stop: int,
+        batch: BatchResult,
+    ) -> None:
+        for metric in Metric.all():
+            values[(program, metric)][start:stop] = batch.metric(metric)

@@ -1,0 +1,201 @@
+"""Deterministic fault injection — the resilience test substrate.
+
+Real campaigns fail in three characteristic ways: a backend call raises
+(a crashed simulator process, a dropped connection), a call returns
+corrupted values (NaN/Inf from an overflowed model or a truncated
+read), or a call stalls far beyond its deadline.
+:class:`FaultInjectingBackend` reproduces all three on demand, *deterministically*:
+whether attempt ``k`` of a given (program, batch) cell fails is a pure
+function of the seed, so a test run is exactly repeatable, and — because
+faults only ever discard or corrupt a *copy* of the inner backend's
+answer — a campaign that retries through the faults produces metric
+matrices bit-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.designspace.configuration import Configuration
+from repro.sim.interval import BatchResult
+from repro.workloads.profile import WorkloadProfile
+
+from .backend import SimulationBackend, SimulationError
+
+
+class TransientSimulationError(SimulationError):
+    """An injected failure that a retry is expected to clear."""
+
+
+class PermanentSimulationError(SimulationError):
+    """An injected failure that persists across every retry."""
+
+
+class VirtualClock:
+    """A deterministic clock/sleep pair for testing time-outs and backoff.
+
+    ``clock()`` reads the current virtual time; ``sleep(s)`` advances it
+    instantly.  Handing the same instance to a
+    :class:`FaultInjectingBackend` (which sleeps through injected
+    stalls) and to :func:`~repro.runtime.retry.call_with_retry` (which
+    measures elapsed time against the timeout and sleeps between
+    attempts) exercises the whole timeout path without any real waiting.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance virtual time by ``seconds`` without really waiting."""
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.now += seconds
+
+
+def _batch_fingerprint(
+    profile: WorkloadProfile, configs: Sequence[Configuration]
+) -> str:
+    """Stable identity of one (program, batch) cell."""
+    digest = hashlib.sha256(profile.name.encode("utf-8"))
+    for config in configs:
+        digest.update(repr(tuple(config.values())).encode("utf-8"))
+    return digest.hexdigest()
+
+
+class FaultInjectingBackend:
+    """Wrap a backend with seeded transient/corruption/stall faults.
+
+    Args:
+        inner: The real backend supplying correct answers.
+        seed: Master seed; every fault decision derives from it, the
+            cell fingerprint and the attempt number, so runs are exactly
+            repeatable.
+        transient_rate: Probability that one call raises
+            :class:`TransientSimulationError` (independently per
+            attempt — retries eventually get through).
+        corrupt_rate: Probability that one call's result comes back with
+            NaN/Inf poisoning (on a copy; the inner result is untouched).
+        stall_rate: Probability that one call stalls ``stall_seconds``
+            on the injected ``sleep`` before returning.
+        stall_seconds: Length of an injected stall.
+        permanent_rate: Probability that a *cell* fails on every attempt
+            (models a configuration the backend simply cannot simulate).
+        sleep: Sleep hook for stalls; pass a
+            :class:`VirtualClock` ``.sleep`` in tests.  Defaults to a
+            no-op so accidental construction never blocks.
+    """
+
+    def __init__(
+        self,
+        inner: SimulationBackend,
+        seed: int = 0,
+        transient_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        stall_seconds: float = 30.0,
+        permanent_rate: float = 0.0,
+        sleep=None,
+    ) -> None:
+        for name, rate in (
+            ("transient_rate", transient_rate),
+            ("corrupt_rate", corrupt_rate),
+            ("stall_rate", stall_rate),
+            ("permanent_rate", permanent_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.inner = inner
+        self.seed = seed
+        self.transient_rate = transient_rate
+        self.corrupt_rate = corrupt_rate
+        self.stall_rate = stall_rate
+        self.stall_seconds = stall_seconds
+        self.permanent_rate = permanent_rate
+        self._sleep = sleep if sleep is not None else (lambda seconds: None)
+        self._attempts: Dict[str, int] = {}
+        self.calls = 0
+        self.injected_transients = 0
+        self.injected_corruptions = 0
+        self.injected_stalls = 0
+        self.injected_permanents = 0
+
+    # ------------------------------------------------------------------
+    # Backend interface
+    # ------------------------------------------------------------------
+    @property
+    def space(self):
+        """Design space of the wrapped backend (when it exposes one)."""
+        return self.inner.space
+
+    def simulate_batch(
+        self, profile: WorkloadProfile, configs: Sequence[Configuration]
+    ) -> BatchResult:
+        """Simulate via the inner backend, injecting scheduled faults."""
+        self.calls += 1
+        cell = _batch_fingerprint(profile, configs)
+        attempt = self._attempts.get(cell, 0)
+        self._attempts[cell] = attempt + 1
+
+        cell_rng = self._rng(cell)
+        if cell_rng.random() < self.permanent_rate:
+            self.injected_permanents += 1
+            raise PermanentSimulationError(
+                f"injected permanent failure for {profile.name!r}"
+            )
+
+        rng = self._rng(cell, attempt)
+        if rng.random() < self.transient_rate:
+            self.injected_transients += 1
+            raise TransientSimulationError(
+                f"injected transient failure for {profile.name!r} "
+                f"(attempt {attempt})"
+            )
+
+        result = self.inner.simulate_batch(profile, configs)
+
+        if rng.random() < self.stall_rate:
+            self.injected_stalls += 1
+            self._sleep(self.stall_seconds)
+
+        if rng.random() < self.corrupt_rate and len(result) > 0:
+            self.injected_corruptions += 1
+            result = self._corrupt(result, rng)
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _rng(self, cell: str, attempt: Optional[int] = None):
+        parts = [b"fault", str(self.seed).encode(), cell.encode()]
+        if attempt is not None:
+            parts.append(str(attempt).encode())
+        digest = hashlib.sha256(b"/".join(parts)).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+    def _corrupt(self, result: BatchResult, rng) -> BatchResult:
+        """Poison a few positions of copied metric arrays with NaN/Inf."""
+        arrays: Tuple[np.ndarray, ...] = tuple(
+            np.array(values, copy=True)
+            for values in (result.cycles, result.energy, result.ed, result.edd)
+        )
+        count = int(rng.integers(1, max(2, len(result) // 4 + 1)))
+        for _ in range(count):
+            which = int(rng.integers(0, len(arrays)))
+            index = int(rng.integers(0, len(result)))
+            arrays[which][index] = np.nan if rng.random() < 0.5 else np.inf
+        return BatchResult(*arrays)
+
+    def reset(self) -> None:
+        """Forget attempt counters and statistics (fresh injection run)."""
+        self._attempts.clear()
+        self.calls = 0
+        self.injected_transients = 0
+        self.injected_corruptions = 0
+        self.injected_stalls = 0
+        self.injected_permanents = 0

@@ -1,0 +1,74 @@
+"""Append-only on-disk journal of completed campaign cells.
+
+The journal is the campaign's source of truth for what is already done.
+Each completed (program, chunk) cell appends exactly one JSON line —
+cell id, result file, content checksum — and the file is flushed and
+fsynced per record, so a ``kill -9`` loses at most the cell in flight.
+A half-written trailing line (the signature of an interrupted append)
+is detected and ignored on read, never treated as data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Dict, Iterator, List, Union
+
+
+class CampaignJournal:
+    """One append-only JSONL file recording completed cells.
+
+    Args:
+        path: Journal file location (parent directories are created).
+    """
+
+    def __init__(self, path: Union[str, pathlib.Path]) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def exists(self) -> bool:
+        """True when a journal file is already on disk."""
+        return self.path.exists()
+
+    def append(self, record: Dict) -> None:
+        """Durably append one record as a single JSON line."""
+        line = json.dumps(record, sort_keys=True)
+        if "\n" in line:
+            raise ValueError("journal records must serialise to one line")
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def records(self) -> List[Dict]:
+        """All intact records, oldest first (torn tail lines skipped)."""
+        return list(self._iter_records())
+
+    def _iter_records(self) -> Iterator[Dict]:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn line can only be the interrupted final append;
+                # corruption anywhere else means the file was tampered
+                # with and the cells after it cannot be trusted either.
+                remaining = [l for l in lines[index + 1 :] if l.strip()]
+                if remaining:
+                    raise ValueError(
+                        f"corrupt journal line {index + 1} in {self.path}"
+                    )
+                return
+            if not isinstance(record, dict):
+                raise ValueError(
+                    f"journal line {index + 1} in {self.path} is not an "
+                    "object"
+                )
+            yield record

@@ -1,8 +1,16 @@
 """Tests for the one-call exploration workflow."""
 
+import numpy as np
 import pytest
 
 from repro.core import explore_new_program
+from repro.runtime import (
+    FaultInjectingBackend,
+    IntervalBackend,
+    RetryPolicy,
+    SimulationError,
+    VirtualClock,
+)
 from repro.sim import Metric
 
 
@@ -85,3 +93,75 @@ class TestExploreNewProgram:
             sweet_spot_candidates=0,
         )
         assert art_report.training_error > 0
+
+    def test_clean_run_is_not_degraded(self, report):
+        assert not report.degraded
+        assert report.failed_responses == 0
+
+
+class TestDegradedExploration:
+    """Permanent backend failures degrade the report instead of raising."""
+
+    def _explore(self, cycles_pool, small_dataset, small_suite, **faults):
+        models = cycles_pool.models(exclude=["applu"])
+        clock = VirtualClock()
+        backend = FaultInjectingBackend(
+            IntervalBackend(small_dataset.simulator),
+            sleep=clock.sleep, **faults,
+        )
+        return explore_new_program(
+            models, small_suite["applu"],
+            responses=32, sweet_spot_candidates=200, seed=5,
+            backend=backend,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.1),
+            sleep=clock.sleep, clock=clock,
+        )
+
+    def test_transient_faults_leave_report_clean(self, cycles_pool,
+                                                 small_dataset, small_suite):
+        """Retries absorb transients: same report as a fault-free run."""
+        clean = self._explore(cycles_pool, small_dataset, small_suite,
+                              seed=3)
+        faulted = self._explore(cycles_pool, small_dataset, small_suite,
+                                seed=3, transient_rate=0.2)
+        assert not faulted.degraded
+        assert faulted.verdict == clean.verdict
+        assert faulted.training_error == pytest.approx(clean.training_error)
+        assert faulted.responses == clean.responses
+
+    def test_permanent_failures_degrade_instead_of_raising(self,
+                                                           cycles_pool,
+                                                           small_dataset,
+                                                           small_suite):
+        report = self._explore(cycles_pool, small_dataset, small_suite,
+                               seed=4, permanent_rate=0.3)
+        assert report.degraded
+        assert report.failed_responses > 0
+        assert report.simulations_spent + report.failed_responses == 32
+        assert len(report.responses) == report.simulations_spent
+        assert report.sweet_spots  # the scan still ran
+
+    def test_degraded_verdict_is_demoted(self, cycles_pool, small_dataset,
+                                         small_suite):
+        clean = self._explore(cycles_pool, small_dataset, small_suite,
+                              seed=4)
+        degraded = self._explore(cycles_pool, small_dataset, small_suite,
+                                 seed=4, permanent_rate=0.3)
+        order = ("trusted", "usable", "suspect")
+        assert order.index(degraded.verdict) > order.index(clean.verdict)
+
+    def test_corrupted_responses_never_reach_the_fit(self, cycles_pool,
+                                                     small_dataset,
+                                                     small_suite):
+        """NaN/Inf responses are retried or dropped, never fitted."""
+        report = self._explore(cycles_pool, small_dataset, small_suite,
+                               seed=6, corrupt_rate=0.3)
+        assert np.isfinite(report.training_error)
+        predictions = report.predictor.predict(list(report.responses))
+        assert np.all(np.isfinite(predictions))
+
+    def test_total_failure_raises_clearly(self, cycles_pool, small_dataset,
+                                          small_suite):
+        with pytest.raises(SimulationError, match="survived"):
+            self._explore(cycles_pool, small_dataset, small_suite,
+                          seed=0, permanent_rate=1.0)

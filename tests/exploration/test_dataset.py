@@ -88,3 +88,52 @@ class TestSubsets:
     def test_split_out_of_range_rejected(self, small_dataset):
         with pytest.raises(ValueError):
             small_dataset.split_indices(len(small_dataset) + 1)
+
+
+class TestHydrate:
+    """The public cache-hydration API (used by persistence/campaigns)."""
+
+    def _fresh(self, small_suite, small_dataset):
+        from repro.exploration import DesignSpaceDataset
+
+        return DesignSpaceDataset(
+            small_suite, small_dataset.configs, small_dataset.simulator
+        )
+
+    def test_hydrated_values_served_without_simulation(self, small_suite,
+                                                       small_dataset):
+        dataset = self._fresh(small_suite, small_dataset)
+        values = np.linspace(1.0, 2.0, len(dataset))
+        dataset.hydrate("gzip", Metric.CYCLES, values)
+        assert dataset.hydrated("gzip", Metric.CYCLES)
+        assert np.array_equal(dataset.values("gzip", Metric.CYCLES), values)
+
+    def test_unknown_program_rejected(self, small_suite, small_dataset):
+        dataset = self._fresh(small_suite, small_dataset)
+        with pytest.raises(ValueError, match="not in suite"):
+            dataset.hydrate(
+                "doom", Metric.CYCLES, np.ones(len(dataset))
+            )
+
+    def test_wrong_shape_rejected(self, small_suite, small_dataset):
+        dataset = self._fresh(small_suite, small_dataset)
+        with pytest.raises(ValueError, match="shape"):
+            dataset.hydrate(
+                "gzip", Metric.CYCLES, np.ones(len(dataset) - 1)
+            )
+        with pytest.raises(ValueError, match="shape"):
+            dataset.hydrate(
+                "gzip", Metric.CYCLES,
+                np.ones((len(dataset), 2)),
+            )
+
+    def test_non_finite_values_rejected(self, small_suite, small_dataset):
+        dataset = self._fresh(small_suite, small_dataset)
+        poisoned = np.ones(len(dataset))
+        poisoned[3] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            dataset.hydrate("gzip", Metric.CYCLES, poisoned)
+
+    def test_not_hydrated_until_computed(self, small_suite, small_dataset):
+        dataset = self._fresh(small_suite, small_dataset)
+        assert not dataset.hydrated("gzip", Metric.CYCLES)

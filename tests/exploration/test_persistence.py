@@ -57,3 +57,89 @@ class TestValidation:
     def test_archive_is_a_single_file(self, archive):
         assert archive.exists()
         assert archive.suffix == ".npz"
+
+
+def _repack(archive, out_path, **overrides):
+    """Rewrite an archive with some entries replaced (checksum kept)."""
+    with np.load(archive, allow_pickle=False) as handle:
+        payload = {name: handle[name] for name in handle.files}
+    payload.update(overrides)
+    np.savez_compressed(out_path, **payload)
+    return out_path
+
+
+class TestCorruptArchives:
+    """A damaged archive must always raise, never hydrate garbage."""
+
+    def test_truncated_archive_rejected(self, archive, small_suite,
+                                        tmp_path):
+        clipped = tmp_path / "clipped.npz"
+        clipped.write_bytes(archive.read_bytes()[:-200])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            load_dataset(clipped, small_suite)
+
+    def test_empty_file_rejected(self, small_suite, tmp_path):
+        empty = tmp_path / "empty.npz"
+        empty.write_bytes(b"")
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            load_dataset(empty, small_suite)
+
+    def test_tampered_values_fail_the_checksum(self, archive, small_suite,
+                                               tmp_path):
+        with np.load(archive, allow_pickle=False) as handle:
+            matrix = np.array(handle["metric_cycles"])
+        matrix[0, 0] *= 1.5  # a single silent bit of drift
+        bad = _repack(archive, tmp_path / "drift.npz",
+                      **{"metric_cycles": matrix})
+        with pytest.raises(ValueError, match="checksum"):
+            load_dataset(bad, small_suite)
+
+    def test_missing_checksum_rejected(self, archive, small_suite,
+                                       tmp_path):
+        with np.load(archive, allow_pickle=False) as handle:
+            payload = {
+                name: handle[name]
+                for name in handle.files
+                if name != "checksum"
+            }
+        legacy = tmp_path / "legacy.npz"
+        np.savez_compressed(legacy, **payload)
+        with pytest.raises(ValueError):
+            load_dataset(legacy, small_suite)
+
+    def test_wrong_metric_matrix_shape_rejected(self, archive, small_suite,
+                                                tmp_path):
+        with np.load(archive, allow_pickle=False) as handle:
+            matrix = np.array(handle["metric_energy"])
+        bad = _repack(archive, tmp_path / "shape.npz",
+                      **{"metric_energy": matrix[:, :-5]})
+        with pytest.raises(ValueError, match="shape"):
+            load_dataset(bad, small_suite)
+
+    def test_unsupported_version_rejected(self, archive, small_suite,
+                                          tmp_path):
+        bad = _repack(archive, tmp_path / "version.npz",
+                      format_version=np.array(99))
+        with pytest.raises(ValueError, match="version"):
+            load_dataset(bad, small_suite)
+
+    def test_nonfinite_values_rejected_even_with_valid_checksum(
+        self, archive, small_suite, tmp_path
+    ):
+        """Re-checksummed NaN poison still fails (hydrate validates)."""
+        from repro.runtime import array_checksum
+        from repro.sim import Metric
+
+        with np.load(archive, allow_pickle=False) as handle:
+            payload = {name: np.array(handle[name]) for name in handle.files}
+        payload["metric_cycles"][0, 0] = np.nan
+        matrices = [
+            payload[f"metric_{metric.value}"] for metric in Metric.all()
+        ]
+        payload["checksum"] = np.array(
+            array_checksum(payload["configs"], *matrices)
+        )
+        bad = tmp_path / "nan.npz"
+        np.savez_compressed(bad, **payload)
+        with pytest.raises(ValueError, match="non-finite"):
+            load_dataset(bad, small_suite)

@@ -1,0 +1,26 @@
+"""Fixtures for the fault-tolerant runtime tests.
+
+Campaign tests run a real (small) cross product of programs and
+configurations, so the suite and sample are kept deliberately tiny.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import IntervalBackend
+
+
+@pytest.fixture(scope="session")
+def tiny_suite(spec_suite):
+    return spec_suite.subset(("gzip", "applu", "art"))
+
+
+@pytest.fixture(scope="session")
+def tiny_configs(configs):
+    return list(configs[:60])
+
+
+@pytest.fixture(scope="session")
+def backend(simulator) -> IntervalBackend:
+    return IntervalBackend(simulator)

@@ -1,0 +1,55 @@
+"""Tests for the simulation backend interface."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CorruptResultError,
+    IntervalBackend,
+    SimulationBackend,
+    validate_batch,
+)
+from repro.sim.interval import BatchResult
+
+
+class TestIntervalBackend:
+    def test_satisfies_protocol(self, backend):
+        assert isinstance(backend, SimulationBackend)
+
+    def test_matches_raw_simulator(self, backend, simulator, tiny_suite,
+                                   tiny_configs):
+        profile = tiny_suite["gzip"]
+        direct = simulator.simulate_batch(profile, tiny_configs)
+        wrapped = backend.simulate_batch(profile, tiny_configs)
+        assert np.array_equal(direct.cycles, wrapped.cycles)
+        assert np.array_equal(direct.energy, wrapped.energy)
+
+    def test_default_backend_builds_its_own_simulator(self):
+        assert IntervalBackend().space is not None
+
+    def test_exposes_space(self, backend, simulator):
+        assert backend.space is simulator.space
+
+
+class TestValidateBatch:
+    def _batch(self, cycles):
+        ones = np.ones_like(cycles)
+        return BatchResult(cycles, ones, ones.copy(), ones.copy())
+
+    def test_finite_batch_passes_through(self):
+        batch = self._batch(np.array([1.0, 2.0]))
+        assert validate_batch(batch) is batch
+
+    def test_nan_rejected(self):
+        with pytest.raises(CorruptResultError, match="non-finite"):
+            validate_batch(self._batch(np.array([1.0, np.nan])))
+
+    def test_inf_rejected(self):
+        with pytest.raises(CorruptResultError, match="non-finite"):
+            validate_batch(self._batch(np.array([np.inf, 1.0])))
+
+    def test_context_included_in_message(self):
+        with pytest.raises(CorruptResultError, match="cell gzip:3"):
+            validate_batch(
+                self._batch(np.array([np.nan])), "for cell gzip:3"
+            )

@@ -1,0 +1,274 @@
+"""Tests for the checkpointed, fault-tolerant campaign runner.
+
+The acceptance bar: a campaign through a 10% transient-failure backend
+produces *bit-identical* matrices to a fault-free run, and a
+killed-then-resumed campaign matches an uninterrupted one while
+re-simulating only the unfinished chunks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    CampaignRunner,
+    FaultInjectingBackend,
+    RetryPolicy,
+    SimulationError,
+    VirtualClock,
+)
+from repro.sim import Metric
+
+
+@pytest.fixture()
+def clean_result(backend, tiny_suite, tiny_configs, tmp_path):
+    runner = CampaignRunner(backend, tmp_path / "clean", chunk_size=16)
+    return runner.run(tiny_suite, tiny_configs)
+
+
+class TestCleanRun:
+    def test_completes(self, clean_result):
+        assert clean_result.complete
+        assert clean_result.failed_cells == ()
+        assert clean_result.pending_cells == ()
+        # 3 programs x ceil(60 / 16) = 12 cells, one attempt each
+        assert clean_result.total_cells == 12
+        assert clean_result.simulated_cells == 12
+        assert clean_result.attempts == 12
+
+    def test_matches_direct_simulation(self, clean_result, simulator,
+                                       tiny_suite, tiny_configs):
+        for program in tiny_suite.programs:
+            direct = simulator.simulate_batch(
+                tiny_suite[program], tiny_configs
+            )
+            assert np.array_equal(
+                clean_result.values(program, Metric.CYCLES), direct.cycles
+            )
+            assert np.array_equal(
+                clean_result.values(program, Metric.EDD), direct.edd
+            )
+
+    def test_matrix_shape(self, clean_result, tiny_configs):
+        matrix = clean_result.matrix(Metric.ENERGY)
+        assert matrix.shape == (3, len(tiny_configs))
+        assert np.all(np.isfinite(matrix))
+
+    def test_unknown_program_rejected(self, clean_result):
+        with pytest.raises(KeyError):
+            clean_result.values("doom", Metric.CYCLES)
+
+    def test_to_dataset_round_trip(self, clean_result, tiny_suite):
+        dataset = clean_result.to_dataset(tiny_suite)
+        for metric in Metric.all():
+            assert np.array_equal(
+                dataset.matrix(metric), clean_result.matrix(metric)
+            )
+        assert dataset.hydrated("gzip", Metric.CYCLES)
+
+
+class TestFaultTolerance:
+    def test_bit_identical_under_transient_faults(self, backend, tiny_suite,
+                                                  tiny_configs, tmp_path,
+                                                  clean_result):
+        clock = VirtualClock()
+        faulty = FaultInjectingBackend(
+            backend, seed=11, transient_rate=0.10, corrupt_rate=0.05,
+            sleep=clock.sleep,
+        )
+        runner = CampaignRunner(
+            faulty, tmp_path / "faulty", chunk_size=16,
+            retry_policy=RetryPolicy(max_attempts=8, base_delay=0.1),
+            sleep=clock.sleep, clock=clock,
+        )
+        result = runner.run(tiny_suite, tiny_configs)
+        assert result.complete
+        assert result.attempts > result.total_cells  # faults did fire
+        for metric in Metric.all():
+            assert np.array_equal(
+                result.matrix(metric), clean_result.matrix(metric)
+            )
+
+    def test_stalls_discarded_by_timeout_guard(self, backend, tiny_suite,
+                                               tiny_configs, tmp_path,
+                                               clean_result):
+        clock = VirtualClock()
+        faulty = FaultInjectingBackend(
+            backend, seed=5, stall_rate=0.5, stall_seconds=120.0,
+            sleep=clock.sleep,
+        )
+        runner = CampaignRunner(
+            faulty, tmp_path / "stalls", chunk_size=16,
+            retry_policy=RetryPolicy(
+                max_attempts=8, base_delay=0.1, timeout=60.0
+            ),
+            sleep=clock.sleep, clock=clock,
+        )
+        result = runner.run(tiny_suite, tiny_configs)
+        assert result.complete
+        assert faulty.injected_stalls > 0
+        assert np.array_equal(
+            result.matrix(Metric.CYCLES), clean_result.matrix(Metric.CYCLES)
+        )
+
+    def test_permanent_failures_recorded_not_raised(self, backend,
+                                                    tiny_suite, tiny_configs,
+                                                    tmp_path):
+        faulty = FaultInjectingBackend(backend, seed=29, permanent_rate=0.3)
+        runner = CampaignRunner(
+            faulty, tmp_path / "perm", chunk_size=16,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+            breaker_threshold=100,
+        )
+        result = runner.run(tiny_suite, tiny_configs)
+        assert result.failed_cells  # rate 0.3 over 12 cells must hit
+        assert not result.complete
+        for cell in result.failed_cells:
+            program, chunk = cell.split(":")
+            start = int(chunk) * 16
+            values = result.values(program, Metric.CYCLES)
+            assert np.all(np.isnan(values[start : start + 16]))
+
+    def test_fail_fast_raises(self, backend, tiny_suite, tiny_configs,
+                              tmp_path):
+        faulty = FaultInjectingBackend(backend, seed=29, permanent_rate=0.3)
+        runner = CampaignRunner(
+            faulty, tmp_path / "ff", chunk_size=16,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+        )
+        with pytest.raises(SimulationError):
+            runner.run(tiny_suite, tiny_configs, fail_fast=True)
+
+    def test_open_circuit_stops_the_campaign(self, backend, tiny_suite,
+                                             tiny_configs, tmp_path):
+        faulty = FaultInjectingBackend(backend, seed=0, transient_rate=1.0)
+        runner = CampaignRunner(
+            faulty, tmp_path / "down", chunk_size=16,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+            breaker_threshold=4,
+        )
+        result = runner.run(tiny_suite, tiny_configs)
+        assert not result.complete
+        assert result.pending_cells  # campaign aborted, not burned down
+        assert result.attempts <= 4  # breaker capped the damage
+
+    def test_incomplete_campaign_refuses_dataset(self, backend, tiny_suite,
+                                                 tiny_configs, tmp_path):
+        runner = CampaignRunner(backend, tmp_path / "part", chunk_size=16)
+        partial = runner.run(tiny_suite, tiny_configs, max_cells=3)
+        with pytest.raises(ValueError, match="incomplete"):
+            partial.to_dataset(tiny_suite)
+
+
+class TestResume:
+    def test_kill_then_resume_matches_uninterrupted(self, backend,
+                                                    tiny_suite, tiny_configs,
+                                                    tmp_path, clean_result):
+        runner = CampaignRunner(backend, tmp_path / "resume", chunk_size=16)
+        partial = runner.run(tiny_suite, tiny_configs, max_cells=5)
+        assert not partial.complete
+        assert partial.simulated_cells == 5
+
+        finished = runner.run(tiny_suite, tiny_configs, resume=True)
+        assert finished.complete
+        assert finished.resumed_cells == 5  # only unfinished cells rerun
+        assert finished.simulated_cells == finished.total_cells - 5
+        for metric in Metric.all():
+            assert np.array_equal(
+                finished.matrix(metric), clean_result.matrix(metric)
+            )
+
+    def test_resumed_archive_identical_to_uninterrupted(self, backend,
+                                                        tiny_suite,
+                                                        tiny_configs,
+                                                        tmp_path):
+        """Saving the resumed dataset gives the same archive content as
+        saving an uninterrupted one."""
+        from repro.exploration import save_dataset
+        from repro.runtime import file_checksum
+
+        runner = CampaignRunner(backend, tmp_path / "a", chunk_size=16)
+        runner.run(tiny_suite, tiny_configs, max_cells=4)
+        resumed = runner.run(tiny_suite, tiny_configs, resume=True)
+
+        straight = CampaignRunner(
+            backend, tmp_path / "b", chunk_size=16
+        ).run(tiny_suite, tiny_configs)
+
+        first = save_dataset(
+            resumed.to_dataset(tiny_suite), tmp_path / "resumed.npz"
+        )
+        second = save_dataset(
+            straight.to_dataset(tiny_suite), tmp_path / "straight.npz"
+        )
+        assert file_checksum(first) == file_checksum(second)
+
+    def test_second_run_is_pure_resume(self, backend, tiny_suite,
+                                       tiny_configs, tmp_path):
+        runner = CampaignRunner(backend, tmp_path / "twice", chunk_size=16)
+        runner.run(tiny_suite, tiny_configs)
+        again = runner.run(tiny_suite, tiny_configs, resume=True)
+        assert again.simulated_cells == 0
+        assert again.resumed_cells == again.total_cells
+        assert again.attempts == 0
+
+    def test_corrupt_chunk_file_resimulated(self, backend, tiny_suite,
+                                            tiny_configs, tmp_path,
+                                            clean_result):
+        runner = CampaignRunner(backend, tmp_path / "bitrot", chunk_size=16)
+        runner.run(tiny_suite, tiny_configs)
+        victim = sorted((tmp_path / "bitrot" / "chunks").glob("*.npz"))[0]
+        victim.write_bytes(victim.read_bytes()[:-20])  # truncate
+
+        again = runner.run(tiny_suite, tiny_configs, resume=True)
+        assert again.complete
+        assert again.simulated_cells == 1  # only the damaged cell
+        assert np.array_equal(
+            again.matrix(Metric.CYCLES), clean_result.matrix(Metric.CYCLES)
+        )
+
+    def test_deleted_chunk_file_resimulated(self, backend, tiny_suite,
+                                            tiny_configs, tmp_path):
+        runner = CampaignRunner(backend, tmp_path / "gone", chunk_size=16)
+        runner.run(tiny_suite, tiny_configs)
+        victim = sorted((tmp_path / "gone" / "chunks").glob("*.npz"))[0]
+        victim.unlink()
+        again = runner.run(tiny_suite, tiny_configs, resume=True)
+        assert again.complete
+        assert again.simulated_cells == 1
+
+    def test_refuses_existing_checkpoint_without_resume(self, backend,
+                                                        tiny_suite,
+                                                        tiny_configs,
+                                                        tmp_path):
+        runner = CampaignRunner(backend, tmp_path / "no", chunk_size=16)
+        runner.run(tiny_suite, tiny_configs, max_cells=1)
+        with pytest.raises(ValueError, match="already holds a campaign"):
+            runner.run(tiny_suite, tiny_configs, resume=False)
+
+    def test_mismatched_campaign_rejected(self, backend, tiny_suite,
+                                          tiny_configs, tmp_path):
+        runner = CampaignRunner(backend, tmp_path / "mix", chunk_size=16)
+        runner.run(tiny_suite, tiny_configs, max_cells=1)
+        with pytest.raises(ValueError, match="different campaign"):
+            runner.run(tiny_suite, tiny_configs[:32], resume=True)
+
+    def test_faulty_resume_still_bit_identical(self, backend, tiny_suite,
+                                               tiny_configs, tmp_path,
+                                               clean_result):
+        """Interrupt + faults + resume together: still exact."""
+        clock = VirtualClock()
+        faulty = FaultInjectingBackend(
+            backend, seed=17, transient_rate=0.10, sleep=clock.sleep,
+        )
+        runner = CampaignRunner(
+            faulty, tmp_path / "both", chunk_size=16,
+            retry_policy=RetryPolicy(max_attempts=8, base_delay=0.1),
+            sleep=clock.sleep, clock=clock,
+        )
+        runner.run(tiny_suite, tiny_configs, max_cells=7)
+        result = runner.run(tiny_suite, tiny_configs, resume=True)
+        assert result.complete
+        for metric in Metric.all():
+            assert np.array_equal(
+                result.matrix(metric), clean_result.matrix(metric)
+            )

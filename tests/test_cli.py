@@ -102,6 +102,90 @@ class TestFullReport:
         assert "main effects" in out
 
 
+class TestCheckpointResume:
+    def _partial_checkpoint(self, checkpoint_dir, cells):
+        """Simulate an interrupted campaign: run only ``cells`` chunks."""
+        from repro.designspace import sample_configurations
+        from repro.runtime import CampaignRunner, IntervalBackend
+        from repro.sim import IntervalSimulator
+        from repro.workloads import spec2000_suite
+
+        simulator = IntervalSimulator()
+        configs = sample_configurations(simulator.space, 200, seed=0)
+        runner = CampaignRunner(
+            IntervalBackend(simulator), checkpoint_dir, chunk_size=64
+        )
+        partial = runner.run(
+            [spec2000_suite()["gzip"]], configs, max_cells=cells
+        )
+        assert not partial.complete
+        return partial
+
+    def test_simulate_interrupt_then_resume(self, tmp_path, capsys):
+        """A killed campaign resumes from the journal: only the
+        unfinished chunks are re-simulated."""
+        checkpoint = tmp_path / "ck"
+        self._partial_checkpoint(checkpoint, cells=2)
+
+        code = main(
+            ["simulate", "--program", "gzip", "--samples", "200",
+             "--chunk-size", "64", "--checkpoint-dir", str(checkpoint),
+             "--resume"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 resumed" in out
+        assert "2 chunk(s) simulated" in out  # 4 cells total, 2 were done
+        assert "cycles" in out
+
+    def test_resume_matches_uninterrupted_run(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ck"
+        self._partial_checkpoint(checkpoint, cells=1)
+        assert main(
+            ["simulate", "--program", "gzip", "--samples", "200",
+             "--chunk-size", "64", "--checkpoint-dir", str(checkpoint),
+             "--resume"]
+        ) == 0
+        resumed_out = capsys.readouterr().out
+
+        assert main(
+            ["simulate", "--program", "gzip", "--samples", "200",
+             "--chunk-size", "64",
+             "--checkpoint-dir", str(tmp_path / "fresh")]
+        ) == 0
+        fresh_out = capsys.readouterr().out
+        # identical metric lines (only the campaign accounting differs)
+        assert resumed_out.splitlines()[1:] == fresh_out.splitlines()[1:]
+
+    def test_existing_checkpoint_requires_resume_flag(self, tmp_path,
+                                                      capsys):
+        checkpoint = tmp_path / "ck"
+        self._partial_checkpoint(checkpoint, cells=1)
+        code = main(
+            ["simulate", "--program", "gzip", "--samples", "200",
+             "--chunk-size", "64", "--checkpoint-dir", str(checkpoint)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--resume" in err
+
+    def test_explore_reuses_checkpointed_offline_build(self, tmp_path,
+                                                       capsys):
+        checkpoint = tmp_path / "offline"
+        argv = ["explore", "--program", "applu", "--metric", "cycles",
+                "--samples", "300", "--training-size", "200",
+                "--candidates", "200",
+                "--checkpoint-dir", str(checkpoint)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 resumed" in first
+
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "0 chunk(s) simulated" in second  # everything came from disk
+        assert "verdict" in second
+
+
 class TestExplore:
     def test_explore_spec_program(self, capsys):
         code = main(

@@ -17,6 +17,7 @@ PACKAGES = (
     "repro.designspace",
     "repro.exploration",
     "repro.ml",
+    "repro.runtime",
     "repro.sim",
     "repro.sim.pipeline",
     "repro.workloads",

@@ -33,6 +33,7 @@ class TestPublicApi:
         import repro.designspace
         import repro.exploration
         import repro.ml
+        import repro.runtime
         import repro.sim
         import repro.sim.pipeline
         import repro.workloads

@@ -1,0 +1,119 @@
+"""Predictor throughput: the stacked ensemble and the parallel pool.
+
+Not a paper artefact — the engineering guarantee behind the paper's
+workflow.  The sweet-spot scan evaluates every offline model at
+thousands of candidate configurations; the stacked ensemble must beat
+the per-model loop by a wide margin *while producing bit-identical
+numbers*, and the process-parallel training pool must cut the offline
+wall time without changing a single weight.  Results are written
+machine-readably to ``results/BENCH_throughput.json``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.ml import StackedEnsemble
+from repro.sim import Metric
+
+from scale import JOBS, TRAINING_SIZE
+
+#: Candidate configurations for the inference leg (the paper's
+#: sweet-spot scan uses 5,000).
+CANDIDATES = int(os.environ.get("REPRO_CANDIDATES", 5000))
+
+#: Programs for the training-wall-time leg (a subset keeps the bench
+#: quick; the speedup is per-model and does not depend on pool size).
+TRAIN_PROGRAMS = ("gzip", "crafty", "applu", "swim", "mesa", "art",
+                  "mcf", "equake")
+
+
+def test_predictor_throughput(benchmark, spec_dataset, pools, record_json):
+    from repro.core.training import TrainingPool
+
+    from repro.designspace import sample_configurations
+
+    models = pools(Metric.CYCLES).models()
+    # A fresh candidate sample, like the sweet-spot scan's: the batch
+    # size must not be capped by the dataset's REPRO_SAMPLE_SIZE.
+    configs = sample_configurations(
+        spec_dataset.simulator.space, CANDIDATES, seed=4242
+    )
+
+    # -- inference: per-model loop vs stacked ensemble -----------------
+    # Best-of-3 keeps a noisy shared machine from skewing the ratio.
+    per_model_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        per_model = np.stack([model.predict(configs) for model in models])
+        per_model_seconds = min(
+            per_model_seconds, time.perf_counter() - start
+        )
+
+    ensemble = StackedEnsemble.from_models(models)
+    ensemble_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        stacked = ensemble.predict(configs)
+        ensemble_seconds = min(
+            ensemble_seconds, time.perf_counter() - start
+        )
+    benchmark(lambda: ensemble.predict(configs))
+
+    assert np.array_equal(stacked, per_model), (
+        "the stacked ensemble must reproduce the per-model loop bit for "
+        "bit"
+    )
+    speedup = per_model_seconds / ensemble_seconds
+
+    # -- offline training: serial vs process pool ----------------------
+    include = [p for p in TRAIN_PROGRAMS if p in spec_dataset.programs]
+    serial_pool = TrainingPool(
+        spec_dataset, Metric.CYCLES, training_size=TRAINING_SIZE, seed=9
+    )
+    start = time.perf_counter()
+    serial_models = serial_pool.models(include=include)
+    train_serial_seconds = time.perf_counter() - start
+
+    parallel_pool = TrainingPool(
+        spec_dataset, Metric.CYCLES, training_size=TRAINING_SIZE, seed=9,
+        n_jobs=JOBS,
+    )
+    start = time.perf_counter()
+    parallel_models = parallel_pool.models(include=include)
+    train_parallel_seconds = time.perf_counter() - start
+
+    for a, b in zip(serial_models, parallel_models):
+        wa, wb = a.network_weights(), b.network_weights()
+        for key in wa:
+            assert np.array_equal(
+                np.asarray(wa[key]), np.asarray(wb[key])
+            ), (a.program, key)
+
+    payload = {
+        "candidates": len(configs),
+        "models": len(models),
+        "per_model_seconds": per_model_seconds,
+        "ensemble_seconds": ensemble_seconds,
+        "ensemble_speedup": speedup,
+        "configs_per_second": len(configs) / ensemble_seconds,
+        "predictions_per_second": (
+            len(configs) * len(models) / ensemble_seconds
+        ),
+        "train_programs": len(include),
+        "train_serial_seconds": train_serial_seconds,
+        "train_parallel_seconds": train_parallel_seconds,
+        "train_speedup": train_serial_seconds / train_parallel_seconds,
+        "train_jobs": JOBS,
+        "cpu_count": os.cpu_count(),
+    }
+    record_json("BENCH_throughput", payload)
+
+    # The ensemble's win is algorithmic (one encode, batched GEMMs), so
+    # it holds on any machine.
+    assert speedup >= 5.0, f"stacked ensemble only {speedup:.1f}x faster"
+    # The training win needs actual CPUs; a 1-core container cannot
+    # show wall-time parallelism, so only assert where it can exist.
+    if (os.cpu_count() or 1) >= 4 and JOBS >= 4:
+        assert train_serial_seconds / train_parallel_seconds >= 2.0

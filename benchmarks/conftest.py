@@ -65,3 +65,18 @@ def record_artifact():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
     return write
+
+
+@pytest.fixture(scope="session")
+def record_json():
+    """Persist a machine-readable artefact under benchmarks/results/."""
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, payload: dict) -> None:
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.json").write_text(text + "\n")
+
+    return write

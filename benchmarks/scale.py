@@ -12,3 +12,5 @@ SAMPLE_SIZE = int(os.environ.get("REPRO_SAMPLE_SIZE", 1500))
 TRAINING_SIZE = int(os.environ.get("REPRO_TRAINING_SIZE", 512))
 RESPONSES = int(os.environ.get("REPRO_RESPONSES", 32))
 REPEATS = int(os.environ.get("REPRO_REPEATS", 1))
+#: Worker processes for the throughput bench's parallel-training leg.
+JOBS = int(os.environ.get("REPRO_JOBS", 4))

@@ -50,6 +50,7 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser("simulate", help="simulate one machine")
     _common(simulate)
     _checkpoint_options(simulate)
+    _jobs_option(simulate)
     simulate.add_argument("--program", default="gzip")
     for name in DesignSpace().parameters:
         simulate.add_argument(
@@ -65,6 +66,7 @@ def _build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--metric", default="cycles")
     predict.add_argument("--responses", type=int, default=32)
     predict.add_argument("--training-size", type=int, default=512)
+    _jobs_option(predict)
 
     analyze = sub.add_parser("analyze", help="characterise the space")
     _common(analyze)
@@ -96,6 +98,7 @@ def _build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--training-size", type=int, default=512)
     explore.add_argument("--candidates", type=int, default=5000)
     _checkpoint_options(explore)
+    _jobs_option(explore)
     return parser
 
 
@@ -121,6 +124,27 @@ def _checkpoint_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _jobs_arg(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value != -1 and value < 1:
+        raise argparse.ArgumentTypeError(
+            "must be a positive integer or -1 (all CPUs)"
+        )
+    return value
+
+
+def _jobs_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_jobs_arg, default=None,
+        help="worker processes for model training and campaign "
+        "simulation (default serial; -1 uses every CPU); results are "
+        "identical for any worker count",
+    )
+
+
 def _suite(name: str):
     return spec2000_suite() if name == "spec2000" else mibench_suite()
 
@@ -141,6 +165,7 @@ def _run_campaign(args: argparse.Namespace, profiles, simulator):
         IntervalBackend(simulator),
         args.checkpoint_dir,
         chunk_size=args.chunk_size,
+        n_jobs=getattr(args, "jobs", None),
     )
     try:
         result = runner.run(profiles, configs, resume=args.resume)
@@ -235,7 +260,8 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     print(f"offline: training {len(suite) - 1} program models "
           f"(T={args.training_size}) ...")
     pool = TrainingPool(
-        dataset, metric, training_size=args.training_size, seed=args.seed
+        dataset, metric, training_size=args.training_size, seed=args.seed,
+        n_jobs=args.jobs,
     )
     predictor = ArchitectureCentricPredictor(
         pool.models(exclude=[args.program])
@@ -340,7 +366,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         )
     print(f"offline: training the SPEC pool (T={args.training_size}) ...")
     pool = TrainingPool(
-        dataset, metric, training_size=args.training_size, seed=args.seed
+        dataset, metric, training_size=args.training_size, seed=args.seed,
+        n_jobs=args.jobs,
     )
     models = pool.models(
         exclude=[args.program] if args.program in spec else None

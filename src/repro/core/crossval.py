@@ -144,6 +144,7 @@ def leave_one_out(
     repeats: int = 5,
     seed: int = 0,
     programs: Optional[Sequence[str]] = None,
+    n_jobs: Optional[int] = None,
 ) -> CrossValidationResult:
     """Leave-one-out cross-validation over a suite (Section 7.1/7.2).
 
@@ -157,6 +158,8 @@ def leave_one_out(
         seed: Base seed.
         programs: Restrict evaluation to these left-out programs
             (training still uses the whole suite minus the one left out).
+        n_jobs: Worker processes for the offline pool training of each
+            repeat (1 = serial; results are identical either way).
     """
     targets = list(programs) if programs is not None else list(dataset.programs)
     summaries = {name: ProgramSummary(name) for name in targets}
@@ -166,7 +169,9 @@ def leave_one_out(
             metric,
             training_size=training_size,
             seed=stable_seed("loo", str(seed), str(repeat)),
+            n_jobs=n_jobs,
         )
+        pool.train_all()
         for name in targets:
             models = pool.models(exclude=[name])
             score = evaluate_on_program(
@@ -188,11 +193,14 @@ def cross_suite(
     responses: int = 32,
     repeats: int = 5,
     seed: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> CrossValidationResult:
     """Train on one suite, predict every program of another (Section 7.3).
 
     Both datasets must share a design space; they need not share
     configurations (responses come from the test dataset's own pool).
+    ``n_jobs`` controls the worker processes of each repeat's offline
+    pool training (1 = serial; results are identical either way).
     """
     summaries = {
         name: ProgramSummary(name) for name in test_dataset.programs
@@ -203,6 +211,7 @@ def cross_suite(
             metric,
             training_size=training_size,
             seed=stable_seed("xsuite", str(seed), str(repeat)),
+            n_jobs=n_jobs,
         )
         models = pool.models()
         for name in test_dataset.programs:

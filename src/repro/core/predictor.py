@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.designspace.configuration import Configuration
+from repro.ml.ensemble import StackedEnsemble
 from repro.ml.linear import LinearRegressor
 from repro.ml.metrics import correlation, rmae
 from repro.sim.metrics import Metric
@@ -61,6 +62,8 @@ class ArchitectureCentricPredictor:
         self._fitted = False
         self.training_error_: float = float("nan")
         self.response_count_: int = 0
+        self._ensemble: Optional[StackedEnsemble] = None
+        self._ensemble_built = False
 
     # ------------------------------------------------------------------
     # Fitting on responses
@@ -71,9 +74,28 @@ class ArchitectureCentricPredictor:
         Predictions are taken in log10 space so that the combination
         weighs programs by shape rather than by sheer magnitude, and the
         final prediction is mapped back to raw units.
+
+        The matrix is produced by a :class:`StackedEnsemble` — one
+        encode and one batched forward pass instead of N per-model
+        passes — whenever the pool stacks (trained models sharing one
+        network shape and design space, the normal case).  The result
+        is bit-identical to the per-model loop, which remains as the
+        fallback for heterogeneous pools.
         """
+        ensemble = self._stacked_ensemble()
+        if ensemble is not None:
+            return ensemble.log_model_matrix(configs)
         columns = [model.predict(configs) for model in self.program_models]
         return np.log10(np.stack(columns, axis=1))
+
+    def _stacked_ensemble(self) -> Optional[StackedEnsemble]:
+        """The stacked fast path, built lazily on first prediction."""
+        if not self._ensemble_built:
+            self._ensemble_built = True
+            self._ensemble = StackedEnsemble.maybe_from_models(
+                self.program_models
+            )
+        return self._ensemble
 
     def fit_responses(
         self,
@@ -110,8 +132,10 @@ class ArchitectureCentricPredictor:
         self._regressor.fit(design, targets)
         self._fitted = True
         self.response_count_ = len(response_configs)
+        # Reuse the design matrix for the training error instead of
+        # recomputing every model's predictions through self.predict.
         self.training_error_ = rmae(
-            self.predict(response_configs), response_values
+            self._predict_from_design(design), response_values
         )
         return self
 
@@ -124,7 +148,10 @@ class ArchitectureCentricPredictor:
             raise RuntimeError(
                 "the predictor has not been fitted on responses yet"
             )
-        design = self._model_matrix(configs)
+        return self._predict_from_design(self._model_matrix(configs))
+
+    def _predict_from_design(self, design: np.ndarray) -> np.ndarray:
+        """Combine an already computed (n, N) design matrix."""
         log_prediction = self._regressor.predict(design)
         return np.power(10.0, np.clip(log_prediction, -30.0, 30.0))
 

@@ -56,22 +56,47 @@ class ProgramSpecificPredictor:
         self._trained = False
         self.training_size_: int = 0
 
+    def training_arrays(
+        self,
+        configs: Sequence[Configuration],
+        values: np.ndarray,
+    ) -> tuple:
+        """Validate and encode a training set into (features, targets).
+
+        The exact preprocessing :meth:`fit` applies, exposed so callers
+        that train the network elsewhere (e.g. the parallel training
+        pool, which fits in worker processes) produce bit-identical
+        inputs to an in-process fit.
+        """
+        values = np.asarray(values, dtype=float).reshape(-1)
+        if len(configs) != values.shape[0]:
+            raise ValueError("configs and values disagree on sample count")
+        if np.any(values <= 0.0):
+            raise ValueError("metric values must be positive")
+        features = self.space.encode_many(configs)
+        targets = np.log10(values) if self.log_target else values
+        return features, targets
+
     def fit(
         self,
         configs: Sequence[Configuration],
         values: np.ndarray,
     ) -> "ProgramSpecificPredictor":
         """Train on simulated (configuration, metric value) pairs."""
-        values = np.asarray(values, dtype=float).reshape(-1)
-        if len(configs) != values.shape[0]:
-            raise ValueError("configs and values disagree on sample count")
-        if np.any(values <= 0.0):
-            raise ValueError("metric values must be positive")
-        features = self.space.encode_many(list(configs))
-        targets = np.log10(values) if self.log_target else values
+        return self.fit_prepared(*self.training_arrays(configs, values))
+
+    def fit_prepared(
+        self, features: np.ndarray, targets: np.ndarray
+    ) -> "ProgramSpecificPredictor":
+        """Train on arrays produced by :meth:`training_arrays`.
+
+        Splitting preparation from fitting lets the training pool encode
+        once in the parent process and fit in workers; the combined path
+        is bit-identical to :meth:`fit`.
+        """
         self._network.fit(features, targets)
         self._trained = True
-        self.training_size_ = len(configs)
+        self.training_size_ = features.shape[0]
         return self
 
     def predict(self, configs: Sequence[Configuration]) -> np.ndarray:
@@ -81,7 +106,7 @@ class ProgramSpecificPredictor:
                 f"program-specific predictor for {self.program!r} "
                 "has not been trained"
             )
-        features = self.space.encode_many(list(configs))
+        features = self.space.encode_many(configs)
         raw = self._network.predict(features)
         if self.log_target:
             # Clip the exponent so a wild extrapolation cannot overflow.
@@ -91,3 +116,38 @@ class ProgramSpecificPredictor:
     def predict_one(self, config: Configuration) -> float:
         """Predict the metric for a single configuration."""
         return float(self.predict([config])[0])
+
+    # ------------------------------------------------------------------
+    # Weight transport (persistence, parallel training, stacking)
+    # ------------------------------------------------------------------
+    def network_weights(self) -> dict:
+        """Export the trained network's weights and scaler state.
+
+        Raises:
+            RuntimeError: if the predictor has not been trained.
+        """
+        if not self._trained:
+            raise RuntimeError(
+                f"program-specific predictor for {self.program!r} "
+                "has not been trained"
+            )
+        return self._network.get_weights()
+
+    def adopt_network_weights(
+        self,
+        weights: dict,
+        training_size: int,
+        training_record=None,
+    ) -> "ProgramSpecificPredictor":
+        """Install weights exported by :meth:`network_weights`.
+
+        The inverse of :meth:`network_weights`: restores a network
+        trained elsewhere (another process, a serialised pool) so the
+        predictor behaves exactly as if :meth:`fit` had run in-process.
+        """
+        self._network.set_weights(weights)
+        if training_record is not None:
+            self._network.training_record_ = training_record
+        self._trained = True
+        self.training_size_ = int(training_size)
+        return self

@@ -6,12 +6,26 @@ training program, offline, on T simulations each (Section 5.2, Fig. 6).
 shared dataset and serves arbitrary subsets (leave-one-out folds, random
 few-program pools for the Section 8 cost study) without retraining,
 because a program's model does not depend on which fold it appears in.
+
+Training the pool is embarrassingly parallel — the N network fits share
+nothing — so the pool fans out over a ``ProcessPoolExecutor`` when asked
+(``n_jobs > 1``).  Workers receive the already-encoded training arrays,
+fit the network, and ship the weights back through the existing
+``get_weights``/``set_weights`` transport.  Every per-program seed is
+derived deterministically from the pool seed, and the arrays a worker
+fits are prepared by the exact code the serial path runs, so any worker
+count produces **bit-identical** models to a serial run.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.ml.mlp import MLPTrainingRecord, MultilayerPerceptron
+from repro.parallel import resolve_jobs
 from repro.sim.metrics import Metric
 from repro.workloads.profile import stable_seed
 
@@ -19,6 +33,30 @@ from .program_model import ProgramSpecificPredictor
 
 if TYPE_CHECKING:  # avoid a package-level import cycle with exploration
     from repro.exploration.dataset import DesignSpaceDataset
+
+
+def _fit_network_worker(
+    task: Tuple[str, np.ndarray, np.ndarray, int, int]
+) -> Tuple[str, dict, Tuple[int, int, float, float]]:
+    """Train one program's network from prepared arrays (runs in a worker).
+
+    Module-level so it pickles; receives nothing but plain arrays and
+    ints, so the result depends only on the (deterministic) inputs.
+    """
+    program, features, targets, hidden_neurons, net_seed = task
+    network = MultilayerPerceptron(hidden_neurons=hidden_neurons, seed=net_seed)
+    network.fit(features, targets)
+    record = network.training_record_
+    return (
+        program,
+        network.get_weights(),
+        (
+            record.epochs_run,
+            record.best_epoch,
+            record.best_validation_loss,
+            record.final_training_loss,
+        ),
+    )
 
 
 class TrainingPool:
@@ -32,6 +70,10 @@ class TrainingPool:
         seed: Base seed; each program derives its own training split and
             network initialisation from it deterministically.
         hidden_neurons: ANN hidden width (the paper uses 10).
+        n_jobs: Worker processes for bulk training (:meth:`train_all`
+            and :meth:`models`); 1 trains serially in-process, -1 uses
+            one worker per CPU.  The trained weights are identical for
+            every worker count.
     """
 
     def __init__(
@@ -41,6 +83,7 @@ class TrainingPool:
         training_size: int = 512,
         seed: int = 0,
         hidden_neurons: int = 10,
+        n_jobs: Optional[int] = None,
     ) -> None:
         if training_size < 2:
             raise ValueError("training_size must be at least 2")
@@ -54,6 +97,7 @@ class TrainingPool:
         self.training_size = training_size
         self.seed = seed
         self.hidden_neurons = hidden_neurons
+        self.n_jobs = resolve_jobs(n_jobs)
         self._models: Dict[str, ProgramSpecificPredictor] = {}
 
     # ------------------------------------------------------------------
@@ -65,7 +109,14 @@ class TrainingPool:
             self._models[program] = self._train(program)
         return self._models[program]
 
-    def _train(self, program: str) -> ProgramSpecificPredictor:
+    def _prepare(
+        self, program: str
+    ) -> Tuple[ProgramSpecificPredictor, np.ndarray, np.ndarray]:
+        """Untrained predictor plus its encoded training arrays.
+
+        One code path prepares the arrays for both the serial and the
+        parallel fit, which is what makes them bit-identical.
+        """
         split_seed = stable_seed(
             "pool-split", program, str(self.seed), str(self.training_size)
         )
@@ -81,12 +132,52 @@ class TrainingPool:
             hidden_neurons=self.hidden_neurons,
             seed=stable_seed("pool-net", program, str(self.seed)),
         )
-        return predictor.fit(configs, values)
+        features, targets = predictor.training_arrays(configs, values)
+        return predictor, features, targets
 
-    def train_all(self) -> "TrainingPool":
-        """Eagerly train every program's model (otherwise lazy)."""
-        for program in self.dataset.programs:
-            self.model(program)
+    def _train(self, program: str) -> ProgramSpecificPredictor:
+        predictor, features, targets = self._prepare(program)
+        return predictor.fit_prepared(features, targets)
+
+    def _train_many(self, programs: Sequence[str], n_jobs: int) -> None:
+        """Train the given programs, fanning out when ``n_jobs > 1``."""
+        missing = [name for name in programs if name not in self._models]
+        if not missing:
+            return
+        if n_jobs == 1 or len(missing) == 1:
+            for name in missing:
+                self._models[name] = self._train(name)
+            return
+        prepared = {name: self._prepare(name) for name in missing}
+        tasks = [
+            (
+                name,
+                features,
+                targets,
+                self.hidden_neurons,
+                stable_seed("pool-net", name, str(self.seed)),
+            )
+            for name, (_, features, targets) in prepared.items()
+        ]
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+            for name, weights, record in pool.map(_fit_network_worker, tasks):
+                predictor = prepared[name][0]
+                predictor.adopt_network_weights(
+                    weights,
+                    training_size=prepared[name][1].shape[0],
+                    training_record=MLPTrainingRecord(*record),
+                )
+                self._models[name] = predictor
+
+    def train_all(self, n_jobs: Optional[int] = None) -> "TrainingPool":
+        """Eagerly train every program's model (otherwise lazy).
+
+        Args:
+            n_jobs: Override the pool's worker count for this call
+                (``None`` keeps the constructor's setting).
+        """
+        jobs = self.n_jobs if n_jobs is None else resolve_jobs(n_jobs)
+        self._train_many(list(self.dataset.programs), jobs)
         return self
 
     # ------------------------------------------------------------------
@@ -108,4 +199,6 @@ class TrainingPool:
         unknown = (set(names) | dropped) - set(self.dataset.programs)
         if unknown:
             raise KeyError(f"programs not in the dataset: {sorted(unknown)}")
-        return [self.model(name) for name in names if name not in dropped]
+        wanted = [name for name in names if name not in dropped]
+        self._train_many(wanted, self.n_jobs)
+        return [self._models[name] for name in wanted]

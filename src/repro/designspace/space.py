@@ -218,9 +218,15 @@ class DesignSpace:
             dtype=float,
         )
 
-    def encode_many(self, configs: Sequence[Configuration]) -> np.ndarray:
-        """Encode a sequence of configurations as an (n, 13) matrix."""
-        if not configs:
+    def encode_many(self, configs: Iterable[Configuration]) -> np.ndarray:
+        """Encode configurations as an (n, 13) matrix.
+
+        Accepts any iterable — list, tuple, generator — without the
+        caller having to materialise a fresh list first.
+        """
+        if not hasattr(configs, "__len__"):
+            configs = list(configs)
+        if len(configs) == 0:
             return np.empty((0, self.dimensions), dtype=float)
         return np.stack([self.encode(c) for c in configs])
 

@@ -60,6 +60,7 @@ def motivation_experiment(
     responses: int = 32,
     training_size: int = 512,
     seed: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> MotivationResult:
     """Reproduce Fig. 1: both models given the same 32 simulations.
 
@@ -84,7 +85,7 @@ def motivation_experiment(
 
     pool = TrainingPool(
         dataset, metric, training_size=training_size,
-        seed=stable_seed("motivation-pool", str(seed)),
+        seed=stable_seed("motivation-pool", str(seed)), n_jobs=n_jobs,
     )
     centric = ArchitectureCentricPredictor(pool.models(exclude=[program]))
     centric.fit_responses(response_configs, response_values)
@@ -173,6 +174,7 @@ def response_sweep(
     repeats: int = 3,
     seed: int = 0,
     programs: Optional[Sequence[str]] = None,
+    n_jobs: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 10: architecture-centric accuracy vs response count R.
 
@@ -184,6 +186,7 @@ def response_sweep(
         TrainingPool(
             dataset, metric, training_size=training_size,
             seed=stable_seed("fig10-pool", str(repeat), str(seed)),
+            n_jobs=n_jobs,
         )
         for repeat in range(repeats)
     ]
@@ -251,6 +254,7 @@ def comparison_sweep(
     repeats: int = 3,
     seed: int = 0,
     programs: Optional[Sequence[str]] = None,
+    n_jobs: Optional[int] = None,
 ) -> ComparisonResult:
     """Fig. 13: same simulation budget as responses (ours) vs training
     data (program-specific baseline)."""
@@ -262,6 +266,7 @@ def comparison_sweep(
         repeats=repeats,
         seed=seed,
         programs=programs,
+        n_jobs=n_jobs,
     )
     targets = list(programs) if programs is not None else list(dataset.programs)
     points = []
@@ -305,6 +310,7 @@ def training_programs_sweep(
     responses: int = 32,
     repeats: int = 3,
     seed: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 14: accuracy vs number of offline training programs.
 
@@ -318,7 +324,7 @@ def training_programs_sweep(
         )
     pool = TrainingPool(
         dataset, metric, training_size=training_size,
-        seed=stable_seed("fig14-pool", str(seed)),
+        seed=stable_seed("fig14-pool", str(seed)), n_jobs=n_jobs,
     )
     points = []
     for size in pool_sizes:
@@ -364,6 +370,7 @@ def noise_sweep(
     responses: int = 32,
     seed: int = 0,
     programs: Optional[Sequence[str]] = None,
+    n_jobs: Optional[int] = None,
 ) -> SweepResult:
     """Ablation A8: accuracy vs multiplicative response noise.
 
@@ -375,7 +382,7 @@ def noise_sweep(
     targets = list(programs) if programs is not None else list(dataset.programs)
     pool = TrainingPool(
         dataset, metric, training_size=training_size,
-        seed=stable_seed("noise-pool", str(seed)),
+        seed=stable_seed("noise-pool", str(seed)), n_jobs=n_jobs,
     )
     points = []
     for noise in noise_levels:
@@ -422,6 +429,7 @@ def drift_sweep(
     training_size: int = 512,
     responses: int = 32,
     seed: int = 0,
+    n_jobs: Optional[int] = None,
 ) -> SweepResult:
     """Ablation A4: accuracy vs workload drift off the training suite.
 
@@ -433,7 +441,7 @@ def drift_sweep(
 
     pool = TrainingPool(
         dataset, metric, training_size=training_size,
-        seed=stable_seed("drift-pool", str(seed)),
+        seed=stable_seed("drift-pool", str(seed)), n_jobs=n_jobs,
     )
     models = pool.models()
     points = []
@@ -475,11 +483,12 @@ def spec_error_experiment(
     seed: int = 0,
     training_size: int = 512,
     responses: int = 32,
+    n_jobs: Optional[int] = None,
 ) -> CrossValidationResult:
     """Fig. 11: per-SPEC-program training and testing error."""
     return leave_one_out(
         dataset, metric, training_size=training_size, responses=responses,
-        repeats=repeats, seed=seed,
+        repeats=repeats, seed=seed, n_jobs=n_jobs,
     )
 
 
@@ -491,10 +500,11 @@ def mibench_experiment(
     seed: int = 0,
     training_size: int = 512,
     responses: int = 32,
+    n_jobs: Optional[int] = None,
 ) -> CrossValidationResult:
     """Fig. 12: MiBench predicted from a SPEC CPU 2000-trained model."""
     return cross_suite(
         spec_dataset, mibench_dataset, metric,
         training_size=training_size, responses=responses,
-        repeats=repeats, seed=seed,
+        repeats=repeats, seed=seed, n_jobs=n_jobs,
     )

@@ -4,10 +4,12 @@ Public surface:
 
 * :class:`MultilayerPerceptron` — the paper's per-program ANN (Fig. 7).
 * :class:`LinearRegressor` — the architecture-centric combiner (Fig. 8).
+* :class:`StackedEnsemble` — batched inference over N stacked ANNs.
 * :func:`rmae` / :func:`correlation` — the paper's accuracy metrics.
 * :class:`StandardScaler` / :class:`MinMaxScaler` — data conditioning.
 """
 
+from .ensemble import StackedEnsemble
 from .linear import LinearRegressor, normal_equation_weights
 from .metrics import correlation, rmae
 from .mlp import MLPTrainingRecord, MultilayerPerceptron
@@ -20,6 +22,7 @@ __all__ = [
     "MinMaxScaler",
     "MultilayerPerceptron",
     "SplineRegressor",
+    "StackedEnsemble",
     "StandardScaler",
     "correlation",
     "normal_equation_weights",

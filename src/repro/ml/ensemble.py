@@ -1,0 +1,236 @@
+"""Stacked ensemble inference over many identically shaped networks.
+
+The architecture-centric predictor evaluates N ~ 25 per-program
+networks at every configuration it is asked about; the hot loops
+(response fitting, held-out scoring, the 5,000-candidate sweet-spot
+scan) all funnel through that ensemble forward pass.  Evaluating the
+networks one by one re-encodes the *same* configuration batch N times
+and issues N small GEMMs — almost all of the wall time is redundant
+Python-level encoding.
+
+:class:`StackedEnsemble` removes the redundancy.  All member networks
+share the one-hidden-layer (D, H) shape, so their parameters stack into
+(N, D, H) / (N, H) tensors and the whole ensemble evaluates in one
+batched contraction per layer::
+
+    hidden = tanh(einsum('nmd,ndh->nmh', x, W_hidden) + b_hidden)
+    output = einsum('nmh,nh->nm', hidden, w_output) + b_output
+
+The contractions are executed with :func:`numpy.matmul` on the stacked
+tensors rather than a literal ``numpy.einsum`` call: ``matmul``
+dispatches each (m, D) x (D, H) slice to the same BLAS GEMM kernel the
+per-model path uses, which makes the stacked result **bit-identical**
+to evaluating the members one at a time (``einsum``'s own reduction
+loops sum in a different order and drift in the last ulp).  The tests
+assert exact equality, not closeness.
+
+Members are duck-typed: anything with ``space``, ``program``,
+``log_target`` and ``network_weights()`` (the
+:class:`~repro.core.program_model.ProgramSpecificPredictor` surface)
+can be stacked.  Stacking fails softly — :meth:`maybe_from_models`
+returns ``None`` for heterogeneous pools (different hidden widths,
+different encoding spaces, untrained members) so callers can fall back
+to the per-model loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["StackedEnsemble"]
+
+#: Exponent clip shared with the per-model path: a wild extrapolation
+#: in log space must not overflow ``10 ** x``.
+_LOG_CLIP = 30.0
+
+
+class StackedEnsemble:
+    """Batched forward pass over N stacked one-hidden-layer networks.
+
+    Instances are immutable snapshots of their member networks' weights;
+    retraining a member requires restacking.  Build through
+    :meth:`from_models` / :meth:`maybe_from_models` rather than the
+    constructor.
+
+    Args:
+        space: The shared design space used to encode configurations.
+        programs: Member names, in stacking order.
+        hidden_weights: (N, D, H) stacked hidden-layer weights.
+        hidden_bias: (N, H) stacked hidden-layer biases.
+        output_weights: (N, H) stacked output-layer weights.
+        output_bias: (N,) stacked output-layer biases.
+        x_mean: (N, D) per-member input standardisation means.
+        x_scale: (N, D) per-member input standardisation scales.
+        y_mean: (N,) per-member target standardisation means.
+        y_scale: (N,) per-member target standardisation scales.
+        log_target: (N,) bool — which members predict log10(metric).
+    """
+
+    def __init__(
+        self,
+        space,
+        programs: Sequence[str],
+        hidden_weights: np.ndarray,
+        hidden_bias: np.ndarray,
+        output_weights: np.ndarray,
+        output_bias: np.ndarray,
+        x_mean: np.ndarray,
+        x_scale: np.ndarray,
+        y_mean: np.ndarray,
+        y_scale: np.ndarray,
+        log_target: np.ndarray,
+    ) -> None:
+        self.space = space
+        self.programs: Tuple[str, ...] = tuple(programs)
+        self._hidden_weights = hidden_weights
+        self._hidden_bias = hidden_bias
+        self._output_weights = output_weights
+        self._output_bias = output_bias
+        self._x_mean = x_mean
+        self._x_scale = x_scale
+        self._y_mean = y_mean
+        self._y_scale = y_scale
+        self._log_target = log_target
+        members, input_dim, hidden = hidden_weights.shape
+        if len(self.programs) != members:
+            raise ValueError(
+                f"{len(self.programs)} program names for {members} stacked "
+                "networks"
+            )
+        self.input_dim = input_dim
+        self.hidden_neurons = hidden
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_models(cls, models: Sequence) -> "StackedEnsemble":
+        """Stack trained program models into one ensemble.
+
+        Args:
+            models: Trained predictors exposing ``space``, ``program``,
+                ``log_target`` and ``network_weights()``.
+
+        Raises:
+            ValueError: if the pool is empty or not stackable (mixed
+                hidden widths, input dimensions or encoding spaces).
+            RuntimeError: if any member network is untrained.
+        """
+        if not models:
+            raise ValueError("at least one model is required")
+        space = models[0].space
+        for model in models:
+            if model.space is not space:
+                raise ValueError(
+                    "models must share one design space instance to be "
+                    "encoded once; got distinct spaces"
+                )
+        weights = [model.network_weights() for model in models]
+        shapes = {w["hidden_weights"].shape for w in weights}
+        if len(shapes) != 1:
+            raise ValueError(
+                f"models must share one (input, hidden) network shape to "
+                f"stack; got {sorted(shapes)}"
+            )
+        return cls(
+            space=space,
+            programs=[model.program for model in models],
+            hidden_weights=np.stack([w["hidden_weights"] for w in weights]),
+            hidden_bias=np.stack([w["hidden_bias"] for w in weights]),
+            output_weights=np.stack([w["output_weights"] for w in weights]),
+            output_bias=np.array(
+                [float(np.asarray(w["output_bias"])) for w in weights]
+            ),
+            x_mean=np.stack(
+                [np.asarray(w["x_mean"], dtype=float) for w in weights]
+            ),
+            x_scale=np.stack(
+                [np.asarray(w["x_scale"], dtype=float) for w in weights]
+            ),
+            y_mean=np.array(
+                [float(np.asarray(w["y_mean"]).reshape(())) for w in weights]
+            ),
+            y_scale=np.array(
+                [float(np.asarray(w["y_scale"]).reshape(())) for w in weights]
+            ),
+            log_target=np.array(
+                [bool(model.log_target) for model in models]
+            ),
+        )
+
+    @classmethod
+    def maybe_from_models(cls, models: Sequence) -> Optional["StackedEnsemble"]:
+        """:meth:`from_models`, returning ``None`` when stacking fails.
+
+        The soft variant callers use to keep a per-model fallback path:
+        heterogeneous or untrained pools simply decline to stack.
+        """
+        try:
+            return cls.from_models(models)
+        except (ValueError, RuntimeError, AttributeError, KeyError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.programs)
+
+    def predict_features(self, features: np.ndarray) -> np.ndarray:
+        """(N, m) metric predictions for pre-encoded feature vectors.
+
+        Args:
+            features: (m, D) raw (unscaled) feature matrix.
+
+        Returns:
+            Row ``i`` holds member ``i``'s predictions — exactly what
+            that member's own ``predict`` would return.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        if features.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected {self.input_dim} features, got {features.shape[1]}"
+            )
+        # (N, m, D): each member standardises the shared batch itself.
+        x = (features[None, :, :] - self._x_mean[:, None, :]) / (
+            self._x_scale[:, None, :]
+        )
+        # Stacked matmul == one BLAS GEMM per member slice, so the
+        # result matches the per-model path bit for bit.
+        hidden = np.tanh(
+            np.matmul(x, self._hidden_weights) + self._hidden_bias[:, None, :]
+        )
+        scaled = (
+            np.matmul(hidden, self._output_weights[:, :, None])[..., 0]
+            + self._output_bias[:, None]
+        )
+        raw = scaled * self._y_scale[:, None] + self._y_mean[:, None]
+        if not self._log_target.any():
+            return raw
+        if self._log_target.all():
+            return np.power(10.0, np.clip(raw, -_LOG_CLIP, _LOG_CLIP))
+        rows = [
+            np.power(10.0, np.clip(row, -_LOG_CLIP, _LOG_CLIP))
+            if is_log
+            else row
+            for row, is_log in zip(raw, self._log_target)
+        ]
+        return np.stack(rows)
+
+    def predict(self, configs: Sequence) -> np.ndarray:
+        """(N, m) metric predictions, encoding the batch exactly once."""
+        return self.predict_features(self.space.encode_many(configs))
+
+    def log_model_matrix(self, configs: Sequence) -> np.ndarray:
+        """(m, N) log10 design matrix for the combining regressor.
+
+        Equivalent to ``log10(stack([m.predict(configs) for m in
+        models], axis=1))`` — the architecture-centric model matrix —
+        but with one encode and one stacked forward pass.  The result
+        is C-contiguous like the stacked original: downstream GEMV
+        kernels pick their summation order from the memory layout, so
+        returning a transposed view would cost the last ulp.
+        """
+        return np.ascontiguousarray(np.log10(self.predict(configs)).T)

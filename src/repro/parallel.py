@@ -1,0 +1,35 @@
+"""Shared helpers for the process-parallel execution knobs.
+
+Several layers fan work out over a ``ProcessPoolExecutor`` — the
+offline training pool, the campaign runner, the CLI — and they all
+speak the same ``n_jobs`` dialect, resolved here so every layer agrees
+on what ``None`` and ``-1`` mean.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["resolve_jobs"]
+
+
+def resolve_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` request to a concrete worker count.
+
+    ``None`` and ``1`` mean serial (no worker processes at all);
+    ``-1`` means one worker per CPU; any other positive integer is
+    taken literally.
+
+    Raises:
+        ValueError: for zero or negative counts other than -1.
+    """
+    if n_jobs is None:
+        return 1
+    if n_jobs == -1:
+        return max(1, os.cpu_count() or 1)
+    if n_jobs < 1:
+        raise ValueError(
+            f"n_jobs must be a positive integer or -1, got {n_jobs}"
+        )
+    return n_jobs

@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
@@ -31,6 +32,7 @@ from typing import (
 import numpy as np
 
 from repro.designspace.configuration import Configuration
+from repro.parallel import resolve_jobs
 from repro.sim.interval import BatchResult
 from repro.sim.metrics import Metric
 from repro.workloads.profile import WorkloadProfile, stable_seed
@@ -46,6 +48,42 @@ if TYPE_CHECKING:  # lazy import keeps runtime free of exploration
 
 _MANIFEST_VERSION = 1
 _METRIC_FIELDS = ("cycles", "energy", "ed", "edd")
+
+
+def _simulate_cell_worker(task):
+    """Simulate one campaign cell with retries (runs in a worker process).
+
+    Module-level so it pickles.  Each worker gets its *own copy* of the
+    backend (pickled with the task) and a private circuit breaker, so a
+    stateful backend — e.g. a seeded fault injector — evolves per cell
+    rather than across the whole campaign.  Deterministic backends
+    produce exactly the arrays the serial loop would.
+
+    Returns:
+        (cell id, BatchResult or None on permanent failure, attempts,
+        failure message or None).
+    """
+    backend, profile, configs, policy, retry_seed, cell = task
+    attempts = 0
+
+    def attempt() -> BatchResult:
+        nonlocal attempts
+        attempts += 1
+        return backend.simulate_batch(profile, configs)
+
+    try:
+        batch = call_with_retry(
+            attempt,
+            policy,
+            seed=retry_seed,
+            breaker=CircuitBreaker(),
+            validate=lambda result: validate_batch(
+                result, f"for cell {cell}"
+            ),
+        )
+    except SimulationError as error:
+        return cell, None, attempts, str(error)
+    return cell, batch, attempts, None
 
 
 @dataclass(frozen=True)
@@ -144,6 +182,13 @@ class CampaignRunner:
         breaker_threshold: Consecutive cell failures that trip the
             campaign-wide circuit breaker.
         seed: Base seed of the deterministic retry jitter.
+        n_jobs: Worker processes simulating cells concurrently.  1 (the
+            default) runs the serial loop; -1 uses one worker per CPU.
+            The parallel path requires a picklable backend, gives each
+            cell a private circuit breaker (the campaign-wide breaker
+            and the ``sleep``/``clock`` hooks apply to the serial loop
+            only) and assembles matrices bit-identical to a serial run
+            for deterministic backends.
         sleep: Sleep hook shared by backoff delays (injectable for
             tests).
         clock: Monotonic clock hook for the per-call timeout guard.
@@ -157,6 +202,7 @@ class CampaignRunner:
         retry_policy: Optional[RetryPolicy] = None,
         breaker_threshold: int = 8,
         seed: int = 0,
+        n_jobs: Optional[int] = None,
         sleep=None,
         clock=None,
     ) -> None:
@@ -170,6 +216,7 @@ class CampaignRunner:
         )
         self.breaker_threshold = breaker_threshold
         self.seed = seed
+        self.n_jobs = resolve_jobs(n_jobs)
         self._sleep = sleep
         self._clock = clock
         self.journal = CampaignJournal(self.checkpoint_dir / "journal.jsonl")
@@ -221,6 +268,12 @@ class CampaignRunner:
             for program in programs
             for metric in Metric.all()
         }
+        if self.n_jobs > 1:
+            return self._run_parallel(
+                programs, configs, chunks, cells, completed, values,
+                max_cells, fail_fast,
+            )
+
         breaker = CircuitBreaker(self.breaker_threshold)
         simulated, resumed, attempts = 0, 0, 0
         failed: List[str] = []
@@ -230,12 +283,9 @@ class CampaignRunner:
             cell = f"{profile.name}:{chunk_index}"
             start, stop = chunks[chunk_index]
             if cell in completed:
-                batch = self._load_cell(completed[cell])
-                if len(batch) != stop - start:
-                    raise ValueError(
-                        f"checkpointed cell {cell} holds {len(batch)} "
-                        f"configurations, expected {stop - start}"
-                    )
+                batch = self._resume_cell(
+                    cell, completed[cell], stop - start
+                )
                 self._fill(values, profile.name, start, stop, batch)
                 resumed += 1
                 continue
@@ -283,6 +333,83 @@ class CampaignRunner:
             self._fill(values, profile.name, start, stop, batch)
             simulated += 1
 
+        return CampaignResult(
+            programs=programs,
+            configs=tuple(configs),
+            total_cells=len(cells),
+            simulated_cells=simulated,
+            resumed_cells=resumed,
+            failed_cells=tuple(failed),
+            pending_cells=tuple(pending),
+            attempts=attempts,
+            _values=values,
+        )
+
+    def _run_parallel(
+        self,
+        programs: Tuple[str, ...],
+        configs: Sequence[Configuration],
+        chunks: List[Tuple[int, int]],
+        cells: List[Tuple[WorkloadProfile, int]],
+        completed: Dict[str, pathlib.Path],
+        values: Dict[Tuple[str, Metric], np.ndarray],
+        max_cells: Optional[int],
+        fail_fast: bool,
+    ) -> CampaignResult:
+        """Fan the unfinished cells out over a process pool.
+
+        Resumed cells are all restored first (the parallel path never
+        stops mid-resume), then up to ``max_cells`` unfinished cells are
+        dispatched; the rest stay pending.  Results are journalled in
+        campaign cell order as the ordered ``map`` stream delivers them,
+        so an interrupted parallel run resumes exactly like a serial
+        one.
+        """
+        simulated, resumed, attempts = 0, 0, 0
+        failed: List[str] = []
+        todo: List[Tuple[str, WorkloadProfile, int, int, int]] = []
+        for profile, chunk_index in cells:
+            cell = f"{profile.name}:{chunk_index}"
+            start, stop = chunks[chunk_index]
+            if cell in completed:
+                batch = self._resume_cell(
+                    cell, completed[cell], stop - start
+                )
+                self._fill(values, profile.name, start, stop, batch)
+                resumed += 1
+            else:
+                todo.append((cell, profile, chunk_index, start, stop))
+        pending: List[str] = []
+        if max_cells is not None and len(todo) > max_cells:
+            pending = [item[0] for item in todo[max_cells:]]
+            todo = todo[:max_cells]
+        tasks = [
+            (
+                self.backend,
+                profile,
+                list(configs[start:stop]),
+                self.retry_policy,
+                stable_seed("campaign-retry", cell, str(self.seed)),
+                cell,
+            )
+            for cell, profile, _, start, stop in todo
+        ]
+        if tasks:
+            workers = min(self.n_jobs, len(tasks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = pool.map(_simulate_cell_worker, tasks)
+                for item, outcome in zip(todo, outcomes):
+                    cell, profile, chunk_index, start, stop = item
+                    _, batch, cell_attempts, error = outcome
+                    attempts += cell_attempts
+                    if batch is None:
+                        if fail_fast:
+                            raise SimulationError(error)
+                        failed.append(cell)
+                        continue
+                    self._store_cell(cell, profile.name, chunk_index, batch)
+                    self._fill(values, profile.name, start, stop, batch)
+                    simulated += 1
         return CampaignResult(
             programs=programs,
             configs=tuple(configs),
@@ -409,6 +536,17 @@ class CampaignRunner:
                 "checksum": file_checksum(path),
             }
         )
+
+    def _resume_cell(
+        self, cell: str, path: pathlib.Path, expected: int
+    ) -> BatchResult:
+        batch = self._load_cell(path)
+        if len(batch) != expected:
+            raise ValueError(
+                f"checkpointed cell {cell} holds {len(batch)} "
+                f"configurations, expected {expected}"
+            )
+        return batch
 
     def _load_cell(self, path: pathlib.Path) -> BatchResult:
         with np.load(path, allow_pickle=False) as archive:

@@ -58,6 +58,10 @@ class VirtualClock:
         self.now += seconds
 
 
+def _no_sleep(seconds: float) -> None:
+    """Default stall hook: don't actually sleep (tests inject a clock)."""
+
+
 def _batch_fingerprint(
     profile: WorkloadProfile, configs: Sequence[Configuration]
 ) -> str:
@@ -117,7 +121,9 @@ class FaultInjectingBackend:
         self.stall_rate = stall_rate
         self.stall_seconds = stall_seconds
         self.permanent_rate = permanent_rate
-        self._sleep = sleep if sleep is not None else (lambda seconds: None)
+        # A module-level no-op rather than a lambda keeps the backend
+        # picklable, which parallel campaigns require.
+        self._sleep = sleep if sleep is not None else _no_sleep
         self._attempts: Dict[str, int] = {}
         self.calls = 0
         self.injected_transients = 0

@@ -60,3 +60,67 @@ class TestTrainingPool:
                          training_size=64, seed=1).model("gzip")
         config = small_dataset.configs[0]
         assert a.predict_one(config) == b.predict_one(config)
+
+
+class TestParallelTraining:
+    """The process pool must be a pure performance knob: any worker
+    count yields bit-identical models."""
+
+    def test_parallel_weights_bit_identical_to_serial(self, small_dataset):
+        import numpy as np
+
+        serial = TrainingPool(small_dataset, Metric.CYCLES,
+                              training_size=64, seed=3).train_all()
+        parallel = TrainingPool(small_dataset, Metric.CYCLES,
+                                training_size=64, seed=3,
+                                n_jobs=4).train_all()
+        for program in small_dataset.programs:
+            a = serial.model(program).network_weights()
+            b = parallel.model(program).network_weights()
+            assert a.keys() == b.keys()
+            for key in a:
+                assert np.array_equal(np.asarray(a[key]),
+                                      np.asarray(b[key])), (program, key)
+
+    def test_parallel_predictions_bit_identical(self, small_dataset):
+        import numpy as np
+
+        serial = TrainingPool(small_dataset, Metric.CYCLES,
+                              training_size=64, seed=3).train_all()
+        parallel = TrainingPool(small_dataset, Metric.CYCLES,
+                                training_size=64, seed=3,
+                                n_jobs=2).train_all()
+        batch = small_dataset.configs[:40]
+        for program in small_dataset.programs:
+            assert np.array_equal(serial.model(program).predict(batch),
+                                  parallel.model(program).predict(batch))
+
+    def test_train_all_jobs_override(self, small_dataset):
+        pool = TrainingPool(small_dataset, Metric.CYCLES,
+                            training_size=64, seed=3)
+        pool.train_all(n_jobs=2)
+        assert len(pool.models()) == len(small_dataset.programs)
+
+    def test_parallel_training_records_preserved(self, small_dataset):
+        serial = TrainingPool(small_dataset, Metric.CYCLES,
+                              training_size=64, seed=3).train_all()
+        parallel = TrainingPool(small_dataset, Metric.CYCLES,
+                                training_size=64, seed=3,
+                                n_jobs=2).train_all()
+        for program in small_dataset.programs:
+            a = serial.model(program)._network.training_record_
+            b = parallel.model(program)._network.training_record_
+            assert a == b
+
+    def test_invalid_n_jobs_rejected(self, small_dataset):
+        for bad in (0, -2):
+            with pytest.raises(ValueError, match="n_jobs"):
+                TrainingPool(small_dataset, Metric.CYCLES,
+                             training_size=64, n_jobs=bad)
+
+    def test_all_cpus_shorthand(self):
+        from repro.parallel import resolve_jobs
+
+        assert resolve_jobs(-1) >= 1
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3

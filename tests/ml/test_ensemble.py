@@ -1,0 +1,161 @@
+"""Tests for the stacked ensemble fast path.
+
+The contract under test is exact: the stacked forward pass must
+reproduce the per-model loop bit for bit (``np.array_equal``, not
+``allclose``), because the predictor silently routes through it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ArchitectureCentricPredictor
+from repro.core.program_model import ProgramSpecificPredictor
+from repro.ml import StackedEnsemble
+from repro.sim import Metric
+
+
+@pytest.fixture(scope="module")
+def models(cycles_pool):
+    return cycles_pool.models()
+
+
+@pytest.fixture(scope="module")
+def ensemble(models):
+    return StackedEnsemble.from_models(models)
+
+
+class TestBitIdentity:
+    def test_predict_matches_every_member_exactly(
+        self, ensemble, models, configs
+    ):
+        batch = list(configs[:50])
+        stacked = ensemble.predict(batch)
+        assert stacked.shape == (len(models), len(batch))
+        for row, model in zip(stacked, models):
+            assert np.array_equal(row, model.predict(batch))
+
+    def test_log_model_matrix_matches_stacked_columns(
+        self, ensemble, models, configs
+    ):
+        batch = list(configs[:50])
+        expected = np.log10(
+            np.stack([model.predict(batch) for model in models], axis=1)
+        )
+        produced = ensemble.log_model_matrix(batch)
+        assert produced.flags["C_CONTIGUOUS"]
+        assert np.array_equal(produced, expected)
+
+    def test_predictor_path_identical_to_per_model_fallback(
+        self, models, small_dataset
+    ):
+        response_idx, holdout_idx = small_dataset.split_indices(32, seed=3)
+        response_configs = small_dataset.subset_configs(response_idx)
+        response_values = small_dataset.subset_values(
+            "art", Metric.CYCLES, response_idx
+        )
+        holdout = small_dataset.subset_configs(holdout_idx)
+
+        fast = ArchitectureCentricPredictor(models)
+        slow = ArchitectureCentricPredictor(models)
+        # Forcing the lazy build to conclude "no ensemble" pins the
+        # fallback per-model loop for the comparison.
+        slow._ensemble_built = True
+        assert slow._stacked_ensemble() is None
+        assert fast._stacked_ensemble() is not None
+
+        fast.fit_responses(response_configs, response_values)
+        slow.fit_responses(response_configs, response_values)
+        assert fast.training_error == slow.training_error
+        assert np.array_equal(fast.predict(holdout), slow.predict(holdout))
+
+
+class TestShapes:
+    def test_empty_batch(self, ensemble, models):
+        assert ensemble.predict([]).shape == (len(models), 0)
+
+    def test_len_and_programs(self, ensemble, models):
+        assert len(ensemble) == len(models)
+        assert list(ensemble.programs) == [m.program for m in models]
+
+    def test_feature_width_checked(self, ensemble):
+        with pytest.raises(ValueError, match="features"):
+            ensemble.predict_features(np.zeros((4, ensemble.input_dim + 1)))
+
+
+class TestConstruction:
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            StackedEnsemble.from_models([])
+        assert StackedEnsemble.maybe_from_models([]) is None
+
+    def test_untrained_member_declines_softly(self, models):
+        untrained = ProgramSpecificPredictor(
+            space=models[0].space, metric=Metric.CYCLES, program="raw"
+        )
+        with pytest.raises(RuntimeError):
+            StackedEnsemble.from_models(list(models) + [untrained])
+        assert (
+            StackedEnsemble.maybe_from_models(list(models) + [untrained])
+            is None
+        )
+
+    def test_mixed_hidden_widths_decline(self, models, small_dataset):
+        odd = ProgramSpecificPredictor(
+            space=models[0].space,
+            metric=Metric.CYCLES,
+            program="odd",
+            hidden_neurons=4,
+            seed=11,
+        )
+        train_idx, _ = small_dataset.split_indices(64, seed=11)
+        odd.fit(
+            small_dataset.subset_configs(train_idx),
+            small_dataset.subset_values("gzip", Metric.CYCLES, train_idx),
+        )
+        mixed = list(models) + [odd]
+        with pytest.raises(ValueError, match="shape"):
+            StackedEnsemble.from_models(mixed)
+        assert StackedEnsemble.maybe_from_models(mixed) is None
+
+    def test_distinct_spaces_decline(self, models):
+        from repro.designspace import DesignSpace
+
+        # A structurally equal but distinct space instance still
+        # declines: "encode once" is only sound for one shared encoder.
+        clone = ProgramSpecificPredictor(
+            space=DesignSpace(), metric=Metric.CYCLES, program="clone"
+        )
+        clone.adopt_network_weights(
+            models[0].network_weights(), training_size=1
+        )
+        assert (
+            StackedEnsemble.maybe_from_models(list(models) + [clone]) is None
+        )
+
+
+class TestMixedLogTarget:
+    def test_raw_target_member_not_exponentiated(self, small_dataset):
+        space = small_dataset.simulator.space
+        train_idx, _ = small_dataset.split_indices(64, seed=21)
+        train_configs = small_dataset.subset_configs(train_idx)
+        members = []
+        for program, log_target in (("gzip", True), ("applu", False)):
+            member = ProgramSpecificPredictor(
+                space=space,
+                metric=Metric.CYCLES,
+                program=program,
+                seed=21,
+                log_target=log_target,
+            )
+            member.fit(
+                train_configs,
+                small_dataset.subset_values(
+                    program, Metric.CYCLES, train_idx
+                ),
+            )
+            members.append(member)
+        ensemble = StackedEnsemble.from_models(members)
+        batch = small_dataset.configs[:20]
+        stacked = ensemble.predict(batch)
+        for row, member in zip(stacked, members):
+            assert np.array_equal(row, member.predict(batch))

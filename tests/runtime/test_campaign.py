@@ -272,3 +272,99 @@ class TestResume:
             assert np.array_equal(
                 result.matrix(metric), clean_result.matrix(metric)
             )
+
+
+class TestParallelCampaign:
+    """n_jobs must be a pure performance knob: matrices, journal
+    contents and resume behaviour all match the serial loop."""
+
+    def test_parallel_matches_serial_bit_identical(
+        self, backend, tiny_suite, tiny_configs, tmp_path
+    ):
+        serial = CampaignRunner(
+            backend, tmp_path / "serial", chunk_size=16
+        ).run(tiny_suite, tiny_configs)
+        parallel = CampaignRunner(
+            backend, tmp_path / "par", chunk_size=16, n_jobs=3
+        ).run(tiny_suite, tiny_configs)
+        assert parallel.complete
+        assert parallel.simulated_cells == serial.simulated_cells
+        assert parallel.attempts == serial.attempts
+        for metric in Metric.all():
+            assert np.array_equal(
+                parallel.matrix(metric), serial.matrix(metric)
+            )
+
+    def test_parallel_interrupt_then_resume(
+        self, backend, tiny_suite, tiny_configs, tmp_path
+    ):
+        serial = CampaignRunner(
+            backend, tmp_path / "serial", chunk_size=16
+        ).run(tiny_suite, tiny_configs)
+        first = CampaignRunner(
+            backend, tmp_path / "resume", chunk_size=16, n_jobs=2
+        ).run(tiny_suite, tiny_configs, max_cells=5)
+        assert not first.complete
+        assert first.simulated_cells == 5
+        assert len(first.pending_cells) == 7
+        second = CampaignRunner(
+            backend, tmp_path / "resume", chunk_size=16, n_jobs=2
+        ).run(tiny_suite, tiny_configs)
+        assert second.complete
+        assert second.resumed_cells == 5
+        assert second.simulated_cells == 7
+        for metric in Metric.all():
+            assert np.array_equal(
+                second.matrix(metric), serial.matrix(metric)
+            )
+
+    def test_serial_resumes_a_parallel_checkpoint(
+        self, backend, tiny_suite, tiny_configs, tmp_path
+    ):
+        CampaignRunner(
+            backend, tmp_path / "mix", chunk_size=16, n_jobs=2
+        ).run(tiny_suite, tiny_configs, max_cells=4)
+        result = CampaignRunner(
+            backend, tmp_path / "mix", chunk_size=16
+        ).run(tiny_suite, tiny_configs)
+        assert result.complete
+        assert result.resumed_cells == 4
+
+    def test_parallel_transient_faults_bit_identical(
+        self, backend, tiny_suite, tiny_configs, tmp_path
+    ):
+        clean = CampaignRunner(
+            backend, tmp_path / "clean", chunk_size=16
+        ).run(tiny_suite, tiny_configs)
+        faulty = FaultInjectingBackend(backend, seed=13, transient_rate=0.2)
+        result = CampaignRunner(
+            faulty, tmp_path / "faulty", chunk_size=16, n_jobs=3,
+            retry_policy=RetryPolicy(max_attempts=5, base_delay=0.0),
+        ).run(tiny_suite, tiny_configs)
+        assert result.complete
+        for metric in Metric.all():
+            assert np.array_equal(
+                result.matrix(metric), clean.matrix(metric)
+            )
+
+    def test_parallel_permanent_failures_recorded(
+        self, backend, tiny_suite, tiny_configs, tmp_path
+    ):
+        faulty = FaultInjectingBackend(backend, seed=29, permanent_rate=0.3)
+        result = CampaignRunner(
+            faulty, tmp_path / "perm", chunk_size=16, n_jobs=2,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+        ).run(tiny_suite, tiny_configs)
+        assert result.failed_cells
+        assert not result.complete
+
+    def test_parallel_fail_fast_raises(
+        self, backend, tiny_suite, tiny_configs, tmp_path
+    ):
+        faulty = FaultInjectingBackend(backend, seed=29, permanent_rate=0.3)
+        runner = CampaignRunner(
+            faulty, tmp_path / "ff", chunk_size=16, n_jobs=2,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+        )
+        with pytest.raises(SimulationError):
+            runner.run(tiny_suite, tiny_configs, fail_fast=True)

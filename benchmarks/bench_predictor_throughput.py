@@ -15,6 +15,7 @@ import time
 import numpy as np
 
 from repro.ml import StackedEnsemble
+from repro.obs import get_tracer, span
 from repro.sim import Metric
 
 from scale import JOBS, TRAINING_SIZE
@@ -41,24 +42,30 @@ def test_predictor_throughput(benchmark, spec_dataset, pools, record_json):
         spec_dataset.simulator.space, CANDIDATES, seed=4242
     )
 
+    trace_mark = get_tracer().mark()
+
     # -- inference: per-model loop vs stacked ensemble -----------------
     # Best-of-3 keeps a noisy shared machine from skewing the ratio.
     per_model_seconds = float("inf")
-    for _ in range(3):
-        start = time.perf_counter()
-        per_model = np.stack([model.predict(configs) for model in models])
-        per_model_seconds = min(
-            per_model_seconds, time.perf_counter() - start
-        )
+    with span("bench.inference.per_model", candidates=len(configs)):
+        for _ in range(3):
+            start = time.perf_counter()
+            per_model = np.stack(
+                [model.predict(configs) for model in models]
+            )
+            per_model_seconds = min(
+                per_model_seconds, time.perf_counter() - start
+            )
 
     ensemble = StackedEnsemble.from_models(models)
     ensemble_seconds = float("inf")
-    for _ in range(3):
-        start = time.perf_counter()
-        stacked = ensemble.predict(configs)
-        ensemble_seconds = min(
-            ensemble_seconds, time.perf_counter() - start
-        )
+    with span("bench.inference.stacked", candidates=len(configs)):
+        for _ in range(3):
+            start = time.perf_counter()
+            stacked = ensemble.predict(configs)
+            ensemble_seconds = min(
+                ensemble_seconds, time.perf_counter() - start
+            )
     benchmark(lambda: ensemble.predict(configs))
 
     assert np.array_equal(stacked, per_model), (
@@ -72,17 +79,19 @@ def test_predictor_throughput(benchmark, spec_dataset, pools, record_json):
     serial_pool = TrainingPool(
         spec_dataset, Metric.CYCLES, training_size=TRAINING_SIZE, seed=9
     )
-    start = time.perf_counter()
-    serial_models = serial_pool.models(include=include)
-    train_serial_seconds = time.perf_counter() - start
+    with span("bench.train.serial", programs=len(include)):
+        start = time.perf_counter()
+        serial_models = serial_pool.models(include=include)
+        train_serial_seconds = time.perf_counter() - start
 
     parallel_pool = TrainingPool(
         spec_dataset, Metric.CYCLES, training_size=TRAINING_SIZE, seed=9,
         n_jobs=JOBS,
     )
-    start = time.perf_counter()
-    parallel_models = parallel_pool.models(include=include)
-    train_parallel_seconds = time.perf_counter() - start
+    with span("bench.train.parallel", programs=len(include), jobs=JOBS):
+        start = time.perf_counter()
+        parallel_models = parallel_pool.models(include=include)
+        train_parallel_seconds = time.perf_counter() - start
 
     for a, b in zip(serial_models, parallel_models):
         wa, wb = a.network_weights(), b.network_weights()
@@ -107,6 +116,13 @@ def test_predictor_throughput(benchmark, spec_dataset, pools, record_json):
         "train_speedup": train_serial_seconds / train_parallel_seconds,
         "train_jobs": JOBS,
         "cpu_count": os.cpu_count(),
+        # Wall time per bench stage, straight from the tracer: the
+        # "bench.*" spans above plus the instrumented library spans
+        # that ran inside them (train.fit, predict.fit_responses, ...).
+        "stage_seconds": {
+            name: stats["total_seconds"]
+            for name, stats in get_tracer().summary(trace_mark).items()
+        },
     }
     record_json("BENCH_throughput", payload)
 

@@ -12,7 +12,12 @@ Lets a user poke the reproduction without writing code:
   budget between offline training and per-program responses.
 
 Every command accepts ``--samples`` and ``--seed`` to control scale and
-reproducibility.
+reproducibility.  The compute-heavy commands (``simulate``,
+``predict``, ``explore``) also take the telemetry trio: ``--log-level``
+(or ``REPRO_LOG``) turns on structured logging, ``--metrics-out FILE``
+exports the run's counters and latency histograms (Prometheus text for
+``.prom``/``.txt``, JSON otherwise), and ``--trace-out FILE`` writes a
+``chrome://tracing``-loadable span trace.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro.core import ArchitectureCentricPredictor, TrainingPool
 from repro.designspace import DesignSpace, render_table1, render_table2
 from repro.exploration import DesignSpaceDataset, format_table
 from repro.ml import correlation, rmae
+from repro.obs import configure_logging, get_registry, get_tracer
 from repro.sim import FixedParameters, Metric
 from repro.sim.machine import width_scaling_rows
 from repro.workloads import mibench_suite, spec2000_suite
@@ -51,6 +57,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _common(simulate)
     _checkpoint_options(simulate)
     _jobs_option(simulate)
+    _telemetry_options(simulate)
     simulate.add_argument("--program", default="gzip")
     for name in DesignSpace().parameters:
         simulate.add_argument(
@@ -67,6 +74,7 @@ def _build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--responses", type=int, default=32)
     predict.add_argument("--training-size", type=int, default=512)
     _jobs_option(predict)
+    _telemetry_options(predict)
 
     analyze = sub.add_parser("analyze", help="characterise the space")
     _common(analyze)
@@ -99,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--candidates", type=int, default=5000)
     _checkpoint_options(explore)
     _jobs_option(explore)
+    _telemetry_options(explore)
     return parser
 
 
@@ -143,6 +152,43 @@ def _jobs_option(parser: argparse.ArgumentParser) -> None:
         "simulation (default serial; -1 uses every CPU); results are "
         "identical for any worker count",
     )
+
+
+def _telemetry_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="structured-log level on stderr (default: the REPRO_LOG "
+        "environment variable, then warning)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the run's metrics here on exit (.prom/.txt gets "
+        "Prometheus text, anything else JSON)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a chrome://tracing-compatible span trace here on "
+        "exit",
+    )
+
+
+def _configure_telemetry(args: argparse.Namespace) -> None:
+    """Install logging when the command carries the telemetry options."""
+    if hasattr(args, "log_level"):
+        configure_logging(level=args.log_level)
+
+
+def _export_telemetry(args: argparse.Namespace) -> None:
+    """Flush --metrics-out / --trace-out after the command ran."""
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        path = get_registry().write(metrics_out)
+        print(f"metrics   : {path}", file=sys.stderr)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        path = get_tracer().write_chrome(trace_out)
+        print(f"trace     : {path}", file=sys.stderr)
 
 
 def _suite(name: str):
@@ -396,21 +442,27 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
-    if args.command == "table1":
-        return _cmd_table1()
-    if args.command == "table2":
-        return _cmd_table2()
-    if args.command == "simulate":
-        return _cmd_simulate(args)
-    if args.command == "predict":
-        return _cmd_predict(args)
-    if args.command == "analyze":
-        return _cmd_analyze(args)
-    if args.command == "plan":
-        return _cmd_plan(args)
-    if args.command == "explore":
-        return _cmd_explore(args)
-    raise AssertionError(f"unhandled command {args.command!r}")
+    _configure_telemetry(args)
+    try:
+        if args.command == "table1":
+            return _cmd_table1()
+        if args.command == "table2":
+            return _cmd_table2()
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        if args.command == "predict":
+            return _cmd_predict(args)
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "plan":
+            return _cmd_plan(args)
+        if args.command == "explore":
+            return _cmd_explore(args)
+        raise AssertionError(f"unhandled command {args.command!r}")
+    finally:
+        # Exported even when the command failed: a crashed campaign's
+        # partial metrics and trace are exactly what debugging needs.
+        _export_telemetry(args)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.ml.metrics import correlation, rmae
+from repro.obs import span
 from repro.sim.metrics import Metric
 from repro.workloads.profile import stable_seed
 
@@ -164,24 +165,30 @@ def leave_one_out(
     targets = list(programs) if programs is not None else list(dataset.programs)
     summaries = {name: ProgramSummary(name) for name in targets}
     for repeat in range(repeats):
-        pool = TrainingPool(
-            dataset,
-            metric,
-            training_size=training_size,
-            seed=stable_seed("loo", str(seed), str(repeat)),
-            n_jobs=n_jobs,
-        )
-        pool.train_all()
-        for name in targets:
-            models = pool.models(exclude=[name])
-            score = evaluate_on_program(
-                models,
+        with span("crossval.repeat", protocol="leave-one-out",
+                  repeat=repeat):
+            pool = TrainingPool(
                 dataset,
-                name,
-                responses=responses,
-                seed=stable_seed("loo-resp", name, str(seed), str(repeat)),
+                metric,
+                training_size=training_size,
+                seed=stable_seed("loo", str(seed), str(repeat)),
+                n_jobs=n_jobs,
             )
-            summaries[name].scores.append(score)
+            pool.train_all()
+            for name in targets:
+                models = pool.models(exclude=[name])
+                with span("crossval.evaluate", program=name,
+                          repeat=repeat):
+                    score = evaluate_on_program(
+                        models,
+                        dataset,
+                        name,
+                        responses=responses,
+                        seed=stable_seed(
+                            "loo-resp", name, str(seed), str(repeat)
+                        ),
+                    )
+                summaries[name].scores.append(score)
     return CrossValidationResult(metric=metric, summaries=summaries)
 
 
@@ -206,23 +213,29 @@ def cross_suite(
         name: ProgramSummary(name) for name in test_dataset.programs
     }
     for repeat in range(repeats):
-        pool = TrainingPool(
-            train_dataset,
-            metric,
-            training_size=training_size,
-            seed=stable_seed("xsuite", str(seed), str(repeat)),
-            n_jobs=n_jobs,
-        )
-        models = pool.models()
-        for name in test_dataset.programs:
-            score = evaluate_on_program(
-                models,
-                test_dataset,
-                name,
-                responses=responses,
-                seed=stable_seed("xsuite-resp", name, str(seed), str(repeat)),
+        with span("crossval.repeat", protocol="cross-suite",
+                  repeat=repeat):
+            pool = TrainingPool(
+                train_dataset,
+                metric,
+                training_size=training_size,
+                seed=stable_seed("xsuite", str(seed), str(repeat)),
+                n_jobs=n_jobs,
             )
-            summaries[name].scores.append(score)
+            models = pool.models()
+            for name in test_dataset.programs:
+                with span("crossval.evaluate", program=name,
+                          repeat=repeat):
+                    score = evaluate_on_program(
+                        models,
+                        test_dataset,
+                        name,
+                        responses=responses,
+                        seed=stable_seed(
+                            "xsuite-resp", name, str(seed), str(repeat)
+                        ),
+                    )
+                summaries[name].scores.append(score)
     return CrossValidationResult(metric=metric, summaries=summaries)
 
 

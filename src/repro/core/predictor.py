@@ -17,6 +17,7 @@ to a program-specific model.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -25,6 +26,7 @@ from repro.designspace.configuration import Configuration
 from repro.ml.ensemble import StackedEnsemble
 from repro.ml.linear import LinearRegressor
 from repro.ml.metrics import correlation, rmae
+from repro.obs import get_registry, span
 from repro.sim.metrics import Metric
 
 from .program_model import ProgramSpecificPredictor
@@ -127,9 +129,13 @@ class ArchitectureCentricPredictor:
         if np.any(response_values <= 0.0):
             raise ValueError("metric values must be positive")
 
-        design = self._model_matrix(response_configs)
-        targets = np.log10(response_values)
-        self._regressor.fit(design, targets)
+        with span(
+            "predict.fit_responses", responses=len(response_configs),
+            models=len(self.program_models),
+        ):
+            design = self._model_matrix(response_configs)
+            targets = np.log10(response_values)
+            self._regressor.fit(design, targets)
         self._fitted = True
         self.response_count_ = len(response_configs)
         # Reuse the design matrix for the training error instead of
@@ -143,12 +149,25 @@ class ArchitectureCentricPredictor:
     # Prediction
     # ------------------------------------------------------------------
     def predict(self, configs: Sequence[Configuration]) -> np.ndarray:
-        """Predict the new program's metric anywhere in the space."""
+        """Predict the new program's metric anywhere in the space.
+
+        Batch timing lands in the ``predict.batch.seconds`` histogram
+        and the ``predict.configs`` counter — metric bumps rather than
+        spans, because tight ``predict_one`` loops would otherwise
+        flood the trace.
+        """
         if not self._fitted:
             raise RuntimeError(
                 "the predictor has not been fitted on responses yet"
             )
-        return self._predict_from_design(self._model_matrix(configs))
+        start = time.perf_counter()
+        result = self._predict_from_design(self._model_matrix(configs))
+        registry = get_registry()
+        registry.histogram("predict.batch.seconds").observe(
+            time.perf_counter() - start
+        )
+        registry.counter("predict.configs").inc(len(configs))
+        return result
 
     def _predict_from_design(self, design: np.ndarray) -> np.ndarray:
         """Combine an already computed (n, N) design matrix."""

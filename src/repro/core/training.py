@@ -19,12 +19,14 @@ count produces **bit-identical** models to a serial run.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.ml.mlp import MLPTrainingRecord, MultilayerPerceptron
+from repro.obs import get_logger, get_registry, get_tracer, span
 from repro.parallel import resolve_jobs
 from repro.sim.metrics import Metric
 from repro.workloads.profile import stable_seed
@@ -34,18 +36,24 @@ from .program_model import ProgramSpecificPredictor
 if TYPE_CHECKING:  # avoid a package-level import cycle with exploration
     from repro.exploration.dataset import DesignSpaceDataset
 
+_log = get_logger(__name__)
+
 
 def _fit_network_worker(
     task: Tuple[str, np.ndarray, np.ndarray, int, int]
-) -> Tuple[str, dict, Tuple[int, int, float, float]]:
+) -> Tuple[str, dict, Tuple[int, int, float, float], float]:
     """Train one program's network from prepared arrays (runs in a worker).
 
     Module-level so it pickles; receives nothing but plain arrays and
     ints, so the result depends only on the (deterministic) inputs.
+    The fit wall time rides back with the weights so the parent can
+    fold worker fits into its ``train.fit`` telemetry.
     """
     program, features, targets, hidden_neurons, net_seed = task
     network = MultilayerPerceptron(hidden_neurons=hidden_neurons, seed=net_seed)
+    start = time.perf_counter()
     network.fit(features, targets)
+    fit_seconds = time.perf_counter() - start
     record = network.training_record_
     return (
         program,
@@ -56,6 +64,7 @@ def _fit_network_worker(
             record.best_validation_loss,
             record.final_training_loss,
         ),
+        fit_seconds,
     )
 
 
@@ -137,7 +146,20 @@ class TrainingPool:
 
     def _train(self, program: str) -> ProgramSpecificPredictor:
         predictor, features, targets = self._prepare(program)
-        return predictor.fit_prepared(features, targets)
+        with span(
+            "train.fit", program=program, samples=int(features.shape[0])
+        ) as fit_span:
+            fitted = predictor.fit_prepared(features, targets)
+        registry = get_registry()
+        registry.counter("train.models").inc()
+        if fit_span is not None:
+            registry.histogram("train.fit.seconds").observe(fit_span["dur"])
+            _log.debug(
+                "trained model for %s in %.3fs", program, fit_span["dur"],
+                extra={"event": "train.fit", "program": program,
+                       "seconds": fit_span["dur"]},
+            )
+        return fitted
 
     def _train_many(self, programs: Sequence[str], n_jobs: int) -> None:
         """Train the given programs, fanning out when ``n_jobs > 1``."""
@@ -159,8 +181,11 @@ class TrainingPool:
             )
             for name, (_, features, targets) in prepared.items()
         ]
+        registry = get_registry()
         with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
-            for name, weights, record in pool.map(_fit_network_worker, tasks):
+            for name, weights, record, fit_seconds in pool.map(
+                _fit_network_worker, tasks
+            ):
                 predictor = prepared[name][0]
                 predictor.adopt_network_weights(
                     weights,
@@ -168,6 +193,12 @@ class TrainingPool:
                     training_record=MLPTrainingRecord(*record),
                 )
                 self._models[name] = predictor
+                registry.counter("train.models").inc()
+                registry.histogram("train.fit.seconds").observe(fit_seconds)
+                get_tracer().record(
+                    "train.fit", fit_seconds, program=name, worker=True,
+                    samples=int(prepared[name][1].shape[0]),
+                )
 
     def train_all(self, n_jobs: Optional[int] = None) -> "TrainingPool":
         """Eagerly train every program's model (otherwise lazy).

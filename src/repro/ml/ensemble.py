@@ -35,9 +35,12 @@ to the per-model loop.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.obs import get_registry
 
 __all__ = ["StackedEnsemble"]
 
@@ -220,8 +223,20 @@ class StackedEnsemble:
         return np.stack(rows)
 
     def predict(self, configs: Sequence) -> np.ndarray:
-        """(N, m) metric predictions, encoding the batch exactly once."""
-        return self.predict_features(self.space.encode_many(configs))
+        """(N, m) metric predictions, encoding the batch exactly once.
+
+        Each call records one ``ensemble.batch.seconds`` observation
+        and bumps ``ensemble.predictions`` by N x m — the raw
+        throughput signal behind ``BENCH_throughput.json``.
+        """
+        start = time.perf_counter()
+        result = self.predict_features(self.space.encode_many(configs))
+        registry = get_registry()
+        registry.histogram("ensemble.batch.seconds").observe(
+            time.perf_counter() - start
+        )
+        registry.counter("ensemble.predictions").inc(result.size)
+        return result
 
     def log_model_matrix(self, configs: Sequence) -> np.ndarray:
         """(m, N) log10 design matrix for the combining regressor.

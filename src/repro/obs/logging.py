@@ -1,0 +1,183 @@
+"""Structured logging for the reproduction — one logger tree, two formats.
+
+Every subsystem logs through :func:`get_logger`, which hands out
+children of the single ``repro`` logger.  Nothing is emitted until
+:func:`configure_logging` installs a handler (the CLI does this from
+``--log-level``; library users call it themselves), so importing the
+package stays silent — the stdlib's null-handler convention.
+
+Two formats are built in:
+
+* ``human`` — ``HH:MM:SS level logger: message`` lines for terminals;
+* ``json`` — one JSON object per line (timestamp, level, logger,
+  message, plus any ``extra`` fields), for log shippers.
+
+Both the level and the format are environment-controllable so that a
+deep stack (pytest, a batch queue, CI) can be made chatty without
+touching code::
+
+    REPRO_LOG=debug REPRO_LOG_FORMAT=json python -m repro simulate ...
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import IO, Optional
+
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "JsonFormatter",
+    "HumanFormatter",
+    "configure_logging",
+    "get_logger",
+    "resolve_level",
+]
+
+#: Root of the package's logger hierarchy; every :func:`get_logger`
+#: result is this logger or one of its children.
+ROOT_LOGGER_NAME = "repro"
+
+#: Environment variable naming the default log level.
+LEVEL_ENV = "REPRO_LOG"
+
+#: Environment variable naming the default format (``human`` or ``json``).
+FORMAT_ENV = "REPRO_LOG_FORMAT"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+#: Attributes of a ``LogRecord`` that are bookkeeping, not user payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """Format each record as one JSON object per line.
+
+    Standard fields are ``ts`` (epoch seconds), ``level``, ``logger``
+    and ``msg``; anything passed through ``extra=`` is merged in as
+    additional keys, which is how structured context (program names,
+    cell ids, attempt counts) reaches a log pipeline without string
+    parsing.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED or key.startswith("_"):
+                continue
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                value = repr(value)
+            payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+class HumanFormatter(logging.Formatter):
+    """Compact single-line format for terminals."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            fmt="%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        )
+
+
+def resolve_level(level: Optional[str] = None) -> int:
+    """Resolve a level name to a stdlib constant.
+
+    Precedence: the explicit argument, then the ``REPRO_LOG``
+    environment variable, then ``warning``.
+
+    Raises:
+        ValueError: for a level name outside
+            debug/info/warning/error/critical.
+    """
+    name = level if level is not None else os.environ.get(LEVEL_ENV)
+    if name is None or not str(name).strip():
+        return logging.WARNING
+    try:
+        return _LEVELS[str(name).strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {name!r}; pick one of {sorted(_LEVELS)}"
+        ) from None
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """The package logger, or a named child of it.
+
+    Args:
+        name: Dotted suffix under ``repro`` (``"runtime.retry"`` gives
+            the ``repro.runtime.retry`` logger).  ``None`` returns the
+            root package logger.  A name already rooted at ``repro``
+            is used as-is, so ``get_logger(__name__)`` works inside the
+            package.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: Optional[str] = None,
+    fmt: Optional[str] = None,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install (or replace) the package's single stream handler.
+
+    Idempotent: calling it again reconfigures the existing handler
+    rather than stacking a second one, so tests and repeated CLI
+    invocations in one process stay clean.
+
+    Args:
+        level: Level name; ``None`` defers to ``REPRO_LOG`` and then
+            ``warning``.
+        fmt: ``"human"`` or ``"json"``; ``None`` defers to
+            ``REPRO_LOG_FORMAT`` and then ``human``.
+        stream: Destination stream (defaults to ``sys.stderr`` so log
+            lines never mix with CLI results on stdout).
+
+    Returns:
+        The configured root package logger.
+    """
+    chosen = fmt if fmt is not None else os.environ.get(FORMAT_ENV, "human")
+    chosen = str(chosen).strip().lower()
+    if chosen not in ("human", "json"):
+        raise ValueError(
+            f"unknown log format {chosen!r}; pick 'human' or 'json'"
+        )
+    formatter: logging.Formatter = (
+        JsonFormatter() if chosen == "json" else HumanFormatter()
+    )
+
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(resolve_level(level))
+    root.propagate = False
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(formatter)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    return root

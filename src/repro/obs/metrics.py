@@ -1,0 +1,404 @@
+"""A dependency-free metrics registry: counters, gauges, histograms.
+
+The registry is the numeric side of the telemetry layer.  Subsystems
+grab an instrument by name (plus optional labels) and bump it; the
+registry serialises to JSON for machine consumption, to the Prometheus
+text exposition format for a node-exporter textfile collector, and to a
+plain picklable *snapshot* so worker processes can ship their metrics
+back to the parent over a ``ProcessPoolExecutor`` and have them
+**merged** — counters and histograms add, gauges last-write-wins — into
+one campaign-wide view regardless of ``--jobs``.
+
+Instruments are cheap (a dict lookup and a float add), so hot paths can
+record unconditionally; determinism is preserved because recording
+never touches any random state or result array.
+
+Registry selection mirrors the tracer: a process-global default from
+:func:`get_registry`, swappable for a scope with
+:func:`scoped_registry` (how workers and tests isolate their counts).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import re
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "scoped_registry",
+]
+
+#: Default histogram bucket upper bounds (seconds-flavoured: from 1 ms
+#: to 5 minutes).  A trailing +inf bucket is always implied.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+#: A metric key: the metric name plus its sorted label pairs.
+MetricKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _key(name: str, labels: Dict[str, str]) -> MetricKey:
+    if not name:
+        raise ValueError("a metric needs a non-empty name")
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (events, attempts, cells)."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def _merge(self, state: float) -> None:
+        self.value += state
+
+    def _state(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, breaker state, worker count)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+        self._set_count = 0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self.value = float(value)
+        self._set_count += 1
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Shift the gauge by ``amount`` (may be negative)."""
+        self.value += amount
+        self._set_count += 1
+
+    def _merge(self, state: float) -> None:
+        # Last write wins; a worker that never set the gauge must not
+        # clobber the parent's value, which `merge` guarantees by only
+        # shipping gauges that were touched.
+        self.value = state
+
+    def _state(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """A distribution summary with fixed, cumulative-style buckets.
+
+    Tracks count / sum / min / max plus per-bucket counts — enough for
+    coarse latency percentiles and for Prometheus' ``histogram``
+    exposition.  Buckets are upper bounds; an implicit +inf bucket
+    catches the tail.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.buckets: Tuple[float, ...] = bounds
+        self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (NaN when empty)."""
+        return self.sum / self.count if self.count else math.nan
+
+    def _state(self) -> Dict:
+        return {
+            "buckets": list(self.buckets),
+            "bucket_counts": list(self.bucket_counts),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def _merge(self, state: Dict) -> None:
+        if list(state["buckets"]) != list(self.buckets):
+            raise ValueError("cannot merge histograms with different buckets")
+        self.bucket_counts = [
+            a + b for a, b in zip(self.bucket_counts, state["bucket_counts"])
+        ]
+        self.count += state["count"]
+        self.sum += state["sum"]
+        self.min = min(self.min, state["min"])
+        self.max = max(self.max, state["max"])
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named instruments plus the exporters and the merge protocol.
+
+    Thread-safe for registration; individual bumps are plain float
+    adds (atomic enough under the GIL for this package's use).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[MetricKey, Instrument] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument access
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, labels: Dict[str, str], **kwargs):
+        key = _key(name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(key)
+                if instrument is None:
+                    instrument = cls(**kwargs)
+                    self._instruments[key] = instrument
+        if not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} is already registered as "
+                f"{instrument.kind}, not {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter registered under ``name`` (+ labels)."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge registered under ``name`` (+ labels)."""
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram registered under ``name`` (+ labels)."""
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def value(self, name: str, **labels: str) -> float:
+        """A counter's or gauge's current value (0.0 when never touched)."""
+        instrument = self._instruments.get(_key(name, labels))
+        if instrument is None:
+            return 0.0
+        if isinstance(instrument, Histogram):
+            raise TypeError(f"{name!r} is a histogram; read it directly")
+        return instrument.value
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Tuple[MetricKey, Instrument]]:
+        return iter(sorted(self._instruments.items()))
+
+    # ------------------------------------------------------------------
+    # Snapshot / merge (the worker -> parent transport)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """A plain, picklable dump of every instrument's state."""
+        return {
+            "metrics": [
+                {
+                    "name": name,
+                    "labels": list(labels),
+                    "kind": instrument.kind,
+                    "state": instrument._state(),
+                }
+                for (name, labels), instrument in self
+            ]
+        }
+
+    def merge(self, snapshot: Dict) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters and histograms add; gauges take the snapshot's value
+        (last write wins).  This is how per-worker registries from a
+        parallel campaign collapse into the parent's campaign-wide
+        totals.
+        """
+        for entry in snapshot.get("metrics", ()):
+            labels = {key: value for key, value in entry["labels"]}
+            kind = entry["kind"]
+            if kind == "counter":
+                self.counter(entry["name"], **labels)._merge(entry["state"])
+            elif kind == "gauge":
+                self.gauge(entry["name"], **labels)._merge(entry["state"])
+            elif kind == "histogram":
+                self.histogram(
+                    entry["name"],
+                    buckets=entry["state"]["buckets"],
+                    **labels,
+                )._merge(entry["state"])
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict:
+        """A JSON-ready dict: one entry per instrument, sorted by name."""
+        out: Dict[str, Dict] = {}
+        for (name, labels), instrument in self:
+            label_suffix = (
+                "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+                if labels
+                else ""
+            )
+            if isinstance(instrument, Histogram):
+                out[name + label_suffix] = {
+                    "kind": instrument.kind,
+                    "count": instrument.count,
+                    "sum": instrument.sum,
+                    "min": instrument.min if instrument.count else None,
+                    "max": instrument.max if instrument.count else None,
+                    "mean": instrument.mean if instrument.count else None,
+                }
+            else:
+                out[name + label_suffix] = {
+                    "kind": instrument.kind,
+                    "value": instrument.value,
+                }
+        return out
+
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (textfile collector)."""
+        lines: List[str] = []
+        typed: set = set()
+        for (name, labels), instrument in self:
+            prom = _PROM_BAD.sub("_", name)
+            if prom not in typed:
+                typed.add(prom)
+                lines.append(f"# TYPE {prom} {instrument.kind}")
+            suffix = (
+                "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+                if labels
+                else ""
+            )
+            if isinstance(instrument, Histogram):
+                cumulative = 0
+                for bound, count in zip(
+                    instrument.buckets, instrument.bucket_counts
+                ):
+                    cumulative += count
+                    le = _merge_labels(labels, "le", _format_float(bound))
+                    lines.append(f"{prom}_bucket{le} {cumulative}")
+                cumulative += instrument.bucket_counts[-1]
+                le = _merge_labels(labels, "le", "+Inf")
+                lines.append(f"{prom}_bucket{le} {cumulative}")
+                lines.append(f"{prom}_sum{suffix} {_format_float(instrument.sum)}")
+                lines.append(f"{prom}_count{suffix} {instrument.count}")
+            else:
+                lines.append(
+                    f"{prom}{suffix} {_format_float(instrument.value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
+        """Export to ``path`` — Prometheus text for ``.prom``/``.txt``,
+        JSON otherwise — written atomically (temp file + rename)."""
+        path = pathlib.Path(path)
+        if path.suffix in (".prom", ".txt"):
+            text = self.to_prometheus()
+        else:
+            text = json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = path.with_name(path.name + ".tmp")
+        scratch.write_text(text, encoding="utf-8")
+        os.replace(scratch, path)
+        return path
+
+
+def _merge_labels(labels: Tuple[Tuple[str, str], ...], key: str,
+                  value: str) -> str:
+    pairs = list(labels) + [(key, value)]
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
+def _format_float(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global default registry."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Replace the global registry; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+@contextmanager
+def scoped_registry(
+    registry: Optional[MetricsRegistry] = None,
+) -> Iterator[MetricsRegistry]:
+    """Swap in a registry for the ``with`` block (tests, workers).
+
+    Args:
+        registry: The registry to install; a fresh one by default.
+
+    Yields:
+        The installed registry.
+    """
+    active = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(active)
+    try:
+        yield active
+    finally:
+        set_registry(previous)

@@ -17,6 +17,8 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import time
+import uuid
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import (
@@ -32,6 +34,16 @@ from typing import (
 import numpy as np
 
 from repro.designspace.configuration import Configuration
+from repro.obs import (
+    build_manifest,
+    get_logger,
+    get_registry,
+    get_tracer,
+    scoped_registry,
+    scoped_tracer,
+    span,
+    write_manifest,
+)
 from repro.parallel import resolve_jobs
 from repro.sim.interval import BatchResult
 from repro.sim.metrics import Metric
@@ -49,6 +61,8 @@ if TYPE_CHECKING:  # lazy import keeps runtime free of exploration
 _MANIFEST_VERSION = 1
 _METRIC_FIELDS = ("cycles", "energy", "ed", "edd")
 
+_log = get_logger(__name__)
+
 
 def _simulate_cell_worker(task):
     """Simulate one campaign cell with retries (runs in a worker process).
@@ -59,11 +73,16 @@ def _simulate_cell_worker(task):
     rather than across the whole campaign.  Deterministic backends
     produce exactly the arrays the serial loop would.
 
+    Telemetry is captured worker-side into a private registry/tracer
+    (the fork-inherited globals would be lost with the process) and
+    shipped back as a picklable dict the parent merges, so aggregate
+    counters are independent of the worker count.
+
     Returns:
         (cell id, BatchResult or None on permanent failure, attempts,
-        failure message or None).
+        failure message or None, telemetry dict).
     """
-    backend, profile, configs, policy, retry_seed, cell = task
+    backend, profile, configs, policy, retry_seed, cell, chunk_index = task
     attempts = 0
 
     def attempt() -> BatchResult:
@@ -71,19 +90,36 @@ def _simulate_cell_worker(task):
         attempts += 1
         return backend.simulate_batch(profile, configs)
 
-    try:
-        batch = call_with_retry(
-            attempt,
-            policy,
-            seed=retry_seed,
-            breaker=CircuitBreaker(),
-            validate=lambda result: validate_batch(
-                result, f"for cell {cell}"
-            ),
+    with scoped_registry() as registry, scoped_tracer() as tracer:
+        batch, error = None, None
+        with tracer.span(
+            "simulate.chunk", program=profile.name, chunk=chunk_index
+        ) as cell_span:
+            try:
+                batch = call_with_retry(
+                    attempt,
+                    policy,
+                    seed=retry_seed,
+                    breaker=CircuitBreaker(),
+                    validate=lambda result: validate_batch(
+                        result, f"for cell {cell}"
+                    ),
+                )
+            except SimulationError as failure:
+                error = str(failure)
+            if cell_span is not None:
+                cell_span["attrs"]["attempts"] = attempts
+                cell_span["attrs"]["outcome"] = (
+                    "ok" if error is None else "failed"
+                )
+        registry.histogram("campaign.chunk.seconds").observe(
+            tracer.spans[-1]["dur"]
         )
-    except SimulationError as error:
-        return cell, None, attempts, str(error)
-    return cell, batch, attempts, None
+        telemetry = {
+            "metrics": registry.snapshot(),
+            "spans": list(tracer.spans),
+        }
+    return cell, batch, attempts, error, telemetry
 
 
 @dataclass(frozen=True)
@@ -248,6 +284,11 @@ class CampaignRunner:
             ValueError: on an incompatible or unexpected checkpoint.
             SimulationError: with ``fail_fast``, the first permanent
                 failure.
+
+        Every run also leaves a ``run_manifest.json`` next to the
+        journal — run id, seed, git sha, configuration checksum, cell
+        accounting and a per-stage timing summary — so a checkpoint
+        directory documents its own provenance.
         """
         profile_list = self._profiles(profiles)
         if not configs:
@@ -268,12 +309,49 @@ class CampaignRunner:
             for program in programs
             for metric in Metric.all()
         }
-        if self.n_jobs > 1:
-            return self._run_parallel(
-                programs, configs, chunks, cells, completed, values,
-                max_cells, fail_fast,
-            )
+        started = time.time()
+        trace_start = get_tracer().mark()
+        _log.info(
+            "campaign start: %d program(s) x %d configuration(s) = "
+            "%d cell(s), %d already journalled, n_jobs=%d",
+            len(programs), len(configs), len(cells), len(completed),
+            self.n_jobs,
+            extra={"event": "campaign.start", "cells": len(cells),
+                   "journalled": len(completed), "n_jobs": self.n_jobs},
+        )
+        with span(
+            "campaign.run",
+            programs=len(programs),
+            configs=len(configs),
+            cells=len(cells),
+            n_jobs=self.n_jobs,
+        ):
+            if self.n_jobs > 1:
+                result = self._run_parallel(
+                    programs, configs, chunks, cells, completed, values,
+                    max_cells, fail_fast,
+                )
+            else:
+                result = self._run_serial(
+                    programs, configs, chunks, cells, completed, values,
+                    max_cells, fail_fast,
+                )
+        self._finalize(result, trace_start, started)
+        return result
 
+    def _run_serial(
+        self,
+        programs: Tuple[str, ...],
+        configs: Sequence[Configuration],
+        chunks: List[Tuple[int, int]],
+        cells: List[Tuple[WorkloadProfile, int]],
+        completed: Dict[str, pathlib.Path],
+        values: Dict[Tuple[str, Metric], np.ndarray],
+        max_cells: Optional[int],
+        fail_fast: bool,
+    ) -> CampaignResult:
+        """The in-process cell loop (``n_jobs == 1``)."""
+        registry = get_registry()
         breaker = CircuitBreaker(self.breaker_threshold)
         simulated, resumed, attempts = 0, 0, 0
         failed: List[str] = []
@@ -283,9 +361,12 @@ class CampaignRunner:
             cell = f"{profile.name}:{chunk_index}"
             start, stop = chunks[chunk_index]
             if cell in completed:
-                batch = self._resume_cell(
-                    cell, completed[cell], stop - start
-                )
+                with span(
+                    "resume.chunk", program=profile.name, chunk=chunk_index
+                ):
+                    batch = self._resume_cell(
+                        cell, completed[cell], stop - start
+                    )
                 self._fill(values, profile.name, start, stop, batch)
                 resumed += 1
                 continue
@@ -303,19 +384,45 @@ class CampaignRunner:
                 attempts += 1
                 return self.backend.simulate_batch(profile, chunk_configs)
 
-            try:
-                batch = call_with_retry(
-                    attempt,
-                    self.retry_policy,
-                    seed=stable_seed("campaign-retry", cell, str(self.seed)),
-                    breaker=breaker,
-                    validate=lambda result: validate_batch(
-                        result, f"for cell {cell}"
-                    ),
-                    sleep=self._sleep,
-                    clock=self._clock,
+            before = attempts
+            outcome = "ok"
+            with span(
+                "simulate.chunk", program=profile.name, chunk=chunk_index
+            ) as cell_span:
+                try:
+                    batch = call_with_retry(
+                        attempt,
+                        self.retry_policy,
+                        seed=stable_seed(
+                            "campaign-retry", cell, str(self.seed)
+                        ),
+                        breaker=breaker,
+                        validate=lambda result: validate_batch(
+                            result, f"for cell {cell}"
+                        ),
+                        sleep=self._sleep,
+                        clock=self._clock,
+                    )
+                except CircuitOpenError:
+                    outcome = "circuit-open"
+                except SimulationError as error:
+                    if fail_fast:
+                        raise
+                    outcome = "failed"
+                    _log.warning(
+                        "cell %s failed permanently: %s", cell, error,
+                        extra={"event": "campaign.cell_failed",
+                               "cell": cell},
+                    )
+                if cell_span is not None:
+                    cell_span["attrs"]["attempts"] = attempts - before
+                    cell_span["attrs"]["outcome"] = outcome
+            if cell_span is not None:
+                # The span's duration is final only once the block exits.
+                registry.histogram("campaign.chunk.seconds").observe(
+                    cell_span["dur"]
                 )
-            except CircuitOpenError:
+            if outcome == "circuit-open":
                 # The backend is down; stop burning attempts and leave
                 # everything from here on pending for a later resume.
                 pending.extend(
@@ -324,9 +431,7 @@ class CampaignRunner:
                     if f"{p.name}:{i}" not in completed
                 )
                 break
-            except SimulationError:
-                if fail_fast:
-                    raise
+            if outcome == "failed":
                 failed.append(cell)
                 continue
             self._store_cell(cell, profile.name, chunk_index, batch)
@@ -363,8 +468,13 @@ class CampaignRunner:
         dispatched; the rest stay pending.  Results are journalled in
         campaign cell order as the ordered ``map`` stream delivers them,
         so an interrupted parallel run resumes exactly like a serial
-        one.
+        one.  Each worker ships its telemetry (spans, counters, chunk
+        latencies) back with the batch; the parent merges everything
+        into the process-global registry/tracer, so aggregate metrics
+        match a serial run for deterministic backends.
         """
+        registry = get_registry()
+        tracer = get_tracer()
         simulated, resumed, attempts = 0, 0, 0
         failed: List[str] = []
         todo: List[Tuple[str, WorkloadProfile, int, int, int]] = []
@@ -372,9 +482,12 @@ class CampaignRunner:
             cell = f"{profile.name}:{chunk_index}"
             start, stop = chunks[chunk_index]
             if cell in completed:
-                batch = self._resume_cell(
-                    cell, completed[cell], stop - start
-                )
+                with span(
+                    "resume.chunk", program=profile.name, chunk=chunk_index
+                ):
+                    batch = self._resume_cell(
+                        cell, completed[cell], stop - start
+                    )
                 self._fill(values, profile.name, start, stop, batch)
                 resumed += 1
             else:
@@ -391,8 +504,9 @@ class CampaignRunner:
                 self.retry_policy,
                 stable_seed("campaign-retry", cell, str(self.seed)),
                 cell,
+                chunk_index,
             )
-            for cell, profile, _, start, stop in todo
+            for cell, profile, chunk_index, start, stop in todo
         ]
         if tasks:
             workers = min(self.n_jobs, len(tasks))
@@ -400,11 +514,18 @@ class CampaignRunner:
                 outcomes = pool.map(_simulate_cell_worker, tasks)
                 for item, outcome in zip(todo, outcomes):
                     cell, profile, chunk_index, start, stop = item
-                    _, batch, cell_attempts, error = outcome
+                    _, batch, cell_attempts, error, telemetry = outcome
                     attempts += cell_attempts
+                    registry.merge(telemetry["metrics"])
+                    tracer.adopt(telemetry["spans"])
                     if batch is None:
                         if fail_fast:
                             raise SimulationError(error)
+                        _log.warning(
+                            "cell %s failed permanently: %s", cell, error,
+                            extra={"event": "campaign.cell_failed",
+                                   "cell": cell},
+                        )
                         failed.append(cell)
                         continue
                     self._store_cell(cell, profile.name, chunk_index, batch)
@@ -422,12 +543,73 @@ class CampaignRunner:
             _values=values,
         )
 
+    def _finalize(
+        self, result: CampaignResult, trace_start: int, started: float
+    ) -> None:
+        """Record campaign-level metrics and write the run manifest."""
+        registry = get_registry()
+        registry.counter("campaign.cells.simulated").inc(
+            result.simulated_cells
+        )
+        registry.counter("campaign.cells.resumed").inc(result.resumed_cells)
+        registry.counter("campaign.cells.failed").inc(
+            len(result.failed_cells)
+        )
+        registry.counter("campaign.cells.pending").inc(
+            len(result.pending_cells)
+        )
+        registry.counter("campaign.attempts").inc(result.attempts)
+        level = (
+            "info" if result.complete else "warning"
+        )
+        getattr(_log, level)(
+            "campaign done: %d simulated, %d resumed, %d failed, "
+            "%d pending, %d backend attempt(s)",
+            result.simulated_cells, result.resumed_cells,
+            len(result.failed_cells), len(result.pending_cells),
+            result.attempts,
+            extra={"event": "campaign.done",
+                   "simulated": result.simulated_cells,
+                   "resumed": result.resumed_cells,
+                   "failed": len(result.failed_cells),
+                   "pending": len(result.pending_cells),
+                   "attempts": result.attempts},
+        )
+        manifest = build_manifest(
+            run_id=uuid.uuid4().hex,
+            seed=self.seed,
+            config_checksum=self._config_checksum(result.configs),
+            extra={
+                "kind": "campaign",
+                "checkpoint_dir": str(self.checkpoint_dir),
+                "programs": list(result.programs),
+                "config_count": len(result.configs),
+                "chunk_size": self.chunk_size,
+                "n_jobs": self.n_jobs,
+                "total_cells": result.total_cells,
+                "simulated_cells": result.simulated_cells,
+                "resumed_cells": result.resumed_cells,
+                "failed_cells": list(result.failed_cells),
+                "pending_cells": list(result.pending_cells),
+                "attempts": result.attempts,
+                "journal_records": len(self.journal.records()),
+            },
+            trace_start=trace_start,
+            started=started,
+        )
+        write_manifest(self.run_manifest_path, manifest)
+
     # ------------------------------------------------------------------
     # Checkpoint plumbing
     # ------------------------------------------------------------------
     @property
     def manifest_path(self) -> pathlib.Path:
         return self.checkpoint_dir / "manifest.json"
+
+    @property
+    def run_manifest_path(self) -> pathlib.Path:
+        """Provenance manifest of the most recent :meth:`run`."""
+        return self.checkpoint_dir / "run_manifest.json"
 
     @property
     def chunks_dir(self) -> pathlib.Path:
@@ -516,25 +698,43 @@ class CampaignRunner:
     def _store_cell(
         self, cell: str, program: str, chunk_index: int, batch: BatchResult
     ) -> None:
-        """Write the cell atomically, then journal it with its checksum."""
+        """Write the cell atomically, then journal it with its checksum.
+
+        The arrays go to a scratch file first, are fsynced, and only
+        then renamed over the final name — a crash at any point leaves
+        either no cell file or a complete one, never a torn ``.npz``
+        that a later ``--resume`` would have to distrust.  (The journal
+        checksum would catch a torn file anyway; the atomic write means
+        it never has to.)
+        """
         self.chunks_dir.mkdir(parents=True, exist_ok=True)
         path = self._cell_path(program, chunk_index)
         # numpy appends ".npz" to names lacking it, so the scratch file
         # must already end in ".npz" for the rename below to find it.
         scratch = path.with_name(path.stem + ".tmp.npz")
-        np.savez_compressed(
-            scratch,
-            **{
-                field: getattr(batch, field) for field in _METRIC_FIELDS
-            },
-        )
-        os.replace(scratch, path)
+        try:
+            np.savez_compressed(
+                scratch,
+                **{
+                    field: getattr(batch, field) for field in _METRIC_FIELDS
+                },
+            )
+            with open(scratch, "rb") as handle:
+                os.fsync(handle.fileno())
+            os.replace(scratch, path)
+        except BaseException:
+            scratch.unlink(missing_ok=True)
+            raise
         self.journal.append(
             {
                 "cell": cell,
                 "file": str(path.relative_to(self.checkpoint_dir)),
                 "checksum": file_checksum(path),
             }
+        )
+        _log.debug(
+            "journalled cell %s -> %s", cell, path.name,
+            extra={"event": "campaign.cell_stored", "cell": cell},
         )
 
     def _resume_cell(

@@ -20,10 +20,13 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.designspace.configuration import Configuration
+from repro.obs import get_logger, get_registry
 from repro.sim.interval import BatchResult
 from repro.workloads.profile import WorkloadProfile
 
 from .backend import SimulationBackend, SimulationError
+
+_log = get_logger(__name__)
 
 
 class TransientSimulationError(SimulationError):
@@ -151,6 +154,7 @@ class FaultInjectingBackend:
         cell_rng = self._rng(cell)
         if cell_rng.random() < self.permanent_rate:
             self.injected_permanents += 1
+            self._count("permanent", profile, attempt)
             raise PermanentSimulationError(
                 f"injected permanent failure for {profile.name!r}"
             )
@@ -158,6 +162,7 @@ class FaultInjectingBackend:
         rng = self._rng(cell, attempt)
         if rng.random() < self.transient_rate:
             self.injected_transients += 1
+            self._count("transient", profile, attempt)
             raise TransientSimulationError(
                 f"injected transient failure for {profile.name!r} "
                 f"(attempt {attempt})"
@@ -167,16 +172,29 @@ class FaultInjectingBackend:
 
         if rng.random() < self.stall_rate:
             self.injected_stalls += 1
+            self._count("stall", profile, attempt)
             self._sleep(self.stall_seconds)
 
         if rng.random() < self.corrupt_rate and len(result) > 0:
             self.injected_corruptions += 1
+            self._count("corrupt", profile, attempt)
             result = self._corrupt(result, rng)
         return result
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    @staticmethod
+    def _count(kind: str, profile: WorkloadProfile, attempt: int) -> None:
+        """Record one injected fault in the metrics and the debug log."""
+        get_registry().counter("faults.injected", kind=kind).inc()
+        _log.debug(
+            "injected %s fault for %r (attempt %d)",
+            kind, profile.name, attempt,
+            extra={"event": "fault.injected", "kind": kind,
+                   "program": profile.name, "attempt": attempt},
+        )
+
     def _rng(self, cell: str, attempt: Optional[int] = None):
         parts = [b"fault", str(self.seed).encode(), cell.encode()]
         if attempt is not None:

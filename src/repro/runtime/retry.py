@@ -23,9 +23,13 @@ from typing import Callable, Optional, TypeVar
 
 import numpy as np
 
+from repro.obs import get_logger, get_registry
+
 from .backend import SimulationError
 
 T = TypeVar("T")
+
+_log = get_logger(__name__)
 
 
 class SimulationTimeoutError(SimulationError):
@@ -80,6 +84,11 @@ class RetryPolicy:
 class CircuitBreaker:
     """Trips open after K consecutive failures; a success resets it.
 
+    State is inspectable after a run — :attr:`state` reads ``"open"``
+    or ``"closed"``, :attr:`trips` counts how many times the breaker
+    opened — and every open/close transition is logged and counted in
+    the metrics registry, so a campaign that went dark explains itself.
+
     Args:
         failure_threshold: Consecutive failures that open the circuit.
     """
@@ -90,11 +99,17 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.consecutive_failures = 0
         self.total_failures = 0
+        self.trips = 0
 
     @property
     def open(self) -> bool:
         """True once tripped (further calls must fail fast)."""
         return self.consecutive_failures >= self.failure_threshold
+
+    @property
+    def state(self) -> str:
+        """``"open"`` or ``"closed"`` — the breaker's current state."""
+        return "open" if self.open else "closed"
 
     def check(self) -> None:
         """Raise :class:`CircuitOpenError` if the circuit is open."""
@@ -112,10 +127,28 @@ class CircuitBreaker:
         """Count one more failure; the breaker opens at the threshold."""
         self.consecutive_failures += 1
         self.total_failures += 1
+        if self.consecutive_failures == self.failure_threshold:
+            self.trips += 1
+            get_registry().counter("breaker.trips").inc()
+            get_registry().gauge("breaker.open").set(1)
+            _log.warning(
+                "circuit breaker opened after %d consecutive failures",
+                self.consecutive_failures,
+                extra={"event": "breaker.open",
+                       "failures": self.consecutive_failures},
+            )
 
     def reset(self) -> None:
         """Close the circuit manually (e.g. after replacing the backend)."""
+        was_open = self.open
         self.consecutive_failures = 0
+        if was_open:
+            get_registry().counter("breaker.resets").inc()
+            get_registry().gauge("breaker.open").set(0)
+            _log.info(
+                "circuit breaker reset to closed",
+                extra={"event": "breaker.reset"},
+            )
 
 
 def call_with_retry(
@@ -155,11 +188,13 @@ def call_with_retry(
     sleep = sleep if sleep is not None else time.sleep
     clock = clock if clock is not None else time.monotonic
     rng = np.random.default_rng(seed)
+    registry = get_registry()
 
     last_error: Optional[Exception] = None
     for attempt in range(policy.max_attempts):
         if breaker is not None:
             breaker.check()
+        registry.counter("retry.attempts").inc()
         start = clock()
         try:
             result = fn()
@@ -173,18 +208,33 @@ def call_with_retry(
                 result = validate(result)
         except Exception as error:  # noqa: BLE001 — every failure retries
             last_error = error
+            registry.counter("retry.failures").inc()
             if breaker is not None:
                 breaker.record_failure()
                 if breaker.open:
                     break
             if attempt + 1 < policy.max_attempts:
-                sleep(policy.delay(attempt + 1, rng))
+                delay = policy.delay(attempt + 1, rng)
+                registry.counter("retry.retries").inc()
+                _log.debug(
+                    "attempt %d/%d failed (%s); retrying in %.3fs",
+                    attempt + 1, policy.max_attempts, error, delay,
+                    extra={"event": "retry.backoff",
+                           "attempt": attempt + 1, "delay": delay},
+                )
+                sleep(delay)
             continue
         if breaker is not None:
             breaker.record_success()
         return result
 
     assert last_error is not None
+    registry.counter("retry.exhausted").inc()
+    _log.warning(
+        "call failed permanently after %d attempt(s): %s",
+        min(policy.max_attempts, int(attempt) + 1), last_error,
+        extra={"event": "retry.exhausted", "error": str(last_error)},
+    )
     if isinstance(last_error, SimulationError):
         raise last_error
     raise SimulationError(

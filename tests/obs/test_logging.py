@@ -1,0 +1,119 @@
+"""Structured logging: formats, level resolution, handler hygiene."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import configure_logging, get_logger, resolve_level
+from repro.obs.logging import ROOT_LOGGER_NAME
+
+
+@pytest.fixture(autouse=True)
+def _restore_handlers():
+    """Leave the package logger exactly as we found it."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    saved = (list(root.handlers), root.level, root.propagate)
+    yield
+    root.handlers[:] = saved[0]
+    root.setLevel(saved[1])
+    root.propagate = saved[2]
+
+
+class TestGetLogger:
+    def test_default_is_package_root(self):
+        assert get_logger().name == ROOT_LOGGER_NAME
+
+    def test_names_are_rooted_under_repro(self):
+        assert get_logger("runtime.retry").name == "repro.runtime.retry"
+
+    def test_dunder_name_used_as_is(self):
+        assert get_logger("repro.runtime.retry").name == "repro.runtime.retry"
+
+    def test_children_inherit_the_package_handler(self):
+        stream = io.StringIO()
+        configure_logging(level="info", fmt="human", stream=stream)
+        get_logger("sub.module").info("hello from a child")
+        assert "hello from a child" in stream.getvalue()
+
+
+class TestResolveLevel:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "error")
+        assert resolve_level("debug") == logging.DEBUG
+
+    def test_environment_is_the_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "info")
+        assert resolve_level() == logging.INFO
+
+    def test_default_is_warning(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        assert resolve_level() == logging.WARNING
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            resolve_level("loud")
+
+    def test_case_insensitive(self):
+        assert resolve_level("DEBUG") == logging.DEBUG
+
+
+class TestConfigureLogging:
+    def test_idempotent_single_handler(self):
+        configure_logging(level="info")
+        configure_logging(level="debug")
+        root = logging.getLogger(ROOT_LOGGER_NAME)
+        ours = [
+            h for h in root.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(ours) == 1
+        assert root.level == logging.DEBUG
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown log format"):
+            configure_logging(fmt="xml")
+
+    def test_format_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_FORMAT", "json")
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        get_logger().info("probe")
+        assert json.loads(stream.getvalue())["msg"] == "probe"
+
+    def test_json_lines_carry_extra_fields(self):
+        stream = io.StringIO()
+        configure_logging(level="debug", fmt="json", stream=stream)
+        get_logger("campaign").info(
+            "cell done", extra={"cell": "gzip:3", "attempts": 2}
+        )
+        record = json.loads(stream.getvalue())
+        assert record["msg"] == "cell done"
+        assert record["logger"] == "repro.campaign"
+        assert record["level"] == "info"
+        assert record["cell"] == "gzip:3"
+        assert record["attempts"] == 2
+
+    def test_json_unserialisable_extra_degrades_to_repr(self):
+        stream = io.StringIO()
+        configure_logging(level="info", fmt="json", stream=stream)
+        get_logger().info("probe", extra={"payload": {1, 2}})
+        record = json.loads(stream.getvalue())
+        assert "1" in record["payload"]  # repr of the set
+
+    def test_human_format_is_single_line(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", fmt="human", stream=stream)
+        get_logger("retry").warning("breaker opened")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert "breaker opened" in lines[0]
+        assert "repro.retry" in lines[0]
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", fmt="human", stream=stream)
+        get_logger().debug("hidden")
+        get_logger().info("hidden too")
+        assert stream.getvalue() == ""

@@ -1,0 +1,193 @@
+"""Metrics registry: instruments, snapshot/merge, exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    scoped_registry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only go up"):
+            Counter().inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.inc(-2)
+        assert gauge.value == 3.0
+
+    def test_histogram_summary_stats(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 20.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 22.5
+        assert histogram.min == 0.5
+        assert histogram.max == 20.0
+        assert histogram.mean == 7.5
+        assert histogram.bucket_counts == [1, 1, 1]
+
+    def test_histogram_empty_mean_is_nan(self):
+        assert math.isnan(Histogram().mean)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram(buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_labels_distinguish_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("faults", kind="transient").inc()
+        registry.counter("faults", kind="stall").inc(2)
+        assert registry.value("faults", kind="transient") == 1
+        assert registry.value("faults", kind="stall") == 2
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_value_of_untouched_metric_is_zero(self):
+        assert MetricsRegistry().value("nothing") == 0.0
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty name"):
+            MetricsRegistry().counter("")
+
+
+class TestSnapshotMerge:
+    def test_counters_add(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("retry.attempts").inc(3)
+        worker.counter("retry.attempts").inc(4)
+        parent.merge(worker.snapshot())
+        assert parent.value("retry.attempts") == 7
+
+    def test_histograms_add(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("chunk.seconds").observe(1.0)
+        worker.histogram("chunk.seconds").observe(3.0)
+        worker.histogram("chunk.seconds").observe(0.5)
+        parent.merge(worker.snapshot())
+        merged = parent.histogram("chunk.seconds")
+        assert merged.count == 3
+        assert merged.sum == 4.5
+        assert merged.min == 0.5
+        assert merged.max == 3.0
+
+    def test_gauges_last_write_wins(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("breaker.open").set(1)
+        worker.gauge("breaker.open").set(0)
+        parent.merge(worker.snapshot())
+        assert parent.value("breaker.open") == 0
+
+    def test_untouched_worker_metric_does_not_clobber(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.gauge("depth").set(7)
+        worker.counter("other").inc()
+        parent.merge(worker.snapshot())
+        assert parent.value("depth") == 7
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("a", kind="x").inc()
+        registry.histogram("b").observe(0.2)
+        json.dumps(registry.snapshot())  # must not raise
+
+    def test_merge_round_trips_through_pickle_shape(self):
+        # the worker transport is pickle; json round-trip is stricter
+        worker = MetricsRegistry()
+        worker.counter("n").inc(5)
+        worker.histogram("h").observe(2.0)
+        snapshot = json.loads(json.dumps(worker.snapshot()))
+        parent = MetricsRegistry()
+        parent.merge(snapshot)
+        assert parent.value("n") == 5
+        assert parent.histogram("h").count == 1
+
+
+class TestExporters:
+    def test_to_json_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("cells", state="done").inc(12)
+        registry.histogram("lat").observe(0.25)
+        out = registry.to_json()
+        assert out["cells{state=done}"] == {"kind": "counter", "value": 12}
+        assert out["lat"]["count"] == 1
+        assert out["lat"]["mean"] == 0.25
+
+    def test_to_json_empty_histogram_uses_none(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat")
+        out = registry.to_json()
+        assert out["lat"]["min"] is None
+        json.dumps(out)  # NaN/Inf never leak into the JSON export
+
+    def test_prometheus_counter_line(self):
+        registry = MetricsRegistry()
+        registry.counter("retry.attempts").inc(4)
+        text = registry.to_prometheus()
+        assert "# TYPE retry_attempts counter" in text
+        assert "retry_attempts 4" in text
+
+    def test_prometheus_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 50.0):
+            histogram.observe(value)
+        text = registry.to_prometheus()
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="10"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_count 4" in text
+
+    def test_prometheus_labels_quoted(self):
+        registry = MetricsRegistry()
+        registry.counter("faults.injected", kind="transient").inc()
+        assert 'faults_injected{kind="transient"} 1' in registry.to_prometheus()
+
+    def test_write_json_by_extension(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        path = registry.write(tmp_path / "metrics.json")
+        assert json.loads(path.read_text())["n"]["value"] == 1
+        assert not (tmp_path / "metrics.json.tmp").exists()
+
+    def test_write_prometheus_by_extension(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        path = registry.write(tmp_path / "metrics.prom")
+        assert "# TYPE n counter" in path.read_text()
+
+
+class TestGlobalRegistry:
+    def test_scoped_registry_isolates(self):
+        outer = get_registry()
+        with scoped_registry() as inner:
+            assert get_registry() is inner
+            get_registry().counter("scoped.probe").inc()
+        assert get_registry() is outer
+        assert inner.value("scoped.probe") == 1

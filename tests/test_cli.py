@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -184,6 +186,123 @@ class TestCheckpointResume:
         second = capsys.readouterr().out
         assert "0 chunk(s) simulated" in second  # everything came from disk
         assert "verdict" in second
+
+
+class TestTelemetry:
+    """--metrics-out / --trace-out / --log-level on the heavy commands."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_telemetry(self):
+        """Isolate each test from spans/counters other tests left in the
+        process-global tracer and registry (exports are cumulative by
+        design)."""
+        from repro.obs import scoped_registry, scoped_tracer
+
+        with scoped_registry(), scoped_tracer():
+            yield
+
+    def _simulate_argv(self, tmp_path, *extra):
+        return [
+            "simulate", "--program", "gzip", "--samples", "64",
+            "--chunk-size", "32", "--checkpoint-dir", str(tmp_path / "ck"),
+            *extra,
+        ]
+
+    def test_metrics_out_json(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            self._simulate_argv(tmp_path, "--metrics-out", str(metrics_path))
+        ) == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["campaign.cells.simulated"]["value"] >= 2
+        assert metrics["retry.attempts"]["value"] >= 2
+        assert metrics["campaign.chunk.seconds"]["kind"] == "histogram"
+        assert str(metrics_path) in capsys.readouterr().err
+
+    def test_metrics_out_prometheus(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        assert main(
+            self._simulate_argv(tmp_path, "--metrics-out", str(metrics_path))
+        ) == 0
+        text = metrics_path.read_text()
+        assert "# TYPE campaign_cells_simulated counter" in text
+        assert "campaign_chunk_seconds_bucket" in text
+
+    def test_trace_out_chrome_format(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            self._simulate_argv(tmp_path, "--trace-out", str(trace_path))
+        ) == 0
+        events = json.loads(trace_path.read_text())
+        names = {event["name"] for event in events}
+        assert "campaign.run" in names
+        assert "simulate.chunk" in names
+        assert all(event["ph"] == "X" for event in events)
+
+    def test_log_level_debug_emits_structured_lines(self, tmp_path, capsys):
+        assert main(
+            self._simulate_argv(tmp_path, "--log-level", "debug")
+        ) == 0
+        err = capsys.readouterr().err
+        assert "campaign start" in err
+        assert "journalled cell" in err
+
+    def test_default_log_level_is_quiet(self, tmp_path, capsys,
+                                        monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        assert main(self._simulate_argv(tmp_path)) == 0
+        assert "campaign start" not in capsys.readouterr().err
+
+    def test_run_manifest_written_next_to_checkpoint(self, tmp_path, capsys):
+        assert main(self._simulate_argv(tmp_path)) == 0
+        manifest = json.loads(
+            (tmp_path / "ck" / "run_manifest.json").read_text()
+        )
+        assert manifest["run"]["kind"] == "campaign"
+        assert manifest["run"]["simulated_cells"] == 2
+        assert manifest["timing"]["simulate.chunk"]["count"] == 2
+
+    def test_parallel_resume_trace_matches_journal(self, tmp_path, capsys):
+        """The acceptance scenario at the CLI: a resumed --jobs 2 run's
+        trace and manifest agree with the journal."""
+        from repro.runtime import CampaignJournal
+
+        checkpoint = tmp_path / "ck"
+        assert main(
+            ["simulate", "--program", "gzip", "--samples", "64",
+             "--chunk-size", "16", "--checkpoint-dir", str(checkpoint)]
+        ) == 0
+        capsys.readouterr()
+
+        trace_path = tmp_path / "trace.json"
+        assert main(
+            ["simulate", "--program", "gzip", "--samples", "64",
+             "--chunk-size", "16", "--checkpoint-dir", str(checkpoint),
+             "--resume", "--jobs", "2", "--trace-out", str(trace_path)]
+        ) == 0
+        journal = CampaignJournal(checkpoint / "journal.jsonl")
+        events = json.loads(trace_path.read_text())
+        resumes = [e for e in events if e["name"] == "resume.chunk"]
+        # the second run resumed every journalled cell and simulated none
+        assert len(resumes) == len(journal.records()) == 4
+        manifest = json.loads(
+            (checkpoint / "run_manifest.json").read_text()
+        )
+        assert manifest["run"]["resumed_cells"] == 4
+        assert manifest["run"]["simulated_cells"] == 0
+        assert manifest["run"]["journal_records"] == 4
+
+    def test_predict_takes_telemetry_options(self, tmp_path, capsys):
+        metrics_path = tmp_path / "predict.json"
+        code = main(
+            ["predict", "--program", "applu", "--samples", "300",
+             "--training-size", "200", "--responses", "24",
+             "--metrics-out", str(metrics_path)]
+        )
+        assert code == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["train.models"]["value"] >= 25
+        assert metrics["predict.configs"]["value"] > 0
 
 
 class TestExplore:

@@ -3,10 +3,14 @@
 The deliverable promises doc comments on every public item; these tests
 enforce it mechanically: every public module, class, function and
 method reachable from the ``repro`` subpackages carries a docstring.
+A second gate keeps the library observable rather than chatty: no bare
+``print(`` outside the CLI — diagnostics go through ``repro.obs``.
 """
 
 import importlib
 import inspect
+import pathlib
+import re
 
 import pytest
 
@@ -17,6 +21,7 @@ PACKAGES = (
     "repro.designspace",
     "repro.exploration",
     "repro.ml",
+    "repro.obs",
     "repro.runtime",
     "repro.sim",
     "repro.sim.pipeline",
@@ -69,6 +74,35 @@ class TestDocstrings:
                     undocumented.append(f"{name}.{method_name}")
         assert not undocumented, (
             f"{package} has undocumented public methods: {undocumented}"
+        )
+
+
+class TestNoBarePrints:
+    """Library code reports through ``repro.obs``, never ``print``.
+
+    The CLI is the one legitimate stdout producer and is exempt.  The
+    pattern requires a word boundary so identifiers merely ending in
+    ``print`` (``fingerprint(``, ``footprint(``) don't trip it.
+    """
+
+    EXEMPT = ("cli.py",)
+    BARE_PRINT = re.compile(r"(?<![\w.])print\(")
+
+    def test_no_print_calls_in_library_code(self):
+        src = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+        offenders = []
+        for path in sorted(src.rglob("*.py")):
+            if path.name in self.EXEMPT:
+                continue
+            for number, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                code = line.split("#", 1)[0]
+                if self.BARE_PRINT.search(code):
+                    offenders.append(f"{path.relative_to(src)}:{number}")
+        assert not offenders, (
+            "bare print( in library code (use repro.obs logging): "
+            f"{offenders}"
         )
 
 

@@ -1,0 +1,188 @@
+"""Serving latency and throughput: the batched inference server under load.
+
+Not a paper artefact — the engineering guarantee behind deploying the
+architecture-centric predictor as a service.  A fitted predictor is
+published to a throwaway registry, loaded back (the registry round-trip
+is part of the measured path's provenance), and served over HTTP; a
+multi-threaded load generator then drives concurrent clients and
+records per-request latency percentiles and aggregate throughput to
+``results/BENCH_serving.json``.
+
+Every response is checked bit-identical against a direct
+``predict_invariant`` call, so the numbers describe the *correct*
+server, not a fast-but-wrong one.
+"""
+
+import asyncio
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core import ArchitectureCentricPredictor
+from repro.designspace import sample_configurations
+from repro.serve import (
+    ModelRegistry,
+    PredictionClient,
+    PredictionServer,
+)
+from repro.sim import Metric
+
+#: Concurrent client threads (each owns one keep-alive connection).
+CLIENTS = int(os.environ.get("REPRO_SERVE_CLIENTS", 16))
+
+#: Requests issued per client thread.
+REQUESTS_PER_CLIENT = int(os.environ.get("REPRO_SERVE_REQUESTS", 40))
+
+#: Distinct configurations in the request pool; smaller than the total
+#: request count so the LRU cache sees a realistic mixed hit/miss load.
+UNIQUE_CONFIGS = int(os.environ.get("REPRO_SERVE_UNIQUE", 256))
+
+#: Held-out program whose responses fit the served predictor.
+TARGET_PROGRAM = "applu"
+
+RESPONSES = 32
+
+
+class _ServerThread:
+    """A PredictionServer on a private loop thread for the bench."""
+
+    def __init__(self, predictor, **kwargs):
+        self._predictor = predictor
+        self._kwargs = kwargs
+        self._ready = threading.Event()
+        self.server = None
+        self.loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=120):
+            raise RuntimeError("bench server failed to start")
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self.loop = asyncio.get_running_loop()
+        self.server = PredictionServer(
+            self._predictor, port=0, **self._kwargs
+        )
+        self._stop = asyncio.Event()
+        await self.server.start()
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.drain()
+
+    def close(self):
+        self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=120)
+
+
+def _percentile(samples, q):
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def test_serving_latency(spec_dataset, pools, record_json, tmp_path):
+    # -- publish + load: the production provenance path -----------------
+    models = pools(Metric.CYCLES).models(exclude=[TARGET_PROGRAM])
+    predictor = ArchitectureCentricPredictor(models)
+    response_idx, _ = spec_dataset.split_indices(RESPONSES, seed=2007)
+    predictor.fit_responses(
+        spec_dataset.subset_configs(response_idx),
+        spec_dataset.subset_values(
+            TARGET_PROGRAM, Metric.CYCLES, response_idx
+        ),
+    )
+    registry = ModelRegistry(tmp_path / "registry")
+    publish_start = time.perf_counter()
+    record = registry.publish(
+        predictor, f"{TARGET_PROGRAM}-cycles", seed=2007, notes="bench"
+    )
+    publish_seconds = time.perf_counter() - publish_start
+    load_start = time.perf_counter()
+    served_predictor, _ = registry.load(f"{TARGET_PROGRAM}-cycles")
+    load_seconds = time.perf_counter() - load_start
+
+    # A fixed request pool drawn beyond the training sample.
+    pool_configs = sample_configurations(
+        spec_dataset.simulator.space, UNIQUE_CONFIGS, seed=777
+    )
+    expected = served_predictor.predict_invariant(pool_configs)
+
+    server = _ServerThread(served_predictor, model_info={
+        "name": record.name, "version": record.version,
+    })
+    try:
+        port = server.server.port
+        # Warm the connection path once per client thread.
+        total = CLIENTS * REQUESTS_PER_CLIENT
+        rng = np.random.default_rng(41)
+        schedule = rng.integers(0, UNIQUE_CONFIGS, size=total)
+
+        latencies = [None] * total
+        mismatches = []
+
+        def client_worker(client_index):
+            with PredictionClient("127.0.0.1", port, timeout=60) as client:
+                for step in range(REQUESTS_PER_CLIENT):
+                    slot = client_index * REQUESTS_PER_CLIENT + step
+                    config_index = int(schedule[slot])
+                    start = time.perf_counter()
+                    value = client.predict_one(pool_configs[config_index])
+                    latencies[slot] = time.perf_counter() - start
+                    if value != expected[config_index]:
+                        mismatches.append(slot)
+
+        wall_start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=CLIENTS) as executor:
+            list(executor.map(client_worker, range(CLIENTS)))
+        wall_seconds = time.perf_counter() - wall_start
+
+        with PredictionClient("127.0.0.1", port) as client:
+            metrics_text = client.metrics_text()
+    finally:
+        server.close()
+
+    assert not mismatches, (
+        f"{len(mismatches)} served predictions differed from "
+        "predict_invariant"
+    )
+    assert all(sample is not None for sample in latencies)
+
+    batch_lines = {
+        line.split()[0]: float(line.split()[-1])
+        for line in metrics_text.splitlines()
+        if line.startswith(("serve_batch_size_sum", "serve_batch_size_count",
+                            "serve_cache_hits", "serve_cache_misses"))
+    }
+    batch_count = batch_lines.get("serve_batch_size_count", 0.0)
+    payload = {
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "total_requests": total,
+        "unique_configs": UNIQUE_CONFIGS,
+        "wall_seconds": wall_seconds,
+        "throughput_rps": total / wall_seconds,
+        "latency_p50_ms": _percentile(latencies, 50) * 1e3,
+        "latency_p95_ms": _percentile(latencies, 95) * 1e3,
+        "latency_p99_ms": _percentile(latencies, 99) * 1e3,
+        "latency_mean_ms": float(np.mean(latencies)) * 1e3,
+        "latency_max_ms": float(np.max(latencies)) * 1e3,
+        "mean_batch_size": (
+            batch_lines.get("serve_batch_size_sum", 0.0) / batch_count
+            if batch_count else None
+        ),
+        "cache_hits": batch_lines.get("serve_cache_hits"),
+        "cache_misses": batch_lines.get("serve_cache_misses"),
+        "publish_seconds": publish_seconds,
+        "registry_load_seconds": load_seconds,
+        "cpu_count": os.cpu_count(),
+    }
+    record_json("BENCH_serving", payload)
+
+    # Sanity bars, deliberately loose: correctness is asserted above;
+    # these only catch a pathologically misconfigured server.
+    assert payload["throughput_rps"] > 10
+    assert payload["latency_p99_ms"] < 10_000

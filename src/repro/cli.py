@@ -10,19 +10,27 @@ Lets a user poke the reproduction without writing code:
   influential parameters.
 * ``plan --budget 2000 --new-programs 5`` — how to split a simulation
   budget between offline training and per-program responses.
+* ``publish --registry DIR --program applu`` — train, fit and freeze a
+  predictor into the model registry as an immutable version.
+* ``serve --registry DIR --model applu-cycles`` — run the batched
+  asyncio inference server over a published model until SIGTERM.
 
 Every command accepts ``--samples`` and ``--seed`` to control scale and
 reproducibility.  The compute-heavy commands (``simulate``,
-``predict``, ``explore``) also take the telemetry trio: ``--log-level``
-(or ``REPRO_LOG``) turns on structured logging, ``--metrics-out FILE``
-exports the run's counters and latency histograms (Prometheus text for
-``.prom``/``.txt``, JSON otherwise), and ``--trace-out FILE`` writes a
-``chrome://tracing``-loadable span trace.
+``predict``, ``explore``, ``publish``, ``serve``) also take the
+telemetry trio: ``--log-level`` (or ``REPRO_LOG``) turns on structured
+logging, ``--metrics-out FILE`` exports the run's counters and latency
+histograms (Prometheus text for ``.prom``/``.txt``, JSON otherwise),
+and ``--trace-out FILE`` writes a ``chrome://tracing``-loadable span
+trace.  Telemetry is flushed on *every* exit path — clean return,
+Ctrl-C (exit 130) and SIGTERM (exit 143) included — so a supervisor
+stopping a server or campaign still gets its metrics and manifest.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
@@ -108,6 +116,65 @@ def _build_parser() -> argparse.ArgumentParser:
     _checkpoint_options(explore)
     _jobs_option(explore)
     _telemetry_options(explore)
+
+    publish = sub.add_parser(
+        "publish",
+        help="train a predictor and freeze it into the model registry",
+    )
+    _common(publish)
+    publish.add_argument("--registry", required=True, metavar="DIR",
+                         help="model registry root directory")
+    publish.add_argument("--program", default="applu")
+    publish.add_argument("--metric", default="cycles")
+    publish.add_argument("--responses", type=int, default=32)
+    publish.add_argument("--training-size", type=int, default=512)
+    publish.add_argument(
+        "--name", default=None,
+        help="registry model name (default: <program>-<metric>)",
+    )
+    publish.add_argument("--notes", default="",
+                         help="free-form annotation stored in the record")
+    _jobs_option(publish)
+    _telemetry_options(publish)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the batched HTTP inference server over a published "
+        "model (SIGTERM drains gracefully)",
+    )
+    serve.add_argument("--registry", default=None, metavar="DIR",
+                       help="model registry root directory")
+    serve.add_argument("--model", default=None,
+                       help="registry model name to serve")
+    serve.add_argument(
+        "--model-version", type=int, default=None,
+        help="registry version to serve (default: latest)",
+    )
+    serve.add_argument(
+        "--artifact", default=None, metavar="FILE",
+        help="serve a raw predictor artifact instead of a registry entry",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8100,
+                       help="bind port (0 picks a free one)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="most configurations per forward pass")
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=2.0,
+        help="milliseconds to wait for more requests before a partial "
+        "batch dispatches",
+    )
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="LRU prediction-cache entries (0 disables)")
+    serve.add_argument(
+        "--queue-limit", type=int, default=1024,
+        help="parked requests beyond which /predict returns 503",
+    )
+    serve.add_argument(
+        "--manifest-out", default=None, metavar="FILE",
+        help="write a run manifest here on shutdown (any exit path)",
+    )
+    _telemetry_options(serve)
     return parser
 
 
@@ -296,29 +363,11 @@ def _cmd_simulate_campaign(args: argparse.Namespace, suite) -> int:
 
 def _cmd_predict(args: argparse.Namespace) -> int:
     metric = Metric.from_name(args.metric)
-    suite = spec2000_suite()
-    if args.program not in suite:
-        print(f"unknown SPEC program {args.program!r}", file=sys.stderr)
+    fitted = _fit_new_program_predictor(args, metric)
+    if fitted is None:
         return 2
-    dataset = DesignSpaceDataset.sampled(
-        suite, sample_size=args.samples, seed=args.seed
-    )
-    print(f"offline: training {len(suite) - 1} program models "
-          f"(T={args.training_size}) ...")
-    pool = TrainingPool(
-        dataset, metric, training_size=args.training_size, seed=args.seed,
-        n_jobs=args.jobs,
-    )
-    predictor = ArchitectureCentricPredictor(
-        pool.models(exclude=[args.program])
-    )
-    response_idx, holdout_idx = dataset.split_indices(
-        args.responses, seed=args.seed
-    )
-    predictor.fit_responses(
-        dataset.subset_configs(response_idx),
-        dataset.subset_values(args.program, metric, response_idx),
-    )
+    predictor, dataset = fitted
+    _, holdout_idx = dataset.split_indices(args.responses, seed=args.seed)
     predictions = predictor.predict(dataset.subset_configs(holdout_idx))
     actual = dataset.subset_values(args.program, metric, holdout_idx)
     print(f"new program    : {args.program} ({metric.value})")
@@ -439,10 +488,156 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fit_new_program_predictor(args: argparse.Namespace, metric: Metric):
+    """Train the pool and fit responses — the predict/publish shared core.
+
+    Returns ``(predictor, dataset)`` or ``None`` when the program is
+    unknown (the caller already printed the error).
+    """
+    suite = spec2000_suite()
+    if args.program not in suite:
+        print(f"unknown SPEC program {args.program!r}", file=sys.stderr)
+        return None
+    dataset = DesignSpaceDataset.sampled(
+        suite, sample_size=args.samples, seed=args.seed
+    )
+    print(f"offline: training {len(suite) - 1} program models "
+          f"(T={args.training_size}) ...")
+    pool = TrainingPool(
+        dataset, metric, training_size=args.training_size, seed=args.seed,
+        n_jobs=args.jobs,
+    )
+    predictor = ArchitectureCentricPredictor(
+        pool.models(exclude=[args.program])
+    )
+    response_idx, _ = dataset.split_indices(args.responses, seed=args.seed)
+    predictor.fit_responses(
+        dataset.subset_configs(response_idx),
+        dataset.subset_values(args.program, metric, response_idx),
+    )
+    return predictor, dataset
+
+
+def _cmd_publish(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.runtime import array_checksum
+    from repro.serve import ModelRegistry
+
+    metric = Metric.from_name(args.metric)
+    fitted = _fit_new_program_predictor(args, metric)
+    if fitted is None:
+        return 2
+    predictor, dataset = fitted
+    config_matrix = np.array(
+        [list(config.values()) for config in dataset.configs],
+        dtype=np.int64,
+    )
+    registry = ModelRegistry(args.registry)
+    name = args.name or f"{args.program}-{metric.value}"
+    try:
+        record = registry.publish(
+            predictor,
+            name,
+            seed=args.seed,
+            config_checksum=array_checksum(config_matrix),
+            notes=args.notes,
+        )
+    except ValueError as error:
+        print(f"cannot publish: {error}", file=sys.stderr)
+        return 2
+    print(f"published      : {record.name} v{record.version}")
+    print(f"metric         : {record.metric}")
+    print(f"training error : {record.training_error:.1f}%")
+    print(f"artifact sha256: {record.artifact_checksum}")
+    print(f"registry       : {registry.root}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import build_manifest, get_tracer, write_manifest
+    from repro.serve import ModelRegistry, serve_forever
+
+    started = time.time()
+    trace_start = get_tracer().mark()
+    if args.artifact:
+        from repro.core import load_predictor
+
+        try:
+            predictor = load_predictor(args.artifact)
+        except ValueError as error:
+            print(f"cannot load artifact: {error}", file=sys.stderr)
+            return 2
+        model_info = {"artifact": str(args.artifact)}
+    else:
+        if not args.registry or not args.model:
+            print("serve needs --registry and --model (or --artifact)",
+                  file=sys.stderr)
+            return 2
+        try:
+            predictor, record = ModelRegistry(args.registry).load(
+                args.model, args.model_version
+            )
+        except (KeyError, ValueError) as error:
+            print(f"cannot load model: {error}", file=sys.stderr)
+            return 2
+        model_info = {
+            "name": record.name,
+            "version": record.version,
+            "checksum": record.artifact_checksum,
+            "run_id": record.run.get("run_id"),
+        }
+
+    def _ready(server) -> None:
+        print(f"serving on http://{server.host}:{server.port} "
+              f"(metric {server.model_info['metric']}); "
+              "SIGTERM/Ctrl-C drains and stops", file=sys.stderr)
+
+    try:
+        serve_forever(
+            predictor,
+            host=args.host,
+            port=args.port,
+            model_info=model_info,
+            max_batch=args.max_batch,
+            batch_window=args.batch_window_ms / 1000.0,
+            cache_size=args.cache_size,
+            queue_limit=args.queue_limit,
+            ready_callback=_ready,
+        )
+    finally:
+        # Written on every exit path — the server's lifetime metrics
+        # and model identity survive a SIGTERM'd pod.
+        if args.manifest_out:
+            manifest = build_manifest(
+                extra={"kind": "serve", "model": model_info},
+                trace_start=trace_start,
+                started=started,
+            )
+            path = write_manifest(args.manifest_out, manifest)
+            print(f"manifest  : {path}", file=sys.stderr)
+    return 0
+
+
+def _raise_exit(signum, _frame) -> None:
+    """Turn SIGTERM into SystemExit so ``finally`` blocks run."""
+    raise SystemExit(128 + signum)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     _configure_telemetry(args)
+    try:
+        # A supervisor's SIGTERM must flush telemetry like any other
+        # exit: route it through SystemExit (exit code 143) so the
+        # finally below runs.  (The serve command's asyncio loop
+        # installs its own graceful-drain handler while it runs.)
+        signal.signal(signal.SIGTERM, _raise_exit)
+    except (ValueError, OSError):
+        pass  # not the main thread (embedded use); signals stay as-is
     try:
         if args.command == "table1":
             return _cmd_table1()
@@ -458,10 +653,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_plan(args)
         if args.command == "explore":
             return _cmd_explore(args)
+        if args.command == "publish":
+            return _cmd_publish(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         raise AssertionError(f"unhandled command {args.command!r}")
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
     finally:
-        # Exported even when the command failed: a crashed campaign's
-        # partial metrics and trace are exactly what debugging needs.
+        # Exported even when the command failed or was signalled: a
+        # crashed campaign's partial metrics and trace are exactly what
+        # debugging needs.
         _export_telemetry(args)
 
 

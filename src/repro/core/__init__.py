@@ -6,6 +6,8 @@ Public surface:
 * :class:`ArchitectureCentricPredictor` — the cross-program model.
 * :class:`TrainingPool` — offline training of per-program models.
 * :func:`leave_one_out` / :func:`cross_suite` — evaluation protocols.
+* :func:`save_predictor` / :func:`load_predictor` — fitted-predictor
+  artifacts (what the model registry publishes and the server loads).
 """
 
 from .active import model_disagreement, select_responses
@@ -20,7 +22,12 @@ from .crossval import (
     program_specific_score,
 )
 from .multimetric import MultiMetricPredictor
-from .persistence import load_models, save_models
+from .persistence import (
+    load_models,
+    load_predictor,
+    save_models,
+    save_predictor,
+)
 from .predictor import ArchitectureCentricPredictor
 from .program_model import ProgramSpecificPredictor
 from .training import TrainingPool
@@ -46,8 +53,10 @@ __all__ = [
     "explore_new_program",
     "leave_one_out",
     "load_models",
+    "load_predictor",
     "model_disagreement",
     "program_specific_score",
     "save_models",
+    "save_predictor",
     "select_responses",
 ]

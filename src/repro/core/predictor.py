@@ -169,6 +169,48 @@ class ArchitectureCentricPredictor:
         registry.counter("predict.configs").inc(len(configs))
         return result
 
+    def predict_invariant(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Batch-composition-invariant predictions (the serving path).
+
+        Identical weights to :meth:`predict`, but every stage — the
+        stacked member forward, the log10 design matrix, the combining
+        regressor — uses operations whose per-row rounding is
+        independent of what else shares the batch (see
+        :meth:`~repro.ml.ensemble.StackedEnsemble.predict_features_invariant`).
+        A configuration's prediction is therefore a pure function of
+        the configuration: predicting it alone, inside any coalesced
+        batch, or from a cache all yield the same bits.  The inference
+        server (:mod:`repro.serve`) routes every request through this
+        method, which is what makes its request coalescing and its
+        per-configuration LRU cache exact rather than approximately
+        right.  Agreement with :meth:`predict` is within BLAS rounding
+        (last ulp), not bit-exact.
+
+        Raises:
+            RuntimeError: if unfitted, or if the pool does not stack
+                (heterogeneous pools have no invariant fast path).
+        """
+        if not self._fitted:
+            raise RuntimeError(
+                "the predictor has not been fitted on responses yet"
+            )
+        ensemble = self._stacked_ensemble()
+        if ensemble is None:
+            raise RuntimeError(
+                "batch-invariant prediction needs a stackable model pool "
+                "(homogeneous trained networks sharing one design space)"
+            )
+        start = time.perf_counter()
+        design = ensemble.log_model_matrix_invariant(configs)
+        log_prediction = self._regressor.predict_invariant(design)
+        result = np.power(10.0, np.clip(log_prediction, -30.0, 30.0))
+        registry = get_registry()
+        registry.histogram("predict.batch.seconds").observe(
+            time.perf_counter() - start
+        )
+        registry.counter("predict.configs").inc(len(configs))
+        return result
+
     def _predict_from_design(self, design: np.ndarray) -> np.ndarray:
         """Combine an already computed (n, N) design matrix."""
         log_prediction = self._regressor.predict(design)

@@ -8,21 +8,26 @@ matrix; loading restores a fully usable
 :class:`~repro.exploration.dataset.DesignSpaceDataset` whose values are
 served from the archive instead of being re-simulated.
 
-Archives carry a SHA-256 content checksum over the configurations and
-every metric matrix.  A truncated download, a bit flip or a hand-edited
-matrix therefore fails loudly at load time with :class:`ValueError` —
-a corrupted archive can never hydrate into a plausible-looking dataset.
+Archives are written through the shared checksummed artifact writer
+(:mod:`repro.runtime.artifact`), the same layer behind model pools and
+the serving registry: a SHA-256 content digest over every entry is
+embedded at save time and verified at load time, so a truncated
+download, a bit flip or a hand-edited matrix fails loudly with
+:class:`ValueError` — a corrupted archive can never hydrate into a
+plausible-looking dataset.  Version 2 archives (which carried their own
+narrower checksum over the configurations and metric matrices) are
+still readable and still verified.
 """
 
 from __future__ import annotations
 
 import pathlib
-import zipfile
 from typing import Union
 
 import numpy as np
 
 from repro.designspace.configuration import PARAMETER_ORDER, Configuration
+from repro.runtime.artifact import read_archive, write_archive
 from repro.runtime.integrity import array_checksum
 from repro.sim.interval import IntervalSimulator
 from repro.sim.metrics import Metric
@@ -30,12 +35,17 @@ from repro.workloads.suite import BenchmarkSuite
 
 from .dataset import DesignSpaceDataset
 
-#: Version 2 added the mandatory content checksum.
-_FORMAT_VERSION = 2
+#: Version 3 moved datasets onto the shared artifact writer, whose
+#: digest also covers the suite name, program list and entry names.
+_FORMAT_VERSION = 3
+
+#: Version 2 archives carry a narrower digest over the configuration
+#: matrix and the metric matrices only (in :meth:`Metric.all` order).
+_LEGACY_VERSION = 2
 
 
-def _content_checksum(configs: np.ndarray, matrices) -> str:
-    """Digest over the configuration matrix and all metric matrices."""
+def _legacy_checksum(configs: np.ndarray, matrices) -> str:
+    """The version-2 digest (configurations + metric matrices)."""
     return array_checksum(configs, *matrices)
 
 
@@ -48,22 +58,17 @@ def save_dataset(
     complete regardless of what the caller already touched, and a
     content checksum is embedded so corruption is caught on load.
     """
-    path = pathlib.Path(path)
     configs = np.array(
         [list(config.values()) for config in dataset.configs], dtype=np.int64
     )
-    matrices = [dataset.matrix(metric) for metric in Metric.all()]
     payload = {
-        "format_version": np.array(_FORMAT_VERSION),
         "suite_name": np.array(dataset.suite.name),
         "programs": np.array(list(dataset.programs)),
         "configs": configs,
-        "checksum": np.array(_content_checksum(configs, matrices)),
     }
-    for metric, matrix in zip(Metric.all(), matrices):
-        payload[f"metric_{metric.value}"] = matrix
-    np.savez_compressed(path, **payload)
-    return path
+    for metric in Metric.all():
+        payload[f"metric_{metric.value}"] = dataset.matrix(metric)
+    return write_archive(path, payload, _FORMAT_VERSION)
 
 
 def load_dataset(
@@ -87,23 +92,14 @@ def load_dataset(
             suite.
     """
     path = pathlib.Path(path)
-    try:
-        with np.load(path, allow_pickle=False) as archive:
-            return _hydrate_from_archive(archive, suite, simulator, path)
-    except (zipfile.BadZipFile, EOFError, OSError, KeyError) as error:
-        raise ValueError(
-            f"corrupt or truncated dataset archive {path}: {error}"
-        ) from error
-
-
-def _hydrate_from_archive(
-    archive, suite: BenchmarkSuite, simulator, path: pathlib.Path
-) -> DesignSpaceDataset:
-    version = int(archive["format_version"])
-    if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported dataset format version {version}")
-    suite_name = str(archive["suite_name"])
-    programs = [str(name) for name in archive["programs"]]
+    version, payload = read_archive(
+        path,
+        _FORMAT_VERSION,
+        legacy_versions=(_LEGACY_VERSION,),
+        label="dataset archive",
+    )
+    suite_name = str(payload["suite_name"])
+    programs = [str(name) for name in payload["programs"]]
     if suite.name != suite_name:
         raise ValueError(
             f"archive was built from suite {suite_name!r}, "
@@ -113,23 +109,23 @@ def _hydrate_from_archive(
         raise ValueError(
             "archive program list does not match the supplied suite"
         )
-    config_matrix = archive["configs"]
+    config_matrix = payload["configs"]
     matrices = []
     for metric in Metric.all():
-        matrix = archive[f"metric_{metric.value}"]
+        matrix = payload[f"metric_{metric.value}"]
         if matrix.shape != (len(programs), len(config_matrix)):
             raise ValueError(
                 f"metric matrix {metric.value} has shape {matrix.shape}, "
                 f"expected {(len(programs), len(config_matrix))}"
             )
         matrices.append(matrix)
-    expected = str(archive["checksum"])
-    actual = _content_checksum(config_matrix, matrices)
-    if actual != expected:
-        raise ValueError(
-            f"dataset archive {path} failed its content checksum "
-            "(the file was corrupted or tampered with)"
-        )
+    if version == _LEGACY_VERSION:
+        expected = str(payload["checksum"])
+        if _legacy_checksum(config_matrix, matrices) != expected:
+            raise ValueError(
+                f"dataset archive {path} failed its content checksum "
+                "(the file was corrupted or tampered with)"
+            )
     configs = [
         Configuration(**dict(zip(PARAMETER_ORDER, row)))
         for row in config_matrix.tolist()

@@ -31,6 +31,17 @@ can be stacked.  Stacking fails softly — :meth:`maybe_from_models`
 returns ``None`` for heterogeneous pools (different hidden widths,
 different encoding spaces, untrained members) so callers can fall back
 to the per-model loop.
+
+The matmul path is the throughput king but has one blind spot the
+serving layer cannot live with: BLAS GEMM kernels pick blocking by
+batch shape, so the *same* configuration evaluated inside two
+different batches can differ in the last ulp.  A prediction cache —
+or any service promising "the answer for config c is the answer for
+config c" — needs values that are a pure function of the row.
+:meth:`predict_features_invariant` provides exactly that: a slower
+forward pass built only from elementwise ufuncs and fixed-length
+last-axis reductions, whose per-row result is independent of what
+else shares the batch (asserted exactly by the serving tests).
 """
 
 from __future__ import annotations
@@ -222,6 +233,52 @@ class StackedEnsemble:
         ]
         return np.stack(rows)
 
+    def predict_features_invariant(self, features: np.ndarray) -> np.ndarray:
+        """(N, m) predictions whose rows do not depend on the batch.
+
+        The batch-composition-invariant forward pass: each member is
+        evaluated with elementwise operations and last-axis
+        ``np.add.reduce`` contractions, whose summation order depends
+        only on the contracted length (D, then H) — never on how many
+        other rows share the call.  Evaluating a configuration alone,
+        inside any batch, or twice in the same batch therefore yields
+        the same bits, which is the property the serving layer's
+        prediction cache and request coalescing are built on.
+
+        Roughly 3-4x slower than :meth:`predict_features` (the
+        contractions do not reach BLAS); use it where determinism
+        across batch shapes matters more than peak throughput.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        if features.shape[1] != self.input_dim:
+            raise ValueError(
+                f"expected {self.input_dim} features, got {features.shape[1]}"
+            )
+        members = len(self.programs)
+        out = np.empty((members, features.shape[0]), dtype=float)
+        for n in range(members):
+            x = (features - self._x_mean[n]) / self._x_scale[n]
+            # (m, H, D) product contracted over the trailing D axis:
+            # numpy's pairwise reduction order is fixed by D alone.
+            hidden = np.tanh(
+                np.add.reduce(
+                    x[:, None, :] * self._hidden_weights[n].T[None, :, :],
+                    axis=2,
+                )
+                + self._hidden_bias[n]
+            )
+            scaled = (
+                np.add.reduce(hidden * self._output_weights[n], axis=1)
+                + self._output_bias[n]
+            )
+            out[n] = scaled * self._y_scale[n] + self._y_mean[n]
+        if self._log_target.any():
+            rows = np.where(self._log_target)[0]
+            out[rows] = np.power(
+                10.0, np.clip(out[rows], -_LOG_CLIP, _LOG_CLIP)
+            )
+        return out
+
     def predict(self, configs: Sequence) -> np.ndarray:
         """(N, m) metric predictions, encoding the batch exactly once.
 
@@ -249,3 +306,22 @@ class StackedEnsemble:
         returning a transposed view would cost the last ulp.
         """
         return np.ascontiguousarray(np.log10(self.predict(configs)).T)
+
+    def log_model_matrix_invariant(self, configs: Sequence) -> np.ndarray:
+        """(m, N) log10 design matrix via the batch-invariant forward.
+
+        The serving-grade sibling of :meth:`log_model_matrix`: every
+        row is a pure function of its configuration, so the matrix for
+        any sub-batch equals the corresponding rows of the matrix for
+        any super-batch, bit for bit.
+        """
+        start = time.perf_counter()
+        predictions = self.predict_features_invariant(
+            self.space.encode_many(configs)
+        )
+        registry = get_registry()
+        registry.histogram("ensemble.batch.seconds").observe(
+            time.perf_counter() - start
+        )
+        registry.counter("ensemble.predictions").inc(predictions.size)
+        return np.ascontiguousarray(np.log10(predictions).T)

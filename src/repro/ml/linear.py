@@ -74,6 +74,24 @@ class LinearRegressor:
         features = np.atleast_2d(np.asarray(features, dtype=float))
         return features @ self.weights_ + self.intercept_
 
+    def predict_invariant(self, features: np.ndarray) -> np.ndarray:
+        """Batch-composition-invariant predictions.
+
+        ``features @ weights`` routes through BLAS, whose summation
+        order can shift with the batch shape (a single row and the same
+        row inside a larger matrix may differ in the last ulp).  This
+        variant contracts with a last-axis ``np.add.reduce``, whose
+        pairwise order is fixed by the feature count alone, so each
+        row's prediction is a pure function of that row — the property
+        the serving layer's per-configuration cache depends on.
+        """
+        if self.weights_ is None:
+            raise RuntimeError("the regressor has not been fitted")
+        features = np.atleast_2d(np.asarray(features, dtype=float))
+        return (
+            np.add.reduce(features * self.weights_, axis=1) + self.intercept_
+        )
+
     @property
     def coefficients(self) -> np.ndarray:
         """Fitted weights (excluding the intercept)."""

@@ -23,8 +23,11 @@ Public surface:
   journalled, resumable campaign executor.
 * :class:`CampaignJournal` — the append-only on-disk journal.
 * :class:`VirtualClock` — a deterministic clock/sleep pair for tests.
+* :func:`write_archive` / :func:`read_archive` — the shared checksummed
+  ``.npz`` artifact layer under datasets, model pools and the registry.
 """
 
+from .artifact import payload_checksum, read_archive, write_archive
 from .backend import (
     CorruptResultError,
     IntervalBackend,
@@ -68,5 +71,8 @@ __all__ = [
     "array_checksum",
     "call_with_retry",
     "file_checksum",
+    "payload_checksum",
+    "read_archive",
     "validate_batch",
+    "write_archive",
 ]

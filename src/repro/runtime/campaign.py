@@ -319,23 +319,31 @@ class CampaignRunner:
             extra={"event": "campaign.start", "cells": len(cells),
                    "journalled": len(completed), "n_jobs": self.n_jobs},
         )
-        with span(
-            "campaign.run",
-            programs=len(programs),
-            configs=len(configs),
-            cells=len(cells),
-            n_jobs=self.n_jobs,
-        ):
-            if self.n_jobs > 1:
-                result = self._run_parallel(
-                    programs, configs, chunks, cells, completed, values,
-                    max_cells, fail_fast,
-                )
-            else:
-                result = self._run_serial(
-                    programs, configs, chunks, cells, completed, values,
-                    max_cells, fail_fast,
-                )
+        try:
+            with span(
+                "campaign.run",
+                programs=len(programs),
+                configs=len(configs),
+                cells=len(cells),
+                n_jobs=self.n_jobs,
+            ):
+                if self.n_jobs > 1:
+                    result = self._run_parallel(
+                        programs, configs, chunks, cells, completed, values,
+                        max_cells, fail_fast,
+                    )
+                else:
+                    result = self._run_serial(
+                        programs, configs, chunks, cells, completed, values,
+                        max_cells, fail_fast,
+                    )
+        except BaseException as error:
+            # SIGTERM (SystemExit), Ctrl-C (KeyboardInterrupt) or a
+            # crash: the checkpoint directory must still document what
+            # happened — journalled cells are safe, and the next
+            # --resume needs the provenance, not a missing manifest.
+            self._write_interrupted_manifest(error, trace_start, started)
+            raise
         self._finalize(result, trace_start, started)
         return result
 
@@ -543,6 +551,40 @@ class CampaignRunner:
             _values=values,
         )
 
+    def _write_interrupted_manifest(
+        self, error: BaseException, trace_start: int, started: float
+    ) -> None:
+        """Best-effort run manifest for a run that did not finish.
+
+        Never raises: the manifest write must not mask the original
+        interruption, and a half-created checkpoint directory is still
+        created by :func:`write_manifest` itself.
+        """
+        try:
+            manifest = build_manifest(
+                run_id=uuid.uuid4().hex,
+                seed=self.seed,
+                extra={
+                    "kind": "campaign",
+                    "status": "interrupted",
+                    "error": f"{type(error).__name__}: {error}",
+                    "checkpoint_dir": str(self.checkpoint_dir),
+                    "chunk_size": self.chunk_size,
+                    "n_jobs": self.n_jobs,
+                    "journal_records": len(self.journal.records()),
+                },
+                trace_start=trace_start,
+                started=started,
+            )
+            write_manifest(self.run_manifest_path, manifest)
+            _log.warning(
+                "campaign interrupted (%s); manifest written to %s",
+                type(error).__name__, self.run_manifest_path,
+                extra={"event": "campaign.interrupted"},
+            )
+        except Exception:  # noqa: BLE001 - deliberately silent
+            pass
+
     def _finalize(
         self, result: CampaignResult, trace_start: int, started: float
     ) -> None:
@@ -581,6 +623,7 @@ class CampaignRunner:
             config_checksum=self._config_checksum(result.configs),
             extra={
                 "kind": "campaign",
+                "status": "complete" if result.complete else "incomplete",
                 "checkpoint_dir": str(self.checkpoint_dir),
                 "programs": list(result.programs),
                 "config_count": len(result.configs),

@@ -1,0 +1,279 @@
+"""Request coalescing: the cache and the asyncio micro-batcher.
+
+The inference server's whole reason to exist is that one vectorised
+forward pass over m configurations costs barely more than one over a
+single configuration — the per-call overhead (encoding setup, N member
+dispatches, the combine) dominates tiny batches.  The
+:class:`PredictionBatcher` therefore never predicts one request at a
+time: concurrent requests park on a bounded queue, a collector drains
+up to ``max_batch`` of them (waiting at most ``batch_window`` seconds
+for stragglers), and the whole batch runs through
+:meth:`~repro.core.predictor.ArchitectureCentricPredictor.predict_invariant`
+in one call.
+
+That method's batch-composition invariance is what makes the two
+optimisations here *exact* rather than approximately right:
+
+* **Coalescing** — a request's answer is the same whether its batch
+  held 1 or 64 configurations, so batching is invisible to clients.
+* **Caching** — each prediction is a pure function of its
+  configuration, so an LRU cache keyed by the canonical value tuple
+  (:meth:`~repro.designspace.configuration.Configuration.values`) can
+  serve repeats without a forward pass and still return the same bits.
+
+Backpressure is explicit: the queue is bounded, and when it is full
+:meth:`PredictionBatcher.predict_one` raises :class:`ServerSaturated`
+immediately instead of buffering unboundedly — the HTTP layer turns
+that into a 503 with ``Retry-After``, which is the honest answer under
+overload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.designspace.configuration import Configuration
+from repro.obs import get_logger, get_registry, span
+
+__all__ = ["LRUCache", "PredictionBatcher", "ServerSaturated"]
+
+_log = get_logger("serve.batching")
+
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISSING = object()
+
+
+class ServerSaturated(RuntimeError):
+    """The request queue is full; the caller should retry later."""
+
+
+class LRUCache:
+    """A small least-recently-used mapping (no locking; asyncio-only).
+
+    Args:
+        capacity: Maximum entries; 0 disables caching entirely.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, float]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable):
+        """The cached value, or the miss sentinel; refreshes recency."""
+        value = self._entries.get(key, _MISSING)
+        if value is not _MISSING:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: float) -> None:
+        """Insert (or refresh) a value, evicting the oldest past capacity."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    @staticmethod
+    def miss_sentinel():
+        """The object :meth:`get` returns on a miss."""
+        return _MISSING
+
+
+class PredictionBatcher:
+    """Coalesce concurrent predictions into vectorised invariant batches.
+
+    Args:
+        predictor: A fitted architecture-centric predictor whose pool
+            stacks (``predict_invariant`` must work).
+        max_batch: Most configurations per forward pass.
+        batch_window: Seconds the collector waits for more requests
+            after the first before dispatching a partial batch.
+        cache_size: LRU prediction-cache entries (0 disables).
+        queue_limit: Bound on parked requests; beyond it
+            :meth:`predict_one` raises :class:`ServerSaturated`.
+    """
+
+    def __init__(
+        self,
+        predictor,
+        max_batch: int = 64,
+        batch_window: float = 0.002,
+        cache_size: int = 4096,
+        queue_limit: int = 1024,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        self._predictor = predictor
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self.queue_limit = queue_limit
+        self.cache = LRUCache(cache_size)
+        self._queue: Optional[asyncio.Queue] = None
+        self._collector: Optional[asyncio.Task] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the collector task on the running loop."""
+        if self._collector is not None:
+            raise RuntimeError("the batcher is already running")
+        self._queue = asyncio.Queue(maxsize=self.queue_limit)
+        self._closed = False
+        self._collector = asyncio.create_task(
+            self._run(), name="prediction-batcher"
+        )
+
+    async def stop(self) -> None:
+        """Drain parked requests, then stop the collector.
+
+        Requests already queued are answered; new :meth:`predict_one`
+        calls fail with :class:`ServerSaturated` the moment draining
+        begins.
+        """
+        if self._collector is None:
+            return
+        self._closed = True
+        await self._queue.join()
+        self._collector.cancel()
+        try:
+            await self._collector
+        except asyncio.CancelledError:
+            pass
+        self._collector = None
+
+    # ------------------------------------------------------------------
+    # The request side
+    # ------------------------------------------------------------------
+    async def predict_one(self, config: Configuration) -> float:
+        """One configuration's prediction, batched with its neighbours.
+
+        Raises:
+            ServerSaturated: when the queue is full or draining.
+        """
+        registry = get_registry()
+        key = config.values()
+        hit = self.cache.get(key)
+        if hit is not _MISSING:
+            registry.counter("serve.cache.hits").inc()
+            return hit
+        if self._queue is None or self._closed:
+            raise ServerSaturated("the prediction batcher is not accepting")
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((config, key, future))
+        except asyncio.QueueFull:
+            registry.counter("serve.rejected").inc()
+            raise ServerSaturated(
+                f"prediction queue is full ({self.queue_limit} waiting)"
+            ) from None
+        registry.gauge("serve.queue.depth").set(self._queue.qsize())
+        return await future
+
+    # ------------------------------------------------------------------
+    # The collector side
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            deadline = loop.time() + self.batch_window
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    # Past the window: take whatever is already parked,
+                    # but wait for no one.
+                    try:
+                        batch.append(self._queue.get_nowait())
+                        continue
+                    except asyncio.QueueEmpty:
+                        break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            try:
+                await self._execute(batch)
+            finally:
+                for _ in batch:
+                    self._queue.task_done()
+                get_registry().gauge("serve.queue.depth").set(
+                    self._queue.qsize()
+                )
+
+    async def _execute(
+        self, batch: List[Tuple[Configuration, Tuple[int, ...], "asyncio.Future"]]
+    ) -> None:
+        """Resolve one collected batch (dedup, cache, one forward pass)."""
+        registry = get_registry()
+        registry.histogram(
+            "serve.batch.size", buckets=_BATCH_BUCKETS
+        ).observe(len(batch))
+        # Dedup within the batch and against the cache: a configuration
+        # requested five times costs one forward-pass row (invariance
+        # guarantees all five see identical bits).
+        unique: Dict[Tuple[int, ...], Configuration] = {}
+        resolved: Dict[Tuple[int, ...], float] = {}
+        for config, key, _ in batch:
+            if key in unique or key in resolved:
+                continue
+            cached = self.cache.get(key)
+            if cached is not _MISSING:
+                registry.counter("serve.cache.hits").inc()
+                resolved[key] = cached
+            else:
+                registry.counter("serve.cache.misses").inc()
+                unique[key] = config
+        if unique:
+            miss_configs = list(unique.values())
+            start = time.perf_counter()
+            try:
+                values = await asyncio.get_running_loop().run_in_executor(
+                    None, self._forward, miss_configs
+                )
+            except BaseException as error:  # noqa: BLE001 - forwarded
+                registry.counter("serve.errors").inc()
+                for _, _, future in batch:
+                    if not future.done():
+                        future.set_exception(
+                            error if isinstance(error, Exception)
+                            else RuntimeError(str(error))
+                        )
+                return
+            registry.histogram("serve.batch.seconds").observe(
+                time.perf_counter() - start
+            )
+            for key, value in zip(unique, values):
+                value = float(value)
+                resolved[key] = value
+                self.cache.put(key, value)
+        for _, key, future in batch:
+            if not future.done():
+                future.set_result(resolved[key])
+
+    def _forward(self, configs: Sequence[Configuration]):
+        """The worker-thread forward pass, wrapped in a span."""
+        with span("serve.batch.predict", size=len(configs)):
+            return self._predictor.predict_invariant(configs)
+
+
+#: Batch sizes are small integers; the seconds-flavoured default
+#: buckets would lump everything into two of them.
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)

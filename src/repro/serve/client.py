@@ -1,0 +1,153 @@
+"""A small blocking HTTP client for the prediction server.
+
+Thin ``http.client`` wrapper used by the benchmarks, the CI smoke job
+and the tests — and a reasonable starting point for real callers.  One
+client owns one keep-alive connection and is **not** thread-safe; give
+each thread its own instance (connections are cheap, and that is
+exactly what the load generator does to model independent clients).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["PredictionClient", "ServerError"]
+
+#: A request configuration: a full 13-value list/tuple in Table 1
+#: order, or a (possibly partial) parameter mapping.
+ConfigLike = Union[Sequence[int], Dict[str, int]]
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response, carrying the HTTP status and server message."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+class PredictionClient:
+    """Blocking client for one server, reusing one connection.
+
+    Args:
+        host: Server host.
+        port: Server port.
+        timeout: Socket timeout in seconds for each request.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def predict(self, configs: Sequence[ConfigLike]) -> List[float]:
+        """Predictions for ``configs``, in order.
+
+        Raises:
+            ServerError: on any non-200 response (status 503 carries
+                ``retry_after`` when the server is saturated).
+        """
+        payload = self._request(
+            "POST", "/predict",
+            body=json.dumps({"configs": [_jsonable(c) for c in configs]}),
+        )
+        return [float(v) for v in payload["predictions"]]
+
+    def predict_one(self, config: ConfigLike) -> float:
+        """A single configuration's prediction."""
+        return self.predict([config])[0]
+
+    def healthz(self) -> Dict:
+        """The server's health document (raises 503 while draining)."""
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition text from ``/metrics``."""
+        status, headers, body = self._raw_request("GET", "/metrics")
+        if status != 200:
+            raise ServerError(status, body.decode("utf-8", "replace"))
+        return body.decode("utf-8")
+
+    def close(self) -> None:
+        """Close the underlying connection (reopened on next use)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "PredictionClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[str] = None) -> Dict:
+        status, headers, raw = self._raw_request(method, path, body)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            payload = {"error": raw.decode("utf-8", "replace")}
+        if status != 200:
+            retry_after = headers.get("Retry-After")
+            raise ServerError(
+                status,
+                str(payload.get("error", "unexpected response")),
+                retry_after=float(retry_after) if retry_after else None,
+            )
+        return payload
+
+    def _raw_request(
+        self, method: str, path: str, body: Optional[str] = None
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        connection = self._connect()
+        try:
+            connection.request(
+                method, path,
+                body=body.encode("utf-8") if body else None,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # One reconnect: the server may have closed an idle
+            # keep-alive connection between requests.
+            self.close()
+            connection = self._connect()
+            connection.request(
+                method, path,
+                body=body.encode("utf-8") if body else None,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+        if response.getheader("Connection", "").lower() == "close":
+            self.close()
+        return response.status, dict(response.getheaders()), raw
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+
+def _jsonable(config: ConfigLike):
+    if isinstance(config, dict):
+        return {name: int(value) for name, value in config.items()}
+    if hasattr(config, "values") and callable(config.values):
+        # A Configuration object: send its canonical tuple.
+        return [int(v) for v in config.values()]
+    return [int(v) for v in config]

@@ -1,0 +1,366 @@
+"""The model registry: versioned, checksummed predictor artifacts.
+
+Training an architecture-centric predictor is the expensive half of the
+paper's workflow (N programs x T simulations, N network trainings, R
+responses); serving it should not require re-running any of that.  The
+registry is the hand-off point: :meth:`ModelRegistry.publish` freezes a
+fitted :class:`~repro.core.predictor.ArchitectureCentricPredictor` into
+an immutable, versioned directory entry, and
+:meth:`ModelRegistry.load` rebuilds a bit-identical predictor from it —
+which the inference server (:mod:`repro.serve.server`) then answers
+requests from.
+
+On-disk layout, one directory per model name, one per version::
+
+    <root>/
+        <name>/
+            v0001/
+                artifact.npz     # the predictor (pool + fitted combiner)
+                record.json      # provenance: checksum, metric, run info
+            v0002/
+                ...
+
+Entries are immutable once published: a retrained model becomes the
+next version, never an overwrite.  Publishing is atomic — the artifact
+and record are staged in a scratch directory and renamed into place —
+so a crash mid-publish leaves no half-written version, and concurrent
+publishers on one filesystem cannot both claim the same number.
+
+Integrity is layered: ``artifact.npz`` carries the shared archive
+checksum (:mod:`repro.runtime.artifact`) over its arrays, and
+``record.json`` additionally pins the SHA-256 of the artifact *file*,
+so a swapped or re-saved artifact is caught even when the replacement
+is internally self-consistent.  Records link back to the run that
+produced them (seed, git sha, config checksum) in the same shape the
+run manifests (:mod:`repro.obs.manifest`) use, closing the provenance
+chain from simulation campaign to served prediction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.persistence import load_predictor, save_predictor
+from repro.core.predictor import ArchitectureCentricPredictor
+from repro.obs import get_logger, get_registry, git_sha, span
+from repro.runtime.integrity import file_checksum
+
+__all__ = ["ModelRecord", "ModelRegistry", "RECORD_SCHEMA"]
+
+#: record.json schema version, bumped on breaking layout changes.
+RECORD_SCHEMA = 1
+
+#: Model names become directory names; keep them boring and portable.
+_NAME_PATTERN = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
+
+_VERSION_PATTERN = re.compile(r"^v(\d{4,})$")
+
+_ARTIFACT = "artifact.npz"
+_RECORD = "record.json"
+
+_log = get_logger("serve.registry")
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """Provenance for one published model version.
+
+    Attributes:
+        name: Registry model name (directory-safe slug).
+        version: 1-based version number within the name.
+        metric: The target metric the predictor serves.
+        programs: Offline training programs in the pool.
+        response_count: R, the responses the combiner was fitted on.
+        training_error: The fit's rmae (%) — the confidence signal.
+        artifact_checksum: SHA-256 of the artifact file's raw bytes.
+        created: Publication time, epoch seconds.
+        run: Provenance of the producing run — ``run_id``, ``git_sha``,
+            ``seed``, ``config_checksum`` — mirroring the run-manifest
+            fields so a served prediction traces back to a campaign.
+        notes: Free-form operator annotation.
+        schema: Record schema version.
+    """
+
+    name: str
+    version: int
+    metric: str
+    programs: Tuple[str, ...]
+    response_count: int
+    training_error: float
+    artifact_checksum: str
+    created: float
+    run: Dict[str, Optional[Union[str, int]]] = field(default_factory=dict)
+    notes: str = ""
+    schema: int = RECORD_SCHEMA
+
+    def to_json(self) -> Dict:
+        """A JSON-ready dict (tuples become lists)."""
+        payload = asdict(self)
+        payload["programs"] = list(self.programs)
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "ModelRecord":
+        schema = int(payload.get("schema", -1))
+        if schema != RECORD_SCHEMA:
+            raise ValueError(
+                f"unsupported registry record schema {schema} "
+                f"(this code reads schema {RECORD_SCHEMA})"
+            )
+        return cls(
+            name=str(payload["name"]),
+            version=int(payload["version"]),
+            metric=str(payload["metric"]),
+            programs=tuple(str(p) for p in payload["programs"]),
+            response_count=int(payload["response_count"]),
+            training_error=float(payload["training_error"]),
+            artifact_checksum=str(payload["artifact_checksum"]),
+            created=float(payload["created"]),
+            run=dict(payload.get("run", {})),
+            notes=str(payload.get("notes", "")),
+            schema=schema,
+        )
+
+
+class ModelRegistry:
+    """A directory of versioned, immutable predictor artifacts.
+
+    Args:
+        root: Registry root directory; created on first publish.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path]) -> None:
+        self.root = pathlib.Path(root)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        predictor: ArchitectureCentricPredictor,
+        name: str,
+        seed: Optional[int] = None,
+        config_checksum: Optional[str] = None,
+        run_id: Optional[str] = None,
+        notes: str = "",
+    ) -> ModelRecord:
+        """Freeze a fitted predictor as the next version of ``name``.
+
+        Args:
+            predictor: A fitted architecture-centric predictor.
+            name: Model name (lowercase slug: letters, digits, ``._-``).
+            seed: The producing run's base seed, for provenance.
+            config_checksum: Checksum of the producing run's inputs
+                (campaigns use their sampled-configuration digest).
+            run_id: Identifier linking to the producing run's manifest;
+                a fresh UUID4 hex when omitted.
+            notes: Free-form annotation stored in the record.
+
+        Returns:
+            The published :class:`ModelRecord`.
+
+        Raises:
+            ValueError: on an unusable model name.
+            RuntimeError: if the predictor is not fitted.
+        """
+        if not _NAME_PATTERN.match(name):
+            raise ValueError(
+                f"unusable model name {name!r}: use a lowercase slug "
+                "(letters, digits, '.', '_', '-')"
+            )
+        model_dir = self.root / name
+        model_dir.mkdir(parents=True, exist_ok=True)
+        with span("serve.registry.publish", model=name):
+            staging = model_dir / f".staging-{uuid.uuid4().hex}"
+            staging.mkdir()
+            try:
+                artifact = save_predictor(predictor, staging / _ARTIFACT)
+                digest = file_checksum(artifact)
+                # Claim the next free version by rename, which either
+                # succeeds atomically or fails because a concurrent
+                # publisher got there first — then try the next number.
+                while True:
+                    version = self._next_version(name)
+                    record = ModelRecord(
+                        name=name,
+                        version=version,
+                        metric=predictor.metric.value,
+                        programs=tuple(
+                            m.program for m in predictor.program_models
+                        ),
+                        response_count=predictor.response_count_,
+                        training_error=float(predictor.training_error_),
+                        artifact_checksum=digest,
+                        created=time.time(),
+                        run={
+                            "run_id": (
+                                run_id if run_id is not None
+                                else uuid.uuid4().hex
+                            ),
+                            "git_sha": git_sha(),
+                            "seed": seed,
+                            "config_checksum": config_checksum,
+                        },
+                        notes=notes,
+                    )
+                    record_path = staging / _RECORD
+                    record_path.write_text(
+                        json.dumps(record.to_json(), indent=2,
+                                   sort_keys=True) + "\n",
+                        encoding="utf-8",
+                    )
+                    try:
+                        os.rename(staging, self._version_dir(name, version))
+                    except OSError:
+                        if not self._version_dir(name, version).exists():
+                            raise
+                        continue  # lost the race; re-stamp and retry
+                    break
+            except BaseException:
+                _cleanup_staging(staging)
+                raise
+        get_registry().counter("registry.publishes").inc()
+        _log.info(
+            "published %s v%d (metric=%s, %d programs, rmae %.1f%%)",
+            name, record.version, record.metric, len(record.programs),
+            record.training_error,
+        )
+        return record
+
+    # ------------------------------------------------------------------
+    # Listing
+    # ------------------------------------------------------------------
+    def models(self) -> List[str]:
+        """Published model names, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and _NAME_PATTERN.match(entry.name)
+            and self.versions(entry.name)
+        )
+
+    def versions(self, name: str) -> List[int]:
+        """Published version numbers of ``name``, ascending."""
+        model_dir = self.root / name
+        if not model_dir.is_dir():
+            return []
+        found = []
+        for entry in model_dir.iterdir():
+            match = _VERSION_PATTERN.match(entry.name)
+            if match and entry.is_dir():
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest(self, name: str) -> int:
+        """The newest published version of ``name``.
+
+        Raises:
+            KeyError: if the model has no published versions.
+        """
+        versions = self.versions(name)
+        if not versions:
+            raise KeyError(f"no published versions of model {name!r}")
+        return versions[-1]
+
+    def record(self, name: str, version: Optional[int] = None) -> ModelRecord:
+        """The provenance record of ``name`` at ``version`` (or latest).
+
+        Raises:
+            KeyError: on an unknown model or version.
+            ValueError: on a corrupt record file.
+        """
+        version = self.latest(name) if version is None else int(version)
+        record_path = self._version_dir(name, version) / _RECORD
+        if not record_path.is_file():
+            raise KeyError(f"model {name!r} has no version {version}")
+        try:
+            payload = json.loads(record_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError) as error:
+            raise ValueError(
+                f"corrupt registry record {record_path}: {error}"
+            ) from error
+        return ModelRecord.from_json(payload)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(
+        self,
+        name: str,
+        version: Optional[int] = None,
+        space=None,
+    ) -> Tuple[ArchitectureCentricPredictor, ModelRecord]:
+        """Rebuild the predictor published as ``name`` at ``version``.
+
+        The artifact file's digest is checked against the record before
+        the archive's own content checksum is verified, so a swapped
+        artifact fails even if the replacement is internally valid.
+
+        Args:
+            name: Registry model name.
+            version: Version to load; the latest when omitted.
+            space: Design space override for configuration encoding.
+
+        Returns:
+            ``(predictor, record)`` — the predictor is fitted and
+            ready to serve.
+
+        Raises:
+            KeyError: on an unknown model or version.
+            ValueError: on checksum mismatch or a corrupt artifact.
+        """
+        record = self.record(name, version)
+        artifact = self._version_dir(name, record.version) / _ARTIFACT
+        with span("serve.registry.load", model=name,
+                  version=record.version):
+            if not artifact.is_file():
+                raise ValueError(
+                    f"registry entry {name} v{record.version} has no "
+                    f"artifact file {artifact}"
+                )
+            digest = file_checksum(artifact)
+            if digest != record.artifact_checksum:
+                raise ValueError(
+                    f"registry artifact {artifact} failed its checksum: "
+                    "the file does not match its published record"
+                )
+            predictor = load_predictor(artifact, space=space)
+        if predictor.metric.value != record.metric:
+            raise ValueError(
+                f"registry entry {name} v{record.version} record says "
+                f"metric {record.metric!r} but the artifact holds "
+                f"{predictor.metric.value!r}"
+            )
+        get_registry().counter("registry.loads").inc()
+        _log.info("loaded %s v%d (metric=%s)", name, record.version,
+                  record.metric)
+        return predictor, record
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _version_dir(self, name: str, version: int) -> pathlib.Path:
+        return self.root / name / f"v{version:04d}"
+
+    def _next_version(self, name: str) -> int:
+        versions = self.versions(name)
+        return versions[-1] + 1 if versions else 1
+
+
+def _cleanup_staging(staging: pathlib.Path) -> None:
+    """Best-effort removal of an abandoned staging directory."""
+    try:
+        for entry in staging.iterdir():
+            entry.unlink(missing_ok=True)
+        staging.rmdir()
+    except OSError:
+        pass

@@ -1,0 +1,457 @@
+"""The stdlib-only asyncio HTTP inference server.
+
+``repro serve`` turns a published predictor into a long-running
+service: a minimal HTTP/1.1 server (``asyncio.start_server``; no
+framework, no dependencies) that answers prediction requests through
+the :class:`~repro.serve.batching.PredictionBatcher`, so concurrent
+clients are coalesced into vectorised batch-invariant forward passes
+and repeated configurations are served from the LRU cache — with
+responses bit-identical to calling the predictor directly.
+
+Endpoints:
+
+* ``POST /predict`` — body ``{"configs": [...]}`` where each entry is
+  either a 13-integer list in Table 1 order or a ``{parameter: value}``
+  mapping (missing parameters take the baseline value).  A single
+  ``{"config": ...}`` object is accepted as shorthand.  Response:
+  ``{"metric": ..., "predictions": [...], "model": {...}}``.
+* ``GET /healthz`` — liveness plus the served model's identity.
+* ``GET /metrics`` — the process metrics registry in Prometheus text
+  exposition format (the same exporter behind ``--metrics-out``).
+
+Overload and shutdown are first-class: a full request queue returns
+``503`` with ``Retry-After`` instead of buffering without bound, and
+:meth:`PredictionServer.drain` stops accepting, answers everything
+already queued, and only then tears the sockets down — the SIGTERM
+story a supervisor expects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.designspace.configuration import PARAMETER_ORDER, Configuration
+from repro.designspace.space import DesignSpace
+from repro.obs import get_logger, get_registry, span
+
+from .batching import PredictionBatcher, ServerSaturated
+
+__all__ = ["PredictionServer", "serve_forever"]
+
+_log = get_logger("serve.server")
+
+#: Largest accepted request body — a defence against accidental uploads,
+#: not a tuning knob (10k configurations fit comfortably).
+_MAX_BODY = 4 << 20
+
+#: Most configurations accepted in one /predict call.
+_MAX_CONFIGS = 10_000
+
+
+class _BadRequest(ValueError):
+    """A client error that should become a 400 with this message."""
+
+
+class PredictionServer:
+    """The asyncio HTTP service wrapping a fitted predictor.
+
+    Args:
+        predictor: A fitted architecture-centric predictor (its pool
+            must stack; serving uses the batch-invariant path).
+        host: Bind address.
+        port: Bind port; 0 picks a free one (read :attr:`port` after
+            :meth:`start`).
+        model_info: Identity dict echoed in ``/healthz`` and
+            ``/predict`` responses (name, version, checksum...).
+        space: Design space for validating request configurations.
+        max_batch / batch_window / cache_size / queue_limit: Forwarded
+            to the :class:`PredictionBatcher`.
+    """
+
+    def __init__(
+        self,
+        predictor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        model_info: Optional[Dict] = None,
+        space: Optional[DesignSpace] = None,
+        max_batch: int = 64,
+        batch_window: float = 0.002,
+        cache_size: int = 4096,
+        queue_limit: int = 1024,
+    ) -> None:
+        self._predictor = predictor
+        self.host = host
+        self.port = port
+        self.model_info = dict(model_info or {})
+        self.model_info.setdefault("metric", predictor.metric.value)
+        self._space = space if space is not None else DesignSpace()
+        self.batcher = PredictionBatcher(
+            predictor,
+            max_batch=max_batch,
+            batch_window=batch_window,
+            cache_size=cache_size,
+            queue_limit=queue_limit,
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._draining = False
+        self._started = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Warm the model up, start the batcher, bind the socket."""
+        with span("serve.start"):
+            # Warmup: the first forward pass pays lazy ensemble
+            # stacking and ufunc loop setup; pay it before the first
+            # client does.
+            await asyncio.get_running_loop().run_in_executor(
+                None,
+                self._predictor.predict_invariant,
+                [self._space.baseline],
+            )
+            await self.batcher.start()
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        self._started = time.time()
+        get_registry().gauge("serve.up").set(1)
+        _log.info("serving %s on http://%s:%d",
+                  self.model_info.get("metric"), self.host, self.port)
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish queued work, stop.
+
+        Idempotent; callable from a signal handler via
+        ``asyncio.create_task``.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        with span("serve.drain"):
+            if self._server is not None:
+                # Stop accepting new connections; established ones get
+                # 503s for predictions from here on.
+                self._server.close()
+            await self.batcher.stop()
+            # Idle keep-alive connections would otherwise pin
+            # wait_closed() forever (Python >= 3.12 waits for handler
+            # completion); in-flight responses finished above.
+            for writer in list(self._connections):
+                writer.close()
+            if self._server is not None:
+                await self._server.wait_closed()
+        get_registry().gauge("serve.up").set(0)
+        _log.info("drained and stopped")
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has begun."""
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        registry = get_registry()
+        self._connections.add(writer)
+        try:
+            while True:
+                request = await _read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                registry.gauge("serve.inflight").inc()
+                start = time.perf_counter()
+                try:
+                    status, payload, content_type, extra = (
+                        await self._dispatch(method, target, body)
+                    )
+                finally:
+                    registry.gauge("serve.inflight").inc(-1)
+                registry.histogram("serve.request.seconds").observe(
+                    time.perf_counter() - start
+                )
+                registry.counter(
+                    "serve.requests", status=str(status)
+                ).inc()
+                keep_alive = (
+                    headers.get("connection", "keep-alive") != "close"
+                    and not self._draining
+                )
+                _write_response(
+                    writer, status, payload, content_type,
+                    keep_alive=keep_alive, extra=extra,
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[int, bytes, str, Dict[str, str]]:
+        """Route one request; returns (status, body, content-type, headers)."""
+        path = target.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return _json_error(405, "use GET")
+            return self._handle_healthz()
+        if path == "/metrics":
+            if method != "GET":
+                return _json_error(405, "use GET")
+            text = get_registry().to_prometheus()
+            return 200, text.encode("utf-8"), "text/plain; version=0.0.4", {}
+        if path == "/predict":
+            if method != "POST":
+                return _json_error(405, "use POST")
+            return await self._handle_predict(body)
+        return _json_error(404, f"unknown path {path!r}")
+
+    def _handle_healthz(self) -> Tuple[int, bytes, str, Dict[str, str]]:
+        status = "draining" if self._draining else "ok"
+        payload = {
+            "status": status,
+            "model": self.model_info,
+            "uptime_seconds": (
+                time.time() - self._started if self._started else 0.0
+            ),
+            "cache_entries": len(self.batcher.cache),
+        }
+        code = 503 if self._draining else 200
+        return code, _dump(payload), "application/json", {}
+
+    async def _handle_predict(
+        self, body: bytes
+    ) -> Tuple[int, bytes, str, Dict[str, str]]:
+        if self._draining:
+            return _json_error(
+                503, "the server is draining", {"Retry-After": "1"}
+            )
+        try:
+            configs = self._parse_configs(body)
+        except _BadRequest as error:
+            return _json_error(400, str(error))
+        try:
+            values = await asyncio.gather(
+                *(self.batcher.predict_one(config) for config in configs)
+            )
+        except ServerSaturated as error:
+            return _json_error(503, str(error), {"Retry-After": "1"})
+        except RuntimeError as error:
+            _log.error("prediction failed: %s", error)
+            return _json_error(500, f"prediction failed: {error}")
+        payload = {
+            "metric": self._predictor.metric.value,
+            "predictions": [float(v) for v in values],
+            "model": self.model_info,
+        }
+        return 200, _dump(payload), "application/json", {}
+
+    def _parse_configs(self, body: bytes) -> List[Configuration]:
+        try:
+            request = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _BadRequest(f"request body is not JSON: {error}") from error
+        if not isinstance(request, dict):
+            raise _BadRequest("request body must be a JSON object")
+        if "configs" in request:
+            raw_list = request["configs"]
+            if not isinstance(raw_list, list):
+                raise _BadRequest('"configs" must be a list')
+        elif "config" in request:
+            raw_list = [request["config"]]
+        else:
+            raise _BadRequest('request needs a "configs" or "config" key')
+        if not raw_list:
+            raise _BadRequest("at least one configuration is required")
+        if len(raw_list) > _MAX_CONFIGS:
+            raise _BadRequest(
+                f"at most {_MAX_CONFIGS} configurations per request"
+            )
+        return [self._parse_config(raw) for raw in raw_list]
+
+    def _parse_config(self, raw) -> Configuration:
+        if isinstance(raw, dict):
+            unknown = set(raw) - set(PARAMETER_ORDER)
+            if unknown:
+                raise _BadRequest(
+                    f"unknown parameters: {sorted(unknown)}"
+                )
+            try:
+                overrides = {name: int(value) for name, value in raw.items()}
+                config = self._space.baseline.replace(**overrides)
+            except (TypeError, ValueError) as error:
+                raise _BadRequest(
+                    f"bad configuration values: {error}"
+                ) from error
+        elif isinstance(raw, list):
+            if len(raw) != len(PARAMETER_ORDER):
+                raise _BadRequest(
+                    f"a configuration list needs "
+                    f"{len(PARAMETER_ORDER)} values, got {len(raw)}"
+                )
+            try:
+                config = Configuration.from_values(
+                    tuple(int(v) for v in raw)
+                )
+            except (TypeError, ValueError) as error:
+                raise _BadRequest(
+                    f"bad configuration values: {error}"
+                ) from error
+        else:
+            raise _BadRequest(
+                "each configuration must be a parameter mapping or a "
+                f"{len(PARAMETER_ORDER)}-integer list"
+            )
+        try:
+            self._space.validate(config)
+        except ValueError as error:
+            raise _BadRequest(f"illegal configuration: {error}") from error
+        return config
+
+
+# ----------------------------------------------------------------------
+# Wire helpers
+# ----------------------------------------------------------------------
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one HTTP/1.1 request; None on a cleanly closed connection."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        return None
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip().lower()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > _MAX_BODY:
+        raise ConnectionError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+def _write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: bytes,
+    content_type: str,
+    keep_alive: bool,
+    extra: Dict[str, str],
+) -> None:
+    reason = {
+        200: "OK", 400: "Bad Request", 404: "Not Found",
+        405: "Method Not Allowed", 500: "Internal Server Error",
+        503: "Service Unavailable",
+    }.get(status, "OK")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    head.extend(f"{name}: {value}" for name, value in extra.items())
+    writer.write(
+        ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload
+    )
+
+
+def _dump(payload: Dict) -> bytes:
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+def _json_error(
+    status: int, message: str, extra: Optional[Dict[str, str]] = None
+) -> Tuple[int, bytes, str, Dict[str, str]]:
+    return (
+        status,
+        _dump({"error": message}),
+        "application/json",
+        dict(extra or {}),
+    )
+
+
+# ----------------------------------------------------------------------
+# The blocking entry point the CLI uses
+# ----------------------------------------------------------------------
+def serve_forever(
+    predictor,
+    host: str = "127.0.0.1",
+    port: int = 8100,
+    model_info: Optional[Dict] = None,
+    max_batch: int = 64,
+    batch_window: float = 0.002,
+    cache_size: int = 4096,
+    queue_limit: int = 1024,
+    ready_callback=None,
+) -> None:
+    """Run a prediction server until SIGTERM/SIGINT, then drain.
+
+    Args:
+        predictor: A fitted architecture-centric predictor.
+        ready_callback: Called with the started
+            :class:`PredictionServer` once the socket is bound (tests
+            and the CLI use it to report the actual port).
+
+    The signal handlers trigger a graceful drain — queued requests are
+    answered before the loop exits — and the function then *returns*,
+    so the caller's ``finally`` blocks (telemetry export, manifest
+    writing) always run.
+    """
+    server = PredictionServer(
+        predictor,
+        host=host,
+        port=port,
+        model_info=model_info,
+        max_batch=max_batch,
+        batch_window=batch_window,
+        cache_size=cache_size,
+        queue_limit=queue_limit,
+    )
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-Unix loops; Ctrl-C still raises
+        await server.start()
+        if ready_callback is not None:
+            ready_callback(server)
+        try:
+            await stop.wait()
+        finally:
+            await server.drain()
+
+    asyncio.run(_run())

@@ -74,3 +74,87 @@ class TestValidation:
         from repro.ml import MultilayerPerceptron
         with pytest.raises(ValueError, match="missing"):
             MultilayerPerceptron().set_weights({"hidden_weights": np.ones(2)})
+
+
+@pytest.fixture()
+def fitted(cycles_pool, small_dataset):
+    models = cycles_pool.models(exclude=["swim"])
+    predictor = ArchitectureCentricPredictor(models)
+    idx, holdout = small_dataset.split_indices(24, seed=3)
+    predictor.fit_responses(
+        small_dataset.subset_configs(idx),
+        small_dataset.subset_values("swim", Metric.CYCLES, idx),
+    )
+    probe = small_dataset.subset_configs(holdout)[:40]
+    return predictor, probe
+
+
+class TestPredictorRoundTrip:
+    def test_predictions_bit_identical(self, fitted, tmp_path, space):
+        from repro.core import load_predictor, save_predictor
+
+        predictor, probe = fitted
+        path = save_predictor(predictor, tmp_path / "fitted.npz")
+        restored = load_predictor(path, space)
+        assert np.array_equal(
+            restored.predict(probe), predictor.predict(probe)
+        )
+        assert np.array_equal(
+            restored.predict_invariant(probe),
+            predictor.predict_invariant(probe),
+        )
+
+    def test_fit_metadata_survives(self, fitted, tmp_path, space):
+        from repro.core import load_predictor, save_predictor
+
+        predictor, _ = fitted
+        path = save_predictor(predictor, tmp_path / "fitted.npz")
+        restored = load_predictor(path, space)
+        assert restored.training_error_ == predictor.training_error_
+        assert restored.response_count_ == predictor.response_count_
+        assert restored._regressor.ridge == predictor._regressor.ridge
+
+    def test_unfitted_predictor_rejected(self, cycles_pool, tmp_path):
+        from repro.core import save_predictor
+
+        unfitted = ArchitectureCentricPredictor(cycles_pool.models())
+        with pytest.raises(RuntimeError, match="fit_responses"):
+            save_predictor(unfitted, tmp_path / "nope.npz")
+
+    def test_bare_pool_rejected_by_load_predictor(self, cycles_pool,
+                                                  tmp_path, space):
+        from repro.core import load_predictor
+
+        path = save_models(cycles_pool.models(), tmp_path / "pool.npz")
+        with pytest.raises(ValueError, match="load_models instead"):
+            load_predictor(path, space)
+
+    def test_corrupt_predictor_artifact_rejected(self, fitted, tmp_path):
+        from repro.core import load_predictor, save_predictor
+
+        predictor, _ = fitted
+        path = save_predictor(predictor, tmp_path / "fitted.npz")
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError):
+            load_predictor(path)
+
+
+class TestLegacyPool:
+    def test_v1_archive_still_loads(self, cycles_pool, tmp_path, space,
+                                    small_dataset):
+        """Pre-checksum pools (format 1) remain readable."""
+        from repro.core.persistence import _pool_payload
+
+        models = cycles_pool.models()
+        payload = _pool_payload(models)
+        path = tmp_path / "legacy.npz"
+        np.savez_compressed(path, format_version=np.array(1), **payload)
+        restored = load_models(path, space)
+        probe = list(small_dataset.configs[:20])
+        for original, clone in zip(models, restored):
+            assert clone.program == original.program
+            assert np.array_equal(
+                clone.predict(probe), original.predict(probe)
+            )

@@ -127,18 +127,12 @@ class TestCorruptArchives:
         self, archive, small_suite, tmp_path
     ):
         """Re-checksummed NaN poison still fails (hydrate validates)."""
-        from repro.runtime import array_checksum
-        from repro.sim import Metric
+        from repro.runtime import payload_checksum
 
         with np.load(archive, allow_pickle=False) as handle:
             payload = {name: np.array(handle[name]) for name in handle.files}
         payload["metric_cycles"][0, 0] = np.nan
-        matrices = [
-            payload[f"metric_{metric.value}"] for metric in Metric.all()
-        ]
-        payload["checksum"] = np.array(
-            array_checksum(payload["configs"], *matrices)
-        )
+        payload["checksum"] = np.array(payload_checksum(payload))
         bad = tmp_path / "nan.npz"
         np.savez_compressed(bad, **payload)
         with pytest.raises(ValueError, match="non-finite"):

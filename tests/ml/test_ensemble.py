@@ -159,3 +159,44 @@ class TestMixedLogTarget:
         stacked = ensemble.predict(batch)
         for row, member in zip(stacked, members):
             assert np.array_equal(row, member.predict(batch))
+
+
+class TestInvariantForward:
+    """The batch-composition-invariant path the serving layer uses."""
+
+    def test_invariant_rows_do_not_depend_on_batch_mates(
+        self, ensemble, small_dataset
+    ):
+        batch = list(small_dataset.configs[:30])
+        features = ensemble.space.encode_many(batch)
+        full = ensemble.predict_features_invariant(features)
+        for index in (0, 7, 29):
+            alone = ensemble.predict_features_invariant(
+                features[index : index + 1]
+            )
+            assert np.array_equal(alone[:, 0], full[:, index])
+
+    def test_invariant_close_to_matmul_path(self, ensemble, small_dataset):
+        batch = list(small_dataset.configs[:30])
+        features = ensemble.space.encode_many(batch)
+        invariant = ensemble.predict_features_invariant(features)
+        matmul = ensemble.predict_features(features)
+        assert np.allclose(invariant, matmul, rtol=1e-12)
+
+    def test_log_model_matrix_invariant_composition(
+        self, ensemble, small_dataset
+    ):
+        superset = list(small_dataset.configs[:40])
+        subset = superset[5:15]
+        full = ensemble.log_model_matrix_invariant(superset)
+        part = ensemble.log_model_matrix_invariant(subset)
+        assert np.array_equal(part, full[5:15])
+
+    def test_log_model_matrix_invariant_close_to_blas(
+        self, ensemble, small_dataset
+    ):
+        batch = list(small_dataset.configs[:25])
+        invariant = ensemble.log_model_matrix_invariant(batch)
+        blas = ensemble.log_model_matrix(batch)
+        assert invariant.shape == blas.shape
+        assert np.allclose(invariant, blas, rtol=1e-12)

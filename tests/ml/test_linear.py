@@ -91,3 +91,30 @@ class TestRobustness:
         model = LinearRegressor(fit_intercept=False).fit(x, y)
         assert model.intercept_ == 0.0
         assert model.coefficients[0] == pytest.approx(2.0)
+
+
+class TestInvariantPredict:
+    """predict_invariant: per-row reductions, batch-order independent."""
+
+    def test_matches_predict_closely(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(40, 6))
+        y = x @ rng.normal(size=6) + 2.0
+        model = LinearRegressor().fit(x, y)
+        assert np.allclose(
+            model.predict_invariant(x), model.predict(x), rtol=1e-12
+        )
+
+    def test_single_row_equals_batch_row(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(40, 6))
+        y = rng.normal(size=40)
+        model = LinearRegressor().fit(x, y)
+        batch = model.predict_invariant(x)
+        for index in (0, 13, 39):
+            alone = model.predict_invariant(x[index : index + 1])
+            assert alone[0] == batch[index]
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            LinearRegressor().predict_invariant(np.zeros((1, 3)))

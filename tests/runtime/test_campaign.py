@@ -368,3 +368,81 @@ class TestParallelCampaign:
         )
         with pytest.raises(SimulationError):
             runner.run(tiny_suite, tiny_configs, fail_fast=True)
+
+
+class TestInterruptedManifest:
+    """A campaign killed mid-run still leaves a provenance manifest."""
+
+    def test_backend_blowup_writes_interrupted_manifest(
+        self, backend, tiny_suite, tiny_configs, tmp_path
+    ):
+        import json
+
+        class ExplodingBackend:
+            def __init__(self, inner, after):
+                self._inner = inner
+                self._after = after
+                self._calls = 0
+
+            def simulate_batch(self, *args, **kwargs):
+                self._calls += 1
+                if self._calls > self._after:
+                    raise KeyboardInterrupt  # operator hit ctrl-C
+                return self._inner.simulate_batch(*args, **kwargs)
+
+        runner = CampaignRunner(
+            ExplodingBackend(backend, after=3),
+            tmp_path / "boom", chunk_size=16,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(tiny_suite, tiny_configs)
+
+        manifest = json.loads(
+            runner.run_manifest_path.read_text(encoding="utf-8")
+        )
+        assert manifest["run"]["status"] == "interrupted"
+        assert "KeyboardInterrupt" in manifest["run"]["error"]
+        assert manifest["run"]["kind"] == "campaign"
+
+    def test_completed_manifest_reports_status(
+        self, backend, tiny_suite, tiny_configs, tmp_path
+    ):
+        import json
+
+        runner = CampaignRunner(backend, tmp_path / "done", chunk_size=16)
+        runner.run(tiny_suite, tiny_configs)
+        manifest = json.loads(
+            runner.run_manifest_path.read_text(encoding="utf-8")
+        )
+        assert manifest["run"]["status"] == "complete"
+
+    def test_interrupted_checkpoint_resumes_cleanly(
+        self, backend, tiny_suite, tiny_configs, tmp_path, clean_result
+    ):
+        class OneShotInterrupt:
+            def __init__(self, inner, after):
+                self._inner = inner
+                self._after = after
+                self._calls = 0
+
+            def simulate_batch(self, *args, **kwargs):
+                self._calls += 1
+                if self._calls == self._after:
+                    raise KeyboardInterrupt
+                return self._inner.simulate_batch(*args, **kwargs)
+
+        target = tmp_path / "recover"
+        with pytest.raises(KeyboardInterrupt):
+            CampaignRunner(
+                OneShotInterrupt(backend, after=5), target, chunk_size=16
+            ).run(tiny_suite, tiny_configs)
+
+        result = CampaignRunner(backend, target, chunk_size=16).run(
+            tiny_suite, tiny_configs, resume=True
+        )
+        assert result.complete
+        assert result.resumed_cells == 4  # chunks finished before ctrl-C
+        for metric in Metric.all():
+            assert np.array_equal(
+                result.matrix(metric), clean_result.matrix(metric)
+            )

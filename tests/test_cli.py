@@ -321,3 +321,124 @@ class TestExplore:
         assert main(
             ["explore", "--program", "doom", "--samples", "100"]
         ) == 2
+
+
+class TestPublish:
+    def test_publish_creates_registry_entry(self, tmp_path, capsys):
+        registry_dir = tmp_path / "registry"
+        code = main(
+            ["publish", "--registry", str(registry_dir),
+             "--program", "applu", "--samples", "300",
+             "--training-size", "200", "--responses", "24"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "published" in out
+        assert "applu-cycles v1" in out
+        assert "artifact sha256" in out
+        version_dir = registry_dir / "applu-cycles" / "v0001"
+        assert (version_dir / "artifact.npz").is_file()
+        assert (version_dir / "record.json").is_file()
+
+    def test_publish_unknown_program(self, tmp_path, capsys):
+        code = main(
+            ["publish", "--registry", str(tmp_path / "r"),
+             "--program", "doom", "--samples", "100"]
+        )
+        assert code == 2
+
+
+class TestServeArguments:
+    def test_serve_needs_a_model_source(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--artifact" in capsys.readouterr().err
+
+    def test_serve_missing_artifact(self, tmp_path, capsys):
+        code = main(["serve", "--artifact", str(tmp_path / "no.npz")])
+        assert code == 2
+        assert "cannot load artifact" in capsys.readouterr().err
+
+    def test_serve_unknown_registry_model(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--registry", str(tmp_path / "empty"),
+             "--model", "ghost"]
+        )
+        assert code == 2
+        assert "cannot load model" in capsys.readouterr().err
+
+
+class TestServeSigterm:
+    """End to end: serve a saved artifact in a subprocess, answer a
+    request, SIGTERM it, and check the graceful path ran — clean exit
+    (the loop's handler drains instead of dying) with metrics and
+    manifest flushed on the way out."""
+
+    def test_sigterm_drains_and_flushes(self, tmp_path, cycles_pool,
+                                        small_dataset):
+        import os
+        import pathlib
+        import signal
+        import subprocess
+        import sys as _sys
+        import time
+
+        import repro
+        from repro.core import ArchitectureCentricPredictor, save_predictor
+        from repro.serve import PredictionClient
+        from repro.sim import Metric
+
+        models = cycles_pool.models(exclude=["gzip"])
+        predictor = ArchitectureCentricPredictor(models)
+        idx, _ = small_dataset.split_indices(24, seed=5)
+        predictor.fit_responses(
+            small_dataset.subset_configs(idx),
+            small_dataset.subset_values("gzip", Metric.CYCLES, idx),
+        )
+        artifact = save_predictor(predictor, tmp_path / "fitted.npz")
+
+        metrics_out = tmp_path / "serve_metrics.json"
+        manifest_out = tmp_path / "serve_manifest.json"
+        stderr_log = tmp_path / "serve_stderr.log"
+        src_dir = pathlib.Path(repro.__file__).resolve().parents[1]
+        env = {**os.environ, "PYTHONPATH": str(src_dir)}
+
+        with open(stderr_log, "wb") as log:
+            process = subprocess.Popen(
+                [_sys.executable, "-m", "repro", "serve",
+                 "--artifact", str(artifact), "--port", "0",
+                 "--metrics-out", str(metrics_out),
+                 "--manifest-out", str(manifest_out)],
+                stderr=log, env=env,
+            )
+        try:
+            port = None
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                text = stderr_log.read_text(encoding="utf-8",
+                                            errors="replace")
+                if "serving on http://" in text:
+                    address = text.split("serving on http://")[1]
+                    port = int(address.split()[0].rsplit(":", 1)[1])
+                    break
+                assert process.poll() is None, text
+                time.sleep(0.2)
+            assert port is not None, "server never reported ready"
+
+            with PredictionClient("127.0.0.1", port, timeout=30) as client:
+                value = client.predict_one({"width": 4})
+                assert value > 0
+
+            process.send_signal(signal.SIGTERM)
+            # The serve loop turns SIGTERM into a graceful drain and a
+            # normal return, so the process exits 0 (not 143).
+            assert process.wait(timeout=60) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+
+        metrics = json.loads(metrics_out.read_text(encoding="utf-8"))
+        assert metrics["serve.requests{status=200}"]["value"] >= 1
+        manifest = json.loads(manifest_out.read_text(encoding="utf-8"))
+        assert manifest["run"]["kind"] == "serve"
+        assert manifest["run"]["model"]["artifact"] == str(artifact)

@@ -23,6 +23,7 @@ PACKAGES = (
     "repro.ml",
     "repro.obs",
     "repro.runtime",
+    "repro.serve",
     "repro.sim",
     "repro.sim.pipeline",
     "repro.workloads",

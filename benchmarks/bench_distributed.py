@@ -1,0 +1,211 @@
+"""Distributed campaign scaling: coordinator + worker subprocesses.
+
+Not a paper artefact — the engineering guarantee behind sharding the
+paper's simulation campaigns across hosts.  One in-process coordinator
+serves the same campaign to 1, 2 and 4 real ``repro worker``
+subprocesses over loopback TCP; each worker adds ``--sim-delay``
+latency per chunk so the interval model stands in for an expensive
+cycle-accurate simulator without losing bit-exactness (latency rather
+than CPU burn, because the subprocesses share this machine's cores —
+scaling here measures the coordinator's ability to keep a fleet of
+slow simulators busy, which is the subsystem's actual job).  A final
+fault-tolerance leg SIGKILLs one of two workers mid-campaign and times
+the lease reclaim.
+
+The scaling numbers only count, because every scenario's journal is
+asserted bit-identical to every other's: the speedup describes the
+*correct* distributed runner.  Results land in
+``results/BENCH_distributed.json``.
+
+Scale knobs (environment): ``REPRO_DISTRIB_SAMPLES`` (default 1536),
+``REPRO_DISTRIB_CHUNK`` (64) and ``REPRO_DISTRIB_DELAY`` (0.15 s per
+chunk); the CI smoke run shrinks them to finish in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.designspace import sample_configurations
+from repro.distrib import CampaignCoordinator
+from repro.runtime import CampaignRunner, IntervalBackend
+from repro.sim import IntervalSimulator
+from repro.workloads import spec2000_suite
+
+#: Sampled configurations (cells = samples / chunk per program).
+SAMPLES = int(os.environ.get("REPRO_DISTRIB_SAMPLES", 1536))
+
+#: Configurations per campaign cell (one lease = one cell).
+CHUNK = int(os.environ.get("REPRO_DISTRIB_CHUNK", 64))
+
+#: Seconds of emulated simulator latency per chunk, bit-identically.
+DELAY = float(os.environ.get("REPRO_DISTRIB_DELAY", 0.15))
+
+PROGRAM = "gzip"
+SEED = 2007
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _spawn_worker(port: int, sim_delay: float = DELAY) -> subprocess.Popen:
+    """A real ``repro worker`` subprocess, like an operator would run."""
+    env = dict(os.environ)
+    src = str(pathlib.Path(__file__).parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--connect", f"127.0.0.1:{port}",
+            "--sim-delay", str(sim_delay),
+            "--log-level", "warning",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _run_campaign(tmp_path, suite, configs, n_workers, kill_one=False):
+    """One distributed campaign; returns (coordinator, runner, workers).
+
+    The coordinator runs on a daemon thread (its blocking ``run`` owns
+    an event loop); ``min_workers`` holds the first lease back until
+    every worker is connected, so ``stats.elapsed`` times pure
+    execution, not subprocess start-up.
+    """
+    runner = CampaignRunner(
+        IntervalBackend(IntervalSimulator()),
+        tmp_path / f"dist_{n_workers}",
+        chunk_size=CHUNK,
+        seed=SEED,
+    )
+    coordinator = CampaignCoordinator(
+        runner,
+        port=0,
+        lease_timeout=30.0,
+        min_workers=n_workers,
+    )
+    ready = threading.Event()
+    failure: list = []
+
+    def serve() -> None:
+        try:
+            coordinator.run(
+                suite, configs,
+                ready_callback=lambda _c: ready.set(),
+            )
+        except BaseException as error:  # surfaced in the main thread
+            failure.append(error)
+            ready.set()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=30), "coordinator never came up"
+    assert not failure, failure
+
+    workers = [_spawn_worker(coordinator.port) for _ in range(n_workers)]
+    victim = None
+    if kill_one:
+        # Let the campaign get going, then SIGKILL one worker while it
+        # holds a lease; the coordinator must reclaim and finish.
+        while coordinator.stats.tasks_completed < 2 and thread.is_alive():
+            time.sleep(0.02)
+        victim = workers[0]
+        victim.send_signal(signal.SIGKILL)
+
+    thread.join(timeout=300)
+    assert not thread.is_alive(), "campaign did not finish"
+    assert not failure, failure
+    for worker in workers:
+        try:
+            worker.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            worker.kill()
+            worker.wait()
+    return coordinator, runner
+
+
+def _journal_checksums(runner) -> dict:
+    return {
+        record["cell"]: record["checksum"]
+        for record in runner.journal.records()
+        if "cell" in record
+    }
+
+
+def test_distributed_scaling(tmp_path, record_json):
+    suite = spec2000_suite().subset((PROGRAM,))
+    simulator = IntervalSimulator()
+    configs = sample_configurations(simulator.space, SAMPLES, seed=SEED)
+    total_cells = -(-SAMPLES // CHUNK)
+
+    scaling = {}
+    journals = {}
+    for n_workers in WORKER_COUNTS:
+        coordinator, runner = _run_campaign(
+            tmp_path, suite, configs, n_workers
+        )
+        stats = coordinator.stats
+        assert stats.tasks_completed == total_cells
+        assert stats.elapsed and stats.elapsed > 0
+        scaling[n_workers] = {
+            "workers": n_workers,
+            "tasks": stats.tasks_completed,
+            "wall_seconds": stats.elapsed,
+            "tasks_per_second": stats.tasks_completed / stats.elapsed,
+            "reclaims": stats.reclaims,
+        }
+        journals[n_workers] = _journal_checksums(runner)
+
+    # The speedup is only meaningful if every run produced the same
+    # bits: identical journal checksums mean identical chunk files.
+    baseline = journals[WORKER_COUNTS[0]]
+    assert baseline and all(
+        journal == baseline for journal in journals.values()
+    )
+
+    # Fault-tolerance leg: two workers, one SIGKILLed mid-campaign.
+    kill_dir = tmp_path / "killleg"
+    kill_dir.mkdir()
+    coordinator, runner = _run_campaign(
+        kill_dir, suite, configs, 2, kill_one=True
+    )
+    stats = coordinator.stats
+    assert stats.tasks_completed == total_cells
+    assert stats.reclaims >= 1, "the killed worker's lease must reclaim"
+    assert _journal_checksums(runner) == baseline
+
+    speedup = (
+        scaling[4]["tasks_per_second"] / scaling[1]["tasks_per_second"]
+    )
+    payload = {
+        "samples": SAMPLES,
+        "chunk_size": CHUNK,
+        "sim_delay_s": DELAY,
+        "total_cells": total_cells,
+        "scaling": [scaling[n] for n in WORKER_COUNTS],
+        "speedup_4_vs_1": speedup,
+        "kill_leg": {
+            "reclaims": stats.reclaims,
+            "reclaim_latency_mean_s": float(
+                np.mean(stats.reclaim_latencies)
+            ) if stats.reclaim_latencies else None,
+            "reclaim_latency_max_s": float(
+                np.max(stats.reclaim_latencies)
+            ) if stats.reclaim_latencies else None,
+            "wall_seconds": stats.elapsed,
+        },
+        "journals_bit_identical": True,
+        "cpu_count": os.cpu_count(),
+    }
+    record_json("BENCH_distributed", payload)
+
+    # The bar the subsystem must clear: real scaling, not just liveness.
+    assert speedup > 1.5, f"4-worker speedup only {speedup:.2f}x"

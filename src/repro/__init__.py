@@ -34,6 +34,7 @@ The subpackages:
 * :mod:`repro.analysis` — space characterisation and clustering.
 * :mod:`repro.exploration` — datasets and per-figure experiment runners.
 * :mod:`repro.runtime` — fault-tolerant, resumable campaign execution.
+* :mod:`repro.distrib` — coordinator/worker campaigns across hosts.
 * :mod:`repro.obs` — logging, metrics, tracing and run manifests.
 """
 

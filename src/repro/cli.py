@@ -14,6 +14,11 @@ Lets a user poke the reproduction without writing code:
   predictor into the model registry as an immutable version.
 * ``serve --registry DIR --model applu-cycles`` — run the batched
   asyncio inference server over a published model until SIGTERM.
+* ``coordinator --checkpoint-dir DIR`` / ``worker --connect HOST:PORT``
+  — shard a campaign across hosts: the coordinator owns the journal and
+  hands out leased chunks, workers simulate them.  ``simulate`` and
+  ``explore`` accept ``--distributed HOST:PORT`` to serve their own
+  campaign the same way.
 
 Every command accepts ``--samples`` and ``--seed`` to control scale and
 reproducibility.  The compute-heavy commands (``simulate``,
@@ -34,6 +39,7 @@ import signal
 import sys
 from typing import List, Optional
 
+from repro import __version__
 from repro.analysis import (
     distance_matrix,
     outlier_scores,
@@ -44,10 +50,23 @@ from repro.core import ArchitectureCentricPredictor, TrainingPool
 from repro.designspace import DesignSpace, render_table1, render_table2
 from repro.exploration import DesignSpaceDataset, format_table
 from repro.ml import correlation, rmae
-from repro.obs import configure_logging, get_registry, get_tracer
+from repro.obs import (
+    configure_logging,
+    get_logger,
+    get_registry,
+    get_tracer,
+    git_sha,
+)
 from repro.sim import FixedParameters, Metric
 from repro.sim.machine import width_scaling_rows
 from repro.workloads import mibench_suite, spec2000_suite
+
+_log = get_logger(__name__)
+
+
+def _version_string() -> str:
+    sha = git_sha()
+    return f"repro {__version__} (git {sha or 'unknown'})"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -55,6 +74,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Architecture-centric design space exploration "
         "(Dubach, Jones, O'Boyle — MICRO 2007).",
+    )
+    parser.add_argument(
+        "--version", action="version", version=_version_string()
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -175,6 +197,69 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a run manifest here on shutdown (any exit path)",
     )
     _telemetry_options(serve)
+
+    coordinator = sub.add_parser(
+        "coordinator",
+        help="serve a simulation campaign to remote 'repro worker' "
+        "processes (SIGTERM drains gracefully)",
+    )
+    _common(coordinator)
+    _checkpoint_options(coordinator, distributed=False)
+    _telemetry_options(coordinator)
+    coordinator.add_argument("--host", default="127.0.0.1",
+                             help="bind address (0.0.0.0 for remote "
+                             "workers)")
+    coordinator.add_argument("--port", type=int, default=7600,
+                             help="bind port (0 picks a free one)")
+    coordinator.add_argument(
+        "--program", default=None,
+        help="campaign over one program instead of a whole suite",
+    )
+    coordinator.add_argument(
+        "--suite", default="spec2000", choices=("spec2000", "mibench"),
+        help="suite to simulate when --program is not given",
+    )
+    coordinator.add_argument(
+        "--lease-timeout", type=float, default=60.0,
+        help="seconds a worker may hold a chunk without heartbeating "
+        "before it is reclaimed",
+    )
+    coordinator.add_argument(
+        "--min-workers", type=int, default=0,
+        help="hold task hand-out until this many workers connected",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="execute leased campaign chunks for a coordinator "
+        "(SIGTERM finishes the current chunk, then exits)",
+    )
+    worker.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        type=_host_port_arg, help="coordinator address",
+    )
+    worker.add_argument(
+        "--max-tasks", type=int, default=None,
+        help="exit after completing this many chunks (default: run "
+        "until the coordinator drains us)",
+    )
+    worker.add_argument(
+        "--sim-repeat", type=int, default=1,
+        help="simulate each chunk N times, keeping the last result — "
+        "deterministic, bit-identical, and N times slower; emulates an "
+        "expensive simulator for scaling studies",
+    )
+    worker.add_argument(
+        "--sim-delay", type=float, default=0.0,
+        help="add this many seconds of latency to each chunk — "
+        "emulates an expensive off-host simulator so scaling "
+        "benchmarks can overlap workers on a shared test machine",
+    )
+    worker.add_argument(
+        "--connect-timeout", type=float, default=10.0,
+        help="seconds to keep retrying the initial connection",
+    )
+    _telemetry_options(worker)
     return parser
 
 
@@ -183,7 +268,9 @@ def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
-def _checkpoint_options(parser: argparse.ArgumentParser) -> None:
+def _checkpoint_options(
+    parser: argparse.ArgumentParser, distributed: bool = True
+) -> None:
     parser.add_argument(
         "--checkpoint-dir", default=None,
         help="journal simulation chunks here so an interrupted run can "
@@ -198,6 +285,23 @@ def _checkpoint_options(parser: argparse.ArgumentParser) -> None:
         "--chunk-size", type=int, default=128,
         help="configurations per checkpointed chunk (default 128)",
     )
+    if distributed:
+        parser.add_argument(
+            "--distributed", default=None, metavar="HOST:PORT",
+            type=_host_port_arg,
+            help="serve this campaign's simulations to remote "
+            "'repro worker' processes instead of running them locally "
+            "(requires --checkpoint-dir; results are bit-identical)",
+        )
+
+
+def _host_port_arg(text: str):
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}"
+        )
+    return host, int(port)
 
 
 def _jobs_arg(text: str) -> int:
@@ -278,10 +382,14 @@ def _run_campaign(args: argparse.Namespace, profiles, simulator):
         IntervalBackend(simulator),
         args.checkpoint_dir,
         chunk_size=args.chunk_size,
+        seed=args.seed,
         n_jobs=getattr(args, "jobs", None),
     )
     try:
-        result = runner.run(profiles, configs, resume=args.resume)
+        if getattr(args, "distributed", None):
+            result = _coordinate(args, runner, profiles, configs)
+        else:
+            result = runner.run(profiles, configs, resume=args.resume)
     except ValueError as error:
         hint = "" if args.resume else " (pass --resume to continue it)"
         print(f"checkpoint error: {error}{hint}", file=sys.stderr)
@@ -294,6 +402,43 @@ def _run_campaign(args: argparse.Namespace, profiles, simulator):
         print(f"campaign left {unfinished} chunk(s) unfinished; "
               "rerun with --resume to continue", file=sys.stderr)
         return None
+    return result
+
+
+def _coordinate(args: argparse.Namespace, runner, profiles, configs):
+    """Serve a campaign to remote workers instead of simulating locally."""
+    from repro.distrib import CampaignCoordinator
+
+    host, port = (
+        args.distributed
+        if getattr(args, "distributed", None)
+        else (args.host, args.port)
+    )
+    coordinator = CampaignCoordinator(
+        runner,
+        host=host,
+        port=port,
+        lease_timeout=getattr(args, "lease_timeout", 60.0),
+        min_workers=getattr(args, "min_workers", 0),
+    )
+
+    def _ready(c) -> None:
+        print(f"coordinating on {c.host}:{c.port}; start workers with: "
+              f"repro worker --connect {c.host}:{c.port}", file=sys.stderr)
+
+    result = coordinator.run(
+        profiles, configs, resume=args.resume, ready_callback=_ready
+    )
+    stats = coordinator.stats
+    throughput = (
+        f"{stats.tasks_completed / stats.elapsed:.2f} tasks/s"
+        if stats.elapsed
+        else "n/a"
+    )
+    print(f"workers   : {stats.workers_seen} seen, "
+          f"{stats.tasks_completed} task(s) completed ({throughput}), "
+          f"{stats.reclaims} lease(s) reclaimed, "
+          f"{stats.stale_results} stale result(s) dropped")
     return result
 
 
@@ -313,6 +458,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         suite = mibench_suite()
     if args.program not in suite:
         print(f"unknown program {args.program!r}", file=sys.stderr)
+        return 2
+    if args.distributed and not args.checkpoint_dir:
+        print("--distributed needs --checkpoint-dir (the coordinator "
+              "journals results there)", file=sys.stderr)
         return 2
     if args.checkpoint_dir:
         return _cmd_simulate_campaign(args, suite)
@@ -445,6 +594,10 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         suite = mibench_suite()
     if args.program not in suite:
         print(f"unknown program {args.program!r}", file=sys.stderr)
+        return 2
+    if args.distributed and not args.checkpoint_dir:
+        print("--distributed needs --checkpoint-dir (the coordinator "
+              "journals results there)", file=sys.stderr)
         return 2
     spec = spec2000_suite()
     if args.checkpoint_dir:
@@ -621,6 +774,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_coordinator(args: argparse.Namespace) -> int:
+    from repro.designspace import sample_configurations
+    from repro.runtime import CampaignRunner, IntervalBackend
+    from repro.sim import IntervalSimulator
+
+    if not args.checkpoint_dir:
+        print("coordinator needs --checkpoint-dir (the journal is the "
+              "campaign's source of truth)", file=sys.stderr)
+        return 2
+    if args.program is not None:
+        suite = spec2000_suite()
+        if args.program not in suite:
+            suite = mibench_suite()
+        if args.program not in suite:
+            print(f"unknown program {args.program!r}", file=sys.stderr)
+            return 2
+        profiles = [suite[args.program]]
+    else:
+        profiles = _suite(args.suite)
+    simulator = IntervalSimulator()
+    configs = sample_configurations(
+        simulator.space, args.samples, seed=args.seed
+    )
+    runner = CampaignRunner(
+        IntervalBackend(simulator),
+        args.checkpoint_dir,
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+    )
+    try:
+        result = _coordinate(args, runner, profiles, configs)
+    except ValueError as error:
+        hint = "" if args.resume else " (pass --resume to continue it)"
+        print(f"checkpoint error: {error}{hint}", file=sys.stderr)
+        return 2
+    print(f"campaign  : {result.simulated_cells} chunk(s) simulated, "
+          f"{result.resumed_cells} resumed from {args.checkpoint_dir}")
+    if not result.complete:
+        unfinished = len(result.failed_cells) + len(result.pending_cells)
+        print(f"campaign left {unfinished} chunk(s) unfinished; rerun "
+              "with --resume to continue", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.distrib import CampaignWorker, ProtocolError
+
+    host, port = args.connect
+    worker = CampaignWorker(
+        host,
+        port,
+        max_tasks=args.max_tasks,
+        sim_repeat=args.sim_repeat,
+        sim_delay=args.sim_delay,
+        connect_timeout=args.connect_timeout,
+    )
+    try:
+        completed = worker.run()
+    except (ConnectionError, ProtocolError, OSError) as error:
+        print(f"worker error: {error}", file=sys.stderr)
+        return 1
+    print(f"worker    : {completed} chunk(s) completed")
+    return 0
+
+
 def _raise_exit(signum, _frame) -> None:
     """Turn SIGTERM into SystemExit so ``finally`` blocks run."""
     raise SystemExit(128 + signum)
@@ -630,6 +849,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     _configure_telemetry(args)
+    # Every subcommand stamps its provenance first: the package version
+    # and git sha tie any log stream or bug report to exact code.
+    _log.info(
+        "%s: %s", _version_string(), args.command,
+        extra={"event": "cli.start", "command": args.command,
+               "version": __version__, "git_sha": git_sha()},
+    )
     try:
         # A supervisor's SIGTERM must flush telemetry like any other
         # exit: route it through SystemExit (exit code 143) so the
@@ -657,6 +883,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_publish(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "coordinator":
+            return _cmd_coordinator(args)
+        if args.command == "worker":
+            return _cmd_worker(args)
         raise AssertionError(f"unhandled command {args.command!r}")
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)

@@ -1,0 +1,706 @@
+"""The campaign coordinator: one work queue, many hosts.
+
+The coordinator owns everything stateful about a distributed campaign —
+the work queue of (program, chunk) cells from
+:meth:`~repro.runtime.campaign.CampaignRunner.plan`, the checkpoint
+journal, the lease table — and workers own nothing: they connect, lease
+a task, simulate it and ship the arrays back.  That asymmetry is the
+whole fault story:
+
+* a worker that **dies** drops its TCP connection and every lease it
+  held is requeued immediately;
+* a worker that **hangs** misses its lease deadline (heartbeats extend
+  it while real progress is being made) and the lease is reclaimed by
+  the monitor loop;
+* a worker that **keeps failing** trips its per-worker
+  :class:`~repro.runtime.retry.CircuitBreaker` and is drained rather
+  than fed more of the campaign;
+* a **stale result** for a cell another worker already finished is
+  acknowledged and discarded, never double-journalled.
+
+Completed cells go through the *same*
+:meth:`~repro.runtime.campaign.CampaignRunner.store_cell` path as a
+serial run — same checksummed ``.npz`` files, same journal records — so
+``--resume`` is transparent across serial, process-parallel and
+distributed executions, and per-task retry seeds are the same
+``stable_seed("campaign-retry", cell, seed)`` stream the serial loop
+draws from, which is what makes a distributed campaign bit-identical
+to a serial one regardless of worker count or interleaving.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import __version__
+from repro.designspace.configuration import Configuration
+from repro.obs import get_logger, get_registry, get_tracer, git_sha, span
+from repro.runtime.backend import SimulationError, validate_batch
+from repro.runtime.campaign import (
+    CampaignCell,
+    CampaignPlan,
+    CampaignResult,
+    CampaignRunner,
+)
+from repro.runtime.retry import CircuitBreaker
+from repro.sim.metrics import Metric
+from repro.workloads.profile import stable_seed
+
+from .protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    read_message,
+    write_message,
+)
+from .wire import (
+    batch_checksum,
+    batch_from_wire,
+    configs_to_wire,
+    policy_to_wire,
+    profile_to_wire,
+)
+
+__all__ = ["CampaignCoordinator", "CoordinatorStats"]
+
+_log = get_logger(__name__)
+
+
+@dataclass
+class _Lease:
+    """One outstanding task: which cell, whose worker, until when."""
+
+    lease_id: str
+    cell: CampaignCell
+    worker_id: str
+    deadline: float
+    issued_at: float
+
+
+@dataclass
+class _WorkerState:
+    """Per-worker accounting and the worker's circuit breaker."""
+
+    worker_id: str
+    breaker: CircuitBreaker
+    connected_at: float
+    last_seen: float
+    tasks_completed: int = 0
+    version: str = ""
+    sha: Optional[str] = None
+
+
+@dataclass
+class CoordinatorStats:
+    """Run accounting the benchmarks and smoke tests read.
+
+    Attributes:
+        workers_seen: Distinct workers that completed the handshake.
+        tasks_issued: Leases handed out (requeues included).
+        tasks_completed: Results accepted and journalled.
+        stale_results: Results for cells already completed elsewhere.
+        reclaims: Leases reclaimed from dead or expired workers.
+        reclaim_latencies: Seconds from lease expiry (or disconnect)
+            to reclaim, one entry per reclaim.
+        first_task_at: Monotonic time the first lease was issued.
+        finished_at: Monotonic time the campaign completed.
+    """
+
+    workers_seen: int = 0
+    tasks_issued: int = 0
+    tasks_completed: int = 0
+    stale_results: int = 0
+    reclaims: int = 0
+    reclaim_latencies: List[float] = field(default_factory=list)
+    first_task_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        """Seconds from first lease to completion (``None`` if idle)."""
+        if self.first_task_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.first_task_at
+
+
+class CampaignCoordinator:
+    """Shard one campaign across TCP-connected workers.
+
+    Args:
+        runner: The campaign runner whose checkpoint directory, chunk
+            size, retry policy and seed define the campaign.  All
+            journalling goes through it, so the checkpoint is
+            indistinguishable from a serial run's.
+        host: Bind address (use ``0.0.0.0`` to accept remote workers).
+        port: Bind port; 0 picks a free one (read :attr:`port` after
+            the server is up).
+        lease_timeout: Seconds a worker may hold a lease without a
+            heartbeat before it is reclaimed.
+        monitor_interval: How often the reclaim monitor scans leases.
+        max_requeues: Reclaims of one cell before it is marked failed
+            (guards against a task that kills every worker it visits).
+        worker_breaker_threshold: Consecutive reclaims/failures that
+            circuit-break one worker out of the campaign.
+        min_workers: Hold task hand-out until this many workers have
+            connected (benchmarks use it to time pure execution).
+    """
+
+    def __init__(
+        self,
+        runner: CampaignRunner,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_timeout: float = 60.0,
+        monitor_interval: float = 0.1,
+        max_requeues: int = 5,
+        worker_breaker_threshold: int = 3,
+        min_workers: int = 0,
+    ) -> None:
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        if max_requeues < 1:
+            raise ValueError("max_requeues must be at least 1")
+        self.runner = runner
+        self.host = host
+        self.port = port
+        self.lease_timeout = lease_timeout
+        self.monitor_interval = monitor_interval
+        self.max_requeues = max_requeues
+        self.worker_breaker_threshold = worker_breaker_threshold
+        self.min_workers = min_workers
+        self.stats = CoordinatorStats()
+        # Campaign state, created by run_async().
+        self._plan: Optional[CampaignPlan] = None
+        self._values: Dict[Tuple[str, Metric], np.ndarray] = {}
+        self._queue: Deque[CampaignCell] = deque()
+        self._not_before: Dict[str, float] = {}
+        self._requeues: Dict[str, int] = {}
+        self._leases: Dict[str, _Lease] = {}
+        self._leased_cells: Dict[str, str] = {}  # cell id -> lease id
+        self._done: Dict[str, int] = {}  # cell id -> worker attempts
+        self._failed: Dict[str, str] = {}  # cell id -> error
+        self._workers: Dict[str, _WorkerState] = {}
+        self._connections: Dict[asyncio.Task, asyncio.StreamWriter] = {}
+        self._connected = 0
+        self._barrier_open = min_workers <= 0
+        self._draining = False
+        self._complete = asyncio.Event()
+        self._abort: Optional[SimulationError] = None
+        self._fail_fast = False
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        profiles,
+        configs: Sequence[Configuration],
+        resume: bool = True,
+        fail_fast: bool = False,
+        ready_callback=None,
+    ) -> CampaignResult:
+        """Blocking wrapper: serve the campaign until it completes.
+
+        Mirrors :meth:`CampaignRunner.run`'s manifest contract — a
+        completed campaign writes its run manifest, an interrupted one
+        (SIGTERM, Ctrl-C, crash) writes an ``interrupted`` manifest
+        before re-raising.
+        """
+        started = time.time()
+        trace_start = get_tracer().mark()
+        try:
+            result = asyncio.run(
+                self.run_async(
+                    profiles, configs, resume=resume, fail_fast=fail_fast,
+                    ready_callback=ready_callback, install_signals=True,
+                )
+            )
+        except BaseException as error:
+            self.runner._write_interrupted_manifest(
+                error, trace_start, started
+            )
+            raise
+        self.runner._finalize(result, trace_start, started)
+        return result
+
+    async def run_async(
+        self,
+        profiles,
+        configs: Sequence[Configuration],
+        resume: bool = True,
+        fail_fast: bool = False,
+        ready_callback=None,
+        install_signals: bool = False,
+    ) -> CampaignResult:
+        """Serve the campaign on the current event loop."""
+        plan = self.runner.plan(profiles, configs, resume)
+        self._plan = plan
+        self._fail_fast = fail_fast
+        self._values = {
+            (program, metric): np.full(len(plan.configs), np.nan)
+            for program in plan.programs
+            for metric in Metric.all()
+        }
+        resumed = self._restore_completed(plan)
+        self._queue = deque(plan.remaining)
+        _log.info(
+            "coordinator: %d cell(s) total, %d journalled, %d to "
+            "distribute",
+            len(plan.cells), resumed, len(self._queue),
+            extra={"event": "distrib.start", "cells": len(plan.cells),
+                   "resumed": resumed, "queued": len(self._queue)},
+        )
+        if not self._queue:
+            self._complete.set()
+
+        loop = asyncio.get_running_loop()
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.initiate_drain)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # non-Unix loop or not the main thread
+
+        with span("distrib.coordinate", cells=len(plan.cells)):
+            self._server = await asyncio.start_server(
+                self._handle_worker, self.host, self.port
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+            get_registry().gauge("distrib.coordinator.up").set(1)
+            if ready_callback is not None:
+                ready_callback(self)
+            monitor = asyncio.create_task(self._monitor())
+            try:
+                await self._complete.wait()
+            finally:
+                self.stats.finished_at = time.monotonic()
+                self._draining = True
+                monitor.cancel()
+                self._server.close()
+                await self._server.wait_closed()
+                # Hang up on idle workers (they treat EOF with no lease
+                # held as a drain) and let their handlers run to
+                # completion, so loop teardown never has to cancel a
+                # mid-read handler.
+                for writer in list(self._connections.values()):
+                    writer.close()
+                if self._connections:
+                    await asyncio.wait(
+                        list(self._connections), timeout=5.0
+                    )
+                get_registry().gauge("distrib.coordinator.up").set(0)
+        if self._abort is not None:
+            raise self._abort
+        return self._assemble(plan, resumed)
+
+    def initiate_drain(self) -> None:
+        """Stop handing out work; complete once leases settle.
+
+        Safe to call from a signal handler.  Outstanding leases are
+        still honoured — workers finish their current task and the
+        results are journalled — so the checkpoint loses nothing a
+        ``--resume`` cannot pick up.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        _log.warning(
+            "coordinator draining: no new leases; %d outstanding",
+            len(self._leases),
+            extra={"event": "distrib.drain", "leases": len(self._leases)},
+        )
+        if not self._leases:
+            self._complete.set()
+
+    # ------------------------------------------------------------------
+    # Campaign state
+    # ------------------------------------------------------------------
+    def _restore_completed(self, plan: CampaignPlan) -> int:
+        by_id = {cell.cell: cell for cell in plan.cells}
+        resumed = 0
+        for cell_id, path in plan.completed.items():
+            cell = by_id[cell_id]
+            batch = self.runner.resume_cell(
+                cell_id, path, cell.stop - cell.start
+            )
+            self.runner.fill_values(
+                self._values, cell.profile.name, cell.start, cell.stop,
+                batch,
+            )
+            resumed += 1
+        return resumed
+
+    def _assemble(self, plan: CampaignPlan, resumed: int) -> CampaignResult:
+        pending = tuple(
+            cell.cell
+            for cell in plan.cells
+            if cell.cell not in plan.completed
+            and cell.cell not in self._done
+            and cell.cell not in self._failed
+        )
+        return CampaignResult(
+            programs=plan.programs,
+            configs=plan.configs,
+            total_cells=len(plan.cells),
+            simulated_cells=len(self._done),
+            resumed_cells=resumed,
+            failed_cells=tuple(sorted(self._failed)),
+            pending_cells=pending,
+            attempts=sum(self._done.values()),
+            _values=self._values,
+        )
+
+    def _maybe_complete(self) -> None:
+        outstanding = bool(self._queue) or bool(self._leases)
+        if self._draining and not self._leases:
+            self._complete.set()
+            return
+        if not outstanding:
+            self._complete.set()
+
+    # ------------------------------------------------------------------
+    # Lease lifecycle
+    # ------------------------------------------------------------------
+    def _issue_lease(self, worker: _WorkerState) -> Optional[Dict]:
+        """Pop the next runnable cell and lease it to ``worker``."""
+        now = time.monotonic()
+        for _ in range(len(self._queue)):
+            cell = self._queue.popleft()
+            if self._not_before.get(cell.cell, 0.0) > now:
+                self._queue.append(cell)  # backoff not elapsed: rotate
+                continue
+            lease = _Lease(
+                lease_id=uuid.uuid4().hex,
+                cell=cell,
+                worker_id=worker.worker_id,
+                deadline=now + self.lease_timeout,
+                issued_at=now,
+            )
+            self._leases[lease.lease_id] = lease
+            self._leased_cells[cell.cell] = lease.lease_id
+            self.stats.tasks_issued += 1
+            if self.stats.first_task_at is None:
+                self.stats.first_task_at = now
+            get_registry().counter("distrib.tasks.issued").inc()
+            assert self._plan is not None
+            start, stop = cell.start, cell.stop
+            return {
+                "type": "task",
+                "lease": lease.lease_id,
+                "cell": cell.cell,
+                "chunk_index": cell.chunk_index,
+                "profile": profile_to_wire(cell.profile),
+                "configs": configs_to_wire(
+                    self._plan.configs[start:stop]
+                ),
+                "retry_seed": stable_seed(
+                    "campaign-retry", cell.cell, str(self.runner.seed)
+                ),
+                "policy": policy_to_wire(self.runner.retry_policy),
+                "lease_timeout": self.lease_timeout,
+            }
+        return None
+
+    def _reclaim(self, lease: _Lease, reason: str, overdue: float) -> None:
+        """Requeue a lease whose worker died, hung or disconnected."""
+        self._leases.pop(lease.lease_id, None)
+        if self._leased_cells.get(lease.cell.cell) == lease.lease_id:
+            del self._leased_cells[lease.cell.cell]
+        self.stats.reclaims += 1
+        self.stats.reclaim_latencies.append(max(0.0, overdue))
+        registry = get_registry()
+        registry.counter("distrib.lease.reclaimed", reason=reason).inc()
+        registry.histogram("distrib.reclaim.latency.seconds").observe(
+            max(0.0, overdue)
+        )
+        worker = self._workers.get(lease.worker_id)
+        if worker is not None:
+            worker.breaker.record_failure()
+        count = self._requeues.get(lease.cell.cell, 0) + 1
+        self._requeues[lease.cell.cell] = count
+        if count > self.max_requeues:
+            self._failed[lease.cell.cell] = (
+                f"lease reclaimed {count} time(s) ({reason}); "
+                "giving up on this cell"
+            )
+            _log.error(
+                "cell %s failed permanently after %d reclaim(s)",
+                lease.cell.cell, count,
+                extra={"event": "distrib.cell_failed",
+                       "cell": lease.cell.cell},
+            )
+            self._maybe_complete()
+            return
+        # Deterministically jittered backoff before the cell is handed
+        # out again — the same RetryPolicy math the per-call retry uses.
+        rng = np.random.default_rng(
+            stable_seed("distrib-requeue", lease.cell.cell, str(count))
+        )
+        delay = self.runner.retry_policy.delay(count, rng)
+        self._not_before[lease.cell.cell] = time.monotonic() + delay
+        self._queue.appendleft(lease.cell)
+        _log.warning(
+            "lease %s on cell %s reclaimed (%s); requeued with %.2fs "
+            "backoff",
+            lease.lease_id[:8], lease.cell.cell, reason, delay,
+            extra={"event": "distrib.lease_reclaimed",
+                   "cell": lease.cell.cell, "reason": reason},
+        )
+
+    async def _monitor(self) -> None:
+        """Reclaim leases whose deadline passed without a heartbeat."""
+        while True:
+            await asyncio.sleep(self.monitor_interval)
+            now = time.monotonic()
+            for lease in list(self._leases.values()):
+                if lease.deadline < now:
+                    self._reclaim(lease, "expired", now - lease.deadline)
+            self._maybe_complete()
+
+    # ------------------------------------------------------------------
+    # Worker protocol
+    # ------------------------------------------------------------------
+    async def _handle_worker(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections[task] = writer
+        worker: Optional[_WorkerState] = None
+        try:
+            worker = await self._handshake(reader, writer)
+            if worker is None:
+                return
+            while True:
+                message = await read_message(reader)
+                if message is None or message.get("type") == "goodbye":
+                    break
+                reply = self._dispatch(worker, message)
+                await write_message(writer, reply)
+        except ProtocolError as error:
+            _log.warning(
+                "dropping worker %s: %s",
+                worker.worker_id if worker else "<handshake>", error,
+                extra={"event": "distrib.protocol_error"},
+            )
+            try:
+                await write_message(
+                    writer, {"type": "error", "reason": str(error)}
+                )
+            except (ProtocolError, ConnectionError, OSError):
+                pass
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass  # handled below: the disconnect reclaim
+        finally:
+            if task is not None:
+                self._connections.pop(task, None)
+            if worker is not None:
+                self._connected -= 1
+                get_registry().gauge("distrib.workers.connected").inc(-1)
+                now = time.monotonic()
+                for lease in list(self._leases.values()):
+                    if lease.worker_id == worker.worker_id:
+                        self._reclaim(lease, "disconnect", 0.0)
+                _log.info(
+                    "worker %s disconnected after %d task(s)",
+                    worker.worker_id, worker.tasks_completed,
+                    extra={"event": "distrib.worker_gone",
+                           "worker": worker.worker_id},
+                )
+                self._maybe_complete()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Optional[_WorkerState]:
+        hello = await read_message(reader)
+        if hello is None:
+            return None
+        if hello.get("type") != "hello":
+            raise ProtocolError(
+                f"expected a hello, got {hello.get('type')!r}"
+            )
+        worker_id = str(hello.get("worker") or uuid.uuid4().hex[:12])
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            worker = _WorkerState(
+                worker_id=worker_id,
+                breaker=CircuitBreaker(self.worker_breaker_threshold),
+                connected_at=time.monotonic(),
+                last_seen=time.monotonic(),
+                version=str(hello.get("version", "")),
+                sha=hello.get("git_sha"),
+            )
+            self._workers[worker_id] = worker
+            self.stats.workers_seen += 1
+        self._connected += 1
+        get_registry().gauge("distrib.workers.connected").inc()
+        mine, theirs = __version__, worker.version
+        if theirs and theirs != mine:
+            _log.warning(
+                "version skew: worker %s runs repro %s, coordinator "
+                "runs %s (protocol %d matches; results stay "
+                "bit-identical only if the simulator did not change)",
+                worker_id, theirs, mine, PROTOCOL_VERSION,
+                extra={"event": "distrib.version_skew",
+                       "worker": worker_id},
+            )
+        assert self._plan is not None
+        await write_message(writer, {
+            "type": "welcome",
+            "version": mine,
+            "git_sha": git_sha(),
+            "protocol": PROTOCOL_VERSION,
+            "campaign": {
+                "programs": list(self._plan.programs),
+                "config_count": len(self._plan.configs),
+                "chunk_size": self.runner.chunk_size,
+                "total_cells": len(self._plan.cells),
+                "seed": self.runner.seed,
+            },
+            "heartbeat_interval": self.lease_timeout / 4.0,
+        })
+        _log.info(
+            "worker %s connected (repro %s)", worker_id, theirs or "?",
+            extra={"event": "distrib.worker_joined", "worker": worker_id},
+        )
+        return worker
+
+    def _dispatch(self, worker: _WorkerState, message: Dict) -> Dict:
+        kind = message.get("type")
+        worker.last_seen = time.monotonic()
+        if kind == "task_request":
+            return self._on_task_request(worker)
+        if kind == "heartbeat":
+            return self._on_heartbeat(message)
+        if kind == "result":
+            return self._on_result(worker, message)
+        raise ProtocolError(f"unexpected message type {kind!r}")
+
+    def _on_task_request(self, worker: _WorkerState) -> Dict:
+        if self._complete.is_set() or self._draining:
+            return {"type": "drain", "reason": "campaign finished"}
+        if worker.breaker.open:
+            return {"type": "drain", "reason": "worker circuit-broken"}
+        if not self._barrier_open and self._connected < self.min_workers:
+            return {"type": "wait", "delay": self.monitor_interval}
+        # The barrier is a start gate, not an ongoing quorum: once the
+        # fleet has assembled, losing a worker must not stall the rest.
+        self._barrier_open = True
+        task = self._issue_lease(worker)
+        if task is not None:
+            return task
+        if self._leases or self._queue:
+            # Work exists but is leased out or backing off: poll again.
+            return {"type": "wait", "delay": self.monitor_interval * 2}
+        return {"type": "drain", "reason": "no work left"}
+
+    def _on_heartbeat(self, message: Dict) -> Dict:
+        lease = self._leases.get(str(message.get("lease")))
+        if lease is None:
+            return {"type": "hb_ack", "lease_ok": False}
+        lease.deadline = time.monotonic() + self.lease_timeout
+        return {"type": "hb_ack", "lease_ok": True}
+
+    def _on_result(self, worker: _WorkerState, message: Dict) -> Dict:
+        lease_id = str(message.get("lease"))
+        lease = self._leases.pop(lease_id, None)
+        cell_id = str(message.get("cell"))
+        if lease is not None:
+            if self._leased_cells.get(lease.cell.cell) == lease_id:
+                del self._leased_cells[lease.cell.cell]
+            cell = lease.cell
+        else:
+            # The lease was reclaimed (slow worker) — the result may
+            # still be useful if nobody else finished the cell yet.
+            cell = next(
+                (c for c in (self._plan.cells if self._plan else ())
+                 if c.cell == cell_id),
+                None,
+            )
+        if cell is None or cell_id != cell.cell:
+            raise ProtocolError(f"result for unknown cell {cell_id!r}")
+        if cell_id in self._done or cell_id in self._failed:
+            self.stats.stale_results += 1
+            get_registry().counter("distrib.results.stale").inc()
+            self._maybe_complete()
+            return {"type": "ack", "accepted": False}
+        if lease is None and cell_id in self._leased_cells:
+            # Someone else is re-running it; let the fresh lease win.
+            self.stats.stale_results += 1
+            get_registry().counter("distrib.results.stale").inc()
+            return {"type": "ack", "accepted": False}
+
+        attempts = int(message.get("attempts", 1))
+        self._merge_telemetry(message.get("telemetry"))
+        if not message.get("ok"):
+            error = str(message.get("error") or "unknown worker error")
+            worker.breaker.record_failure()
+            self._failed[cell_id] = error
+            _log.warning(
+                "cell %s failed permanently on worker %s: %s",
+                cell_id, worker.worker_id, error,
+                extra={"event": "campaign.cell_failed", "cell": cell_id},
+            )
+            if self._fail_fast and self._abort is None:
+                self._abort = SimulationError(error)
+                self._draining = True
+            self._maybe_complete()
+            return {"type": "ack", "accepted": True}
+
+        try:
+            batch = batch_from_wire(message.get("arrays") or {})
+            recorded = str(message.get("arrays_checksum") or "")
+            if batch_checksum(batch) != recorded:
+                raise ProtocolError(
+                    f"result for cell {cell_id} failed its array "
+                    "checksum"
+                )
+            validate_batch(batch, f"for cell {cell_id}")
+            if len(batch) != cell.stop - cell.start:
+                raise ProtocolError(
+                    f"result for cell {cell_id} holds {len(batch)} "
+                    f"configurations, expected {cell.stop - cell.start}"
+                )
+        except (ValueError, SimulationError) as error:
+            raise ProtocolError(str(error)) from error
+        self.runner.store_cell(
+            cell_id, cell.profile.name, cell.chunk_index, batch
+        )
+        self.runner.fill_values(
+            self._values, cell.profile.name, cell.start, cell.stop, batch
+        )
+        self._done[cell_id] = attempts
+        worker.breaker.record_success()
+        worker.tasks_completed += 1
+        self.stats.tasks_completed += 1
+        registry = get_registry()
+        registry.counter("distrib.tasks.completed").inc()
+        if lease is not None:
+            registry.histogram("distrib.task.seconds").observe(
+                time.monotonic() - lease.issued_at
+            )
+        self._maybe_complete()
+        return {"type": "ack", "accepted": True}
+
+    def _merge_telemetry(self, telemetry) -> None:
+        if not isinstance(telemetry, dict):
+            return
+        metrics = telemetry.get("metrics")
+        if isinstance(metrics, dict):
+            get_registry().merge(metrics)
+        spans = telemetry.get("spans")
+        if isinstance(spans, list):
+            get_tracer().adopt(spans)

@@ -1,0 +1,445 @@
+"""The campaign worker: lease a cell, simulate it, ship the arrays back.
+
+A worker holds no campaign state.  It connects to a coordinator, says
+hello, and loops: request a task, simulate the leased cell behind the
+same :func:`~repro.runtime.retry.call_with_retry` machinery the serial
+loop uses — the task carries its own deterministic retry seed and the
+campaign's retry policy, so a flaky backend backs off *identically* to
+a serial run — and returns the metric arrays with their artifact-layer
+checksum.  Heartbeats keep the lease alive while a long simulation is
+in flight (the simulation runs in a thread; the event loop stays free
+to heartbeat); if the coordinator reports the lease reclaimed, the
+worker abandons the result rather than racing the replacement.
+
+Telemetry is recorded into a *private* registry and tracer — never the
+process globals, so any number of in-process workers (tests) or
+dedicated worker processes (production) stay isolated — and a snapshot
+rides back with each result for the coordinator to merge.  On SIGTERM
+the worker finishes the task it holds, delivers the result, says
+goodbye and exits: a drained worker never loses leased work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import socket
+import time
+import uuid
+from typing import Callable, Optional
+
+from repro import __version__
+from repro.obs import MetricsRegistry, Tracer, get_logger, git_sha
+from repro.runtime.backend import (
+    SimulationBackend,
+    SimulationError,
+    validate_batch,
+)
+from repro.runtime.retry import CircuitBreaker, call_with_retry
+from repro.sim.interval import BatchResult
+
+from .protocol import ProtocolError, read_message, write_message
+from .wire import (
+    batch_checksum,
+    batch_to_wire,
+    configs_from_wire,
+    policy_from_wire,
+    profile_from_wire,
+)
+
+__all__ = ["CampaignWorker", "RepeatBackend"]
+
+_log = get_logger(__name__)
+
+
+class RepeatBackend:
+    """Make each batch slower without changing a single bit of it.
+
+    A deterministic backend returns the same arrays every repetition, so
+    wrapping it changes nothing about the campaign's numbers — only how
+    long each cell takes.  Benchmarks and smoke tests use it to emulate
+    an expensive simulator (the interval model is so fast that protocol
+    overhead would otherwise dominate any scaling measurement) without
+    giving up bit-identical results.
+
+    ``repeat`` burns CPU, modelling a slow simulator on the worker's
+    own core.  ``delay`` sleeps, modelling a worker whose host runs the
+    expensive simulation elsewhere (or simply has its own CPU) — the
+    only way a scaling benchmark can show real worker overlap when all
+    the worker processes share one test machine's cores.
+
+    Args:
+        backend: The wrapped backend.
+        repeat: How many times to run each batch (at least 1).
+        delay: Extra seconds of latency added to each batch.
+    """
+
+    def __init__(
+        self,
+        backend: SimulationBackend,
+        repeat: int = 1,
+        delay: float = 0.0,
+    ) -> None:
+        if repeat < 1:
+            raise ValueError("repeat must be at least 1")
+        if delay < 0:
+            raise ValueError("delay must not be negative")
+        self.backend = backend
+        self.repeat = repeat
+        self.delay = delay
+
+    def simulate_batch(self, profile, configs) -> BatchResult:
+        """Delay, burn ``repeat - 1`` runs, return the final result."""
+        if self.delay:
+            time.sleep(self.delay)
+        for _ in range(self.repeat - 1):
+            self.backend.simulate_batch(profile, configs)
+        return self.backend.simulate_batch(profile, configs)
+
+
+class CampaignWorker:
+    """Execute leased campaign cells for a remote coordinator.
+
+    Args:
+        host: Coordinator host.
+        port: Coordinator port.
+        backend_factory: Builds this worker's backend (defaults to a
+            fresh :class:`~repro.runtime.backend.IntervalBackend`).
+            A factory, not an instance, so every worker — however it is
+            spawned — owns a private backend the way process-pool
+            workers own their pickled copies.
+        worker_id: Stable identity across reconnects (defaults to
+            ``<hostname>-<pid-entropy>``).
+        max_tasks: Stop after completing this many tasks (``None`` runs
+            until drained); the test hook for worker churn.
+        sim_repeat: Wrap the backend in :class:`RepeatBackend` with this
+            count when > 1.
+        sim_delay: Extra seconds of :class:`RepeatBackend` latency per
+            batch (emulates an expensive off-host simulator).
+        connect_timeout: Seconds to keep retrying the initial connect —
+            covers the coordinator still binding its socket when worker
+            processes launch first.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        backend_factory: Optional[Callable[[], SimulationBackend]] = None,
+        worker_id: Optional[str] = None,
+        max_tasks: Optional[int] = None,
+        sim_repeat: int = 1,
+        sim_delay: float = 0.0,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        if sim_repeat < 1:
+            raise ValueError("sim_repeat must be at least 1")
+        self.host = host
+        self.port = port
+        self.worker_id = worker_id or (
+            f"{socket.gethostname()}-{uuid.uuid4().hex[:8]}"
+        )
+        self.max_tasks = max_tasks
+        self.connect_timeout = connect_timeout
+        if backend_factory is None:
+            backend_factory = _default_backend
+        backend = backend_factory()
+        if sim_repeat > 1 or sim_delay > 0:
+            backend = RepeatBackend(backend, sim_repeat, delay=sim_delay)
+        self.backend = backend
+        self.tasks_completed = 0
+        self._draining = False
+        # Private instruments: shipped with each result, merged
+        # coordinator-side.  Never the process globals, so concurrent
+        # workers in one process cannot clobber each other.
+        self._registry = MetricsRegistry()
+        self._tracer = Tracer()
+        self._telemetry_mark = 0
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Blocking wrapper around :meth:`run_async`.
+
+        Returns:
+            Tasks completed before the coordinator drained this worker.
+        """
+        return asyncio.run(self.run_async(install_signals=True))
+
+    async def run_async(self, install_signals: bool = False) -> int:
+        """Serve tasks on the current event loop until drained."""
+        if install_signals:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.initiate_drain)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # non-Unix loop or not the main thread
+
+        reader, writer = await self._connect()
+        try:
+            welcome = await self._handshake(reader, writer)
+            heartbeat_interval = float(
+                welcome.get("heartbeat_interval", 15.0)
+            )
+            await self._task_loop(reader, writer, heartbeat_interval)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        return self.tasks_completed
+
+    def initiate_drain(self) -> None:
+        """Finish the current task, deliver it, then exit cleanly."""
+        if not self._draining:
+            self._draining = True
+            _log.warning(
+                "worker %s draining: finishing current task",
+                self.worker_id,
+                extra={"event": "distrib.worker_drain",
+                       "worker": self.worker_id},
+            )
+
+    # ------------------------------------------------------------------
+    # Connection
+    # ------------------------------------------------------------------
+    async def _connect(self):
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            try:
+                return await asyncio.open_connection(self.host, self.port)
+            except (ConnectionError, OSError) as error:
+                if time.monotonic() >= deadline:
+                    raise ConnectionError(
+                        f"could not reach coordinator at "
+                        f"{self.host}:{self.port} within "
+                        f"{self.connect_timeout:.0f}s: {error}"
+                    ) from error
+                await asyncio.sleep(0.2)
+
+    async def _handshake(self, reader, writer) -> dict:
+        await write_message(writer, {
+            "type": "hello",
+            "worker": self.worker_id,
+            "version": __version__,
+            "git_sha": git_sha(),
+        })
+        welcome = await read_message(reader)
+        if welcome is None:
+            raise ProtocolError("coordinator closed during the handshake")
+        if welcome.get("type") == "error":
+            raise ProtocolError(
+                f"coordinator rejected us: {welcome.get('reason')}"
+            )
+        if welcome.get("type") != "welcome":
+            raise ProtocolError(
+                f"expected a welcome, got {welcome.get('type')!r}"
+            )
+        campaign = welcome.get("campaign") or {}
+        _log.info(
+            "worker %s joined campaign: %d program(s), %d cell(s)",
+            self.worker_id,
+            len(campaign.get("programs") or ()),
+            campaign.get("total_cells", 0),
+            extra={"event": "distrib.worker_joined",
+                   "worker": self.worker_id},
+        )
+        return welcome
+
+    # ------------------------------------------------------------------
+    # Task loop
+    # ------------------------------------------------------------------
+    async def _task_loop(
+        self, reader, writer, heartbeat_interval: float
+    ) -> None:
+        while True:
+            if self._draining or (
+                self.max_tasks is not None
+                and self.tasks_completed >= self.max_tasks
+            ):
+                await self._goodbye(writer)
+                return
+            try:
+                await write_message(writer, {"type": "task_request"})
+                reply = await read_message(reader)
+            except (ConnectionError, OSError):
+                reply = None  # coordinator closed while we were idle
+            if reply is None:
+                return  # nothing leased, so a vanished peer is a drain
+            kind = reply.get("type")
+            if kind == "drain":
+                _log.info(
+                    "worker %s drained by coordinator (%s) after %d "
+                    "task(s)",
+                    self.worker_id, reply.get("reason"),
+                    self.tasks_completed,
+                    extra={"event": "distrib.worker_drained",
+                           "worker": self.worker_id},
+                )
+                await self._goodbye(writer)
+                return
+            if kind == "wait":
+                await asyncio.sleep(float(reply.get("delay", 0.1)))
+                continue
+            if kind != "task":
+                raise ProtocolError(f"unexpected reply type {kind!r}")
+            await self._run_task(reader, writer, reply, heartbeat_interval)
+
+    @staticmethod
+    async def _goodbye(writer) -> None:
+        try:
+            await write_message(writer, {"type": "goodbye"})
+        except (ConnectionError, OSError):
+            pass  # the peer beat us to hanging up
+
+    async def _run_task(
+        self, reader, writer, task: dict, heartbeat_interval: float
+    ) -> None:
+        cell = str(task["cell"])
+        lease = str(task["lease"])
+        profile = profile_from_wire(task["profile"])
+        configs = configs_from_wire(task["configs"])
+        policy = policy_from_wire(task["policy"])
+        retry_seed = int(task["retry_seed"])
+        attempts = 0
+
+        def attempt() -> BatchResult:
+            nonlocal attempts
+            attempts += 1
+            return self.backend.simulate_batch(profile, configs)
+
+        def simulate():
+            # Runs in a thread so the event loop keeps heartbeating.
+            # Private breaker per task, like the process-pool worker:
+            # the coordinator tracks cross-task worker health itself.
+            with self._tracer.span(
+                "simulate.chunk",
+                program=profile.name,
+                chunk=task.get("chunk_index"),
+                worker=self.worker_id,
+            ) as cell_span:
+                batch, error = None, None
+                try:
+                    batch = call_with_retry(
+                        attempt,
+                        policy,
+                        seed=retry_seed,
+                        breaker=CircuitBreaker(),
+                        validate=lambda result: validate_batch(
+                            result, f"for cell {cell}"
+                        ),
+                    )
+                except SimulationError as failure:
+                    error = str(failure)
+                if cell_span is not None:
+                    cell_span["attrs"]["attempts"] = attempts
+                    cell_span["attrs"]["outcome"] = (
+                        "ok" if error is None else "failed"
+                    )
+            self._registry.histogram("campaign.chunk.seconds").observe(
+                self._tracer.spans[-1]["dur"]
+            )
+            return batch, error
+
+        work = asyncio.create_task(asyncio.to_thread(simulate))
+        lease_lost = await self._heartbeat_until_done(
+            reader, writer, work, lease, heartbeat_interval
+        )
+        batch, error = await work
+        if lease_lost:
+            # The coordinator reclaimed the lease (we looked hung);
+            # someone else owns the cell now.  Drop the result.
+            self._registry.counter("distrib.worker.leases.lost").inc()
+            _log.warning(
+                "worker %s lost lease on cell %s; dropping result",
+                self.worker_id, cell,
+                extra={"event": "distrib.lease_lost", "cell": cell,
+                       "worker": self.worker_id},
+            )
+            return
+        # Counted before the telemetry drain so this task's own bump
+        # rides back with this task's result, not the next one's.
+        self._registry.counter("distrib.worker.tasks").inc()
+        result: dict = {
+            "type": "result",
+            "lease": lease,
+            "cell": cell,
+            "attempts": attempts,
+            "telemetry": self._drain_telemetry(),
+        }
+        if error is not None:
+            result["ok"] = False
+            result["error"] = error
+        else:
+            result["ok"] = True
+            result["arrays"] = batch_to_wire(batch)
+            result["arrays_checksum"] = batch_checksum(batch)
+        await write_message(writer, result)
+        ack = await read_message(reader)
+        if ack is None or ack.get("type") != "ack":
+            raise ProtocolError(
+                "coordinator did not acknowledge the result for "
+                f"cell {cell}"
+            )
+        self.tasks_completed += 1
+        if not ack.get("accepted"):
+            _log.info(
+                "result for cell %s was stale (another worker finished "
+                "it first)",
+                cell,
+                extra={"event": "distrib.result_stale", "cell": cell},
+            )
+
+    async def _heartbeat_until_done(
+        self, reader, writer, work: asyncio.Task, lease: str,
+        interval: float,
+    ) -> bool:
+        """Heartbeat while the simulation runs; True if the lease died."""
+        while True:
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(work), timeout=interval
+                )
+                return False
+            except asyncio.TimeoutError:
+                pass
+            await write_message(
+                writer, {"type": "heartbeat", "lease": lease}
+            )
+            ack = await read_message(reader)
+            if ack is None:
+                raise ProtocolError(
+                    "coordinator vanished mid-task (no heartbeat ack)"
+                )
+            if ack.get("type") != "hb_ack":
+                raise ProtocolError(
+                    f"expected hb_ack, got {ack.get('type')!r}"
+                )
+            if not ack.get("lease_ok", False):
+                await asyncio.shield(work)  # let the thread finish
+                return True
+
+    def _drain_telemetry(self) -> dict:
+        """Snapshot-and-reset so each result carries only its own spans.
+
+        The registry snapshot is cumulative, so it is rebuilt fresh
+        after each drain — merging the same counter twice would double
+        count coordinator-side.
+        """
+        spans = list(self._tracer.spans[self._telemetry_mark:])
+        telemetry = {
+            "metrics": self._registry.snapshot(),
+            "spans": spans,
+        }
+        self._registry = MetricsRegistry()
+        self._telemetry_mark = self._tracer.mark()
+        return telemetry
+
+
+def _default_backend() -> SimulationBackend:
+    from repro.runtime.backend import IntervalBackend
+
+    return IntervalBackend()

@@ -35,7 +35,7 @@ from .backend import (
     SimulationError,
     validate_batch,
 )
-from .campaign import CampaignResult, CampaignRunner
+from .campaign import CampaignCell, CampaignPlan, CampaignResult, CampaignRunner
 from .faults import (
     FaultInjectingBackend,
     PermanentSimulationError,
@@ -53,7 +53,9 @@ from .retry import (
 )
 
 __all__ = [
+    "CampaignCell",
     "CampaignJournal",
+    "CampaignPlan",
     "CampaignResult",
     "CampaignRunner",
     "CircuitBreaker",

@@ -123,6 +123,57 @@ def _simulate_cell_worker(task):
 
 
 @dataclass(frozen=True)
+class CampaignCell:
+    """One (program, chunk) unit of campaign work.
+
+    Attributes:
+        cell: The cell id, ``"<program>:<chunk_index>"``.
+        profile: The program's workload profile.
+        chunk_index: Index into the campaign's chunk bounds.
+        start: First configuration index of the chunk (inclusive).
+        stop: One past the last configuration index (exclusive).
+    """
+
+    cell: str
+    profile: WorkloadProfile
+    chunk_index: int
+    start: int
+    stop: int
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """The resolved shape of a campaign before any cell is simulated.
+
+    Produced by :meth:`CampaignRunner.plan` and shared by every
+    execution strategy — the serial loop, the process pool and the
+    distributed coordinator all iterate the same cells against the same
+    journal, which is what makes their outputs interchangeable.
+
+    Attributes:
+        programs: Program names in campaign order.
+        profiles: The matching workload profiles.
+        configs: The shared configuration sample.
+        chunks: ``(start, stop)`` bounds of each configuration chunk.
+        cells: Every (program, chunk) cell in campaign order.
+        completed: Journalled cells whose result files still verify,
+            mapped to their on-disk paths.
+    """
+
+    programs: Tuple[str, ...]
+    profiles: Tuple[WorkloadProfile, ...]
+    configs: Tuple[Configuration, ...]
+    chunks: Tuple[Tuple[int, int], ...]
+    cells: Tuple[CampaignCell, ...]
+    completed: Dict[str, pathlib.Path]
+
+    @property
+    def remaining(self) -> Tuple[CampaignCell, ...]:
+        """Cells not yet journalled (the work an executor must run)."""
+        return tuple(c for c in self.cells if c.cell not in self.completed)
+
+
+@dataclass(frozen=True)
 class CampaignResult:
     """Assembled matrices plus an accounting of how the run went.
 
@@ -290,19 +341,13 @@ class CampaignRunner:
         accounting and a per-stage timing summary — so a checkpoint
         directory documents its own provenance.
         """
-        profile_list = self._profiles(profiles)
-        if not configs:
-            raise ValueError("a campaign needs at least one configuration")
-        programs = tuple(profile.name for profile in profile_list)
-        self._check_manifest(programs, configs, resume)
-
-        chunks = self._chunk_bounds(len(configs))
+        plan = self.plan(profiles, configs, resume)
+        programs = plan.programs
+        chunks = list(plan.chunks)
         cells: List[Tuple[WorkloadProfile, int]] = [
-            (profile, index)
-            for profile in profile_list
-            for index in range(len(chunks))
+            (cell.profile, cell.chunk_index) for cell in plan.cells
         ]
-        completed = self._verified_completed_cells()
+        completed = plan.completed
 
         values: Dict[Tuple[str, Metric], np.ndarray] = {
             (program, metric): np.full(len(configs), np.nan)
@@ -347,6 +392,49 @@ class CampaignRunner:
         self._finalize(result, trace_start, started)
         return result
 
+    def plan(
+        self,
+        profiles: Union["BenchmarkSuite", Sequence[WorkloadProfile]],
+        configs: Sequence[Configuration],
+        resume: bool = True,
+    ) -> CampaignPlan:
+        """Resolve the campaign's cells and what the journal already holds.
+
+        Validates the inputs, checks (or creates) the checkpoint
+        manifest and verifies journalled cell files against their
+        checksums — everything :meth:`run` does before simulating, with
+        no simulation.  The distributed coordinator calls this to build
+        its work queue over the same checkpoint a serial run would use.
+
+        Raises:
+            ValueError: on empty inputs or an incompatible checkpoint.
+        """
+        profile_list = self._profiles(profiles)
+        if not configs:
+            raise ValueError("a campaign needs at least one configuration")
+        programs = tuple(profile.name for profile in profile_list)
+        self._check_manifest(programs, configs, resume)
+        chunks = tuple(self._chunk_bounds(len(configs)))
+        cells = tuple(
+            CampaignCell(
+                cell=f"{profile.name}:{index}",
+                profile=profile,
+                chunk_index=index,
+                start=start,
+                stop=stop,
+            )
+            for profile in profile_list
+            for index, (start, stop) in enumerate(chunks)
+        )
+        return CampaignPlan(
+            programs=programs,
+            profiles=tuple(profile_list),
+            configs=tuple(configs),
+            chunks=chunks,
+            cells=cells,
+            completed=self._verified_completed_cells(),
+        )
+
     def _run_serial(
         self,
         programs: Tuple[str, ...],
@@ -372,10 +460,10 @@ class CampaignRunner:
                 with span(
                     "resume.chunk", program=profile.name, chunk=chunk_index
                 ):
-                    batch = self._resume_cell(
+                    batch = self.resume_cell(
                         cell, completed[cell], stop - start
                     )
-                self._fill(values, profile.name, start, stop, batch)
+                self.fill_values(values, profile.name, start, stop, batch)
                 resumed += 1
                 continue
             if max_cells is not None and simulated >= max_cells:
@@ -442,8 +530,8 @@ class CampaignRunner:
             if outcome == "failed":
                 failed.append(cell)
                 continue
-            self._store_cell(cell, profile.name, chunk_index, batch)
-            self._fill(values, profile.name, start, stop, batch)
+            self.store_cell(cell, profile.name, chunk_index, batch)
+            self.fill_values(values, profile.name, start, stop, batch)
             simulated += 1
 
         return CampaignResult(
@@ -493,10 +581,10 @@ class CampaignRunner:
                 with span(
                     "resume.chunk", program=profile.name, chunk=chunk_index
                 ):
-                    batch = self._resume_cell(
+                    batch = self.resume_cell(
                         cell, completed[cell], stop - start
                     )
-                self._fill(values, profile.name, start, stop, batch)
+                self.fill_values(values, profile.name, start, stop, batch)
                 resumed += 1
             else:
                 todo.append((cell, profile, chunk_index, start, stop))
@@ -536,8 +624,8 @@ class CampaignRunner:
                         )
                         failed.append(cell)
                         continue
-                    self._store_cell(cell, profile.name, chunk_index, batch)
-                    self._fill(values, profile.name, start, stop, batch)
+                    self.store_cell(cell, profile.name, chunk_index, batch)
+                    self.fill_values(values, profile.name, start, stop, batch)
                     simulated += 1
         return CampaignResult(
             programs=programs,
@@ -738,7 +826,7 @@ class CampaignRunner:
     def _cell_path(self, program: str, chunk_index: int) -> pathlib.Path:
         return self.chunks_dir / f"{program}__{chunk_index:05d}.npz"
 
-    def _store_cell(
+    def store_cell(
         self, cell: str, program: str, chunk_index: int, batch: BatchResult
     ) -> None:
         """Write the cell atomically, then journal it with its checksum.
@@ -780,9 +868,15 @@ class CampaignRunner:
             extra={"event": "campaign.cell_stored", "cell": cell},
         )
 
-    def _resume_cell(
+    def resume_cell(
         self, cell: str, path: pathlib.Path, expected: int
     ) -> BatchResult:
+        """Load a journalled cell back from disk, checking its shape.
+
+        Shared by the serial loop, the process-parallel loop and the
+        distributed coordinator, so every executor restores checkpoints
+        identically.
+        """
         batch = self._load_cell(path)
         if len(batch) != expected:
             raise ValueError(
@@ -798,12 +892,13 @@ class CampaignRunner:
             )
 
     @staticmethod
-    def _fill(
+    def fill_values(
         values: Dict[Tuple[str, Metric], np.ndarray],
         program: str,
         start: int,
         stop: int,
         batch: BatchResult,
     ) -> None:
+        """Write one cell's metric arrays into the campaign matrices."""
         for metric in Metric.all():
             values[(program, metric)][start:stop] = batch.metric(metric)

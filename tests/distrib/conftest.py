@@ -1,0 +1,27 @@
+"""Fixtures for the distributed campaign tests.
+
+Coordinator/worker pairs run in-process on one asyncio event loop —
+real TCP over loopback, real frames, no subprocesses — so the tests
+exercise the actual protocol while staying fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import IntervalBackend
+
+
+@pytest.fixture(scope="session")
+def tiny_suite(spec_suite):
+    return spec_suite.subset(("gzip", "applu", "art"))
+
+
+@pytest.fixture(scope="session")
+def tiny_configs(configs):
+    return list(configs[:60])
+
+
+@pytest.fixture(scope="session")
+def backend(simulator) -> IntervalBackend:
+    return IntervalBackend(simulator)

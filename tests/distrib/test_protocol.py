@@ -1,0 +1,136 @@
+"""Framing, integrity and versioning of the wire protocol."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.distrib.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    read_message,
+    write_message,
+)
+
+
+def _envelope_of(frame: bytes) -> dict:
+    return json.loads(frame[4:].decode("utf-8"))
+
+
+class TestFrames:
+    def test_round_trip(self):
+        payload = {"type": "task", "cell": "gzip:3", "x": [1.5, -2.25]}
+        assert decode_frame(encode_frame(payload)[4:]) == payload
+
+    def test_payload_needs_a_type(self):
+        with pytest.raises(ProtocolError, match="type"):
+            encode_frame({"cell": "gzip:0"})
+
+    def test_non_json_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="wire-encodable"):
+            encode_frame({"type": "task", "bad": float("nan")})
+
+    def test_corrupted_byte_detected(self):
+        frame = bytearray(encode_frame({"type": "hello", "worker": "w1"}))
+        # Flip one character inside the payload section of the envelope.
+        index = frame.index(b"w1") + 1
+        frame[index] ^= 0x01
+        with pytest.raises(ProtocolError, match="checksum|JSON"):
+            decode_frame(bytes(frame[4:]))
+
+    def test_tampered_payload_detected(self):
+        frame = encode_frame({"type": "result", "ok": True})
+        envelope = _envelope_of(frame)
+        envelope["payload"]["ok"] = False  # checksum now stale
+        with pytest.raises(ProtocolError, match="checksum"):
+            decode_frame(json.dumps(envelope).encode("utf-8"))
+
+    def test_version_mismatch_rejected(self):
+        frame = encode_frame({"type": "hello"})
+        envelope = _envelope_of(frame)
+        envelope["v"] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version mismatch"):
+            decode_frame(json.dumps(envelope).encode("utf-8"))
+
+    def test_non_object_envelope_rejected(self):
+        with pytest.raises(ProtocolError, match="not an object"):
+            decode_frame(b"[1, 2, 3]")
+
+    def test_garbage_bytes_rejected(self):
+        with pytest.raises(ProtocolError, match="not JSON"):
+            decode_frame(b"\xff\xfe\x00")
+
+
+class TestStreams:
+    def test_stream_round_trip(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"type": "hb_ack", "n": 7}))
+            reader.feed_eof()
+            first = await read_message(reader)
+            second = await read_message(reader)
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first == {"type": "hb_ack", "n": 7}
+        assert second is None  # clean EOF between frames
+
+    def test_truncated_frame_is_a_protocol_error(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(encode_frame({"type": "task_request"})[:-3])
+            reader.feed_eof()
+            await read_message(reader)
+
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            asyncio.run(scenario())
+
+    def test_truncated_prefix_is_a_protocol_error(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00")
+            reader.feed_eof()
+            await read_message(reader)
+
+        with pytest.raises(ProtocolError, match="mid-length-prefix"):
+            asyncio.run(scenario())
+
+    def test_oversized_announcement_rejected_before_reading(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            await read_message(reader)
+
+        with pytest.raises(ProtocolError, match="exceeds"):
+            asyncio.run(scenario())
+
+    def test_loopback_socket_round_trip(self):
+        async def scenario():
+            received = []
+            done = asyncio.Event()
+
+            async def handler(reader, writer):
+                received.append(await read_message(reader))
+                await write_message(writer, {"type": "ack", "accepted": True})
+                writer.close()
+                done.set()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await write_message(writer, {"type": "hello", "worker": "w"})
+            reply = await read_message(reader)
+            writer.close()
+            await done.wait()
+            server.close()
+            await server.wait_closed()
+            return received[0], reply
+
+        sent, reply = asyncio.run(scenario())
+        assert sent == {"type": "hello", "worker": "w"}
+        assert reply == {"type": "ack", "accepted": True}

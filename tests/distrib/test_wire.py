@@ -1,0 +1,127 @@
+"""Exact round trips for everything that crosses the wire."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.distrib.wire import (
+    batch_checksum,
+    batch_from_wire,
+    batch_to_wire,
+    configs_from_wire,
+    configs_to_wire,
+    policy_from_wire,
+    policy_to_wire,
+    profile_from_wire,
+    profile_to_wire,
+)
+from repro.runtime import RetryPolicy
+from repro.sim.interval import BatchResult
+
+
+def _through_json(value):
+    """Round a value through actual JSON text, like the protocol does."""
+    return json.loads(
+        json.dumps(value, sort_keys=True, allow_nan=False)
+    )
+
+
+class TestConfigs:
+    def test_round_trip(self, tiny_configs):
+        wire = _through_json(configs_to_wire(tiny_configs))
+        assert configs_from_wire(wire) == list(tiny_configs)
+
+    def test_wire_form_is_integer_lists(self, tiny_configs):
+        wire = configs_to_wire(tiny_configs[:2])
+        assert all(isinstance(v, int) for row in wire for v in row)
+
+
+class TestProfiles:
+    def test_round_trip(self, tiny_suite):
+        for profile in tiny_suite.profiles:
+            wire = _through_json(profile_to_wire(profile))
+            assert profile_from_wire(wire) == profile
+
+    def test_missing_field_rejected(self, tiny_suite):
+        wire = profile_to_wire(tiny_suite.profiles[0])
+        del wire["ilp_max"]
+        with pytest.raises(ValueError, match="ilp_max"):
+            profile_from_wire(wire)
+
+    def test_tampered_profile_fails_validation(self, tiny_suite):
+        wire = profile_to_wire(tiny_suite.profiles[0])
+        wire["mix"]["load"] = 5.0  # the mix must still sum to 1
+        with pytest.raises(ValueError):
+            profile_from_wire(wire)
+
+
+class TestBatches:
+    def _batch(self, n=7, seed=3):
+        rng = np.random.default_rng(seed)
+        # Awkward floats on purpose: exactness must not depend on
+        # round decimal values.
+        base = rng.random(n) * 1e9 + rng.random(n)
+        return BatchResult(
+            cycles=base,
+            energy=base * 0.3331,
+            ed=base * 1.77e-7,
+            edd=base * 2.031e-16,
+        )
+
+    def test_bit_identical_round_trip(self):
+        batch = self._batch()
+        wire = _through_json(batch_to_wire(batch))
+        back = batch_from_wire(wire)
+        for field in ("cycles", "energy", "ed", "edd"):
+            original = getattr(batch, field)
+            decoded = getattr(back, field)
+            # Bitwise equality, not approximate: the distributed
+            # guarantee is exact.
+            assert original.tobytes() == decoded.tobytes()
+
+    def test_checksum_survives_the_wire(self):
+        batch = self._batch(seed=11)
+        wire = _through_json(batch_to_wire(batch))
+        assert batch_checksum(batch_from_wire(wire)) == batch_checksum(batch)
+
+    def test_checksum_detects_a_changed_value(self):
+        batch = self._batch(seed=4)
+        wire = batch_to_wire(batch)
+        # One ulp: even the smallest representable change must be caught.
+        wire["energy"][2] = float(np.nextafter(wire["energy"][2], np.inf))
+        assert batch_checksum(batch_from_wire(wire)) != batch_checksum(batch)
+
+    def test_missing_metric_rejected(self):
+        wire = batch_to_wire(self._batch())
+        del wire["ed"]
+        with pytest.raises(ValueError, match="ed"):
+            batch_from_wire(wire)
+
+    def test_ragged_arrays_rejected(self):
+        wire = batch_to_wire(self._batch())
+        wire["edd"] = wire["edd"][:-1]
+        with pytest.raises(ValueError, match="length"):
+            batch_from_wire(wire)
+
+
+class TestPolicies:
+    def test_round_trip(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=0.125, multiplier=3.0,
+            jitter=0.5, timeout=12.5,
+        )
+        assert policy_from_wire(_through_json(policy_to_wire(policy))) == policy
+
+    def test_none_timeout_survives(self):
+        policy = RetryPolicy(timeout=None)
+        assert policy_from_wire(policy_to_wire(policy)).timeout is None
+
+    def test_identical_backoff_stream(self):
+        policy = RetryPolicy(base_delay=0.2, jitter=0.25)
+        clone = policy_from_wire(policy_to_wire(policy))
+        a, b = np.random.default_rng(9), np.random.default_rng(9)
+        for attempt in range(1, 5):
+            assert policy.delay(attempt, a) == clone.delay(attempt, b)

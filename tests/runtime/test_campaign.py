@@ -446,3 +446,125 @@ class TestInterruptedManifest:
             assert np.array_equal(
                 result.matrix(metric), clean_result.matrix(metric)
             )
+
+
+class TestJournalCrashRecovery:
+    """Crash anatomy: every way the journal or a chunk file can be left
+    half-written must be detected on resume, cost exactly the damaged
+    cells, and still converge to bit-identical matrices."""
+
+    @staticmethod
+    def _journal(root):
+        return root / "journal.jsonl"
+
+    def test_torn_journal_tail_resimulates_that_cell(
+        self, backend, tiny_suite, tiny_configs, tmp_path, clean_result
+    ):
+        """kill -9 mid-append leaves a half-written final line; resume
+        must treat that cell as never finished, and nothing else."""
+        target = tmp_path / "torn"
+        runner = CampaignRunner(backend, target, chunk_size=16)
+        runner.run(tiny_suite, tiny_configs)
+
+        journal = self._journal(target)
+        text = journal.read_text(encoding="utf-8")
+        # Chop the last record off mid-JSON, exactly as an interrupted
+        # fsynced append would leave it.
+        journal.write_text(text[: len(text) - 25], encoding="utf-8")
+
+        again = runner.run(tiny_suite, tiny_configs, resume=True)
+        assert again.complete
+        assert again.simulated_cells == 1
+        assert again.resumed_cells == again.total_cells - 1
+        for metric in Metric.all():
+            assert np.array_equal(
+                again.matrix(metric), clean_result.matrix(metric)
+            )
+
+    def test_tampered_checksum_drops_only_that_chunk(
+        self, backend, tiny_suite, tiny_configs, tmp_path, clean_result
+    ):
+        """A journal record whose checksum no longer matches its chunk
+        file invalidates that one cell, not the whole campaign."""
+        import json as _json
+
+        target = tmp_path / "tamper"
+        runner = CampaignRunner(backend, target, chunk_size=16)
+        runner.run(tiny_suite, tiny_configs)
+
+        journal = self._journal(target)
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        victim = _json.loads(lines[1])
+        victim["checksum"] = "0" * len(victim["checksum"])
+        lines[1] = _json.dumps(victim, sort_keys=True)
+        journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        again = runner.run(tiny_suite, tiny_configs, resume=True)
+        assert again.complete
+        assert again.simulated_cells == 1  # only the distrusted cell
+        for metric in Metric.all():
+            assert np.array_equal(
+                again.matrix(metric), clean_result.matrix(metric)
+            )
+
+    def test_mid_journal_corruption_refuses_resume(
+        self, backend, tiny_suite, tiny_configs, tmp_path
+    ):
+        """Garbage anywhere but the tail is tampering, not a crash, and
+        resuming past it would silently trust unverifiable history."""
+        target = tmp_path / "midrot"
+        runner = CampaignRunner(backend, target, chunk_size=16)
+        runner.run(tiny_suite, tiny_configs)
+
+        journal = self._journal(target)
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        lines[0] = lines[0][:-10]  # corrupt the FIRST record
+        journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        with pytest.raises(ValueError, match="corrupt journal"):
+            runner.run(tiny_suite, tiny_configs, resume=True)
+
+    def test_truncated_chunk_file_recovery_is_bit_identical(
+        self, backend, tiny_suite, tiny_configs, tmp_path, clean_result
+    ):
+        """A chunk .npz cut off mid-write fails its journalled checksum;
+        the cell is re-simulated and every metric still matches."""
+        target = tmp_path / "cutoff"
+        runner = CampaignRunner(backend, target, chunk_size=16)
+        runner.run(tiny_suite, tiny_configs)
+
+        victims = sorted((target / "chunks").glob("*.npz"))[:2]
+        for victim in victims:
+            data = victim.read_bytes()
+            victim.write_bytes(data[: len(data) // 2])
+
+        again = runner.run(tiny_suite, tiny_configs, resume=True)
+        assert again.complete
+        assert again.simulated_cells == len(victims)
+        for metric in Metric.all():
+            assert np.array_equal(
+                again.matrix(metric), clean_result.matrix(metric)
+            )
+
+    def test_crash_between_chunk_write_and_journal_append(
+        self, backend, tiny_suite, tiny_configs, tmp_path, clean_result
+    ):
+        """The chunk file landed but the process died before the journal
+        line: the orphaned file is ignored and the cell redone."""
+        target = tmp_path / "orphan"
+        runner = CampaignRunner(backend, target, chunk_size=16)
+        runner.run(tiny_suite, tiny_configs)
+
+        journal = self._journal(target)
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        journal.write_text(
+            "\n".join(lines[:-1]) + "\n", encoding="utf-8"
+        )  # drop the last record entirely; its .npz stays on disk
+
+        again = runner.run(tiny_suite, tiny_configs, resume=True)
+        assert again.complete
+        assert again.simulated_cells == 1
+        for metric in Metric.all():
+            assert np.array_equal(
+                again.matrix(metric), clean_result.matrix(metric)
+            )

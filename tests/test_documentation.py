@@ -19,6 +19,7 @@ PACKAGES = (
     "repro.analysis",
     "repro.core",
     "repro.designspace",
+    "repro.distrib",
     "repro.exploration",
     "repro.ml",
     "repro.obs",

@@ -1,0 +1,220 @@
+"""Elastic-fleet resilience: recovery time, stealing, chaos replay.
+
+Not a paper artefact — the engineering guarantee behind running the
+paper's campaigns on fleets that change shape mid-run.  Three legs,
+all in-process on one event loop (real loopback TCP, real frames):
+
+* **Kill recovery** — a seeded chaos plan kills one of three workers
+  mid-campaign; the leg records how long the coordinator took to
+  reclaim the orphaned lease and how much the kill stretched the
+  campaign.
+* **Work stealing** — the same plan makes one worker 10x slow; the leg
+  runs it twice, stealing enabled and disabled, and reports the
+  steal counts and the wall-clock speedup stealing buys.  Long leases
+  keep expiry out of the picture: stealing alone does the rescuing.
+* **Chaos replay** — a kill + spawn + partition + slowdown plan runs
+  twice from the same seed; the leg asserts the injected event
+  sequences are identical and that both journals match a serial run
+  bit for bit (zero lost cells), then records the elapsed times.
+
+Results land in ``results/BENCH_elastic.json``.  Scale knobs
+(environment): ``REPRO_ELASTIC_SAMPLES`` (default 480),
+``REPRO_ELASTIC_CHUNK`` (32) and ``REPRO_ELASTIC_DELAY`` (0.06 s per
+chunk); the CI smoke run shrinks them to finish in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.designspace import sample_configurations
+from repro.distrib import ChaosEvent, ChaosPlan, run_chaos_campaign_sync
+from repro.distrib.chaos import journal_checksums
+from repro.distrib.worker import RepeatBackend
+from repro.runtime import CampaignRunner, IntervalBackend
+from repro.sim import IntervalSimulator
+from repro.workloads import spec2000_suite
+
+SAMPLES = int(os.environ.get("REPRO_ELASTIC_SAMPLES", 480))
+CHUNK = int(os.environ.get("REPRO_ELASTIC_CHUNK", 32))
+DELAY = float(os.environ.get("REPRO_ELASTIC_DELAY", 0.06))
+
+PROGRAM = "gzip"
+SEED = 2007
+
+
+def _chaos_run(tmp_path, name, suite, configs, plan, **coordinator_kwargs):
+    """One chaos campaign into ``tmp_path/name``; returns (report, dir)."""
+    checkpoint = tmp_path / name
+    kwargs = {"lease_timeout": 1.0, "monitor_interval": 0.02}
+    kwargs.update(coordinator_kwargs)
+    started = time.perf_counter()
+    report = run_chaos_campaign_sync(
+        lambda: CampaignRunner(
+            IntervalBackend(IntervalSimulator()),
+            checkpoint,
+            chunk_size=CHUNK,
+            seed=SEED,
+        ),
+        suite,
+        configs,
+        plan,
+        n_workers=3,
+        backend_factory=lambda: RepeatBackend(
+            IntervalBackend(IntervalSimulator()), delay=DELAY
+        ),
+        coordinator_kwargs=kwargs,
+    )
+    wall = time.perf_counter() - started
+    assert report.result.complete, f"{name} leg did not complete"
+    assert not report.result.failed_cells
+    return report, checkpoint, wall
+
+
+def test_elastic_resilience(tmp_path, record_json):
+    suite = spec2000_suite().subset((PROGRAM,))
+    simulator = IntervalSimulator()
+    configs = sample_configurations(simulator.space, SAMPLES, seed=SEED)
+    total_cells = -(-SAMPLES // CHUNK)
+
+    serial_runner = CampaignRunner(
+        IntervalBackend(simulator),
+        tmp_path / "serial",
+        chunk_size=CHUNK,
+        seed=SEED,
+    )
+    serial_result = serial_runner.run(suite, configs)
+    assert serial_result.complete
+    baseline = journal_checksums(tmp_path / "serial")
+    assert len(baseline) == total_cells
+
+    # ------------------------------------------------------------------
+    # Leg 1: kill one worker mid-campaign, time the recovery.
+    # ------------------------------------------------------------------
+    # Kill almost immediately so the victim still holds a lease even at
+    # the smallest smoke scale.
+    kill_plan = ChaosPlan(
+        seed=SEED,
+        events=(ChaosEvent(at=0.03, action="kill", target="w0"),),
+    )
+    report, checkpoint, wall = _chaos_run(
+        tmp_path, "kill", suite, configs, kill_plan, lease_timeout=0.8
+    )
+    stats = report.stats
+    assert journal_checksums(checkpoint) == baseline
+    assert stats.reclaims + stats.steals >= 1, (
+        "the killed worker's lease must be reclaimed or stolen"
+    )
+    latencies = [float(v) for v in stats.reclaim_latencies]
+    kill_leg = {
+        "total_cells": total_cells,
+        "wall_seconds": wall,
+        "reclaims": stats.reclaims,
+        "steals": stats.steals,
+        "reclaim_latency_mean_s": (
+            float(np.mean(latencies)) if latencies else None
+        ),
+        "reclaim_latency_max_s": (
+            float(np.max(latencies)) if latencies else None
+        ),
+    }
+
+    # ------------------------------------------------------------------
+    # Leg 2: one 10x straggler; stealing on vs off.
+    # ------------------------------------------------------------------
+    straggler_plan = ChaosPlan(
+        seed=SEED,
+        events=(
+            ChaosEvent(at=0.0, action="slow", target="w0", factor=10.0),
+        ),
+    )
+    # Leases stay alive (the straggler heartbeats all along), so only
+    # stealing can rescue its cells; the steal window opens at
+    # steal_after_fraction * lease_timeout = 0.3 s, well inside the
+    # straggler's 10x chunk latency.
+    steal_legs = {}
+    for label, fraction in (("stealing", 0.05), ("no_stealing", 100.0)):
+        report, checkpoint, wall = _chaos_run(
+            tmp_path,
+            f"steal_{label}",
+            suite,
+            configs,
+            straggler_plan,
+            lease_timeout=6.0,
+            steal_after_fraction=fraction,
+        )
+        assert journal_checksums(checkpoint) == baseline
+        steal_legs[label] = {
+            "wall_seconds": wall,
+            "steals": report.stats.steals,
+            "speculative_wins": report.stats.speculative_wins,
+            "stale_results": report.stats.stale_results,
+        }
+    assert steal_legs["stealing"]["steals"] >= 1
+    assert steal_legs["no_stealing"]["steals"] == 0
+    steal_speedup = (
+        steal_legs["no_stealing"]["wall_seconds"]
+        / steal_legs["stealing"]["wall_seconds"]
+    )
+
+    # ------------------------------------------------------------------
+    # Leg 3: full chaos plan, replayed twice from the same seed.
+    # ------------------------------------------------------------------
+    chaos_plan = ChaosPlan(
+        seed=SEED,
+        events=(
+            ChaosEvent(at=0.10, action="slow", factor=10.0, duration=0.5),
+            ChaosEvent(at=0.15, action="kill"),
+            ChaosEvent(at=0.20, action="spawn"),
+            ChaosEvent(at=0.25, action="partition", duration=0.5),
+        ),
+    )
+    replay = []
+    for attempt in ("a", "b"):
+        report, checkpoint, wall = _chaos_run(
+            tmp_path, f"replay_{attempt}", suite, configs, chaos_plan
+        )
+        assert journal_checksums(checkpoint) == baseline, (
+            "chaos journal diverged from serial"
+        )
+        replay.append({
+            "wall_seconds": wall,
+            "event_log": report.event_log,
+            "joins": report.stats.joins,
+            "leaves": report.stats.leaves,
+        })
+    assert replay[0]["event_log"] == replay[1]["event_log"], (
+        "same plan + seed must inject the same event sequence"
+    )
+
+    payload = {
+        "samples": SAMPLES,
+        "chunk_size": CHUNK,
+        "sim_delay_s": DELAY,
+        "total_cells": total_cells,
+        "kill_recovery": kill_leg,
+        "work_stealing": {
+            **steal_legs,
+            "steal_speedup": steal_speedup,
+        },
+        "chaos_replay": {
+            "event_log": replay[0]["event_log"],
+            "runs": [
+                {k: v for k, v in entry.items() if k != "event_log"}
+                for entry in replay
+            ],
+            "deterministic": True,
+            "journal_identical_to_serial": True,
+        },
+    }
+    record_json("BENCH_elastic", payload)
+
+    print(
+        f"\nelastic: kill recovery "
+        f"{kill_leg['reclaim_latency_mean_s'] or 0:.3f}s mean reclaim, "
+        f"stealing {steal_legs['stealing']['steals']} steal(s), "
+        f"speedup {steal_speedup:.2f}x over no stealing"
+    )

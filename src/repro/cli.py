@@ -19,6 +19,11 @@ Lets a user poke the reproduction without writing code:
   hands out leased chunks, workers simulate them.  ``simulate`` and
   ``explore`` accept ``--distributed HOST:PORT`` to serve their own
   campaign the same way.
+* ``status HOST:PORT`` — read-only snapshot of a running coordinator:
+  progress, fleet roster, lease table, steal/reclaim counters.
+* ``chaos --plan FILE --checkpoint-dir DIR`` — replay a seeded fault
+  plan (kills, partitions, slowdowns, restarts) against an in-process
+  fleet and verify the journal stays bit-identical to a serial run.
 
 Every command accepts ``--samples`` and ``--seed`` to control scale and
 reproducibility.  The compute-heavy commands (``simulate``,
@@ -259,7 +264,79 @@ def _build_parser() -> argparse.ArgumentParser:
         "--connect-timeout", type=float, default=10.0,
         help="seconds to keep retrying the initial connection",
     )
+    worker.add_argument(
+        "--reconnect-attempts", type=int, default=0,
+        help="times to re-dial a lost coordinator (full-jitter "
+        "exponential backoff; 0 exits on the first loss)",
+    )
+    worker.add_argument(
+        "--reconnect-delay", type=float, default=0.5,
+        help="base delay in seconds between reconnect attempts",
+    )
     _telemetry_options(worker)
+
+    status = sub.add_parser(
+        "status",
+        help="print a running coordinator's progress and fleet roster "
+        "(read-only; never counts as a worker)",
+    )
+    status.add_argument(
+        "address", metavar="HOST:PORT", type=_host_port_arg,
+        help="coordinator address",
+    )
+    status.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="dump the raw status JSON instead of a summary",
+    )
+    status.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="seconds to wait for the snapshot",
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay a seeded fault plan against an in-process fleet "
+        "and verify the journal stays bit-identical to serial",
+    )
+    _common(chaos)
+    _telemetry_options(chaos)
+    chaos.add_argument(
+        "--plan", required=True, metavar="FILE",
+        help="chaos plan JSON (see docs/chaos.md for the syntax)",
+    )
+    chaos.add_argument(
+        "--checkpoint-dir", required=True,
+        help="parent directory for the serial/ and chaos/ checkpoints",
+    )
+    chaos.add_argument(
+        "--program", default=None,
+        help="campaign over one program instead of a whole suite",
+    )
+    chaos.add_argument(
+        "--suite", default="spec2000", choices=("spec2000", "mibench"),
+        help="suite to simulate when --program is not given",
+    )
+    chaos.add_argument(
+        "--workers", type=int, default=3,
+        help="initial fleet size before the plan starts meddling",
+    )
+    chaos.add_argument(
+        "--chunk-size", type=int, default=128,
+        help="configurations per checkpointed chunk (default 128)",
+    )
+    chaos.add_argument(
+        "--sim-delay", type=float, default=0.05,
+        help="seconds of latency per chunk, so the campaign overlaps "
+        "the plan's event timeline instead of finishing before it",
+    )
+    chaos.add_argument(
+        "--lease-timeout", type=float, default=2.0,
+        help="coordinator lease timeout during the chaos run",
+    )
+    chaos.add_argument(
+        "--report-out", default=None, metavar="FILE",
+        help="write the machine-readable run report JSON here",
+    )
     return parser
 
 
@@ -830,6 +907,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         sim_repeat=args.sim_repeat,
         sim_delay=args.sim_delay,
         connect_timeout=args.connect_timeout,
+        reconnect_attempts=args.reconnect_attempts,
+        reconnect_delay=args.reconnect_delay,
     )
     try:
         completed = worker.run()
@@ -837,6 +916,167 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         print(f"worker error: {error}", file=sys.stderr)
         return 1
     print(f"worker    : {completed} chunk(s) completed")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.distrib import ProtocolError, fetch_status
+
+    host, port = args.address
+    try:
+        status = fetch_status(host, port, timeout=args.timeout)
+    except (ConnectionError, ProtocolError, OSError, TimeoutError) as error:
+        print(f"status error: {error}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    campaign = status.get("campaign") or {}
+    progress = status.get("progress") or {}
+    print(f"campaign  : {len(campaign.get('programs', []))} program(s) "
+          f"x {campaign.get('config_count', 0)} config(s), "
+          f"{campaign.get('total_cells', 0)} cell(s), "
+          f"seed {campaign.get('seed')}")
+    print(f"progress  : {progress.get('journalled', 0)}/"
+          f"{progress.get('total', 0)} journalled, "
+          f"{progress.get('leased', 0)} leased, "
+          f"{progress.get('queued', 0)} queued, "
+          f"{progress.get('failed', 0)} failed"
+          + (" [draining]" if status.get("draining") else ""))
+    for entry in status.get("fleet", ()):
+        state = "active" if entry.get("active") else "gone"
+        if entry.get("slow"):
+            state += ", slow"
+        print(f"worker    : {entry.get('worker')} [{state}] "
+              f"rate {entry.get('rate')}/s "
+              f"weight {entry.get('weight')} "
+              f"bundle {entry.get('bundle_size')} "
+              f"done {entry.get('tasks_completed')}")
+    stats = status.get("stats") or {}
+    print("stats     : " + ", ".join(
+        f"{key}={value}" for key, value in sorted(stats.items())
+    ))
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+    import pathlib
+
+    from repro.designspace import sample_configurations
+    from repro.distrib import ChaosPlan, RepeatBackend
+    from repro.distrib.chaos import (
+        journal_checksums,
+        run_chaos_campaign_sync,
+    )
+    from repro.runtime import CampaignRunner, IntervalBackend
+    from repro.sim import IntervalSimulator
+
+    try:
+        plan = ChaosPlan.load(args.plan)
+    except (OSError, ValueError) as error:
+        print(f"chaos plan error: {error}", file=sys.stderr)
+        return 2
+    if args.program is not None:
+        suite = spec2000_suite()
+        if args.program not in suite:
+            suite = mibench_suite()
+        if args.program not in suite:
+            print(f"unknown program {args.program!r}", file=sys.stderr)
+            return 2
+        profiles = [suite[args.program]]
+    else:
+        profiles = _suite(args.suite)
+    simulator = IntervalSimulator()
+    configs = sample_configurations(
+        simulator.space, args.samples, seed=args.seed
+    )
+    base = pathlib.Path(args.checkpoint_dir)
+    serial_dir = base / "serial"
+    chaos_dir = base / "chaos"
+
+    print(f"baseline  : serial campaign -> {serial_dir}", file=sys.stderr)
+    serial_runner = CampaignRunner(
+        IntervalBackend(simulator),
+        serial_dir,
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+    )
+    serial_result = serial_runner.run(profiles, configs)
+    if not serial_result.complete:
+        print("serial baseline did not complete; aborting",
+              file=sys.stderr)
+        return 1
+
+    print(f"chaos     : {len(plan.events)} event(s), seed {plan.seed}, "
+          f"{args.workers} worker(s) -> {chaos_dir}", file=sys.stderr)
+    report = run_chaos_campaign_sync(
+        lambda: CampaignRunner(
+            IntervalBackend(IntervalSimulator()),
+            chaos_dir,
+            chunk_size=args.chunk_size,
+            seed=args.seed,
+        ),
+        profiles,
+        configs,
+        plan,
+        n_workers=args.workers,
+        backend_factory=lambda: RepeatBackend(
+            IntervalBackend(IntervalSimulator()), delay=args.sim_delay
+        ),
+        coordinator_kwargs={
+            "lease_timeout": args.lease_timeout,
+            "monitor_interval": 0.02,
+        },
+    )
+    for entry in report.event_log:
+        print(f"event     : t+{entry['at']:.2f}s {entry['action']} "
+              f"-> {entry['target'] or '-'}")
+    stats = report.stats
+    print(f"fleet     : {stats.joins} join(s), {stats.leaves} leave(s), "
+          f"{stats.steals} steal(s), {stats.reclaims} reclaim(s), "
+          f"{stats.speculative_wins} speculative win(s)")
+
+    serial_sums = journal_checksums(serial_dir)
+    chaos_sums = journal_checksums(chaos_dir)
+    lost = sorted(set(serial_sums) - set(chaos_sums))
+    diverged = sorted(
+        cell for cell in chaos_sums
+        if cell in serial_sums and serial_sums[cell] != chaos_sums[cell]
+    )
+    identical = (
+        report.result.complete
+        and not lost
+        and not diverged
+        and chaos_sums == serial_sums
+    )
+    if args.report_out:
+        payload = {
+            "plan": plan.to_dict(),
+            "identical": identical,
+            "lost_cells": lost,
+            "diverged_cells": diverged,
+            "event_log": report.event_log,
+            "fleet_events": report.fleet_events,
+            "worker_tasks": report.worker_tasks,
+            "stats": dataclasses.asdict(stats),
+        }
+        path = pathlib.Path(args.report_out)
+        path.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        print(f"report    : {path}", file=sys.stderr)
+    if not report.result.complete:
+        print("verdict   : chaos campaign did not complete",
+              file=sys.stderr)
+        return 1
+    if not identical:
+        print(f"verdict   : journal diverged ({len(lost)} lost, "
+              f"{len(diverged)} mismatched)", file=sys.stderr)
+        return 1
+    print(f"verdict   : journal bit-identical to serial across "
+          f"{len(chaos_sums)} cell(s)")
     return 0
 
 
@@ -887,6 +1127,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_coordinator(args)
         if args.command == "worker":
             return _cmd_worker(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         raise AssertionError(f"unhandled command {args.command!r}")
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)

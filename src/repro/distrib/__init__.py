@@ -23,18 +23,47 @@ The design contracts:
   requeued with deterministic backoff; repeatedly failing workers are
   circuit-broken out of the campaign; stale results are discarded, not
   double-journalled.
+* **The fleet is elastic.**  Workers advertise capabilities at HELLO
+  and are leased capacity-weighted task bundles; late joiners are
+  admitted mid-campaign, leavers drain cleanly, stragglers have their
+  leases stolen speculatively (first result wins), and a seeded chaos
+  harness replays exactly these failure modes on demand.
 
 Public surface:
 
 * :class:`CampaignCoordinator` / :class:`CoordinatorStats` — the
-  serving side (``repro coordinator``).
-* :class:`CampaignWorker` / :class:`RepeatBackend` — the executing side
-  (``repro worker``).
+  serving side (``repro coordinator``), plus :func:`fetch_status` /
+  :func:`fetch_status_async` (``repro status``).
+* :class:`CampaignWorker` / :class:`RepeatBackend` /
+  :class:`CoordinatorLost` — the executing side (``repro worker``).
+* :class:`FleetMembership` / :class:`WorkerCapabilities` /
+  :func:`detect_capabilities` — the roster and capacity model.
+* :class:`ChaosPlan` / :func:`run_chaos_campaign` — the deterministic
+  failure-injection harness (``repro chaos``).
 * :mod:`~repro.distrib.protocol` — framing, integrity, versioning.
 * :mod:`~repro.distrib.wire` — exact-round-trip JSON codecs.
 """
 
-from .coordinator import CampaignCoordinator, CoordinatorStats
+from .chaos import (
+    ChaosEvent,
+    ChaosPlan,
+    ChaosRunReport,
+    ChaosWireFilter,
+    run_chaos_campaign,
+    run_chaos_campaign_sync,
+)
+from .coordinator import (
+    CampaignCoordinator,
+    CoordinatorStats,
+    fetch_status,
+    fetch_status_async,
+)
+from .membership import (
+    FleetMembership,
+    WorkerCapabilities,
+    detect_capabilities,
+    measure_calibration,
+)
 from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -55,27 +84,40 @@ from .wire import (
     profile_from_wire,
     profile_to_wire,
 )
-from .worker import CampaignWorker, RepeatBackend
+from .worker import CampaignWorker, CoordinatorLost, RepeatBackend
 
 __all__ = [
     "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "CampaignCoordinator",
     "CampaignWorker",
+    "ChaosEvent",
+    "ChaosPlan",
+    "ChaosRunReport",
+    "ChaosWireFilter",
+    "CoordinatorLost",
     "CoordinatorStats",
+    "FleetMembership",
     "ProtocolError",
     "RepeatBackend",
+    "WorkerCapabilities",
     "batch_checksum",
     "batch_from_wire",
     "batch_to_wire",
     "configs_from_wire",
     "configs_to_wire",
     "decode_frame",
+    "detect_capabilities",
     "encode_frame",
+    "fetch_status",
+    "fetch_status_async",
+    "measure_calibration",
     "policy_from_wire",
     "policy_to_wire",
     "profile_from_wire",
     "profile_to_wire",
     "read_message",
+    "run_chaos_campaign",
+    "run_chaos_campaign_sync",
     "write_message",
 ]

@@ -16,7 +16,16 @@ whole fault story:
   :class:`~repro.runtime.retry.CircuitBreaker` and is drained rather
   than fed more of the campaign;
 * a **stale result** for a cell another worker already finished is
-  acknowledged and discarded, never double-journalled.
+  acknowledged and discarded, never double-journalled;
+* a **straggler** gets its outstanding lease speculatively re-leased to
+  an idle faster worker (*work stealing*) — whichever copy finishes
+  first wins, the loser is cancelled, and the journal records exactly
+  one result;
+* an **elastic fleet** is first-class: workers advertise capabilities
+  at HELLO and the :class:`~repro.distrib.membership.FleetMembership`
+  roster sizes lease bundles capacity-weighted, admits late joiners
+  mid-campaign, and flags workers whose observed completion rate drops
+  below a fraction of the fleet median.
 
 Completed cells go through the *same*
 :meth:`~repro.runtime.campaign.CampaignRunner.store_cell` path as a
@@ -54,9 +63,11 @@ from repro.runtime.retry import CircuitBreaker
 from repro.sim.metrics import Metric
 from repro.workloads.profile import stable_seed
 
+from .membership import FleetMembership, WorkerCapabilities
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    encode_frame,
     read_message,
     write_message,
 )
@@ -68,7 +79,12 @@ from .wire import (
     profile_to_wire,
 )
 
-__all__ = ["CampaignCoordinator", "CoordinatorStats"]
+__all__ = [
+    "CampaignCoordinator",
+    "CoordinatorStats",
+    "fetch_status",
+    "fetch_status_async",
+]
 
 _log = get_logger(__name__)
 
@@ -82,6 +98,7 @@ class _Lease:
     worker_id: str
     deadline: float
     issued_at: float
+    speculative: bool = False  # a stolen duplicate of a live lease
 
 
 @dataclass
@@ -111,6 +128,12 @@ class CoordinatorStats:
             to reclaim, one entry per reclaim.
         first_task_at: Monotonic time the first lease was issued.
         finished_at: Monotonic time the campaign completed.
+        steals: Speculative duplicate leases issued to idle workers.
+        speculative_wins: Stolen leases whose copy finished first.
+        rebalances: Slow/recovered flag flips from the rate scan.
+        joins: HELLO handshakes (reconnects included).
+        leaves: Workers that disconnected or said goodbye.
+        releases: Leases handed back cleanly by a draining worker.
     """
 
     workers_seen: int = 0
@@ -121,6 +144,12 @@ class CoordinatorStats:
     reclaim_latencies: List[float] = field(default_factory=list)
     first_task_at: Optional[float] = None
     finished_at: Optional[float] = None
+    steals: int = 0
+    speculative_wins: int = 0
+    rebalances: int = 0
+    joins: int = 0
+    leaves: int = 0
+    releases: int = 0
 
     @property
     def elapsed(self) -> Optional[float]:
@@ -150,6 +179,16 @@ class CampaignCoordinator:
             circuit-break one worker out of the campaign.
         min_workers: Hold task hand-out until this many workers have
             connected (benchmarks use it to time pure execution).
+        max_bundle: Ceiling on cells per capacity-weighted lease
+            bundle (1 restores the old one-chunk-at-a-time hand-out).
+        steal_after_fraction: An idle worker may steal (speculatively
+            re-lease) an un-duplicated lease once the lease is older
+            than this fraction of ``lease_timeout``; leases held by a
+            slow-flagged worker can be stolen immediately.  Values
+            above 1 effectively disable stealing (expiry reclaims the
+            lease first).
+        slow_fraction: Observed-rate threshold (fraction of the fleet
+            median) below which a worker is flagged slow.
     """
 
     def __init__(
@@ -162,11 +201,16 @@ class CampaignCoordinator:
         max_requeues: int = 5,
         worker_breaker_threshold: int = 3,
         min_workers: int = 0,
+        max_bundle: int = 4,
+        steal_after_fraction: float = 0.25,
+        slow_fraction: float = 0.25,
     ) -> None:
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
         if max_requeues < 1:
             raise ValueError("max_requeues must be at least 1")
+        if steal_after_fraction <= 0.0:
+            raise ValueError("steal_after_fraction must be positive")
         self.runner = runner
         self.host = host
         self.port = port
@@ -175,7 +219,14 @@ class CampaignCoordinator:
         self.max_requeues = max_requeues
         self.worker_breaker_threshold = worker_breaker_threshold
         self.min_workers = min_workers
+        self.steal_after_fraction = steal_after_fraction
         self.stats = CoordinatorStats()
+        self.membership = FleetMembership(
+            max_bundle=max_bundle, slow_fraction=slow_fraction
+        )
+        #: Chaos harness hook: injected fault events land here and ride
+        #: out on the status endpoint (the coordinator never writes it).
+        self.chaos_log: List[Dict] = []
         # Campaign state, created by run_async().
         self._plan: Optional[CampaignPlan] = None
         self._values: Dict[Tuple[str, Metric], np.ndarray] = {}
@@ -183,7 +234,7 @@ class CampaignCoordinator:
         self._not_before: Dict[str, float] = {}
         self._requeues: Dict[str, int] = {}
         self._leases: Dict[str, _Lease] = {}
-        self._leased_cells: Dict[str, str] = {}  # cell id -> lease id
+        self._cell_leases: Dict[str, List[str]] = {}  # cell -> lease ids
         self._done: Dict[str, int] = {}  # cell id -> worker attempts
         self._failed: Dict[str, str] = {}  # cell id -> error
         self._workers: Dict[str, _WorkerState] = {}
@@ -286,11 +337,27 @@ class CampaignCoordinator:
                 monitor.cancel()
                 self._server.close()
                 await self._server.wait_closed()
-                # Hang up on idle workers (they treat EOF with no lease
-                # held as a drain) and let their handlers run to
-                # completion, so loop teardown never has to cancel a
-                # mid-read handler.
+                # Tell idle workers the campaign is over before hanging
+                # up: a reconnect-enabled worker treats a bare EOF as a
+                # lost coordinator and would burn its whole retry budget
+                # against a closed port.  The frame is best-effort
+                # (buffered, flushed by close()) and only sent when the
+                # campaign really finished — a cancelled or aborted
+                # coordinator leaves EOF to mean "re-dial me", which is
+                # exactly what a restarted coordinator needs.  Then let
+                # handlers run to completion so loop teardown never has
+                # to cancel a mid-read handler.
+                farewell = None
+                if self._complete.is_set() and self._abort is None:
+                    farewell = encode_frame(
+                        {"type": "drain", "reason": "campaign finished"}
+                    )
                 for writer in list(self._connections.values()):
+                    if farewell is not None:
+                        try:
+                            writer.write(farewell)
+                        except (ConnectionError, OSError, RuntimeError):
+                            pass
                     writer.close()
                 if self._connections:
                     await asyncio.wait(
@@ -369,51 +436,134 @@ class CampaignCoordinator:
     # ------------------------------------------------------------------
     # Lease lifecycle
     # ------------------------------------------------------------------
+    def _new_lease(
+        self, cell: CampaignCell, worker: _WorkerState,
+        speculative: bool = False,
+    ) -> _Lease:
+        """Register a fresh lease on ``cell`` for ``worker``."""
+        now = time.monotonic()
+        lease = _Lease(
+            lease_id=uuid.uuid4().hex,
+            cell=cell,
+            worker_id=worker.worker_id,
+            deadline=now + self.lease_timeout,
+            issued_at=now,
+            speculative=speculative,
+        )
+        self._leases[lease.lease_id] = lease
+        self._cell_leases.setdefault(cell.cell, []).append(lease.lease_id)
+        self.stats.tasks_issued += 1
+        if self.stats.first_task_at is None:
+            self.stats.first_task_at = now
+        get_registry().counter("distrib.tasks.issued").inc()
+        return lease
+
+    def _drop_cell_lease(self, lease: _Lease) -> None:
+        """Forget one cell -> lease-id mapping (multimap-aware)."""
+        ids = self._cell_leases.get(lease.cell.cell)
+        if ids and lease.lease_id in ids:
+            ids.remove(lease.lease_id)
+            if not ids:
+                del self._cell_leases[lease.cell.cell]
+
+    def _task_message(self, lease: _Lease) -> Dict:
+        """The wire payload handing ``lease``'s cell to its worker."""
+        assert self._plan is not None
+        cell = lease.cell
+        start, stop = cell.start, cell.stop
+        return {
+            "type": "task",
+            "lease": lease.lease_id,
+            "cell": cell.cell,
+            "chunk_index": cell.chunk_index,
+            "profile": profile_to_wire(cell.profile),
+            "configs": configs_to_wire(
+                self._plan.configs[start:stop]
+            ),
+            "retry_seed": stable_seed(
+                "campaign-retry", cell.cell, str(self.runner.seed)
+            ),
+            "policy": policy_to_wire(self.runner.retry_policy),
+            "lease_timeout": self.lease_timeout,
+        }
+
     def _issue_lease(self, worker: _WorkerState) -> Optional[Dict]:
         """Pop the next runnable cell and lease it to ``worker``."""
         now = time.monotonic()
         for _ in range(len(self._queue)):
             cell = self._queue.popleft()
+            if cell.cell in self._done or cell.cell in self._failed:
+                continue  # settled late (first result won); drop it
             if self._not_before.get(cell.cell, 0.0) > now:
                 self._queue.append(cell)  # backoff not elapsed: rotate
                 continue
-            lease = _Lease(
-                lease_id=uuid.uuid4().hex,
-                cell=cell,
-                worker_id=worker.worker_id,
-                deadline=now + self.lease_timeout,
-                issued_at=now,
-            )
-            self._leases[lease.lease_id] = lease
-            self._leased_cells[cell.cell] = lease.lease_id
-            self.stats.tasks_issued += 1
-            if self.stats.first_task_at is None:
-                self.stats.first_task_at = now
-            get_registry().counter("distrib.tasks.issued").inc()
-            assert self._plan is not None
-            start, stop = cell.start, cell.stop
-            return {
-                "type": "task",
-                "lease": lease.lease_id,
-                "cell": cell.cell,
-                "chunk_index": cell.chunk_index,
-                "profile": profile_to_wire(cell.profile),
-                "configs": configs_to_wire(
-                    self._plan.configs[start:stop]
-                ),
-                "retry_seed": stable_seed(
-                    "campaign-retry", cell.cell, str(self.runner.seed)
-                ),
-                "policy": policy_to_wire(self.runner.retry_policy),
-                "lease_timeout": self.lease_timeout,
-            }
+            return self._task_message(self._new_lease(cell, worker))
         return None
+
+    def _try_steal(self, worker: _WorkerState) -> Optional[Dict]:
+        """Speculatively re-lease the most overdue outstanding cell.
+
+        Called only when the queue has nothing runnable for an idle
+        worker.  A lease qualifies once it is older than
+        ``steal_after_fraction * lease_timeout`` — or immediately when
+        its holder is flagged slow — and a cell is never duplicated
+        more than once: one primary plus one speculative copy.  The
+        first result back wins; the loser is cancelled and discarded,
+        so the journal stays bit-identical to a serial run.
+        """
+        member = self.membership.get(worker.worker_id)
+        if member is not None and member.slow:
+            return None  # never speculate onto a straggler
+        now = time.monotonic()
+        min_age = self.steal_after_fraction * self.lease_timeout
+        candidates = []
+        for lease in self._leases.values():
+            if lease.worker_id == worker.worker_id:
+                continue
+            if len(self._cell_leases.get(lease.cell.cell, ())) > 1:
+                continue  # already speculated
+            holder = self.membership.get(lease.worker_id)
+            slow_holder = holder is not None and holder.slow
+            if not slow_holder and now - lease.issued_at < min_age:
+                continue
+            candidates.append(
+                (not slow_holder, lease.issued_at, lease.lease_id, lease)
+            )
+        if not candidates:
+            return None
+        candidates.sort(key=lambda entry: entry[:3])
+        victim = candidates[0][3]
+        lease = self._new_lease(victim.cell, worker, speculative=True)
+        self.stats.steals += 1
+        get_registry().counter("distrib.steals").inc()
+        _log.info(
+            "worker %s stole cell %s from %s (lease age %.2fs)",
+            worker.worker_id, victim.cell.cell, victim.worker_id,
+            now - victim.issued_at,
+            extra={"event": "distrib.steal", "cell": victim.cell.cell,
+                   "thief": worker.worker_id, "victim": victim.worker_id},
+        )
+        return self._task_message(lease)
+
+    def _release_lease(self, lease: _Lease) -> None:
+        """Take back a lease its worker handed over cleanly.
+
+        A clean release (a draining worker returning the unstarted rest
+        of its bundle) is not the cell's fault: it goes back to the
+        *front* of the queue with no backoff, no requeue-budget charge
+        and no breaker penalty.
+        """
+        self._leases.pop(lease.lease_id, None)
+        self._drop_cell_lease(lease)
+        self.stats.releases += 1
+        get_registry().counter("distrib.lease.released").inc()
+        if not self._cell_leases.get(lease.cell.cell):
+            self._queue.appendleft(lease.cell)
 
     def _reclaim(self, lease: _Lease, reason: str, overdue: float) -> None:
         """Requeue a lease whose worker died, hung or disconnected."""
         self._leases.pop(lease.lease_id, None)
-        if self._leased_cells.get(lease.cell.cell) == lease.lease_id:
-            del self._leased_cells[lease.cell.cell]
+        self._drop_cell_lease(lease)
         self.stats.reclaims += 1
         self.stats.reclaim_latencies.append(max(0.0, overdue))
         registry = get_registry()
@@ -424,6 +574,18 @@ class CampaignCoordinator:
         worker = self._workers.get(lease.worker_id)
         if worker is not None:
             worker.breaker.record_failure()
+        if self._cell_leases.get(lease.cell.cell):
+            # A sibling (speculative) lease is still live, so the cell
+            # is in good hands: drop this copy without requeueing it or
+            # charging the cell's requeue budget.
+            _log.info(
+                "lease %s on cell %s reclaimed (%s); sibling lease "
+                "still live, not requeued",
+                lease.lease_id[:8], lease.cell.cell, reason,
+                extra={"event": "distrib.lease_reclaimed",
+                       "cell": lease.cell.cell, "reason": reason},
+            )
+            return
         count = self._requeues.get(lease.cell.cell, 0) + 1
         self._requeues[lease.cell.cell] = count
         if count > self.max_requeues:
@@ -456,13 +618,19 @@ class CampaignCoordinator:
         )
 
     async def _monitor(self) -> None:
-        """Reclaim leases whose deadline passed without a heartbeat."""
+        """Reclaim expired leases and re-flag slow/recovered workers."""
         while True:
             await asyncio.sleep(self.monitor_interval)
             now = time.monotonic()
             for lease in list(self._leases.values()):
                 if lease.deadline < now:
                     self._reclaim(lease, "expired", now - lease.deadline)
+            for worker_id, slow in self.membership.rebalance_scan():
+                self.stats.rebalances += 1
+                get_registry().counter(
+                    "distrib.rebalances",
+                    direction="slow" if slow else "recovered",
+                ).inc()
             self._maybe_complete()
 
     # ------------------------------------------------------------------
@@ -475,6 +643,7 @@ class CampaignCoordinator:
         if task is not None:
             self._connections[task] = writer
         worker: Optional[_WorkerState] = None
+        clean_goodbye = False
         try:
             worker = await self._handshake(reader, writer)
             if worker is None:
@@ -482,6 +651,7 @@ class CampaignCoordinator:
             while True:
                 message = await read_message(reader)
                 if message is None or message.get("type") == "goodbye":
+                    clean_goodbye = message is not None
                     break
                 reply = self._dispatch(worker, message)
                 await write_message(writer, reply)
@@ -509,6 +679,12 @@ class CampaignCoordinator:
                 for lease in list(self._leases.values()):
                     if lease.worker_id == worker.worker_id:
                         self._reclaim(lease, "disconnect", 0.0)
+                self.membership.leave(
+                    worker.worker_id, now,
+                    reason="goodbye" if clean_goodbye else "disconnect",
+                )
+                self.stats.leaves += 1
+                get_registry().counter("distrib.fleet.leaves").inc()
                 _log.info(
                     "worker %s disconnected after %d task(s)",
                     worker.worker_id, worker.tasks_completed,
@@ -528,6 +704,10 @@ class CampaignCoordinator:
         hello = await read_message(reader)
         if hello is None:
             return None
+        if hello.get("type") == "status_request":
+            # A read-only observer, not a worker: answer and hang up.
+            await write_message(writer, self._status_payload())
+            return None
         if hello.get("type") != "hello":
             raise ProtocolError(
                 f"expected a hello, got {hello.get('type')!r}"
@@ -546,7 +726,15 @@ class CampaignCoordinator:
             self._workers[worker_id] = worker
             self.stats.workers_seen += 1
         self._connected += 1
-        get_registry().gauge("distrib.workers.connected").inc()
+        self.stats.joins += 1
+        self.membership.hello(
+            worker_id,
+            WorkerCapabilities.from_wire(hello.get("capabilities")),
+            time.monotonic(),
+        )
+        registry = get_registry()
+        registry.counter("distrib.fleet.joins").inc()
+        registry.gauge("distrib.workers.connected").inc()
         mine, theirs = __version__, worker.version
         if theirs and theirs != mine:
             _log.warning(
@@ -587,6 +775,8 @@ class CampaignCoordinator:
             return self._on_heartbeat(message)
         if kind == "result":
             return self._on_result(worker, message)
+        if kind == "release":
+            return self._on_release(worker, message)
         raise ProtocolError(f"unexpected message type {kind!r}")
 
     def _on_task_request(self, worker: _WorkerState) -> Dict:
@@ -599,32 +789,79 @@ class CampaignCoordinator:
         # The barrier is a start gate, not an ongoing quorum: once the
         # fleet has assembled, losing a worker must not stall the rest.
         self._barrier_open = True
-        task = self._issue_lease(worker)
-        if task is not None:
-            return task
+        bundle: List[Dict] = []
+        for _ in range(self.membership.bundle_size(worker.worker_id)):
+            task = self._issue_lease(worker)
+            if task is None:
+                break
+            bundle.append(task)
+        if not bundle:
+            stolen = self._try_steal(worker)
+            if stolen is not None:
+                bundle.append(stolen)
+        if len(bundle) == 1:
+            return bundle[0]  # the pre-elastic single-task shape
+        if bundle:
+            return {"type": "task_bundle", "tasks": bundle}
         if self._leases or self._queue:
             # Work exists but is leased out or backing off: poll again.
             return {"type": "wait", "delay": self.monitor_interval * 2}
         return {"type": "drain", "reason": "no work left"}
 
     def _on_heartbeat(self, message: Dict) -> Dict:
-        lease = self._leases.get(str(message.get("lease")))
-        if lease is None:
-            return {"type": "hb_ack", "lease_ok": False}
-        lease.deadline = time.monotonic() + self.lease_timeout
-        return {"type": "hb_ack", "lease_ok": True}
+        """Extend every lease the heartbeat names (bundles send many)."""
+        raw = message.get("leases")
+        ids = [str(i) for i in raw] if isinstance(raw, list) else []
+        primary = message.get("lease")
+        if primary is not None and str(primary) not in ids:
+            ids.insert(0, str(primary))
+        now = time.monotonic()
+        leases_ok: Dict[str, bool] = {}
+        for lease_id in ids:
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                leases_ok[lease_id] = False
+            else:
+                lease.deadline = now + self.lease_timeout
+                leases_ok[lease_id] = True
+        return {
+            "type": "hb_ack",
+            "lease_ok": (
+                leases_ok.get(str(primary), False)
+                if primary is not None
+                else all(leases_ok.values()) and bool(leases_ok)
+            ),
+            "leases_ok": leases_ok,
+        }
+
+    def _on_release(self, worker: _WorkerState, message: Dict) -> Dict:
+        """A draining worker hands back the unstarted rest of a bundle."""
+        released = 0
+        for lease_id in message.get("leases") or ():
+            lease = self._leases.get(str(lease_id))
+            if lease is not None and lease.worker_id == worker.worker_id:
+                self._release_lease(lease)
+                released += 1
+        if released:
+            _log.info(
+                "worker %s released %d unstarted lease(s)",
+                worker.worker_id, released,
+                extra={"event": "distrib.leases_released",
+                       "worker": worker.worker_id, "count": released},
+            )
+        self._maybe_complete()
+        return {"type": "release_ack", "released": released}
 
     def _on_result(self, worker: _WorkerState, message: Dict) -> Dict:
         lease_id = str(message.get("lease"))
         lease = self._leases.pop(lease_id, None)
         cell_id = str(message.get("cell"))
         if lease is not None:
-            if self._leased_cells.get(lease.cell.cell) == lease_id:
-                del self._leased_cells[lease.cell.cell]
+            self._drop_cell_lease(lease)
             cell = lease.cell
         else:
-            # The lease was reclaimed (slow worker) — the result may
-            # still be useful if nobody else finished the cell yet.
+            # The lease was reclaimed or cancelled — first result wins,
+            # so the arrays are still welcome if nobody delivered yet.
             cell = next(
                 (c for c in (self._plan.cells if self._plan else ())
                  if c.cell == cell_id),
@@ -632,13 +869,20 @@ class CampaignCoordinator:
             )
         if cell is None or cell_id != cell.cell:
             raise ProtocolError(f"result for unknown cell {cell_id!r}")
-        if cell_id in self._done or cell_id in self._failed:
+        if (
+            cell_id in self._done
+            or cell_id in self._failed
+            or (self._plan is not None and cell_id in self._plan.completed)
+        ):
+            # Already settled — this run, or journalled before a
+            # coordinator restart.  Never double-journal.
             self.stats.stale_results += 1
             get_registry().counter("distrib.results.stale").inc()
             self._maybe_complete()
             return {"type": "ack", "accepted": False}
-        if lease is None and cell_id in self._leased_cells:
-            # Someone else is re-running it; let the fresh lease win.
+        if lease is None and not message.get("ok"):
+            # A failure from a reclaimed lease proves nothing about the
+            # cell — its live or future lease still gets a fair try.
             self.stats.stale_results += 1
             get_registry().counter("distrib.results.stale").inc()
             return {"type": "ack", "accepted": False}
@@ -683,14 +927,44 @@ class CampaignCoordinator:
             self._values, cell.profile.name, cell.start, cell.stop, batch
         )
         self._done[cell_id] = attempts
+        registry = get_registry()
+        # First result wins: cancel any losing sibling lease (the other
+        # side of a steal, or a lease issued after ours was reclaimed).
+        # The loser's next heartbeat reads lease_ok=False and it drops
+        # its copy; a copy that races in anyway is discarded as stale.
+        for sibling_id in list(self._cell_leases.get(cell_id, ())):
+            sibling = self._leases.pop(sibling_id, None)
+            if sibling is not None:
+                registry.counter("distrib.lease.cancelled").inc()
+                _log.info(
+                    "cell %s settled by %s; cancelling sibling lease "
+                    "%s on %s",
+                    cell_id, worker.worker_id, sibling_id[:8],
+                    sibling.worker_id,
+                    extra={"event": "distrib.lease_cancelled",
+                           "cell": cell_id,
+                           "worker": sibling.worker_id},
+                )
+        self._cell_leases.pop(cell_id, None)
+        if lease is not None and lease.speculative:
+            self.stats.speculative_wins += 1
+            registry.counter("distrib.steals.won").inc()
+        # The cell may also sit in the queue (requeued after a reclaim
+        # the slow worker then out-raced): purge so it is never reissued.
+        if any(c.cell == cell_id for c in self._queue):
+            self._queue = deque(
+                c for c in self._queue if c.cell != cell_id
+            )
+        self._not_before.pop(cell_id, None)
+        now = time.monotonic()
+        self.membership.task_done(worker.worker_id, now)
         worker.breaker.record_success()
         worker.tasks_completed += 1
         self.stats.tasks_completed += 1
-        registry = get_registry()
         registry.counter("distrib.tasks.completed").inc()
         if lease is not None:
             registry.histogram("distrib.task.seconds").observe(
-                time.monotonic() - lease.issued_at
+                now - lease.issued_at
             )
         self._maybe_complete()
         return {"type": "ack", "accepted": True}
@@ -704,3 +978,96 @@ class CampaignCoordinator:
         spans = telemetry.get("spans")
         if isinstance(spans, list):
             get_tracer().adopt(spans)
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    def _status_payload(self) -> Dict:
+        """The read-only JSON snapshot the status endpoint answers with."""
+        now = time.monotonic()
+        plan = self._plan
+        campaign: Dict = {}
+        progress: Dict = {}
+        if plan is not None:
+            campaign = {
+                "programs": list(plan.programs),
+                "config_count": len(plan.configs),
+                "chunk_size": self.runner.chunk_size,
+                "total_cells": len(plan.cells),
+                "seed": self.runner.seed,
+            }
+            progress = {
+                "journalled": len(plan.completed) + len(self._done),
+                "failed": len(self._failed),
+                "queued": len(self._queue),
+                "leased": len(self._leases),
+                "total": len(plan.cells),
+            }
+        return {
+            "type": "status",
+            "version": __version__,
+            "draining": self._draining,
+            "campaign": campaign,
+            "progress": progress,
+            "fleet": self.membership.roster(now),
+            "leases": [
+                {
+                    "lease": lease.lease_id,
+                    "cell": lease.cell.cell,
+                    "worker": lease.worker_id,
+                    "age_seconds": round(now - lease.issued_at, 3),
+                    "deadline_in": round(lease.deadline - now, 3),
+                    "speculative": lease.speculative,
+                }
+                for lease in sorted(
+                    self._leases.values(), key=lambda l: l.issued_at
+                )
+            ],
+            "stats": {
+                "workers_seen": self.stats.workers_seen,
+                "tasks_issued": self.stats.tasks_issued,
+                "tasks_completed": self.stats.tasks_completed,
+                "stale_results": self.stats.stale_results,
+                "reclaims": self.stats.reclaims,
+                "steals": self.stats.steals,
+                "speculative_wins": self.stats.speculative_wins,
+                "rebalances": self.stats.rebalances,
+                "joins": self.stats.joins,
+                "leaves": self.stats.leaves,
+                "releases": self.stats.releases,
+            },
+            "chaos_events": list(self.chaos_log),
+        }
+
+
+async def fetch_status_async(
+    host: str, port: int, timeout: float = 10.0
+) -> Dict:
+    """Ask a live coordinator for its status snapshot.
+
+    Opens a plain protocol connection, sends ``status_request`` instead
+    of a HELLO, and returns the coordinator's answer.  Read-only: the
+    coordinator treats the caller as an observer, never a worker.
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        await write_message(writer, {"type": "status_request"})
+        reply = await asyncio.wait_for(read_message(reader), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    if reply is None or reply.get("type") != "status":
+        raise ProtocolError(
+            "coordinator did not answer the status request"
+        )
+    return reply
+
+
+def fetch_status(host: str, port: int, timeout: float = 10.0) -> Dict:
+    """Blocking wrapper around :func:`fetch_status_async`."""
+    return asyncio.run(fetch_status_async(host, port, timeout))

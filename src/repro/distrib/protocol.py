@@ -41,7 +41,9 @@ __all__ = [
 ]
 
 #: Bumped on any change to the envelope or message vocabulary.
-PROTOCOL_VERSION = 1
+#: 2: elastic fleets — HELLO capabilities, task bundles, multi-lease
+#: heartbeats, release, status_request.
+PROTOCOL_VERSION = 2
 
 #: Hard ceiling on one frame — a 128-configuration chunk of four
 #: float64 arrays is ~20 kB of JSON; 32 MiB leaves three orders of

@@ -178,6 +178,7 @@ def policy_to_wire(policy: RetryPolicy) -> Dict:
         "multiplier": policy.multiplier,
         "jitter": policy.jitter,
         "timeout": policy.timeout,
+        "jitter_mode": policy.jitter_mode,
     }
 
 
@@ -190,4 +191,5 @@ def policy_from_wire(wire: Dict) -> RetryPolicy:
         multiplier=float(wire["multiplier"]),
         jitter=float(wire["jitter"]),
         timeout=None if timeout is None else float(timeout),
+        jitter_mode=str(wire.get("jitter_mode", "proportional")),
     )

@@ -15,8 +15,16 @@ Telemetry is recorded into a *private* registry and tracer — never the
 process globals, so any number of in-process workers (tests) or
 dedicated worker processes (production) stay isolated — and a snapshot
 rides back with each result for the coordinator to merge.  On SIGTERM
-the worker finishes the task it holds, delivers the result, says
-goodbye and exits: a drained worker never loses leased work.
+the worker finishes the task it holds, delivers the result, releases
+any unstarted leases from its bundle, says goodbye and exits: a
+drained worker never loses leased work.
+
+A worker is also elastic-fleet aware: it measures and advertises its
+capabilities at HELLO (so the coordinator can size lease bundles
+capacity-weighted), heartbeats every lease it holds, and — when
+``reconnect_attempts`` is set — survives a coordinator restart by
+reconnecting under seeded *full-jitter* backoff, so a whole fleet
+reconnecting at once spreads out instead of thundering-herding.
 """
 
 from __future__ import annotations
@@ -26,7 +34,10 @@ import signal
 import socket
 import time
 import uuid
-from typing import Callable, Optional
+from collections import deque
+from typing import Callable, Deque, List, Optional, Set
+
+import numpy as np
 
 from repro import __version__
 from repro.obs import MetricsRegistry, Tracer, get_logger, git_sha
@@ -35,9 +46,15 @@ from repro.runtime.backend import (
     SimulationError,
     validate_batch,
 )
-from repro.runtime.retry import CircuitBreaker, call_with_retry
+from repro.runtime.retry import (
+    CircuitBreaker,
+    RetryPolicy,
+    call_with_retry,
+)
 from repro.sim.interval import BatchResult
+from repro.workloads.profile import stable_seed
 
+from .membership import WorkerCapabilities, detect_capabilities
 from .protocol import ProtocolError, read_message, write_message
 from .wire import (
     batch_checksum,
@@ -47,9 +64,18 @@ from .wire import (
     profile_from_wire,
 )
 
-__all__ = ["CampaignWorker", "RepeatBackend"]
+__all__ = ["CampaignWorker", "CoordinatorLost", "RepeatBackend"]
 
 _log = get_logger(__name__)
+
+
+class CoordinatorLost(ConnectionError):
+    """The coordinator's connection died mid-session.
+
+    Distinct from a clean drain (an explicit ``drain`` reply or EOF
+    while idle with reconnects disabled): a worker configured with
+    ``reconnect_attempts`` treats this as "try again", not "go home".
+    """
 
 
 class RepeatBackend:
@@ -119,6 +145,14 @@ class CampaignWorker:
         connect_timeout: Seconds to keep retrying the initial connect —
             covers the coordinator still binding its socket when worker
             processes launch first.
+        reconnect_attempts: Times to re-dial after losing an
+            established connection (0 keeps the old die-on-disconnect
+            behaviour).  Reconnect delays use seeded full-jitter
+            backoff so a restarted coordinator is not herd-stampeded.
+        reconnect_delay: Base of the reconnect backoff in seconds.
+        capabilities: Advertised at HELLO; defaults to
+            :func:`~repro.distrib.membership.detect_capabilities`
+            (cores, memory, and a short calibration burst).
     """
 
     def __init__(
@@ -131,9 +165,16 @@ class CampaignWorker:
         sim_repeat: int = 1,
         sim_delay: float = 0.0,
         connect_timeout: float = 10.0,
+        reconnect_attempts: int = 0,
+        reconnect_delay: float = 0.5,
+        capabilities: Optional[WorkerCapabilities] = None,
     ) -> None:
         if sim_repeat < 1:
             raise ValueError("sim_repeat must be at least 1")
+        if reconnect_attempts < 0:
+            raise ValueError("reconnect_attempts must not be negative")
+        if reconnect_delay <= 0:
+            raise ValueError("reconnect_delay must be positive")
         self.host = host
         self.port = port
         self.worker_id = worker_id or (
@@ -141,6 +182,22 @@ class CampaignWorker:
         )
         self.max_tasks = max_tasks
         self.connect_timeout = connect_timeout
+        self.reconnect_attempts = reconnect_attempts
+        self._reconnect_policy = RetryPolicy(
+            max_attempts=reconnect_attempts + 1,
+            base_delay=reconnect_delay,
+            multiplier=2.0,
+            jitter_mode="full",
+        )
+        self.capabilities = (
+            capabilities if capabilities is not None
+            else detect_capabilities()
+        )
+        #: Chaos hook: an object with ``await before_send(payload)``
+        #: installed by the failure-injection harness to drop, delay or
+        #: partition this worker's outbound frames.  ``None`` in
+        #: production.
+        self.wire_filter = None
         if backend_factory is None:
             backend_factory = _default_backend
         backend = backend_factory()
@@ -168,7 +225,13 @@ class CampaignWorker:
         return asyncio.run(self.run_async(install_signals=True))
 
     async def run_async(self, install_signals: bool = False) -> int:
-        """Serve tasks on the current event loop until drained."""
+        """Serve tasks on the current event loop until drained.
+
+        With ``reconnect_attempts > 0`` a lost connection (coordinator
+        restart, injected drop, partition) is re-dialled under seeded
+        full-jitter backoff instead of ending the worker; a clean drain
+        always ends it.
+        """
         if install_signals:
             loop = asyncio.get_running_loop()
             for signum in (signal.SIGTERM, signal.SIGINT):
@@ -177,20 +240,54 @@ class CampaignWorker:
                 except (NotImplementedError, RuntimeError, ValueError):
                     pass  # non-Unix loop or not the main thread
 
-        reader, writer = await self._connect()
-        try:
-            welcome = await self._handshake(reader, writer)
-            heartbeat_interval = float(
-                welcome.get("heartbeat_interval", 15.0)
-            )
-            await self._task_loop(reader, writer, heartbeat_interval)
-        finally:
-            writer.close()
+        attempt = 0
+        rng = np.random.default_rng(
+            stable_seed("worker-reconnect", self.worker_id)
+        )
+        while True:
             try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-        return self.tasks_completed
+                reader, writer = await self._connect()
+            except ConnectionError:
+                if attempt >= self.reconnect_attempts:
+                    raise
+                writer = None
+            if writer is not None:
+                try:
+                    welcome = await self._handshake(reader, writer)
+                    heartbeat_interval = float(
+                        welcome.get("heartbeat_interval", 15.0)
+                    )
+                    await self._task_loop(
+                        reader, writer, heartbeat_interval
+                    )
+                    return self.tasks_completed  # clean drain
+                except CoordinatorLost:
+                    if self._draining or (
+                        attempt >= self.reconnect_attempts
+                    ):
+                        return self.tasks_completed
+                except (ConnectionError, OSError):
+                    if self._draining or (
+                        attempt >= self.reconnect_attempts
+                    ):
+                        raise
+                finally:
+                    writer.close()
+                    try:
+                        await writer.wait_closed()
+                    except (ConnectionError, OSError):
+                        pass
+            attempt += 1
+            delay = self._reconnect_policy.delay(attempt, rng)
+            self._registry.counter("distrib.worker.reconnects").inc()
+            _log.warning(
+                "worker %s lost the coordinator; reconnecting "
+                "(attempt %d/%d) in %.2fs",
+                self.worker_id, attempt, self.reconnect_attempts, delay,
+                extra={"event": "distrib.worker_reconnect",
+                       "worker": self.worker_id, "attempt": attempt},
+            )
+            await asyncio.sleep(delay)
 
     def initiate_drain(self) -> None:
         """Finish the current task, deliver it, then exit cleanly."""
@@ -220,12 +317,19 @@ class CampaignWorker:
                     ) from error
                 await asyncio.sleep(0.2)
 
+    async def _send(self, writer, payload: dict) -> None:
+        """Send one frame through the chaos wire filter (when set)."""
+        if self.wire_filter is not None:
+            await self.wire_filter.before_send(payload)
+        await write_message(writer, payload)
+
     async def _handshake(self, reader, writer) -> dict:
-        await write_message(writer, {
+        await self._send(writer, {
             "type": "hello",
             "worker": self.worker_id,
             "version": __version__,
             "git_sha": git_sha(),
+            "capabilities": self.capabilities.to_wire(),
         })
         welcome = await read_message(reader)
         if welcome is None:
@@ -263,11 +367,15 @@ class CampaignWorker:
                 await self._goodbye(writer)
                 return
             try:
-                await write_message(writer, {"type": "task_request"})
+                await self._send(writer, {"type": "task_request"})
                 reply = await read_message(reader)
             except (ConnectionError, OSError):
                 reply = None  # coordinator closed while we were idle
             if reply is None:
+                if self.reconnect_attempts > 0 and not self._draining:
+                    raise CoordinatorLost(
+                        "coordinator closed while we were idle"
+                    )
                 return  # nothing leased, so a vanished peer is a drain
             kind = reply.get("type")
             if kind == "drain":
@@ -284,20 +392,83 @@ class CampaignWorker:
             if kind == "wait":
                 await asyncio.sleep(float(reply.get("delay", 0.1)))
                 continue
-            if kind != "task":
+            if kind == "task":
+                tasks: List[dict] = [reply]
+            elif kind == "task_bundle":
+                tasks = list(reply.get("tasks") or ())
+                if not tasks:
+                    raise ProtocolError("received an empty task bundle")
+            else:
                 raise ProtocolError(f"unexpected reply type {kind!r}")
-            await self._run_task(reader, writer, reply, heartbeat_interval)
+            await self._run_bundle(
+                reader, writer, tasks, heartbeat_interval
+            )
 
-    @staticmethod
-    async def _goodbye(writer) -> None:
+    async def _run_bundle(
+        self, reader, writer, tasks: List[dict],
+        heartbeat_interval: float,
+    ) -> None:
+        """Run a lease bundle sequentially, releasing what we can't.
+
+        While one cell simulates, the heartbeats cover *every* lease
+        still pending in the bundle; a pending lease the coordinator
+        reports dead (stolen, reclaimed) is silently dropped.  A drain
+        request or the ``max_tasks`` budget mid-bundle releases the
+        unstarted remainder back to the coordinator instead of sitting
+        on it until the lease expires.
+        """
+        pending: Deque[dict] = deque(tasks)
+        while pending:
+            task = pending.popleft()
+            extra = [str(t["lease"]) for t in pending]
+            dead = await self._run_task(
+                reader, writer, task, heartbeat_interval, extra
+            )
+            if dead:
+                pending = deque(
+                    t for t in pending if str(t["lease"]) not in dead
+                )
+            if pending and (
+                self._draining
+                or (
+                    self.max_tasks is not None
+                    and self.tasks_completed >= self.max_tasks
+                )
+            ):
+                await self._release(
+                    reader, writer,
+                    [str(t["lease"]) for t in pending],
+                )
+                return
+
+    async def _release(self, reader, writer, leases: List[str]) -> None:
+        """Hand unstarted leases back to the coordinator cleanly."""
+        self._registry.counter(
+            "distrib.worker.leases.released"
+        ).inc(len(leases))
+        _log.info(
+            "worker %s releasing %d unstarted lease(s)",
+            self.worker_id, len(leases),
+            extra={"event": "distrib.worker_release",
+                   "worker": self.worker_id, "count": len(leases)},
+        )
+        await self._send(writer, {"type": "release", "leases": leases})
+        ack = await read_message(reader)
+        if ack is not None and ack.get("type") != "release_ack":
+            raise ProtocolError(
+                f"expected release_ack, got {ack.get('type')!r}"
+            )
+
+    async def _goodbye(self, writer) -> None:
         try:
-            await write_message(writer, {"type": "goodbye"})
+            await self._send(writer, {"type": "goodbye"})
         except (ConnectionError, OSError):
             pass  # the peer beat us to hanging up
 
     async def _run_task(
-        self, reader, writer, task: dict, heartbeat_interval: float
-    ) -> None:
+        self, reader, writer, task: dict, heartbeat_interval: float,
+        extra_leases: Optional[List[str]] = None,
+    ) -> Set[str]:
         cell = str(task["cell"])
         lease = str(task["lease"])
         profile = profile_from_wire(task["profile"])
@@ -345,41 +516,53 @@ class CampaignWorker:
             return batch, error
 
         work = asyncio.create_task(asyncio.to_thread(simulate))
-        lease_lost = await self._heartbeat_until_done(
-            reader, writer, work, lease, heartbeat_interval
-        )
-        batch, error = await work
-        if lease_lost:
-            # The coordinator reclaimed the lease (we looked hung);
-            # someone else owns the cell now.  Drop the result.
-            self._registry.counter("distrib.worker.leases.lost").inc()
-            _log.warning(
-                "worker %s lost lease on cell %s; dropping result",
-                self.worker_id, cell,
-                extra={"event": "distrib.lease_lost", "cell": cell,
-                       "worker": self.worker_id},
+        try:
+            lease_lost, dead = await self._heartbeat_until_done(
+                reader, writer, work, lease, heartbeat_interval,
+                extra_leases or [],
             )
-            return
-        # Counted before the telemetry drain so this task's own bump
-        # rides back with this task's result, not the next one's.
-        self._registry.counter("distrib.worker.tasks").inc()
-        result: dict = {
-            "type": "result",
-            "lease": lease,
-            "cell": cell,
-            "attempts": attempts,
-            "telemetry": self._drain_telemetry(),
-        }
-        if error is not None:
-            result["ok"] = False
-            result["error"] = error
-        else:
-            result["ok"] = True
-            result["arrays"] = batch_to_wire(batch)
-            result["arrays_checksum"] = batch_checksum(batch)
-        await write_message(writer, result)
-        ack = await read_message(reader)
-        if ack is None or ack.get("type") != "ack":
+            batch, error = await work
+            if lease_lost:
+                # The coordinator reclaimed the lease (we looked hung);
+                # someone else owns the cell now.  Drop the result.
+                self._registry.counter("distrib.worker.leases.lost").inc()
+                _log.warning(
+                    "worker %s lost lease on cell %s; dropping result",
+                    self.worker_id, cell,
+                    extra={"event": "distrib.lease_lost", "cell": cell,
+                           "worker": self.worker_id},
+                )
+                return dead
+            # Counted before the telemetry drain so this task's own bump
+            # rides back with this task's result, not the next one's.
+            self._registry.counter("distrib.worker.tasks").inc()
+            result: dict = {
+                "type": "result",
+                "lease": lease,
+                "cell": cell,
+                "attempts": attempts,
+                "telemetry": self._drain_telemetry(),
+            }
+            if error is not None:
+                result["ok"] = False
+                result["error"] = error
+            else:
+                result["ok"] = True
+                result["arrays"] = batch_to_wire(batch)
+                result["arrays_checksum"] = batch_checksum(batch)
+            await self._send(writer, result)
+            ack = await read_message(reader)
+        except (ConnectionError, OSError):
+            # The connection died under us: let the simulation thread
+            # finish before unwinding so no thread outlives its task.
+            if not work.done():
+                await asyncio.shield(work)
+            raise
+        if ack is None:
+            raise CoordinatorLost(
+                f"coordinator vanished before acknowledging cell {cell}"
+            )
+        if ack.get("type") != "ack":
             raise ProtocolError(
                 "coordinator did not acknowledge the result for "
                 f"cell {cell}"
@@ -392,35 +575,52 @@ class CampaignWorker:
                 cell,
                 extra={"event": "distrib.result_stale", "cell": cell},
             )
+        return dead
 
     async def _heartbeat_until_done(
         self, reader, writer, work: asyncio.Task, lease: str,
-        interval: float,
-    ) -> bool:
-        """Heartbeat while the simulation runs; True if the lease died."""
+        interval: float, extra_leases: List[str],
+    ) -> "tuple[bool, Set[str]]":
+        """Heartbeat every held lease while the simulation runs.
+
+        Returns:
+            ``(lease_lost, dead_extras)`` — whether the *running*
+            task's lease was reclaimed, plus any pending bundle leases
+            the coordinator reported dead (stolen or reclaimed).
+        """
+        dead: Set[str] = set()
         while True:
             try:
                 await asyncio.wait_for(
                     asyncio.shield(work), timeout=interval
                 )
-                return False
+                return False, dead
             except asyncio.TimeoutError:
                 pass
-            await write_message(
-                writer, {"type": "heartbeat", "lease": lease}
+            held = [lease] + [
+                lid for lid in extra_leases if lid not in dead
+            ]
+            await self._send(
+                writer,
+                {"type": "heartbeat", "lease": lease, "leases": held},
             )
             ack = await read_message(reader)
             if ack is None:
-                raise ProtocolError(
+                raise CoordinatorLost(
                     "coordinator vanished mid-task (no heartbeat ack)"
                 )
             if ack.get("type") != "hb_ack":
                 raise ProtocolError(
                     f"expected hb_ack, got {ack.get('type')!r}"
                 )
+            leases_ok = ack.get("leases_ok")
+            if isinstance(leases_ok, dict):
+                for lease_id, ok in leases_ok.items():
+                    if not ok and lease_id != lease:
+                        dead.add(str(lease_id))
             if not ack.get("lease_ok", False):
                 await asyncio.shield(work)  # let the thread finish
-                return True
+                return True, dead
 
     def _drain_telemetry(self) -> dict:
         """Snapshot-and-reset so each result carries only its own spans.

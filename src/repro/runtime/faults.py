@@ -29,6 +29,22 @@ from .backend import SimulationBackend, SimulationError
 _log = get_logger(__name__)
 
 
+def derive_rng(*parts) -> np.random.Generator:
+    """A deterministic generator derived from a tuple of identifiers.
+
+    Hashes the ``str()`` of every part (joined by ``/``) through
+    sha256 and seeds numpy from the first eight digest bytes — the same
+    derivation :class:`FaultInjectingBackend` uses per (cell, attempt),
+    exposed so other fault machinery (notably
+    :mod:`repro.distrib.chaos`) draws from streams that are pure
+    functions of their identifiers: same plan, same seed, same faults.
+    """
+    digest = hashlib.sha256(
+        b"/".join(str(part).encode("utf-8") for part in parts)
+    ).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
 class TransientSimulationError(SimulationError):
     """An injected failure that a retry is expected to clear."""
 
@@ -196,11 +212,10 @@ class FaultInjectingBackend:
         )
 
     def _rng(self, cell: str, attempt: Optional[int] = None):
-        parts = [b"fault", str(self.seed).encode(), cell.encode()]
+        parts = ["fault", self.seed, cell]
         if attempt is not None:
-            parts.append(str(attempt).encode())
-        digest = hashlib.sha256(b"/".join(parts)).digest()
-        return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+            parts.append(attempt)
+        return derive_rng(*parts)
 
     def _corrupt(self, result: BatchResult, rng) -> BatchResult:
         """Poison a few positions of copied metric arrays with NaN/Inf."""

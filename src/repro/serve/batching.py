@@ -172,12 +172,13 @@ class PredictionBatcher:
             registry.counter("serve.cache.hits").inc()
             return hit
         if self._queue is None or self._closed:
+            registry.counter("serve.rejected", reason="closed").inc()
             raise ServerSaturated("the prediction batcher is not accepting")
         future = asyncio.get_running_loop().create_future()
         try:
             self._queue.put_nowait((config, key, future))
         except asyncio.QueueFull:
-            registry.counter("serve.rejected").inc()
+            registry.counter("serve.rejected", reason="queue-full").inc()
             raise ServerSaturated(
                 f"prediction queue is full ({self.queue_limit} waiting)"
             ) from None

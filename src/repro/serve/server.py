@@ -243,6 +243,7 @@ class PredictionServer:
         self, body: bytes
     ) -> Tuple[int, bytes, str, Dict[str, str]]:
         if self._draining:
+            get_registry().counter("serve.rejected", reason="draining").inc()
             return _json_error(
                 503, "the server is draining", {"Retry-After": "1"}
             )

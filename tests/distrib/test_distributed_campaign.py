@@ -339,7 +339,12 @@ class TestFaultTolerance:
             tiny_configs,
             n_workers=1,
             backend_factory=lambda: backend,
-            coordinator_kwargs={"lease_timeout": 0.2},
+            # steal_after_fraction > 1 disables work stealing so the
+            # hung lease is recovered by the expiry path under test.
+            coordinator_kwargs={
+                "lease_timeout": 0.2,
+                "steal_after_fraction": 10.0,
+            },
             extra_clients=(_silent_client,),
         )
         assert result.complete

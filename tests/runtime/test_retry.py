@@ -54,6 +54,32 @@ class TestRetryPolicy:
             RetryPolicy(jitter=1.0)
         with pytest.raises(ValueError):
             RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_mode="decorrelated")
+
+    def test_full_jitter_bounded_by_exponential_envelope(self):
+        import numpy as np
+
+        policy = RetryPolicy(
+            base_delay=1.0, multiplier=2.0, jitter_mode="full"
+        )
+        rng = np.random.default_rng(7)
+        for attempt, ceiling in ((1, 1.0), (2, 2.0), (3, 4.0)):
+            delays = [policy.delay(attempt, rng) for _ in range(500)]
+            assert all(0.0 <= d <= ceiling for d in delays)
+            # Uniform over [0, ceiling]: mean ~ ceiling/2, and the draws
+            # actually use the range rather than clustering at the cap.
+            assert 0.4 * ceiling < sum(delays) / len(delays) < 0.6 * ceiling
+            assert min(delays) < 0.1 * ceiling
+            assert max(delays) > 0.9 * ceiling
+
+    def test_full_jitter_is_deterministic_per_seed(self):
+        import numpy as np
+
+        policy = RetryPolicy(base_delay=0.5, jitter_mode="full")
+        a = [policy.delay(k, np.random.default_rng(3)) for k in (1, 2, 3)]
+        b = [policy.delay(k, np.random.default_rng(3)) for k in (1, 2, 3)]
+        assert a == b
 
 
 class TestCallWithRetry:

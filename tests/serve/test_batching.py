@@ -225,7 +225,10 @@ class TestBatcher:
                 for config in holdout_configs[3:5]:
                     with pytest.raises(ServerSaturated):
                         await batcher.predict_one(config)
-                assert registry.value("serve.rejected") == 2
+                assert (
+                    registry.value("serve.rejected", reason="queue-full")
+                    == 2
+                )
                 release.set()
                 await asyncio.gather(first, *parked)
             finally:

@@ -949,6 +949,8 @@ def _cmd_status(args: argparse.Namespace) -> int:
         state = "active" if entry.get("active") else "gone"
         if entry.get("slow"):
             state += ", slow"
+        if entry.get("simulate_suite"):
+            state += ", suite"
         print(f"worker    : {entry.get('worker')} [{state}] "
               f"rate {entry.get('rate')}/s "
               f"weight {entry.get('weight')} "

@@ -500,6 +500,28 @@ class CampaignCoordinator:
             return self._task_message(self._new_lease(cell, worker))
         return None
 
+    def _take_chunk_cell(
+        self, chunk_index: int, now: float
+    ) -> Optional[CampaignCell]:
+        """Pop the first runnable queued cell of chunk ``chunk_index``.
+
+        The bundle filler for a suite-capable worker: same-chunk cells
+        in one bundle share their configs, so the worker computes them
+        in a single program-major ``simulate_suite`` call.  Settled or
+        backing-off cells are skipped in place; :meth:`_issue_lease`
+        drops or rotates them on its next pass.
+        """
+        for index, cell in enumerate(self._queue):
+            if cell.chunk_index != chunk_index:
+                continue
+            if cell.cell in self._done or cell.cell in self._failed:
+                continue
+            if self._not_before.get(cell.cell, 0.0) > now:
+                continue
+            del self._queue[index]
+            return cell
+        return None
+
     def _try_steal(self, worker: _WorkerState) -> Optional[Dict]:
         """Speculatively re-lease the most overdue outstanding cell.
 
@@ -790,10 +812,29 @@ class CampaignCoordinator:
         # fleet has assembled, losing a worker must not stall the rest.
         self._barrier_open = True
         bundle: List[Dict] = []
+        member = self.membership.get(worker.worker_id)
+        suite_capable = (
+            member is not None and member.capabilities.simulate_suite
+        )
+        anchor_chunk: Optional[int] = None
         for _ in range(self.membership.bundle_size(worker.worker_id)):
-            task = self._issue_lease(worker)
+            task = None
+            if suite_capable and anchor_chunk is not None:
+                # Prefer cells from the bundle's first chunk: the
+                # worker folds them into one simulate_suite call.
+                cell = self._take_chunk_cell(
+                    anchor_chunk, time.monotonic()
+                )
+                if cell is not None:
+                    task = self._task_message(
+                        self._new_lease(cell, worker)
+                    )
+            if task is None:
+                task = self._issue_lease(worker)
             if task is None:
                 break
+            if anchor_chunk is None:
+                anchor_chunk = task.get("chunk_index")
             bundle.append(task)
         if not bundle:
             stolen = self._try_steal(worker)

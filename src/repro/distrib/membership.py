@@ -63,11 +63,18 @@ class WorkerCapabilities:
         throughput: Measured calibration throughput in kernel
             iterations per second (0.0 when not measured) — a relative
             number, only ever compared against other workers' values.
+        simulate_suite: True when the worker's backend offers the
+            program-major ``simulate_suite`` fast path; the coordinator
+            then prefers filling that worker's bundles with same-chunk
+            cells and doubles the bundle ceiling.  Old workers never
+            send the key and decode to False — they keep getting plain
+            per-cell bundles, so mixed fleets degrade gracefully.
     """
 
     cores: int = 1
     memory_mb: int = 0
     throughput: float = 0.0
+    simulate_suite: bool = False
 
     def __post_init__(self) -> None:
         if self.cores < 1:
@@ -83,6 +90,7 @@ class WorkerCapabilities:
             "cores": self.cores,
             "memory_mb": self.memory_mb,
             "throughput": self.throughput,
+            "simulate_suite": self.simulate_suite,
         }
 
     @classmethod
@@ -99,6 +107,7 @@ class WorkerCapabilities:
             cores=max(1, int(wire.get("cores", 1) or 1)),
             memory_mb=max(0, int(wire.get("memory_mb", 0) or 0)),
             throughput=max(0.0, float(wire.get("throughput", 0.0) or 0.0)),
+            simulate_suite=bool(wire.get("simulate_suite", False)),
         )
 
 
@@ -311,13 +320,20 @@ class FleetMembership:
         """Cells to lease this worker in one bundle.
 
         A slow-flagged worker always gets exactly one cell: bundling to
-        a straggler just converts one late cell into several.
+        a straggler just converts one late cell into several.  A
+        suite-capable worker gets a doubled size against a doubled
+        ceiling — same-chunk cells in one bundle cost it a single
+        program-major backend call, so the marginal cell is nearly free.
         """
         member = self.members.get(worker_id)
         if member is not None and member.slow:
             return 1
         size = int(round(self.weight(worker_id)))
-        return max(1, min(self.max_bundle, size))
+        limit = self.max_bundle
+        if member is not None and member.capabilities.simulate_suite:
+            size = max(1, size) * 2
+            limit *= 2
+        return max(1, min(limit, size))
 
     def rebalance_scan(self) -> List[Tuple[str, bool]]:
         """Re-flag slow/recovered workers against the fleet median.
@@ -382,6 +398,7 @@ class FleetMembership:
                 "cores": member.capabilities.cores,
                 "memory_mb": member.capabilities.memory_mb,
                 "throughput": round(member.capabilities.throughput, 3),
+                "simulate_suite": member.capabilities.simulate_suite,
                 "weight": round(self.weight(member.worker_id), 3),
                 "bundle_size": self.bundle_size(member.worker_id),
                 "tasks_completed": member.tasks_completed,

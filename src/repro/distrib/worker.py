@@ -30,12 +30,13 @@ reconnecting at once spreads out instead of thundering-herding.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import signal
 import socket
 import time
 import uuid
 from collections import deque
-from typing import Callable, Deque, List, Optional, Set
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -44,6 +45,7 @@ from repro.obs import MetricsRegistry, Tracer, get_logger, git_sha
 from repro.runtime.backend import (
     SimulationBackend,
     SimulationError,
+    supports_suite,
     validate_batch,
 )
 from repro.runtime.retry import (
@@ -113,6 +115,11 @@ class RepeatBackend:
         self.backend = backend
         self.repeat = repeat
         self.delay = delay
+        # Mirror the wrapped backend's suite capability: the attribute
+        # only exists when the inner backend has one, so
+        # supports_suite() sees through the wrapper either way.
+        if supports_suite(backend):
+            self.simulate_suite = self._simulate_suite
 
     def simulate_batch(self, profile, configs) -> BatchResult:
         """Delay, burn ``repeat - 1`` runs, return the final result."""
@@ -121,6 +128,14 @@ class RepeatBackend:
         for _ in range(self.repeat - 1):
             self.backend.simulate_batch(profile, configs)
         return self.backend.simulate_batch(profile, configs)
+
+    def _simulate_suite(self, profiles, configs) -> List[BatchResult]:
+        """Suite twin of :meth:`simulate_batch`: delay, burn, return."""
+        if self.delay:
+            time.sleep(self.delay)
+        for _ in range(self.repeat - 1):
+            self.backend.simulate_suite(profiles, configs)
+        return self.backend.simulate_suite(profiles, configs)
 
 
 class CampaignWorker:
@@ -204,6 +219,12 @@ class CampaignWorker:
         if sim_repeat > 1 or sim_delay > 0:
             backend = RepeatBackend(backend, sim_repeat, delay=sim_delay)
         self.backend = backend
+        # Advertise the suite fast path only when the *final* backend
+        # stack actually offers it; a caller-supplied flag cannot
+        # promise a capability the backend lacks.
+        self.capabilities = dataclasses.replace(
+            self.capabilities, simulate_suite=supports_suite(backend)
+        )
         self.tasks_completed = 0
         self._draining = False
         # Private instruments: shipped with each result, merged
@@ -416,13 +437,21 @@ class CampaignWorker:
         request or the ``max_tasks`` budget mid-bundle releases the
         unstarted remainder back to the coordinator instead of sitting
         on it until the lease expires.
+
+        With a suite-capable backend the first cell of each chunk in
+        the bundle runs one program-major ``simulate_suite`` call that
+        also computes its same-chunk siblings; those land in a
+        per-bundle cache and are reported later with ``attempts=0``, so
+        the coordinator's attempt total matches a serial suite run.
         """
         pending: Deque[dict] = deque(tasks)
+        suite_cache: Dict[str, BatchResult] = {}
         while pending:
             task = pending.popleft()
             extra = [str(t["lease"]) for t in pending]
             dead = await self._run_task(
-                reader, writer, task, heartbeat_interval, extra
+                reader, writer, task, heartbeat_interval, extra,
+                bundle_pending=pending, suite_cache=suite_cache,
             )
             if dead:
                 pending = deque(
@@ -468,6 +497,8 @@ class CampaignWorker:
     async def _run_task(
         self, reader, writer, task: dict, heartbeat_interval: float,
         extra_leases: Optional[List[str]] = None,
+        bundle_pending: Optional[Sequence[dict]] = None,
+        suite_cache: Optional[Dict[str, BatchResult]] = None,
     ) -> Set[str]:
         cell = str(task["cell"])
         lease = str(task["lease"])
@@ -476,11 +507,31 @@ class CampaignWorker:
         policy = policy_from_wire(task["policy"])
         retry_seed = int(task["retry_seed"])
         attempts = 0
+        cached = (
+            suite_cache.pop(cell, None)
+            if suite_cache is not None else None
+        )
 
         def attempt() -> BatchResult:
             nonlocal attempts
             attempts += 1
-            return self.backend.simulate_batch(profile, configs)
+            siblings = [
+                t for t in (bundle_pending or ())
+                if t.get("chunk_index") == task.get("chunk_index")
+                and t["configs"] == task["configs"]
+            ] if supports_suite(self.backend) else []
+            if not siblings:
+                return self.backend.simulate_batch(profile, configs)
+            # One program-major call covers this cell plus every
+            # same-chunk sibling still pending in the bundle; siblings
+            # wait in the cache for their turn in the loop.
+            profiles = [profile] + [
+                profile_from_wire(t["profile"]) for t in siblings
+            ]
+            results = self.backend.simulate_suite(profiles, configs)
+            for sibling, result in zip(siblings, results[1:]):
+                suite_cache[str(sibling["cell"])] = result
+            return results[0]
 
         def simulate():
             # Runs in a thread so the event loop keeps heartbeating.
@@ -493,18 +544,25 @@ class CampaignWorker:
                 worker=self.worker_id,
             ) as cell_span:
                 batch, error = None, None
-                try:
-                    batch = call_with_retry(
-                        attempt,
-                        policy,
-                        seed=retry_seed,
-                        breaker=CircuitBreaker(),
-                        validate=lambda result: validate_batch(
-                            result, f"for cell {cell}"
-                        ),
-                    )
-                except SimulationError as failure:
-                    error = str(failure)
+                if cached is not None:
+                    try:
+                        validate_batch(cached, f"for cell {cell}")
+                        batch = cached
+                    except SimulationError:
+                        pass  # distrust the cached copy; re-simulate
+                if batch is None:
+                    try:
+                        batch = call_with_retry(
+                            attempt,
+                            policy,
+                            seed=retry_seed,
+                            breaker=CircuitBreaker(),
+                            validate=lambda result: validate_batch(
+                                result, f"for cell {cell}"
+                            ),
+                        )
+                    except SimulationError as failure:
+                        error = str(failure)
                 if cell_span is not None:
                     cell_span["attrs"]["attempts"] = attempts
                     cell_span["attrs"]["outcome"] = (

@@ -12,7 +12,9 @@ restarting from zero.
 Public surface:
 
 * :class:`SimulationBackend` / :class:`IntervalBackend` — the backend
-  interface and its interval-simulator implementation.
+  interface and its interval-simulator implementation; backends may
+  additionally offer the program-major ``simulate_suite`` fast path,
+  discovered via :func:`supports_suite`.
 * :class:`FaultInjectingBackend` — deterministic, seeded fault injection
   (transient errors, NaN/Inf corruption, latency stalls); the test
   substrate for every resilience feature.
@@ -33,6 +35,7 @@ from .backend import (
     IntervalBackend,
     SimulationBackend,
     SimulationError,
+    supports_suite,
     validate_batch,
 )
 from .campaign import CampaignCell, CampaignPlan, CampaignResult, CampaignRunner
@@ -75,6 +78,7 @@ __all__ = [
     "file_checksum",
     "payload_checksum",
     "read_archive",
+    "supports_suite",
     "validate_batch",
     "write_archive",
 ]

@@ -10,7 +10,7 @@ machinery without the campaign layer changing.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, Sequence, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -29,13 +29,31 @@ class CorruptResultError(SimulationError):
 
 @runtime_checkable
 class SimulationBackend(Protocol):
-    """Anything that can simulate one program over a batch of configs."""
+    """Anything that can simulate one program over a batch of configs.
+
+    Backends may additionally offer the program-major 2-D fast path
+    ``simulate_suite(profiles, configs)``; callers discover it with
+    :func:`supports_suite` and must fall back to per-profile
+    ``simulate_batch`` calls when it is absent, so older or wrapped
+    backends keep working unchanged.
+    """
 
     def simulate_batch(
         self, profile: WorkloadProfile, configs: Sequence[Configuration]
     ) -> BatchResult:
         """Return the four metric arrays for ``profile`` at ``configs``."""
         ...
+
+
+def supports_suite(backend: object) -> bool:
+    """True if ``backend`` offers the ``simulate_suite`` fast path.
+
+    Capability discovery is duck-typed on purpose: wrappers that proxy
+    an inner backend (fault injection, retry shims, remote stubs)
+    advertise the fast path only when they actually implement it, and
+    everything else degrades gracefully to per-profile batches.
+    """
+    return callable(getattr(backend, "simulate_suite", None))
 
 
 class IntervalBackend:
@@ -61,6 +79,18 @@ class IntervalBackend:
     ) -> BatchResult:
         """Delegate straight to :meth:`IntervalSimulator.simulate_batch`."""
         return self.simulator.simulate_batch(profile, configs)
+
+    def simulate_suite(
+        self,
+        profiles: Sequence[WorkloadProfile],
+        configs: Sequence[Configuration],
+    ) -> List[BatchResult]:
+        """Program-major fast path: one column build for all profiles.
+
+        Bit-identical to per-profile :meth:`simulate_batch` calls (see
+        :meth:`IntervalSimulator.simulate_suite`).
+        """
+        return self.simulator.simulate_suite(profiles, configs)
 
 
 def validate_batch(result: BatchResult, context: str = "") -> BatchResult:

@@ -10,6 +10,12 @@ completion.  Interrupt the process at any point and a rerun resumes
 from the journal: verified cells are loaded from disk, unfinished ones
 are re-simulated, and the assembled matrices are bit-identical to an
 uninterrupted run.
+
+Backends advertising the program-major ``simulate_suite`` fast path
+(see :func:`repro.runtime.backend.supports_suite`) are called once per
+chunk across *all* programs instead of once per cell; both the serial
+loop and the process pool exploit it automatically and journal exactly
+the same cells with exactly the same arrays as the per-cell path.
 """
 
 from __future__ import annotations
@@ -49,7 +55,12 @@ from repro.sim.interval import BatchResult
 from repro.sim.metrics import Metric
 from repro.workloads.profile import WorkloadProfile, stable_seed
 
-from .backend import SimulationBackend, SimulationError, validate_batch
+from .backend import (
+    SimulationBackend,
+    SimulationError,
+    supports_suite,
+    validate_batch,
+)
 from .integrity import array_checksum, file_checksum
 from .journal import CampaignJournal
 from .retry import CircuitBreaker, CircuitOpenError, RetryPolicy, call_with_retry
@@ -120,6 +131,65 @@ def _simulate_cell_worker(task):
             "spans": list(tracer.spans),
         }
     return cell, batch, attempts, error, telemetry
+
+
+def _simulate_suite_worker(task):
+    """Simulate one chunk's cells in a single program-major call.
+
+    The suite twin of :func:`_simulate_cell_worker`, used when the
+    backend advertises ``simulate_suite``: every unfinished program at
+    one chunk shares a single backend call, so the backend builds the
+    chunk's configuration columns once instead of once per program.  A
+    retryable failure retries the whole suite call; validation checks
+    every program's batch, so a single corrupted batch discards (and
+    retries) the chunk exactly as the per-cell path would.
+
+    Returns:
+        (chunk index, list of BatchResult (one per profile, in task
+        order) or None on permanent failure, attempts, failure message
+        or None, telemetry dict).
+    """
+    backend, profiles, configs, policy, retry_seed, cell_ids, chunk_index = task
+    attempts = 0
+
+    def attempt() -> List[BatchResult]:
+        nonlocal attempts
+        attempts += 1
+        return backend.simulate_suite(list(profiles), configs)
+
+    def check(results: List[BatchResult]) -> List[BatchResult]:
+        for cell, result in zip(cell_ids, results):
+            validate_batch(result, f"for cell {cell}")
+        return results
+
+    with scoped_registry() as registry, scoped_tracer() as tracer:
+        batches, error = None, None
+        with tracer.span(
+            "simulate.suite", chunk=chunk_index, programs=len(profiles)
+        ) as suite_span:
+            try:
+                batches = call_with_retry(
+                    attempt,
+                    policy,
+                    seed=retry_seed,
+                    breaker=CircuitBreaker(),
+                    validate=check,
+                )
+            except SimulationError as failure:
+                error = str(failure)
+            if suite_span is not None:
+                suite_span["attrs"]["attempts"] = attempts
+                suite_span["attrs"]["outcome"] = (
+                    "ok" if error is None else "failed"
+                )
+        registry.histogram("campaign.chunk.seconds").observe(
+            tracer.spans[-1]["dur"]
+        )
+        telemetry = {
+            "metrics": registry.snapshot(),
+            "spans": list(tracer.spans),
+        }
+    return chunk_index, batches, attempts, error, telemetry
 
 
 @dataclass(frozen=True)
@@ -446,9 +516,20 @@ class CampaignRunner:
         max_cells: Optional[int],
         fail_fast: bool,
     ) -> CampaignResult:
-        """The in-process cell loop (``n_jobs == 1``)."""
+        """The in-process cell loop (``n_jobs == 1``).
+
+        When the backend advertises ``simulate_suite``, the first cell
+        of each chunk triggers one program-major call covering every
+        later program that still needs the chunk; the siblings land in
+        a cache and are journalled when the loop reaches them, so the
+        journal records exactly the cells, order and arrays of the
+        per-cell path while the backend builds each chunk's
+        configuration columns only once.
+        """
         registry = get_registry()
         breaker = CircuitBreaker(self.breaker_threshold)
+        use_suite = supports_suite(self.backend)
+        suite_cache: Dict[str, BatchResult] = {}
         simulated, resumed, attempts = 0, 0, 0
         failed: List[str] = []
         pending: List[str] = []
@@ -475,10 +556,38 @@ class CampaignRunner:
                 break
             chunk_configs = list(configs[start:stop])
 
+            batch = suite_cache.pop(cell, None) if use_suite else None
+            if batch is not None:
+                try:
+                    validate_batch(batch, f"for cell {cell}")
+                except SimulationError:
+                    batch = None  # distrust the cached copy; re-simulate
+            if batch is not None:
+                with span(
+                    "simulate.chunk", program=profile.name, chunk=chunk_index
+                ) as cell_span:
+                    if cell_span is not None:
+                        cell_span["attrs"]["attempts"] = 0
+                        cell_span["attrs"]["outcome"] = "ok"
+                self.store_cell(cell, profile.name, chunk_index, batch)
+                self.fill_values(values, profile.name, start, stop, batch)
+                simulated += 1
+                continue
+
             def attempt() -> BatchResult:
                 nonlocal attempts
                 attempts += 1
-                return self.backend.simulate_batch(profile, chunk_configs)
+                if not use_suite:
+                    return self.backend.simulate_batch(profile, chunk_configs)
+                needed = [
+                    p
+                    for p, i in cells[position:]
+                    if i == chunk_index and f"{p.name}:{i}" not in completed
+                ]
+                results = self.backend.simulate_suite(needed, chunk_configs)
+                for other, result in zip(needed, results):
+                    suite_cache[f"{other.name}:{chunk_index}"] = result
+                return suite_cache.pop(cell)
 
             before = attempts
             outcome = "ok"
@@ -561,13 +670,15 @@ class CampaignRunner:
 
         Resumed cells are all restored first (the parallel path never
         stops mid-resume), then up to ``max_cells`` unfinished cells are
-        dispatched; the rest stay pending.  Results are journalled in
-        campaign cell order as the ordered ``map`` stream delivers them,
-        so an interrupted parallel run resumes exactly like a serial
-        one.  Each worker ships its telemetry (spans, counters, chunk
-        latencies) back with the batch; the parent merges everything
-        into the process-global registry/tracer, so aggregate metrics
-        match a serial run for deterministic backends.
+        dispatched; the rest stay pending.  Suite-capable backends get
+        one task per *chunk* (every unfinished program at that chunk in
+        a single program-major call); everything else gets one task per
+        cell.  Results are journalled as the ordered ``map`` stream
+        delivers them, so an interrupted parallel run resumes exactly
+        like a serial one.  Each worker ships its telemetry (spans,
+        counters, chunk latencies) back with the batch; the parent
+        merges everything into the process-global registry/tracer, so
+        aggregate metrics match a serial run for deterministic backends.
         """
         registry = get_registry()
         tracer = get_tracer()
@@ -592,19 +703,75 @@ class CampaignRunner:
         if max_cells is not None and len(todo) > max_cells:
             pending = [item[0] for item in todo[max_cells:]]
             todo = todo[:max_cells]
-        tasks = [
-            (
-                self.backend,
-                profile,
-                list(configs[start:stop]),
-                self.retry_policy,
-                stable_seed("campaign-retry", cell, str(self.seed)),
-                cell,
-                chunk_index,
-            )
-            for cell, profile, chunk_index, start, stop in todo
-        ]
-        if tasks:
+        if todo and supports_suite(self.backend):
+            # Program-major fast path: one task per chunk covering every
+            # unfinished program at that chunk, so each worker builds
+            # the chunk's configuration columns once.  The journal holds
+            # the same cells with the same arrays as the per-cell path,
+            # just appended chunk-major — resume reads the journal as a
+            # set, so the orders are interchangeable.
+            groups: Dict[
+                int, List[Tuple[str, WorkloadProfile, int, int, int]]
+            ] = {}
+            for item in todo:
+                groups.setdefault(item[2], []).append(item)
+            tasks = [
+                (
+                    self.backend,
+                    tuple(item[1] for item in group),
+                    list(configs[group[0][3] : group[0][4]]),
+                    self.retry_policy,
+                    stable_seed(
+                        "campaign-retry", f"suite:{chunk_index}",
+                        str(self.seed),
+                    ),
+                    tuple(item[0] for item in group),
+                    chunk_index,
+                )
+                for chunk_index, group in groups.items()
+            ]
+            workers = min(self.n_jobs, len(tasks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = pool.map(_simulate_suite_worker, tasks)
+                for group, outcome in zip(groups.values(), outcomes):
+                    _, batches, suite_attempts, error, telemetry = outcome
+                    attempts += suite_attempts
+                    registry.merge(telemetry["metrics"])
+                    tracer.adopt(telemetry["spans"])
+                    if batches is None:
+                        if fail_fast:
+                            raise SimulationError(error)
+                        for cell, *_ in group:
+                            _log.warning(
+                                "cell %s failed permanently: %s", cell,
+                                error,
+                                extra={"event": "campaign.cell_failed",
+                                       "cell": cell},
+                            )
+                            failed.append(cell)
+                        continue
+                    for item, batch in zip(group, batches):
+                        cell, profile, chunk_index, start, stop = item
+                        self.store_cell(
+                            cell, profile.name, chunk_index, batch
+                        )
+                        self.fill_values(
+                            values, profile.name, start, stop, batch
+                        )
+                        simulated += 1
+        elif todo:
+            tasks = [
+                (
+                    self.backend,
+                    profile,
+                    list(configs[start:stop]),
+                    self.retry_policy,
+                    stable_seed("campaign-retry", cell, str(self.seed)),
+                    cell,
+                    chunk_index,
+                )
+                for cell, profile, chunk_index, start, stop in todo
+            ]
             workers = min(self.n_jobs, len(tasks))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 outcomes = pool.map(_simulate_cell_worker, tasks)

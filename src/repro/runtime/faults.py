@@ -94,6 +94,14 @@ def _batch_fingerprint(
 class FaultInjectingBackend:
     """Wrap a backend with seeded transient/corruption/stall faults.
 
+    Deliberately suite-less: the wrapper exposes only
+    ``simulate_batch``, so :func:`repro.runtime.backend.supports_suite`
+    reports ``False`` and campaigns degrade to per-cell batches.  Fault
+    decisions are pure functions of the per-*cell* fingerprint and
+    attempt number; a program-major suite call would collapse many
+    cells into one decision point and change which faults fire, so the
+    resilience tests keep the per-cell schedule instead.
+
     Args:
         inner: The real backend supplying correct answers.
         seed: Master seed; every fault decision derives from it, the

@@ -101,6 +101,15 @@ class BatchResult:
         return len(self.cycles)
 
 
+@dataclass(frozen=True)
+class _ProfileInvariants:
+    """Config-independent quantities of one profile, cached across
+    batches so repeated campaign chunks do not recompute them."""
+
+    instructions: float
+    alu_energy: float
+
+
 class IntervalSimulator:
     """Vectorised first-order simulator over a design space."""
 
@@ -111,6 +120,23 @@ class IntervalSimulator:
     ) -> None:
         self.space = space if space is not None else DesignSpace()
         self.fixed = fixed if fixed is not None else FixedParameters()
+        # Space-invariant tables for the vectorised column build: the
+        # value grids (as float arrays for np.isin), the feature
+        # encoding divisors, and the unit-cube scaling bounds.
+        parameters = self.space.parameters
+        self._param_names = tuple(p.name for p in parameters)
+        self._grids = tuple(
+            np.asarray(p.values, dtype=float) for p in parameters
+        )
+        self._divisors = np.array(
+            [p.encoding_divisor for p in parameters], dtype=float
+        )
+        lo, hi = self.space.feature_bounds()
+        self._unit_lo = lo
+        self._unit_span = hi - lo
+        # Per-profile invariants, keyed by object identity (the profile
+        # is kept referenced so the id stays valid).
+        self._profiles: Dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -138,6 +164,41 @@ class IntervalSimulator:
             empty = np.empty(0)
             return BatchResult(empty, empty.copy(), empty.copy(), empty.copy())
         columns = self._columns(configs)
+        return self._batch_from_columns(profile, columns)
+
+    def simulate_suite(
+        self,
+        profiles: Sequence[WorkloadProfile],
+        configs: Sequence[Configuration],
+    ) -> List[BatchResult]:
+        """Program-major 2-D evaluation: every profile over one batch.
+
+        The configuration columns (validation, raw values, unit-cube
+        coordinates) are built once and shared by all profiles, so a
+        whole suite costs one column build plus one model pass per
+        program.  Results are bit-identical to calling
+        :meth:`simulate_batch` per profile.
+        """
+        profiles = list(profiles)
+        if not configs:
+            return [
+                BatchResult(
+                    np.empty(0), np.empty(0), np.empty(0), np.empty(0)
+                )
+                for _ in profiles
+            ]
+        columns = self._columns(configs)
+        return [
+            self._batch_from_columns(profile, columns)
+            for profile in profiles
+        ]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _batch_from_columns(
+        self, profile: WorkloadProfile, columns: Dict[str, np.ndarray]
+    ) -> BatchResult:
         cycles, energy, _ = self._evaluate(profile, columns)
         metrics = derive_metrics(cycles, energy)
         return BatchResult(
@@ -147,26 +208,79 @@ class IntervalSimulator:
             edd=metrics[Metric.EDD],
         )
 
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
     def _columns(
         self, configs: Sequence[Configuration]
     ) -> Dict[str, np.ndarray]:
-        """Raw parameter columns plus unit-cube coordinates."""
-        for config in configs:
-            self.space.validate(config)
-        names = [p.name for p in self.space.parameters]
-        columns = {
-            name: np.array(
-                [getattr(c, name) for c in configs], dtype=float
+        """Raw parameter columns plus unit-cube coordinates.
+
+        One vectorised pass: the raw value matrix is built from each
+        configuration's canonical tuple, grid membership and the
+        legality constraints are checked with array operations (the
+        error names the offending configuration index), and the feature
+        encoding divides by the per-parameter divisors — exactly
+        :meth:`Parameter.encode` without the per-config Python loops.
+        """
+        raw = np.array([c.values() for c in configs], dtype=float)
+        raw = raw.reshape(len(configs), len(self._param_names))
+        # Batched grid validation, reported in canonical scan order
+        # (lowest config index first, then parameter order).
+        bad_config = None
+        for j, grid in enumerate(self._grids):
+            on_grid = np.isin(raw[:, j], grid)
+            if not on_grid.all():
+                index = int(np.argmin(on_grid))
+                if bad_config is None or index < bad_config[0]:
+                    bad_config = (index, j)
+        if bad_config is not None:
+            index, j = bad_config
+            parameter = self.space.parameters[j]
+            value = getattr(configs[index], parameter.name)
+            raise ValueError(
+                f"config[{index}]: {parameter.name}={value} is off the "
+                f"grid {parameter.values}"
             )
-            for name in names
+        columns = {
+            name: raw[:, j] for j, name in enumerate(self._param_names)
         }
-        encoded = self.space.encode_many(list(configs))
-        lo, hi = self.space.feature_bounds()
-        columns["_unit"] = (encoded - lo) / (hi - lo)
+        legal = (
+            (columns["rob_size"] >= columns["iq_size"])
+            & (columns["rob_size"] >= columns["lsq_size"])
+            & (columns["rf_read_ports"] <= 2.0 * columns["width"])
+            & (columns["rf_write_ports"] <= columns["width"])
+            & (
+                columns["l2cache_kb"]
+                >= 8.0 * np.maximum(columns["icache_kb"], columns["dcache_kb"])
+            )
+        )
+        if not legal.all():
+            index = int(np.argmin(legal))
+            raise ValueError(
+                f"config[{index}] violates legality constraints: "
+                f"{configs[index]}"
+            )
+        columns["_unit"] = (raw / self._divisors - self._unit_lo) / self._unit_span
         return columns
+
+    def _invariants(self, profile: WorkloadProfile) -> _ProfileInvariants:
+        """Cached config-independent per-profile quantities."""
+        cached = self._profiles.get(id(profile))
+        if cached is not None and cached[0] is profile:
+            return cached[1]
+        mix = profile.mix
+        e = energy_model
+        invariants = _ProfileInvariants(
+            instructions=float(profile.instructions),
+            alu_energy=(
+                mix.int_alu * e.ALU_ENERGY["int_alu"]
+                + mix.int_mul * e.ALU_ENERGY["int_mul"]
+                + mix.fp_alu * e.ALU_ENERGY["fp_alu"]
+                + mix.fp_mul * e.ALU_ENERGY["fp_mul"]
+            ),
+        )
+        if len(self._profiles) > 128:  # bound the cache
+            self._profiles.clear()
+        self._profiles[id(profile)] = (profile, invariants)
+        return invariants
 
     def _effective_window(
         self, profile: WorkloadProfile, columns: Dict[str, np.ndarray]
@@ -221,7 +335,7 @@ class IntervalSimulator:
         """Core vectorised evaluation -> (cycles, energy, breakdown)."""
         fixed = self.fixed
         mix = profile.mix
-        instructions = float(profile.instructions)
+        instructions = self._invariants(profile).instructions
 
         window = self._effective_window(profile, columns)
         ipc_window = np.asarray(profile.ilp(window), dtype=float)
@@ -332,7 +446,8 @@ class IntervalSimulator:
         """Wattch-style energy: activity x per-access energy + overheads."""
         fixed = self.fixed
         mix = profile.mix
-        instructions = float(profile.instructions)
+        invariants = self._invariants(profile)
+        instructions = invariants.instructions
         width = columns["width"]
         rf_ports = columns["rf_read_ports"] + columns["rf_write_ports"]
 
@@ -374,12 +489,7 @@ class IntervalSimulator:
         )
         spec = 1.0 + wasted
 
-        alu = (
-            mix.int_alu * e.ALU_ENERGY["int_alu"]
-            + mix.int_mul * e.ALU_ENERGY["int_mul"]
-            + mix.fp_alu * e.ALU_ENERGY["fp_alu"]
-            + mix.fp_mul * e.ALU_ENERGY["fp_mul"]
-        )
+        alu = invariants.alu_energy
         per_instruction = (
             (1.0 / _INSTRUCTIONS_PER_FETCH) * icache * spec
             + mix.branch * (2.0 * gshare + btb) * spec

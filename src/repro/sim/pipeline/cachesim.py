@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Access/miss counters for one cache level."""
 
@@ -74,8 +74,8 @@ class SetAssociativeCache:
 
     def lookup(self, address: int) -> bool:
         """Probe without updating recency or counters (for tests)."""
-        index, tag = self._locate(address)
-        return tag in self._ways[index]
+        line = address // self.line_bytes
+        return line // self.sets in self._ways[line % self.sets]
 
     def access(self, address: int) -> int:
         """Access an address; returns total latency including lower levels.
@@ -85,14 +85,19 @@ class SetAssociativeCache:
         """
         if address < 0:
             raise ValueError("addresses must be non-negative")
-        index, tag = self._locate(address)
+        # _locate() inlined: this is the hottest call in the simulator.
+        line = address // self.line_bytes
+        index = line % self.sets
+        tag = line // self.sets
         ways = self._ways[index]
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         if tag in ways:
-            ways.remove(tag)
-            ways.append(tag)
+            if ways[-1] != tag:  # already MRU: skip the reshuffle
+                ways.remove(tag)
+                ways.append(tag)
             return self.hit_latency
-        self.stats.misses += 1
+        stats.misses += 1
         ways.append(tag)
         if len(ways) > self.associativity:
             ways.pop(0)

@@ -7,6 +7,65 @@ dispatch into ROB/IQ/LSQ, oldest-first issue limited by register-file
 read ports, functional units and D-cache ports, write-back limited by
 register-file write ports, and in-order commit.
 
+Two engines implement the same machine:
+
+* ``engine="tick"`` advances one cycle at a time, re-scanning the
+  in-flight structures every cycle.  It is the straightforward
+  transcription of the stage semantics and serves as the equivalence
+  oracle.
+* ``engine="event"`` (the default) is the event-driven rewrite of the
+  hot loop: a wakeup-time event queue lets the simulator jump straight
+  to the next interesting cycle instead of burning a full stage pass on
+  every idle one, and producer→consumer wakeup lists replace the
+  all-producers ``ready()`` poll.
+
+Event-engine invariants (what makes the two engines bit-identical)
+------------------------------------------------------------------
+The event engine never reorders or approximates anything.  Every
+*active* cycle runs the exact tick stage sequence — commit, MSHR
+release, write-back, squash, issue, rename/dispatch, fetch, stall
+accounting — with the same per-cycle budgets.  Only cycles that are
+provably inert are skipped:
+
+* a cycle is *idle* when it committed nothing, wrote nothing back (a
+  write-port-blocked retry counts as work), issued nothing, dispatched
+  nothing, probed no cache and squashed nothing, **and** no ready
+  instruction is waiting to retry a structural hazard.  An idle cycle
+  leaves the machine state untouched except for ``now``, so the state
+  is frozen until the next timed event;
+* the next timed event is the minimum of the earliest execution
+  completion (a heap keyed on ``(result_cycle, seq)``), the earliest
+  MSHR release, and ``fetch_resume`` when fetch is pending — exactly
+  the quantities the frozen stages are waiting on;
+* every skipped cycle is charged the same stall reason the tick engine
+  would compute.  The reason is constant across a frozen span: with a
+  non-empty ROB the head (and its ``issued``/memory class) cannot
+  change without activity, and with an empty ROB nothing is in flight,
+  so the span ends at ``fetch_resume`` and every skipped cycle
+  satisfies ``now < fetch_resume`` ("fetch_miss");
+* issue order is preserved because the ready queue is a list sorted on
+  the dispatch sequence number: walking it reproduces the tick engine's
+  program-order scan over exactly the ready instructions (dispatch
+  appends the youngest live seq, data wake-ups insert in order, squash
+  purges eagerly), and structurally blocked instructions carry over to
+  the next cycle (which is then never skipped);
+* the write-back heap pops in ``(result_cycle, seq)`` order, and since
+  no completion cycle is ever jumped over, all live entries popped in
+  one cycle share ``result_cycle == now`` — i.e. the pop order is the
+  tick engine's seq-sorted ``finished`` list;
+* jumps are capped at ``last_commit_cycle + _DEADLOCK_LIMIT`` so the
+  deadlock guard fires on the same cycle with the same counters;
+* the warm-up snapshot is taken at the top of the cycle following the
+  crossing commit — commits only happen on active cycles, and jumps
+  happen after the snapshot check, so the snapshot sees the same
+  ``now`` as the tick engine.
+
+Squash in wrong-path mode removes instructions that may still sit in
+the heaps; those entries are invalidated lazily (skipped on pop), which
+can only make a wake-up conservative (too early), never late — landing
+on an extra idle cycle is harmless because the cycle then executes the
+identical do-nothing stage pass.
+
 Modelling simplifications (standard for trace-driven simulators, and
 documented here so the fidelity ablation is honest):
 
@@ -31,7 +90,11 @@ documented here so the fidelity ablation is honest):
 
 from __future__ import annotations
 
+from bisect import insort
+from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from operator import attrgetter
 from typing import Dict, List, Optional, Sequence
 
 from repro.designspace.configuration import Configuration
@@ -42,22 +105,38 @@ from repro.workloads.tracegen import OpClass, TraceInstruction
 #: Cycles without a commit after which the simulator declares a hang.
 _DEADLOCK_LIMIT = 20000
 
+#: The two hot-loop implementations (see the module docstring).
+ENGINES = ("event", "tick")
 
-@dataclass
+#: Per-class lookups the hot loops use instead of enum properties.
+_IS_MEMORY = {cls: cls.is_memory for cls in OpClass}
+
+#: Functional-unit names in the order the event engine's indexed
+#: budget/ops counters use (``fu_idx`` indexes into this order).
+_FU_NAMES = ("int_alu", "int_mul", "fp_alu", "fp_mul")
+
+#: Stall reasons in the order the event engine's indexed counters use.
+_STALL_REASONS = (
+    "mispredict_block",
+    "fetch_miss",
+    "fetch_supply",
+    "issue_wait",
+    "memory_wait",
+    "execute_wait",
+)
+
+_SEQ_KEY = attrgetter("seq")
+
+
+@dataclass(slots=True)
 class _Op:
-    """In-flight state of one instruction."""
+    """In-flight state of one instruction.
 
-    __slots__ = (
-        "instr",
-        "seq",
-        "producers",
-        "completed",
-        "issued",
-        "result_cycle",
-        "mispredicted",
-        "btb_missed",
-        "wrong_path",
-    )
+    The first nine fields are the machine state both engines share; the
+    trailing fields are event-engine bookkeeping (consumer wakeup list,
+    outstanding-producer count, issue-queue membership, squash flag)
+    that the tick engine never touches.
+    """
 
     instr: TraceInstruction
     seq: int
@@ -68,6 +147,15 @@ class _Op:
     mispredicted: bool
     btb_missed: bool
     wrong_path: bool
+    consumers: Optional[List["_Op"]] = None
+    pending: int = 0
+    in_iq: bool = False
+    squashed: bool = False
+    memory: bool = False
+    branch: bool = False
+    fu: str = ""
+    base_latency: int = 0
+    fu_idx: int = 0
 
     @property
     def has_dest(self) -> bool:
@@ -147,17 +235,33 @@ class PipelineResult:
 
 
 class PipelineSimulator:
-    """Cycle-level simulator of one machine configuration."""
+    """Cycle-level simulator of one machine configuration.
+
+    Args:
+        config: The design point to simulate.
+        fixed: Fixed machine parameters (defaults to Table 2's).
+        wrong_path: Fetch and execute down mispredicted paths (see the
+            module docstring).
+        engine: ``"event"`` (default) or ``"tick"``.  Both produce
+            bit-identical :class:`PipelineStats`; the tick engine is the
+            straightforward cycle loop kept as the equivalence oracle.
+    """
 
     def __init__(
         self,
         config: Configuration,
         fixed: Optional[FixedParameters] = None,
         wrong_path: bool = False,
+        engine: str = "event",
     ) -> None:
         from .cachesim import build_hierarchy
         from .predictor import BranchTargetBuffer, GsharePredictor
 
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose one of {ENGINES}"
+            )
+        self.engine = engine
         self.wrong_path = wrong_path
         self.spec = MachineSpec(config, fixed or FixedParameters())
         fixed = self.spec.fixed
@@ -215,19 +319,33 @@ class PipelineSimulator:
             raise ValueError("cannot simulate an empty trace")
         if not 0 <= warmup < len(trace):
             raise ValueError("warmup must leave at least one measured instruction")
+        if self.spec.rename_registers < 1:
+            raise ValueError("register file leaves no rename registers")
+        if self.engine == "event":
+            stats, warm_snapshot = self._run_event(trace, warmup)
+        else:
+            stats, warm_snapshot = self._run_tick(trace, warmup)
+        self._harvest_cache_stats(stats)
+        if warm_snapshot is not None:
+            stats = self._subtract_snapshot(stats, warm_snapshot)
+        energy = self._account_energy(stats)
+        return PipelineResult(cycles=stats.cycles, energy=energy, stats=stats)
+
+    def _run_tick(self, trace, warmup):
+        """The cycle-by-cycle oracle loop (``engine="tick"``)."""
         config = self.spec.configuration
         fixed = self.spec.fixed
         stats = PipelineStats()
         width = config.width
         rename_pool = self.spec.rename_registers
-        if rename_pool < 1:
-            raise ValueError("register file leaves no rename registers")
 
-        rob: List[_Op] = []
+        rob: deque = deque()
         iq: List[_Op] = []
         executing: List[_Op] = []
-        fetch_buffer: List[_Op] = []
-        # Outstanding L1 misses: (completion cycle) per busy MSHR.
+        fetch_buffer: deque = deque()
+        # Outstanding L1 misses: a min-heap of completion cycles, one
+        # entry per busy MSHR (only the count and the earliest release
+        # matter, so a heap replaces the per-cycle list rebuild).
         mshrs: List[int] = []
         lsq_used = 0
         branches_used = 0
@@ -255,7 +373,7 @@ class PipelineSimulator:
             # ---------------- commit ----------------------------------
             commits = 0
             while rob and rob[0].completed and commits < width:
-                op = rob.pop(0)
+                op = rob.popleft()
                 if op.is_memory:
                     lsq_used -= 1
                 if op.instr.op is OpClass.BRANCH:
@@ -269,8 +387,8 @@ class PipelineSimulator:
                 last_commit_cycle = now
 
             # ---------------- MSHR release -----------------------------
-            if mshrs:
-                mshrs = [cycle for cycle in mshrs if cycle > now]
+            while mshrs and mshrs[0] <= now:
+                heappop(mshrs)
 
             # ---------------- writeback -------------------------------
             finished = [op for op in executing if op.result_cycle <= now]
@@ -306,10 +424,12 @@ class PipelineSimulator:
                     1 for w in rob
                     if w.wrong_path and w.instr.op is OpClass.BRANCH
                 )
-                rob = [w for w in rob if not w.wrong_path]
+                rob = deque(w for w in rob if not w.wrong_path)
                 iq = [w for w in iq if not w.wrong_path]
                 executing = [w for w in executing if not w.wrong_path]
-                fetch_buffer = [w for w in fetch_buffer if not w.wrong_path]
+                fetch_buffer = deque(
+                    w for w in fetch_buffer if not w.wrong_path
+                )
                 regs_free += released_regs
                 lsq_used -= released_lsq
                 branches_used -= released_branches
@@ -355,7 +475,7 @@ class PipelineSimulator:
                     dcache_port_budget -= 1
                     latency = self.caches["l1d"].access(op.instr.address)
                     if latency > fixed.l1_latency:
-                        mshrs.append(now + latency)
+                        heappush(mshrs, now + latency)
                     if op.instr.op is OpClass.STORE:
                         stats.stores += 1
                         latency = self._latency[OpClass.STORE]
@@ -392,7 +512,7 @@ class PipelineSimulator:
                     break
                 if op.has_dest and regs_free == 0:
                     break
-                fetch_buffer.pop(0)
+                fetch_buffer.popleft()
                 # Source renaming: find in-flight producers.
                 op.producers = [
                     producer
@@ -544,11 +664,609 @@ class PipelineSimulator:
                 )
 
         stats.cycles = now
-        self._harvest_cache_stats(stats)
-        if warm_snapshot is not None:
-            stats = self._subtract_snapshot(stats, warm_snapshot)
-        energy = self._account_energy(stats)
-        return PipelineResult(cycles=stats.cycles, energy=energy, stats=stats)
+        return stats, warm_snapshot
+
+    def _run_event(self, trace, warmup):
+        """The event-driven hot loop (``engine="event"``).
+
+        Executes every *active* cycle with the exact tick stage
+        semantics and jumps over provably idle spans; see the module
+        docstring for the invariant argument.  Counters are kept in
+        locals and flushed into the :class:`PipelineStats` at the
+        snapshot boundary and at the end of the run.
+        """
+        config = self.spec.configuration
+        fixed = self.spec.fixed
+        stats = PipelineStats()
+        width = config.width
+        rename_pool = self.spec.rename_registers
+
+        # Hot-path bindings: resolving these once keeps the per-cycle
+        # cost down to the work the cycle actually does.
+        is_mem = _IS_MEMORY
+        latency_of = self._latency
+        fu_of = self._fu_class
+        units = self.units
+        l1d = self.caches["l1d"]
+        l1d_access = l1d.access
+        l1d_lookup = l1d.lookup
+        l1i_access = self.caches["l1i"].access
+        gshare_update = self.gshare.update
+        gshare_predict = self.gshare.predict
+        btb_lookup = self.btb.lookup
+        btb_update = self.btb.update
+        BRANCH = OpClass.BRANCH
+        STORE = OpClass.STORE
+        rob_size = config.rob_size
+        iq_size = config.iq_size
+        lsq_size = config.lsq_size
+        max_branches = config.max_branches
+        rf_read_ports = config.rf_read_ports
+        rf_write_ports = config.rf_write_ports
+        dcache_ports = units["dcache_ports"]
+        mshr_entries = fixed.mshr_entries
+        fetch_entries = fixed.fetch_buffer_entries
+        line_bytes = fixed.l1_line_bytes
+        l1_latency = fixed.l1_latency
+        redirect = fixed.branch_redirect_penalty
+        store_latency = latency_of[STORE]
+        wrong_path_mode = self.wrong_path
+        trace_len = len(trace)
+
+        # Per-trace-index op metadata, computed once so the hot loop
+        # never hashes OpClass members (enum __hash__ is a Python call;
+        # keying the 7-entry table by id() hashes a plain int instead).
+        fu_index = {name: idx for idx, name in enumerate(_FU_NAMES)}
+        meta_by_id = {
+            id(cls): (
+                is_mem[cls],
+                latency_of.get(cls, 0),
+                fu_index[fu_of[cls]],
+                cls is OpClass.BRANCH,
+            )
+            for cls in OpClass
+        }
+        op_meta = [meta_by_id[id(instr.op)] for instr in trace]
+        budget0 = units["int_alu"]
+        budget1 = units["int_mul"]
+        budget2 = units["fp_alu"]
+        budget3 = units["fp_mul"]
+        new_op = _Op.__new__
+        seq_key = _SEQ_KEY
+        # Committed ops are dead (no structure references them once they
+        # leave the ROB), so their shells are recycled by fetch.
+        free_ops: list = []
+
+        rob: deque = deque()
+        rob_count = 0
+        iq_count = 0
+        # Ready-to-issue ops in ascending dispatch-sequence order — the
+        # tick engine's oldest-first IQ scan.  Dispatch appends (its seq
+        # is always the largest live one: the squash purge below removes
+        # every phantom before correct-path dispatch resumes); wake-ups
+        # insort.  Each op enters at most once: dispatch pushes only
+        # ops born ready, wake-up pushes only on the 1→0 pending edge.
+        ready: list = []
+        # In-execution ops keyed (result_cycle, seq); squashed entries
+        # are invalidated lazily on pop.  Single-cycle ops bypass the
+        # heap entirely: issue appends them (in seq order) to
+        # ``next_complete``, consumed by the next cycle's write-back.
+        exec_heap: list = []
+        next_complete: list = []
+        fetch_buffer: deque = deque()
+        fb_count = 0
+        mshrs: List[int] = []  # min-heap of MSHR release cycles
+        mshr_count = 0
+        lsq_used = 0
+        branches_used = 0
+        regs_free = rename_pool
+        # Pre-seeded with every register the trace touches so the hot
+        # loop can index directly instead of calling .get().
+        rename_map: Dict[int, Optional[_Op]] = {}
+        for instr in trace:
+            if instr.dest is not None:
+                rename_map[instr.dest] = None
+            for source in instr.sources:
+                rename_map[source] = None
+
+        next_fetch = 0
+        fetch_resume = 0
+        fetch_block: Optional[_Op] = None
+        speculating_past: Optional[_Op] = None
+        rename_checkpoint: Optional[Dict[int, Optional[_Op]]] = None
+        phantom_offset = 0
+        phantom_seq = trace_len
+        now = 0
+        last_commit_cycle = 0
+        warm_snapshot: Optional[Dict[str, float]] = None
+
+        # Local counters, flushed into ``stats`` at the snapshot and at
+        # the end; the dicts are shared with ``stats`` directly.
+        committed = 0
+        dispatched = 0
+        issued_total = 0
+        rf_reads = 0
+        rf_writes = 0
+        loads = 0
+        stores = 0
+        branches = 0
+        mispredicts = 0
+        btb_misses = 0
+        icache_accesses = 0
+        wrong_path_fetched = 0
+        # Indexed counters (flushed into the stats dicts at the
+        # snapshot and at the end): alu by ``fu_idx``, stalls by the
+        # ``_STALL_REASONS`` index.
+        alu_counts = [0, 0, 0, 0]
+        stall_counts = [0, 0, 0, 0, 0, 0]
+
+        need_snapshot = warmup > 0
+        executed_cycles = 0
+
+        while committed < trace_len:
+            executed_cycles += 1
+            if need_snapshot and committed >= warmup:
+                need_snapshot = False
+                stats.committed = committed
+                stats.dispatched = dispatched
+                stats.issued = issued_total
+                stats.rf_reads = rf_reads
+                stats.rf_writes = rf_writes
+                stats.loads = loads
+                stats.stores = stores
+                stats.branches = branches
+                stats.mispredicts = mispredicts
+                stats.btb_misses = btb_misses
+                stats.icache_accesses = icache_accesses
+                stats.wrong_path_fetched = wrong_path_fetched
+                for idx, count in enumerate(alu_counts):
+                    if count:
+                        stats.alu_ops[_FU_NAMES[idx]] = count
+                for idx, count in enumerate(stall_counts):
+                    if count:
+                        stats.stall_cycles[_STALL_REASONS[idx]] = count
+                warm_snapshot = self._snapshot(stats, now)
+
+            active = False
+
+            # ---------------- commit ----------------------------------
+            commits = 0
+            while rob_count and commits < width:
+                op = rob.popleft()
+                if not op.completed:
+                    rob.appendleft(op)
+                    break
+                rob_count -= 1
+                instr = op.instr
+                if op.memory:
+                    lsq_used -= 1
+                if op.branch:
+                    branches_used -= 1
+                dest = instr.dest
+                if dest is not None:
+                    regs_free += 1
+                    if rename_map[dest] is op:
+                        rename_map[dest] = None
+                if rename_checkpoint is None:
+                    # Safe to recycle: nothing references a committed op
+                    # once its rename entry is cleared.  A live
+                    # checkpoint may still reference it (the squash
+                    # restore would resurrect a recycled shell), so ops
+                    # committed under speculation are left to the GC.
+                    free_ops.append(op)
+                committed += 1
+                commits += 1
+                last_commit_cycle = now
+            if commits:
+                active = True
+
+            # ---------------- MSHR release -----------------------------
+            while mshrs and mshrs[0] <= now:
+                heappop(mshrs)
+                mshr_count -= 1
+
+            # ---------------- writeback -------------------------------
+            # Completions arrive from two seq-sorted streams merged in
+            # order: ``next_complete`` (single-cycle ops issued last
+            # cycle, appended in seq order) and the heap (live entries
+            # popped here all carry result_cycle == now because no
+            # completion cycle is ever jumped over, so heap order is the
+            # tick engine's seq-sorted ``finished`` list).
+            writebacks = 0
+            speculation_resolved = False
+            completing = next_complete
+            ci = 0
+            clen = len(completing)
+            if clen:
+                next_complete = []
+            while True:
+                if exec_heap and exec_heap[0][0] <= now:
+                    if ci < clen and completing[ci].seq < exec_heap[0][1]:
+                        op = completing[ci]
+                        ci += 1
+                        seq = op.seq
+                    else:
+                        _, seq, op = heappop(exec_heap)
+                elif ci < clen:
+                    op = completing[ci]
+                    ci += 1
+                    seq = op.seq
+                else:
+                    break
+                if op.squashed:
+                    continue  # removed by a squash; stale entry
+                active = True
+                instr = op.instr
+                if instr.dest is not None:
+                    if writebacks >= rf_write_ports:
+                        # Retry next cycle (through the heap so the two
+                        # streams stay disjoint in seq order).
+                        heappush(exec_heap, (now + 1, seq, op))
+                        continue
+                    writebacks += 1
+                    rf_writes += 1
+                op.completed = True
+                consumers = op.consumers
+                if consumers:
+                    for consumer in consumers:
+                        consumer.pending -= 1
+                        if consumer.pending == 0 and consumer.in_iq:
+                            insort(ready, consumer, key=seq_key)
+                if op is fetch_block:
+                    fetch_resume = now + redirect + 1
+                    fetch_block = None
+                if op is speculating_past:
+                    speculation_resolved = True
+
+            if speculation_resolved:
+                released_regs = 0
+                released_lsq = 0
+                released_branches = 0
+                survivors: deque = deque()
+                for w in rob:
+                    if not w.wrong_path:
+                        survivors.append(w)
+                        continue
+                    w.squashed = True
+                    if w.in_iq:
+                        w.in_iq = False
+                        iq_count -= 1
+                    instr = w.instr
+                    if instr.dest is not None:
+                        released_regs += 1
+                    if w.memory:
+                        released_lsq += 1
+                    if w.branch:
+                        released_branches += 1
+                rob = survivors
+                rob_count = len(rob)
+                if ready:
+                    # Eager purge (unlike the lazy heaps) so the sorted
+                    # list holds only live in-IQ ops: dispatch can then
+                    # plain-append and issue can skip liveness checks.
+                    ready = [w for w in ready if not w.wrong_path]
+                if fetch_buffer:
+                    fetch_buffer = deque(
+                        w for w in fetch_buffer if not w.wrong_path
+                    )
+                    fb_count = len(fetch_buffer)
+                regs_free += released_regs
+                lsq_used -= released_lsq
+                branches_used -= released_branches
+                rename_map = dict(rename_checkpoint)
+                rename_checkpoint = None
+                speculating_past = None
+                fetch_resume = now + redirect + 1
+                active = True
+
+            # ---------------- issue ------------------------------------
+            if ready:
+                issue_budget = width
+                read_port_budget = rf_read_ports
+                dcache_port_budget = dcache_ports
+                fu_budget = [budget0, budget1, budget2, budget3]
+                blocked = None
+                i = 0
+                n_ready = len(ready)
+                while i < n_ready and issue_budget:
+                    op = ready[i]
+                    i += 1
+                    instr = op.instr
+                    fu_idx = op.fu_idx
+                    reads = len(instr.sources)
+                    memory = op.memory
+                    if (
+                        fu_budget[fu_idx] == 0
+                        or read_port_budget < reads
+                        or (memory and dcache_port_budget == 0)
+                        or (
+                            memory
+                            and mshr_count >= mshr_entries
+                            and not l1d_lookup(instr.address)
+                        )
+                    ):
+                        # Structurally blocked: retry next cycle.
+                        if blocked is None:
+                            blocked = [op]
+                        else:
+                            blocked.append(op)
+                        continue
+                    op.in_iq = False
+                    iq_count -= 1
+                    op.issued = True
+                    issue_budget -= 1
+                    fu_budget[fu_idx] -= 1
+                    read_port_budget -= reads
+                    issued_total += 1
+                    rf_reads += reads
+                    if memory:
+                        dcache_port_budget -= 1
+                        latency = l1d_access(instr.address)
+                        if latency > l1_latency:
+                            heappush(mshrs, now + latency)
+                            mshr_count += 1
+                        if instr.op is STORE:
+                            stores += 1
+                            latency = store_latency
+                        else:
+                            loads += 1
+                    else:
+                        latency = op.base_latency
+                    if op.branch and not op.wrong_path:
+                        branches += 1
+                        mispredicted = gshare_update(instr.pc, instr.taken)
+                        op.mispredicted = mispredicted
+                        if instr.taken:
+                            btb_update(instr.pc, 0)
+                        if mispredicted:
+                            mispredicts += 1
+                    alu_counts[fu_idx] += 1
+                    if latency > 1:
+                        heappush(exec_heap, (now + latency, op.seq, op))
+                    else:
+                        # Completes next cycle: bypass the heap (appends
+                        # happen in seq order because ``ready`` is
+                        # walked in seq order).
+                        next_complete.append(op)
+                    active = True
+                # Blocked ops (all older than the unvisited tail) plus
+                # the tail carry over, still in ascending seq order.
+                if blocked is None:
+                    del ready[:i]
+                else:
+                    if i < n_ready:
+                        blocked.extend(ready[i:])
+                    ready = blocked
+
+            # ---------------- rename / dispatch ------------------------
+            if fb_count:
+                dispatch_budget = width
+                while fb_count and dispatch_budget:
+                    op = fetch_buffer[0]
+                    if rob_count >= rob_size or iq_count >= iq_size:
+                        break
+                    instr = op.instr
+                    memory = op.memory
+                    if memory and lsq_used >= lsq_size:
+                        break
+                    if op.branch and branches_used >= max_branches:
+                        break
+                    dest = instr.dest
+                    if dest is not None and regs_free == 0:
+                        break
+                    fetch_buffer.popleft()
+                    fb_count -= 1
+                    pending = 0
+                    for source in instr.sources:
+                        producer = rename_map[source]
+                        if producer is not None and not producer.completed:
+                            pending += 1
+                            if producer.consumers is None:
+                                producer.consumers = [op]
+                            else:
+                                producer.consumers.append(op)
+                    op.pending = pending
+                    if dest is not None:
+                        regs_free -= 1
+                        rename_map[dest] = op
+                    if memory:
+                        lsq_used += 1
+                    if op.branch:
+                        branches_used += 1
+                    rob.append(op)
+                    rob_count += 1
+                    op.in_iq = True
+                    iq_count += 1
+                    if pending == 0:
+                        ready.append(op)
+                    dispatch_budget -= 1
+                    dispatched += 1
+                    active = True
+
+            # ---------------- fetch -------------------------------------
+            if (
+                wrong_path_mode
+                and speculating_past is not None
+                and now >= fetch_resume
+            ):
+                fetched = 0
+                current_line = -1
+                while fetched < width and fb_count < fetch_entries:
+                    template_index = (next_fetch + phantom_offset) % trace_len
+                    template = trace[template_index]
+                    line = template.pc // line_bytes
+                    if line != current_line:
+                        icache_accesses += 1
+                        active = True
+                        latency = l1i_access(template.pc)
+                        current_line = line
+                        if latency > l1_latency:
+                            fetch_resume = now + latency
+                            break
+                    # result_cycle / mispredicted / btb_missed / fu are
+                    # never read by this engine, so those slots stay
+                    # unset (or stale on a recycled shell).
+                    meta = op_meta[template_index]
+                    op = free_ops.pop() if free_ops else new_op(_Op)
+                    op.instr = template
+                    op.seq = phantom_seq
+                    op.completed = False
+                    op.issued = False
+                    op.wrong_path = True
+                    op.consumers = None
+                    op.pending = 0
+                    op.in_iq = False
+                    op.squashed = False
+                    op.memory = meta[0]
+                    op.base_latency = meta[1]
+                    op.fu_idx = meta[2]
+                    op.branch = meta[3]
+                    fetch_buffer.append(op)
+                    fb_count += 1
+                    phantom_seq += 1
+                    phantom_offset += 1
+                    fetched += 1
+                    wrong_path_fetched += 1
+                    active = True
+            elif (
+                fetch_block is None
+                and speculating_past is None
+                and now >= fetch_resume
+                and next_fetch < trace_len
+            ):
+                fetched = 0
+                current_line = -1
+                while (
+                    fetched < width
+                    and fb_count < fetch_entries
+                    and next_fetch < trace_len
+                ):
+                    instr = trace[next_fetch]
+                    line = instr.pc // line_bytes
+                    if line != current_line:
+                        icache_accesses += 1
+                        active = True
+                        latency = l1i_access(instr.pc)
+                        current_line = line
+                        if latency > l1_latency:
+                            fetch_resume = now + latency
+                            break
+                    meta = op_meta[next_fetch]
+                    op = free_ops.pop() if free_ops else new_op(_Op)
+                    op.instr = instr
+                    op.seq = next_fetch
+                    op.completed = False
+                    op.issued = False
+                    op.wrong_path = False
+                    op.consumers = None
+                    op.pending = 0
+                    op.in_iq = False
+                    op.squashed = False
+                    op.memory = meta[0]
+                    op.base_latency = meta[1]
+                    op.fu_idx = meta[2]
+                    op.branch = meta[3]
+                    next_fetch += 1
+                    fetched += 1
+                    fetch_buffer.append(op)
+                    fb_count += 1
+                    active = True
+                    if meta[3]:
+                        predicted_taken = gshare_predict(instr.pc)
+                        if predicted_taken != instr.taken:
+                            if wrong_path_mode:
+                                speculating_past = op
+                                rename_checkpoint = dict(rename_map)
+                                phantom_offset = 0
+                                break
+                            fetch_block = op
+                            break
+                        if instr.taken:
+                            target = btb_lookup(instr.pc)
+                            if target is None:
+                                op.btb_missed = True
+                                btb_misses += 1
+                                fetch_resume = now + redirect + 1
+                            break  # taken branch ends the fetch group
+
+            # ---------------- stall accounting --------------------------
+            if commits == 0:
+                # Indexes into _STALL_REASONS.
+                if not rob_count:
+                    if fetch_block is not None:
+                        ridx = 0  # mispredict_block
+                    elif now < fetch_resume:
+                        ridx = 1  # fetch_miss
+                    else:
+                        ridx = 2  # fetch_supply
+                else:
+                    head = rob[0]
+                    if not head.issued:
+                        ridx = 3  # issue_wait
+                    elif head.memory:
+                        ridx = 4  # memory_wait
+                    else:
+                        ridx = 5  # execute_wait
+                stall_counts[ridx] += 1
+
+            now += 1
+            if now - last_commit_cycle > _DEADLOCK_LIMIT:
+                raise RuntimeError(
+                    f"pipeline deadlock at cycle {now}: "
+                    f"{committed}/{trace_len} committed, "
+                    f"rob={rob_count} iq={iq_count} regs_free={regs_free}"
+                )
+
+            if active:
+                continue
+
+            # ---------------- idle-span jump ---------------------------
+            # The cycle did nothing, so the machine is frozen until the
+            # next timed event: structurally blocked ready ops retry
+            # with side-effect-free checks whose outcome cannot change
+            # while the state is frozen (budgets reset every cycle and
+            # the MSHR probe is a pure lookup), so they keep failing
+            # identically until a write-back, MSHR release, or fetch
+            # event.  Charge each skipped cycle the (constant) stall
+            # reason computed above and jump.
+            wake = exec_heap[0][0] if exec_heap else None
+            if mshrs and (wake is None or mshrs[0] < wake):
+                wake = mshrs[0]
+            if fetch_resume >= now and (
+                speculating_past is not None
+                or (fetch_block is None and next_fetch < trace_len)
+            ):
+                if wake is None or fetch_resume < wake:
+                    wake = fetch_resume
+            cap = last_commit_cycle + _DEADLOCK_LIMIT
+            if wake is None or wake > cap:
+                wake = cap
+            if wake > now:
+                # Same reason as the idle cycle just executed.
+                stall_counts[ridx] += wake - now
+                now = wake
+
+        self._executed_cycles = executed_cycles
+        for idx, count in enumerate(alu_counts):
+            if count:
+                stats.alu_ops[_FU_NAMES[idx]] = count
+        for idx, count in enumerate(stall_counts):
+            if count:
+                stats.stall_cycles[_STALL_REASONS[idx]] = count
+        stats.cycles = now
+        stats.committed = committed
+        stats.dispatched = dispatched
+        stats.issued = issued_total
+        stats.rf_reads = rf_reads
+        stats.rf_writes = rf_writes
+        stats.loads = loads
+        stats.stores = stores
+        stats.branches = branches
+        stats.mispredicts = mispredicts
+        stats.btb_misses = btb_misses
+        stats.icache_accesses = icache_accesses
+        stats.wrong_path_fetched = wrong_path_fetched
+        return stats, warm_snapshot
 
     def run_profile(
         self,

@@ -42,6 +42,7 @@ class GsharePredictor:
         self._mask = entries - 1
         self._history_bits = max(1, entries.bit_length() - 1)
         self._history = 0
+        self._history_mask = (1 << self._history_bits) - 1
         # Two-bit saturating counters, initialised weakly taken.
         self._table = bytearray([2] * entries)
         self.stats = PredictorStats()
@@ -51,7 +52,8 @@ class GsharePredictor:
 
     def predict(self, pc: int) -> bool:
         """Predict taken/not-taken for the branch at ``pc``."""
-        return self._table[self._index(pc)] >= 2
+        # _index() inlined: called once per fetched branch.
+        return self._table[((pc >> 2) ^ self._history) & self._mask] >= 2
 
     def update(self, pc: int, taken: bool) -> bool:
         """Train on the resolved outcome; returns mispredicted?.
@@ -60,15 +62,15 @@ class GsharePredictor:
         shifts the outcome into the history register, the standard
         in-order training discipline.
         """
-        index = self._index(pc)
-        prediction = self._table[index] >= 2
-        counter = self._table[index]
+        table = self._table
+        index = ((pc >> 2) ^ self._history) & self._mask
+        counter = table[index]
+        prediction = counter >= 2
         if taken:
-            self._table[index] = min(3, counter + 1)
+            table[index] = 3 if counter >= 2 else counter + 1
         else:
-            self._table[index] = max(0, counter - 1)
-        history_mask = (1 << self._history_bits) - 1
-        self._history = ((self._history << 1) | int(taken)) & history_mask
+            table[index] = 0 if counter <= 1 else counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
         self.stats.predictions += 1
         mispredicted = prediction != taken
         if mispredicted:

@@ -197,6 +197,110 @@ class TestBitIdentical:
         )
 
 
+class _BatchOnlyBackend:
+    """A pre-suite worker backend: ``simulate_batch`` and nothing else."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def simulate_batch(self, profile, configs):
+        return self._inner.simulate_batch(profile, configs)
+
+
+class TestSuiteCapability:
+    def test_mixed_fleet_matches_serial(
+        self, backend, tiny_suite, tiny_configs, tmp_path
+    ):
+        """One suite-capable worker next to one legacy batch-only
+        worker: the coordinator bundles each according to its HELLO
+        flag and the journal stays bit-identical to a serial run."""
+        serial_runner, serial = serial_result(
+            backend, tiny_suite, tiny_configs, tmp_path
+        )
+        dist_runner = CampaignRunner(
+            backend,
+            tmp_path / "mixed",
+            chunk_size=16,
+            retry_policy=FAST_POLICY,
+            seed=5,
+        )
+
+        async def scenario():
+            coordinator = CampaignCoordinator(
+                dist_runner, port=0, monitor_interval=0.02
+            )
+            ready = asyncio.Event()
+            campaign = asyncio.create_task(
+                coordinator.run_async(
+                    tiny_suite, tiny_configs,
+                    ready_callback=lambda _: ready.set(),
+                )
+            )
+            await ready.wait()
+            fast = CampaignWorker(
+                "127.0.0.1", coordinator.port,
+                backend_factory=lambda: backend, worker_id="fast",
+            )
+            legacy = CampaignWorker(
+                "127.0.0.1", coordinator.port,
+                backend_factory=lambda: _BatchOnlyBackend(backend),
+                worker_id="legacy",
+            )
+            runs = [
+                asyncio.create_task(w.run_async())
+                for w in (fast, legacy)
+            ]
+            result = await campaign
+            await asyncio.gather(*runs, return_exceptions=True)
+            return coordinator, result, fast, legacy
+
+        coordinator, result, fast, legacy = asyncio.run(scenario())
+        assert result.complete
+        # The capability is derived from the backend, not configured.
+        assert fast.capabilities.simulate_suite is True
+        assert legacy.capabilities.simulate_suite is False
+        roster = {
+            entry["worker"]: entry
+            for entry in coordinator.membership.roster()
+        }
+        assert roster["fast"]["simulate_suite"] is True
+        assert roster["legacy"]["simulate_suite"] is False
+        assert_matrices_identical(serial, result)
+        assert journal_checksums(dist_runner) == journal_checksums(
+            serial_runner
+        )
+
+    def test_suite_worker_amortises_attempts(
+        self, backend, tiny_suite, tiny_configs, tmp_path
+    ):
+        """A lone suite-capable worker computes same-chunk bundles in
+        one backend call each: cache-served cells report attempts=0, so
+        the campaign's attempt total drops below its cell count."""
+        serial_runner, serial = serial_result(
+            backend, tiny_suite, tiny_configs, tmp_path
+        )
+        dist_runner = CampaignRunner(
+            backend,
+            tmp_path / "suite",
+            chunk_size=16,
+            retry_policy=FAST_POLICY,
+            seed=5,
+        )
+        _, result = distributed(
+            dist_runner,
+            tiny_suite,
+            tiny_configs,
+            n_workers=1,
+            backend_factory=lambda: backend,
+        )
+        assert result.complete
+        assert result.attempts < result.total_cells
+        assert_matrices_identical(serial, result)
+        assert journal_checksums(dist_runner) == journal_checksums(
+            serial_runner
+        )
+
+
 class TestResumeInterop:
     def test_distributed_resumes_serial_checkpoint(
         self, backend, tiny_suite, tiny_configs, tmp_path

@@ -27,7 +27,8 @@ class TestWorkerCapabilities:
 
     def test_wire_round_trip(self):
         original = WorkerCapabilities(cores=8, memory_mb=16384,
-                                      throughput=123.456)
+                                      throughput=123.456,
+                                      simulate_suite=True)
         assert WorkerCapabilities.from_wire(original.to_wire()) == original
 
     def test_from_wire_tolerates_pre_elastic_hello(self):
@@ -35,6 +36,11 @@ class TestWorkerCapabilities:
         assert WorkerCapabilities.from_wire(None) == WorkerCapabilities()
         assert WorkerCapabilities.from_wire("junk") == WorkerCapabilities()
         assert WorkerCapabilities.from_wire({}) == WorkerCapabilities()
+
+    def test_pre_suite_hello_decodes_suiteless(self):
+        # A worker predating the suite fast path never sends the key.
+        wire = {"cores": 2, "memory_mb": 1024, "throughput": 50.0}
+        assert WorkerCapabilities.from_wire(wire).simulate_suite is False
 
     def test_from_wire_clamps_hostile_values(self):
         decoded = WorkerCapabilities.from_wire(
@@ -124,6 +130,22 @@ class TestCapacityWeighting:
         fleet.get("fast").slow = True
         assert fleet.bundle_size("fast") == 1
 
+    def test_suite_capable_bundle_is_doubled(self):
+        suite = WorkerCapabilities(throughput=100.0, simulate_suite=True)
+        fleet = FleetMembership(max_bundle=4)
+        fleet.hello("suite", suite, now=0.0)
+        fleet.hello("plain", caps(throughput=100.0), now=0.0)
+        # Same weight, but the suite worker amortises a whole bundle
+        # into one program-major call: double size, double ceiling.
+        assert fleet.bundle_size("plain") == 1
+        assert fleet.bundle_size("suite") == 2
+        fleet.hello("big", WorkerCapabilities(
+            throughput=600.0, simulate_suite=True), now=0.0)
+        assert fleet.bundle_size("big") == 8  # 2 * max_bundle ceiling
+        # Slow still wins: a straggler never gets a bundle.
+        fleet.get("suite").slow = True
+        assert fleet.bundle_size("suite") == 1
+
 
 class TestRebalanceScan:
     def _rated_fleet(self) -> FleetMembership:
@@ -190,6 +212,7 @@ class TestRoster:
         # w0 left, so the active-peer median is w1's own throughput.
         assert w1["weight"] == pytest.approx(1.0, abs=0.001)
         assert w1["bundle_size"] == 1
+        assert w1["simulate_suite"] is False
         assert w1["age_seconds"] == pytest.approx(5.0)
         import json
 

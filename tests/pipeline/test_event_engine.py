@@ -1,0 +1,198 @@
+"""Event-driven vs tick engine equivalence.
+
+The tick engine is the straightforward transcription of the stage
+semantics and serves as the oracle; the event engine must produce
+bit-identical :class:`PipelineStats` (and energy) on every run.  The
+suite sweeps trace lengths, wrong-path mode, warmup snapshots and
+degenerate machine shapes, then fuzzes random small traces.
+"""
+
+from dataclasses import asdict
+from typing import List, Optional, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.designspace import DesignSpace
+from repro.sim.machine import FixedParameters
+from repro.sim.pipeline import PipelineSimulator
+from repro.sim.pipeline.core import ENGINES
+from repro.workloads import generate_trace, spec2000_profile
+from repro.workloads.tracegen import OpClass, TraceInstruction
+
+_SPACE = DesignSpace()
+
+
+def assert_engines_identical(
+    config,
+    trace,
+    *,
+    wrong_path=False,
+    warmup=0,
+    fixed=None,
+):
+    """Run both engines and require field-by-field identical results."""
+    tick = PipelineSimulator(
+        config, fixed=fixed, wrong_path=wrong_path, engine="tick"
+    ).run(trace, warmup=warmup)
+    event = PipelineSimulator(
+        config, fixed=fixed, wrong_path=wrong_path, engine="event"
+    ).run(trace, warmup=warmup)
+    assert asdict(tick.stats) == asdict(event.stats)
+    assert tick.energy == event.energy
+    assert tick.cycles == event.cycles
+    return tick, event
+
+
+def _instruction(
+    index: int,
+    op: OpClass,
+    pc: Optional[int] = None,
+    dest: Optional[int] = None,
+    sources: Tuple[int, ...] = (0,),
+    address: Optional[int] = None,
+    taken: Optional[bool] = None,
+) -> TraceInstruction:
+    if dest is None and op not in (OpClass.STORE, OpClass.BRANCH):
+        dest = index % 32
+    if address is None and op.is_memory:
+        address = 0x1000 + (index % 16) * 32
+    branch_id = index % 8 if op is OpClass.BRANCH else None
+    if op is OpClass.BRANCH and taken is None:
+        taken = False
+    return TraceInstruction(
+        index=index,
+        op=op,
+        pc=pc if pc is not None else index * 4,
+        dest=dest,
+        sources=sources,
+        address=address,
+        branch_id=branch_id,
+        taken=taken,
+    )
+
+
+class TestEngineSelection:
+    def test_engines_constant(self):
+        assert ENGINES == ("event", "tick")
+
+    def test_unknown_engine_rejected(self, space):
+        with pytest.raises(ValueError, match="engine"):
+            PipelineSimulator(space.baseline, engine="cycle-accurate")
+
+    def test_default_engine_is_event(self, space):
+        assert PipelineSimulator(space.baseline).engine == "event"
+
+
+class TestSeededEquivalence:
+    @pytest.mark.parametrize("length", [1, 7, 64, 500, 4000])
+    def test_trace_lengths(self, space, length):
+        trace = generate_trace(spec2000_profile("gzip"), length, seed=11)
+        assert_engines_identical(space.baseline, trace)
+
+    @pytest.mark.parametrize("program", ["gzip", "swim", "art"])
+    def test_profiles(self, space, program):
+        trace = generate_trace(spec2000_profile(program), 2000, seed=5)
+        assert_engines_identical(space.baseline, trace)
+
+    @pytest.mark.parametrize("warmup", [0, 1, 500, 1999])
+    def test_warmup_snapshots(self, space, warmup):
+        trace = generate_trace(spec2000_profile("gzip"), 2000, seed=13)
+        assert_engines_identical(space.baseline, trace, warmup=warmup)
+
+    @pytest.mark.parametrize("warmup", [0, 700])
+    def test_wrong_path_mode(self, space, warmup):
+        trace = generate_trace(spec2000_profile("crafty"), 3000, seed=17)
+        tick, event = assert_engines_identical(
+            space.baseline, trace, wrong_path=True, warmup=warmup
+        )
+        # The mode actually exercised speculation in this trace.
+        assert tick.stats.wrong_path_fetched > 0
+
+    def test_extreme_corner_configs(self, space):
+        trace = generate_trace(spec2000_profile("mesa"), 1500, seed=23)
+        widest = space.baseline.replace(
+            width=8, rob_size=160, iq_size=80, lsq_size=80,
+            rf_read_ports=16, rf_write_ports=8,
+        )
+        narrowest = space.baseline.replace(
+            width=2, rob_size=32, iq_size=8, lsq_size=8,
+            rf_size=40, rf_read_ports=2, rf_write_ports=1, max_branches=8,
+        )
+        for config in (widest, narrowest):
+            for wrong_path in (False, True):
+                assert_engines_identical(
+                    config, trace, wrong_path=wrong_path
+                )
+
+
+class TestDegenerateMachines:
+    """Off-grid minima: 1-wide, 1-entry IQ, 1 MSHR, tiny fetch buffer."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(spec2000_profile("gzip"), 1200, seed=29)
+
+    def test_one_wide_one_entry_iq(self, space, trace):
+        config = space.baseline.replace(
+            width=1, iq_size=1, rf_read_ports=2, rf_write_ports=1
+        )
+        assert_engines_identical(config, trace)
+        assert_engines_identical(config, trace, wrong_path=True)
+
+    def test_single_mshr(self, space, trace):
+        fixed = FixedParameters(mshr_entries=1)
+        assert_engines_identical(space.baseline, trace, fixed=fixed)
+        assert_engines_identical(
+            space.baseline, trace, fixed=fixed, wrong_path=True
+        )
+
+    def test_single_mshr_on_narrow_machine(self, space, trace):
+        config = space.baseline.replace(width=2, iq_size=8, lsq_size=8)
+        fixed = FixedParameters(mshr_entries=1, fetch_buffer_entries=2)
+        assert_engines_identical(config, trace, fixed=fixed)
+
+
+_ops = st.sampled_from(list(OpClass))
+
+
+@st.composite
+def random_traces(draw):
+    length = draw(st.integers(min_value=5, max_value=120))
+    trace: List[TraceInstruction] = []
+    for i in range(length):
+        op = draw(_ops)
+        sources = tuple(
+            draw(st.lists(st.integers(0, 31), min_size=0, max_size=2))
+        )
+        taken = draw(st.booleans()) if op is OpClass.BRANCH else None
+        address = (
+            draw(st.integers(0, 1 << 20)) * 32 if op.is_memory else None
+        )
+        trace.append(
+            _instruction(
+                i, op, pc=draw(st.integers(0, 4096)) * 4,
+                sources=sources, address=address, taken=taken,
+            )
+        )
+    return trace
+
+
+class TestFuzzEquivalence:
+    @given(trace=random_traces(), wrong_path=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_random_traces(self, trace, wrong_path):
+        assert_engines_identical(
+            _SPACE.baseline, trace, wrong_path=wrong_path
+        )
+
+    @given(trace=random_traces())
+    @settings(max_examples=15, deadline=None)
+    def test_random_traces_narrow_machine(self, trace):
+        config = _SPACE.baseline.replace(
+            width=2, rob_size=32, iq_size=8, lsq_size=8, rf_write_ports=1
+        )
+        assert_engines_identical(
+            config, trace, fixed=FixedParameters(mshr_entries=1)
+        )

@@ -10,13 +10,37 @@ import numpy as np
 import pytest
 
 from repro.runtime import (
+    CampaignJournal,
     CampaignRunner,
     FaultInjectingBackend,
     RetryPolicy,
     SimulationError,
     VirtualClock,
+    supports_suite,
 )
 from repro.sim import Metric
+
+
+class BatchOnlyBackend:
+    """Strip the suite fast path off a backend (per-cell oracle)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    @property
+    def space(self):
+        return self._inner.space
+
+    def simulate_batch(self, profile, configs):
+        return self._inner.simulate_batch(profile, configs)
+
+
+def _journal_cells(checkpoint_dir):
+    """The journal as a {cell: checksum} dict (order-insensitive)."""
+    journal = CampaignJournal(checkpoint_dir / "journal.jsonl")
+    return {
+        record["cell"]: record["checksum"] for record in journal.records()
+    }
 
 
 @pytest.fixture()
@@ -30,10 +54,11 @@ class TestCleanRun:
         assert clean_result.complete
         assert clean_result.failed_cells == ()
         assert clean_result.pending_cells == ()
-        # 3 programs x ceil(60 / 16) = 12 cells, one attempt each
+        # 3 programs x ceil(60 / 16) = 12 cells, served by 4 program-major
+        # suite calls (one per chunk: the backend supports simulate_suite)
         assert clean_result.total_cells == 12
         assert clean_result.simulated_cells == 12
-        assert clean_result.attempts == 12
+        assert clean_result.attempts == 4
 
     def test_matches_direct_simulation(self, clean_result, simulator,
                                        tiny_suite, tiny_configs):
@@ -368,6 +393,68 @@ class TestParallelCampaign:
         )
         with pytest.raises(SimulationError):
             runner.run(tiny_suite, tiny_configs, fail_fast=True)
+
+
+class TestSuiteFastPath:
+    """simulate_suite must be a pure performance knob: same matrices,
+    same journal content, fewer backend calls."""
+
+    def test_backend_advertises_suite(self, backend):
+        assert supports_suite(backend)
+        assert not supports_suite(BatchOnlyBackend(backend))
+        assert not supports_suite(FaultInjectingBackend(backend))
+
+    def test_suite_matches_per_cell_path(self, backend, tiny_suite,
+                                         tiny_configs, tmp_path):
+        fast = CampaignRunner(
+            backend, tmp_path / "fast", chunk_size=16
+        ).run(tiny_suite, tiny_configs)
+        slow = CampaignRunner(
+            BatchOnlyBackend(backend), tmp_path / "slow", chunk_size=16
+        ).run(tiny_suite, tiny_configs)
+        assert fast.complete and slow.complete
+        assert fast.attempts == 4  # one suite call per chunk
+        assert slow.attempts == 12  # one batch call per cell
+        for metric in Metric.all():
+            assert np.array_equal(fast.matrix(metric), slow.matrix(metric))
+        assert _journal_cells(tmp_path / "fast") == _journal_cells(
+            tmp_path / "slow"
+        )
+
+    def test_parallel_suite_journal_matches_serial(self, backend,
+                                                   tiny_suite, tiny_configs,
+                                                   tmp_path):
+        serial = CampaignRunner(
+            backend, tmp_path / "serial", chunk_size=16
+        ).run(tiny_suite, tiny_configs)
+        parallel = CampaignRunner(
+            backend, tmp_path / "par", chunk_size=16, n_jobs=2
+        ).run(tiny_suite, tiny_configs)
+        assert parallel.attempts == serial.attempts == 4
+        for metric in Metric.all():
+            assert np.array_equal(
+                parallel.matrix(metric), serial.matrix(metric)
+            )
+        assert _journal_cells(tmp_path / "par") == _journal_cells(
+            tmp_path / "serial"
+        )
+
+    def test_suite_interrupt_resumes_per_cell(self, backend, tiny_suite,
+                                              tiny_configs, tmp_path,
+                                              clean_result):
+        """max_cells interrupts mid-chunk-row; the resume recomputes only
+        the unjournalled cells, via smaller suite calls."""
+        runner = CampaignRunner(backend, tmp_path / "cut", chunk_size=16)
+        partial = runner.run(tiny_suite, tiny_configs, max_cells=5)
+        assert partial.simulated_cells == 5
+        finished = runner.run(tiny_suite, tiny_configs, resume=True)
+        assert finished.complete
+        assert finished.resumed_cells == 5
+        assert finished.simulated_cells == 7
+        for metric in Metric.all():
+            assert np.array_equal(
+                finished.matrix(metric), clean_result.matrix(metric)
+            )
 
 
 class TestInterruptedManifest:

@@ -178,8 +178,30 @@ class TestParallelParity:
     def test_parallel_spans_carry_worker_attrs(
         self, backend, tiny_suite, tiny_configs, tmp_path
     ):
+        """A suite-capable backend gets one program-major task per
+        chunk, so the workers emit one ``simulate.suite`` span each."""
         runner = CampaignRunner(
             backend, tmp_path / "par", chunk_size=16, n_jobs=2
+        )
+        with scoped_tracer() as tracer:
+            result = runner.run(tiny_suite, tiny_configs)
+        suite_spans = [
+            s for s in tracer.spans if s["name"] == "simulate.suite"
+        ]
+        chunks = result.total_cells // len(result.programs)
+        assert len(suite_spans) == chunks
+        for record in suite_spans:
+            assert record["attrs"]["outcome"] == "ok"
+            assert record["attrs"]["attempts"] == 1
+            assert record["attrs"]["programs"] == len(result.programs)
+
+    def test_parallel_cell_spans_for_batch_only_backends(
+        self, backend, tiny_suite, tiny_configs, tmp_path
+    ):
+        """Suite-less backends keep the per-cell task shape and spans."""
+        faulty = FaultInjectingBackend(backend, seed=3)
+        runner = CampaignRunner(
+            faulty, tmp_path / "cells", chunk_size=16, n_jobs=2
         )
         with scoped_tracer() as tracer:
             result = runner.run(tiny_suite, tiny_configs)

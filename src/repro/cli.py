@@ -233,6 +233,78 @@ def _build_parser() -> argparse.ArgumentParser:
         "--min-workers", type=int, default=0,
         help="hold task hand-out until this many workers connected",
     )
+    coordinator.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="also serve read-only /metrics, /healthz and /status over "
+        "HTTP on this port (0 picks a free one)",
+    )
+    coordinator.add_argument(
+        "--slo", default=None, metavar="FILE", dest="slo_config",
+        help="SLO objectives JSON, evaluated live against the "
+        "campaign's time series (see docs/observability.md)",
+    )
+    coordinator.add_argument(
+        "--sample-interval", type=float, default=1.0,
+        help="seconds between time-series samples feeding the status "
+        "series and SLO burn rates",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live fleet dashboard over a running coordinator "
+        "(read-only; never counts as a worker)",
+    )
+    top.add_argument(
+        "address", metavar="HOST:PORT", type=_host_port_arg,
+        help="coordinator address (the worker port, not --http-port)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="render one plain-text frame and exit (CI/scripting mode)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None,
+        help="exit after this many live refreshes (default: until the "
+        "coordinator goes away or Ctrl-C)",
+    )
+    top.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="seconds to wait for each snapshot",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="evaluate declarative SLOs; 'slo check' exits non-zero on "
+        "any violated objective",
+    )
+    slo.add_argument("action", choices=("check",),
+                     help="what to do with the objectives")
+    slo.add_argument(
+        "--objectives", required=True, metavar="FILE",
+        help="SLO objectives JSON",
+    )
+    slo.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="evaluate against a Prometheus text export "
+        "(e.g. a --metrics-out artifact)",
+    )
+    slo.add_argument(
+        "--status", default=None, metavar="HOST:PORT", dest="status_addr",
+        type=_host_port_arg,
+        help="evaluate a live coordinator's already-computed SLO state",
+    )
+    slo.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the full status list as JSON",
+    )
+    slo.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="seconds to wait for a live snapshot (--status)",
+    )
 
     worker = sub.add_parser(
         "worker",
@@ -491,17 +563,30 @@ def _coordinate(args: argparse.Namespace, runner, profiles, configs):
         if getattr(args, "distributed", None)
         else (args.host, args.port)
     )
+    slo = None
+    slo_config = getattr(args, "slo_config", None)
+    if slo_config:
+        from repro.obs import SLOTracker
+
+        slo = SLOTracker.from_config(slo_config)
     coordinator = CampaignCoordinator(
         runner,
         host=host,
         port=port,
         lease_timeout=getattr(args, "lease_timeout", 60.0),
         min_workers=getattr(args, "min_workers", 0),
+        http_port=getattr(args, "http_port", None),
+        slo=slo,
+        sample_interval=getattr(args, "sample_interval", 1.0),
     )
 
     def _ready(c) -> None:
         print(f"coordinating on {c.host}:{c.port}; start workers with: "
               f"repro worker --connect {c.host}:{c.port}", file=sys.stderr)
+        if c.http_port is not None:
+            print(f"observability on http://{c.host}:{c.http_port} "
+                  "(/metrics /healthz /status); watch live with: "
+                  f"repro top {c.host}:{c.port}", file=sys.stderr)
 
     result = coordinator.run(
         profiles, configs, resume=args.resume, ready_callback=_ready
@@ -963,6 +1048,97 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.distrib import ProtocolError
+    from repro.distrib.top import TopSession
+
+    host, port = args.address
+    session = TopSession(host, port, timeout=args.timeout)
+    try:
+        if args.once:
+            return session.run_once(sys.stdout)
+        return session.run(
+            sys.stdout, interval=args.interval, max_frames=args.frames
+        )
+    except (ConnectionError, ProtocolError, OSError, TimeoutError) as error:
+        print(f"top error: {error}", file=sys.stderr)
+        return 1
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    import json
+    import math
+
+    from repro.obs import MetricsView, SLOTracker
+
+    try:
+        tracker = SLOTracker.from_config(args.objectives)
+    except (OSError, ValueError) as error:
+        print(f"slo config error: {error}", file=sys.stderr)
+        return 2
+    if args.metrics and args.status_addr:
+        print("pass --metrics or --status, not both", file=sys.stderr)
+        return 2
+    if args.status_addr:
+        # A live coordinator already evaluates its objectives against
+        # its own time series; trust its verdicts so the check agrees
+        # with what /metrics and `repro top` show.
+        from repro.distrib import ProtocolError, fetch_status
+
+        host, port = args.status_addr
+        try:
+            status = fetch_status(host, port, timeout=args.timeout)
+        except (ConnectionError, ProtocolError, OSError,
+                TimeoutError) as error:
+            print(f"slo status error: {error}", file=sys.stderr)
+            return 1
+        known = {entry.get("name"): entry for entry in status.get("slo", ())}
+        payloads = []
+        for objective in tracker.objectives:
+            entry = known.get(objective.name)
+            if entry is None:
+                entry = {"name": objective.name, "kind": objective.kind,
+                         "threshold": objective.threshold, "value": None,
+                         "burn": None, "ok": True, "no_data": True,
+                         "description": objective.description}
+            payloads.append(entry)
+    else:
+        if args.metrics:
+            try:
+                text = open(args.metrics, encoding="utf-8").read()
+            except OSError as error:
+                print(f"slo metrics error: {error}", file=sys.stderr)
+                return 2
+            source = MetricsView.from_prometheus(text)
+        else:
+            source = get_registry()  # in-process (mostly for tests)
+        _, statuses = tracker.check(source)
+        payloads = [status.to_payload() for status in statuses]
+    ok = all(entry.get("ok", False) for entry in payloads)
+    if args.as_json:
+        print(json.dumps(
+            {"ok": ok, "objectives": payloads}, indent=2, sort_keys=True
+        ))
+    else:
+        for entry in payloads:
+            if entry.get("no_data"):
+                verdict, burn = "no-data ", "-"
+            else:
+                verdict = "ok      " if entry.get("ok") else "VIOLATED"
+                raw_burn = entry.get("burn")
+                burn = (
+                    f"{raw_burn:.2f}x"
+                    if isinstance(raw_burn, (int, float))
+                    and not math.isnan(raw_burn)
+                    else "-"
+                )
+            print(f"slo       : {entry.get('name', '?'):<24} {verdict} "
+                  f"burn {burn} (threshold "
+                  f"{entry.get('threshold', '?')})")
+        print(f"verdict   : {'all objectives ok' if ok else 'SLO violation'}")
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     import dataclasses
     import json
@@ -1131,6 +1307,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_worker(args)
         if args.command == "status":
             return _cmd_status(args)
+        if args.command == "top":
+            return _cmd_top(args)
+        if args.command == "slo":
+            return _cmd_slo(args)
         if args.command == "chaos":
             return _cmd_chaos(args)
         raise AssertionError(f"unhandled command {args.command!r}")

@@ -66,6 +66,7 @@ from .membership import (
 )
 from .protocol import (
     MAX_FRAME_BYTES,
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     ProtocolError,
     decode_frame,
@@ -88,6 +89,7 @@ from .worker import CampaignWorker, CoordinatorLost, RepeatBackend
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "MIN_PROTOCOL_VERSION",
     "PROTOCOL_VERSION",
     "CampaignCoordinator",
     "CampaignWorker",

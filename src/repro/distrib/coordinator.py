@@ -51,7 +51,17 @@ import numpy as np
 
 from repro import __version__
 from repro.designspace.configuration import Configuration
-from repro.obs import get_logger, get_registry, get_tracer, git_sha, span
+from repro.obs import (
+    ObservabilityEndpoint,
+    SLOTracker,
+    TimeSeriesSampler,
+    get_logger,
+    get_registry,
+    get_tracer,
+    git_sha,
+    span,
+)
+from repro.obs.http import PROMETHEUS_CONTENT_TYPE, dump_json
 from repro.runtime.backend import SimulationError, validate_batch
 from repro.runtime.campaign import (
     CampaignCell,
@@ -189,6 +199,18 @@ class CampaignCoordinator:
             lease first).
         slow_fraction: Observed-rate threshold (fraction of the fleet
             median) below which a worker is flagged slow.
+        http_port: When not ``None``, serve read-only HTTP twins of
+            the status endpoint on this port (0 picks a free one; read
+            :attr:`http_port` once running): ``/metrics`` (Prometheus
+            text), ``/healthz`` and ``/status`` — the same surface
+            ``repro serve`` exposes, for the same scrapers.
+        slo: Objectives evaluated each sampling tick against the
+            campaign time series; state rides the status payload,
+            ``slo.*`` gauges, and ``/metrics``.
+        sample_interval: Seconds between
+            :class:`~repro.obs.TimeSeriesSampler` ticks feeding the
+            throughput series, windowed percentiles and SLO burn.
+        series_capacity: Ring-buffer points retained per instrument.
     """
 
     def __init__(
@@ -204,6 +226,10 @@ class CampaignCoordinator:
         max_bundle: int = 4,
         steal_after_fraction: float = 0.25,
         slow_fraction: float = 0.25,
+        http_port: Optional[int] = None,
+        slo: Optional[SLOTracker] = None,
+        sample_interval: float = 1.0,
+        series_capacity: int = 720,
     ) -> None:
         if lease_timeout <= 0:
             raise ValueError("lease_timeout must be positive")
@@ -246,6 +272,15 @@ class CampaignCoordinator:
         self._abort: Optional[SimulationError] = None
         self._fail_fast = False
         self._server: Optional[asyncio.base_events.Server] = None
+        # Observability plane, started alongside the TCP server.
+        self.http_port = http_port
+        self.slo = slo
+        self.sample_interval = sample_interval
+        self.sampler = TimeSeriesSampler(capacity=series_capacity)
+        self.trace_id: Optional[str] = None
+        self._root_span_id: Optional[str] = None
+        self._http: Optional[ObservabilityEndpoint] = None
+        self._slo_statuses: List[Dict] = []
 
     # ------------------------------------------------------------------
     # Entry points
@@ -320,21 +355,43 @@ class CampaignCoordinator:
                 except (NotImplementedError, RuntimeError, ValueError):
                     pass  # non-Unix loop or not the main thread
 
-        with span("distrib.coordinate", cells=len(plan.cells)):
+        # One trace id for the whole campaign: the coordinator mints it,
+        # every task ships it, every worker span stitches under it.
+        self.trace_id = get_tracer().ensure_trace_id()
+        with span("distrib.coordinate", cells=len(plan.cells)) as root:
+            self._root_span_id = root["span_id"] if root else None
             self._server = await asyncio.start_server(
                 self._handle_worker, self.host, self.port
             )
             self.port = self._server.sockets[0].getsockname()[1]
             get_registry().gauge("distrib.coordinator.up").set(1)
+            if self.http_port is not None:
+                self._http = ObservabilityEndpoint(
+                    self._http_routes(), host=self.host,
+                    port=self.http_port,
+                )
+                await self._http.start()
+                self.http_port = self._http.port
+                _log.info(
+                    "coordinator observability HTTP on %s:%d",
+                    self.host, self.http_port,
+                    extra={"event": "distrib.http_up",
+                           "port": self.http_port},
+                )
             if ready_callback is not None:
                 ready_callback(self)
             monitor = asyncio.create_task(self._monitor())
+            sampler = asyncio.create_task(self._sample_loop())
             try:
                 await self._complete.wait()
             finally:
                 self.stats.finished_at = time.monotonic()
                 self._draining = True
                 monitor.cancel()
+                sampler.cancel()
+                self._sample_once()  # final tick: campaign-end truth
+                if self._http is not None:
+                    await self._http.stop()
                 self._server.close()
                 await self._server.wait_closed()
                 # Tell idle workers the campaign is over before hanging
@@ -471,7 +528,7 @@ class CampaignCoordinator:
         assert self._plan is not None
         cell = lease.cell
         start, stop = cell.start, cell.stop
-        return {
+        message = {
             "type": "task",
             "lease": lease.lease_id,
             "cell": cell.cell,
@@ -486,6 +543,15 @@ class CampaignCoordinator:
             "policy": policy_to_wire(self.runner.retry_policy),
             "lease_timeout": self.lease_timeout,
         }
+        if self.trace_id is not None:
+            # Optional key: a v2 worker ignores it, a v3 worker binds
+            # it so its spans stitch under the campaign trace with the
+            # coordinate span as their cross-host parent.
+            message["trace"] = {
+                "trace_id": self.trace_id,
+                "parent_id": self._root_span_id,
+            }
+        return message
 
     def _issue_lease(self, worker: _WorkerState) -> Optional[Dict]:
         """Pop the next runnable cell and lease it to ``worker``."""
@@ -851,6 +917,9 @@ class CampaignCoordinator:
 
     def _on_heartbeat(self, message: Dict) -> Dict:
         """Extend every lease the heartbeat names (bundles send many)."""
+        # v3 heartbeats piggyback span batches so long tasks stream
+        # their trace instead of holding it until the result frame.
+        self._merge_telemetry(message.get("telemetry"))
         raw = message.get("leases")
         ids = [str(i) for i in raw] if isinstance(raw, list) else []
         primary = message.get("lease")
@@ -1021,6 +1090,63 @@ class CampaignCoordinator:
             get_tracer().adopt(spans)
 
     # ------------------------------------------------------------------
+    # Time series + SLO + HTTP twins
+    # ------------------------------------------------------------------
+    async def _sample_loop(self) -> None:
+        """Tick the time-series sampler on ``sample_interval``."""
+        while True:
+            await asyncio.sleep(self.sample_interval)
+            self._sample_once()
+
+    def _sample_once(self) -> None:
+        """Refresh progress gauges, take one sample, re-evaluate SLOs."""
+        registry = get_registry()
+        plan = self._plan
+        if plan is not None:
+            journalled = len(plan.completed) + len(self._done)
+            registry.gauge("distrib.cells.journalled").set(journalled)
+            registry.gauge("distrib.cells.queued").set(len(self._queue))
+            registry.gauge("distrib.cells.leased").set(len(self._leases))
+            registry.gauge("distrib.cells.failed").set(len(self._failed))
+        self.sampler.sample()
+        self._refresh_slo()
+
+    def _refresh_slo(self) -> None:
+        """Evaluate objectives against the series; mirror as gauges."""
+        if self.slo is None:
+            return
+        statuses = self.slo.evaluate(self.sampler)
+        self.slo.export_gauges(statuses, get_registry())
+        self._slo_statuses = [status.to_payload() for status in statuses]
+
+    def _http_routes(self) -> Dict:
+        """The read-only GET surface, mirroring ``repro serve``'s."""
+
+        def healthz():
+            ok = self._abort is None
+            return (
+                200 if ok else 503,
+                dump_json({
+                    "status": "ok" if ok else "aborting",
+                    "draining": self._draining,
+                    "trace_id": self.trace_id,
+                }),
+                "application/json",
+            )
+
+        def metrics():
+            self._refresh_slo()
+            text = get_registry().to_prometheus()
+            return 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE
+
+        def status():
+            payload = self._status_payload()
+            return 200, dump_json(payload), "application/json"
+
+        return {"/healthz": healthz, "/metrics": metrics,
+                "/status": status}
+
+    # ------------------------------------------------------------------
     # Status
     # ------------------------------------------------------------------
     def _status_payload(self) -> Dict:
@@ -1048,6 +1174,7 @@ class CampaignCoordinator:
             "type": "status",
             "version": __version__,
             "draining": self._draining,
+            "trace_id": self.trace_id,
             "campaign": campaign,
             "progress": progress,
             "fleet": self.membership.roster(now),
@@ -1078,6 +1205,17 @@ class CampaignCoordinator:
                 "releases": self.stats.releases,
             },
             "chaos_events": list(self.chaos_log),
+            "series": self.sampler.to_payload(
+                names=(
+                    "distrib.tasks.completed",
+                    "distrib.tasks.issued",
+                    "distrib.workers.connected",
+                    "distrib.cells.journalled",
+                    "distrib.lease.reclaimed",
+                    "distrib.steals",
+                )
+            ),
+            "slo": list(self._slo_statuses),
         }
 
 

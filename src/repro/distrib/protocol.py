@@ -14,8 +14,13 @@ encoding of the payload, so a frame damaged anywhere between the two
 version writing a different canonical form — is rejected as a
 :class:`ProtocolError` instead of being half-trusted.  The protocol
 version is checked on *every* frame, not just the handshake: a
-coordinator and worker from different releases fail loudly on the
+coordinator and worker from incompatible releases fail loudly on the
 first message rather than corrupting a campaign three hours in.
+Versions from :data:`MIN_PROTOCOL_VERSION` through
+:data:`PROTOCOL_VERSION` are accepted — additive vocabulary (v3's
+optional trace context and heartbeat span batches) must not strand a
+mixed fleet, so an old peer's frames still decode and its payloads
+simply lack the new optional keys ("decode to none").
 
 Payloads are dicts with a ``"type"`` key; the coordinator and worker
 modules define the message vocabulary.  This module owns only framing,
@@ -32,6 +37,7 @@ from typing import Dict, Optional
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "MIN_PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "ProtocolError",
     "encode_frame",
@@ -43,7 +49,14 @@ __all__ = [
 #: Bumped on any change to the envelope or message vocabulary.
 #: 2: elastic fleets — HELLO capabilities, task bundles, multi-lease
 #: heartbeats, release, status_request.
-PROTOCOL_VERSION = 2
+#: 3: observability — optional trace context on task payloads,
+#: optional span batches on heartbeats, series/SLO status fields.
+PROTOCOL_VERSION = 3
+
+#: Oldest version this side still decodes.  v3 only *adds* optional
+#: payload keys, so v2 frames remain fully meaningful: a v2 worker's
+#: spans simply carry no trace context and its heartbeats no spans.
+MIN_PROTOCOL_VERSION = 2
 
 #: Hard ceiling on one frame — a 128-configuration chunk of four
 #: float64 arrays is ~20 kB of JSON; 32 MiB leaves three orders of
@@ -101,11 +114,16 @@ def decode_frame(envelope: bytes) -> Dict:
     if not isinstance(message, dict):
         raise ProtocolError("frame envelope is not an object")
     version = message.get("v")
-    if version != PROTOCOL_VERSION:
+    if (
+        not isinstance(version, int)
+        or isinstance(version, bool)
+        or not MIN_PROTOCOL_VERSION <= version <= PROTOCOL_VERSION
+    ):
         raise ProtocolError(
             f"protocol version mismatch: peer speaks {version!r}, "
-            f"this side speaks {PROTOCOL_VERSION} — upgrade the older "
-            "of coordinator/worker"
+            f"this side accepts {MIN_PROTOCOL_VERSION}.."
+            f"{PROTOCOL_VERSION} — upgrade the older of "
+            "coordinator/worker"
         )
     payload = message.get("payload")
     if not isinstance(payload, dict) or "type" not in payload:

@@ -229,9 +229,11 @@ class CampaignWorker:
         self._draining = False
         # Private instruments: shipped with each result, merged
         # coordinator-side.  Never the process globals, so concurrent
-        # workers in one process cannot clobber each other.
+        # workers in one process cannot clobber each other.  The lane
+        # puts this worker's spans on their own named row in the
+        # coordinator's stitched chrome trace.
         self._registry = MetricsRegistry()
-        self._tracer = Tracer()
+        self._tracer = Tracer(lane=self.worker_id)
         self._telemetry_mark = 0
 
     # ------------------------------------------------------------------
@@ -506,6 +508,15 @@ class CampaignWorker:
         configs = configs_from_wire(task["configs"])
         policy = policy_from_wire(task["policy"])
         retry_seed = int(task["retry_seed"])
+        # Adopt the coordinator's trace context (absent from a
+        # pre-trace-context coordinator — then spans stay contextless
+        # and the coordinator's adopt() stamps its own trace id).
+        context = task.get("trace")
+        if isinstance(context, dict):
+            self._tracer.bind(
+                trace_id=context.get("trace_id"),
+                parent_id=context.get("parent_id"),
+            )
         attempts = 0
         cached = (
             suite_cache.pop(cell, None)
@@ -658,10 +669,16 @@ class CampaignWorker:
             held = [lease] + [
                 lid for lid in extra_leases if lid not in dead
             ]
-            await self._send(
-                writer,
-                {"type": "heartbeat", "lease": lease, "leases": held},
-            )
+            beat: dict = {
+                "type": "heartbeat", "lease": lease, "leases": held,
+            }
+            # Spans finished since the last drain (retry attempts,
+            # earlier bundle cells) ride the heartbeat, so the
+            # coordinator's live trace does not wait for the result.
+            spans = self._take_spans()
+            if spans:
+                beat["telemetry"] = {"spans": spans}
+            await self._send(writer, beat)
             ack = await read_message(reader)
             if ack is None:
                 raise CoordinatorLost(
@@ -680,6 +697,16 @@ class CampaignWorker:
                 await asyncio.shield(work)  # let the thread finish
                 return True, dead
 
+    def _take_spans(self) -> List[dict]:
+        """Spans finished since the last take, advancing the mark.
+
+        One mark serves both shippers (heartbeats and result drains),
+        so a span is sent exactly once however the two interleave.
+        """
+        spans = list(self._tracer.spans[self._telemetry_mark:])
+        self._telemetry_mark = self._tracer.mark()
+        return spans
+
     def _drain_telemetry(self) -> dict:
         """Snapshot-and-reset so each result carries only its own spans.
 
@@ -687,13 +714,11 @@ class CampaignWorker:
         after each drain — merging the same counter twice would double
         count coordinator-side.
         """
-        spans = list(self._tracer.spans[self._telemetry_mark:])
         telemetry = {
             "metrics": self._registry.snapshot(),
-            "spans": spans,
+            "spans": self._take_spans(),
         }
         self._registry = MetricsRegistry()
-        self._telemetry_mark = self._tracer.mark()
         return telemetry
 
 

@@ -10,10 +10,19 @@ Everything the rest of the package uses to explain itself at runtime:
   snapshot/merge protocol so worker processes aggregate into the
   parent correctly.
 * **Tracing** — :func:`span` context managers collected by a
-  :class:`Tracer`, exported as ``chrome://tracing`` JSON or JSONL.
+  :class:`Tracer`, exported as ``chrome://tracing`` JSON or JSONL,
+  with trace/span ids for cross-host stitching.
 * **Run manifests** — :func:`build_manifest` /
   :func:`write_manifest`: run id, seed, git sha, input checksum,
   timing summary and final metrics in one provenance file.
+* **Time series + SLOs** — :class:`TimeSeriesSampler` ring-buffers
+  registry samples for rates and windowed percentiles;
+  :class:`SLOTracker` evaluates declarative objectives (latency
+  budgets, burn rates) against a registry, a sampler, or a parsed
+  Prometheus export (:class:`MetricsView`).
+* **HTTP plumbing** — the stdlib-only request/response helpers and
+  the read-only :class:`ObservabilityEndpoint` behind ``repro serve``
+  and the coordinator's ``/metrics``/``/healthz``/``/status`` twins.
 
 Instrumentation is always-on but cheap (dict bumps and two clock
 reads per span); it records *around* the computation and never touches
@@ -28,6 +37,7 @@ from .logging import (
     get_logger,
     resolve_level,
 )
+from .http import ObservabilityEndpoint
 from .manifest import build_manifest, git_sha, write_manifest
 from .metrics import (
     Counter,
@@ -38,7 +48,16 @@ from .metrics import (
     scoped_registry,
     set_registry,
 )
-from .tracing import Tracer, get_tracer, scoped_tracer, set_tracer, span
+from .slo import MetricsView, SLObjective, SLOTracker
+from .timeseries import TimeSeriesSampler, histogram_quantile
+from .tracing import (
+    Tracer,
+    get_tracer,
+    new_trace_id,
+    scoped_tracer,
+    set_tracer,
+    span,
+)
 
 __all__ = [
     "Counter",
@@ -47,6 +66,11 @@ __all__ = [
     "HumanFormatter",
     "JsonFormatter",
     "MetricsRegistry",
+    "MetricsView",
+    "ObservabilityEndpoint",
+    "SLObjective",
+    "SLOTracker",
+    "TimeSeriesSampler",
     "Tracer",
     "build_manifest",
     "configure_logging",
@@ -54,6 +78,8 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "git_sha",
+    "histogram_quantile",
+    "new_trace_id",
     "resolve_level",
     "scoped_registry",
     "scoped_tracer",

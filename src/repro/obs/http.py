@@ -1,0 +1,207 @@
+"""Minimal shared HTTP/1.1 plumbing for the observability surfaces.
+
+Two subsystems expose HTTP without pulling in a framework: the
+prediction server (``repro serve``) and the distributed coordinator's
+read-only observability twins (``--http-port``: ``/metrics``,
+``/healthz``, ``/status``).  Both ride the same stdlib-only request
+parser and response writer here, so content-type quirks, keep-alive
+semantics and body limits are fixed in exactly one place.
+
+:class:`ObservabilityEndpoint` is the ready-made read-only flavour: a
+table of GET routes, each a zero-argument callable returning
+``(status, body_bytes, content_type)``.  The prediction server keeps
+its own richer dispatch (POST bodies, backpressure) but uses the same
+primitives below.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "ObservabilityEndpoint",
+    "PROMETHEUS_CONTENT_TYPE",
+    "dump_json",
+    "json_error",
+    "read_request",
+    "write_response",
+]
+
+#: The content type Prometheus scrapers expect from a text exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+#: Largest accepted request body — a defence against accidental
+#: uploads, not a tuning knob.
+MAX_BODY = 4 << 20
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: A route handler: () -> (status, body, content_type).
+RouteHandler = Callable[[], Tuple[int, bytes, str]]
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body: int = MAX_BODY
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one HTTP/1.1 request; ``None`` on a cleanly closed
+    connection.  Returns ``(method, target, headers, body)`` with the
+    method upper-cased and header names lower-cased."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        return None
+    method, target, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip().lower()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > max_body:
+        raise ConnectionError("request body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: bytes,
+    content_type: str,
+    keep_alive: bool,
+    extra: Mapping[str, str],
+) -> None:
+    """Serialise one response onto ``writer`` (caller drains)."""
+    head = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    head.extend(f"{name}: {value}" for name, value in extra.items())
+    writer.write(
+        ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload
+    )
+
+
+def dump_json(payload: Dict) -> bytes:
+    """A JSON response body (newline-terminated, curl-friendly)."""
+    return (json.dumps(payload) + "\n").encode("utf-8")
+
+
+def json_error(
+    status: int, message: str, extra: Optional[Dict[str, str]] = None
+) -> Tuple[int, bytes, str, Dict[str, str]]:
+    """The standard error shape: ``{"error": message}`` + headers."""
+    return (
+        status,
+        dump_json({"error": message}),
+        "application/json",
+        dict(extra or {}),
+    )
+
+
+class ObservabilityEndpoint:
+    """A read-only GET-routed asyncio HTTP sidecar.
+
+    Args:
+        routes: ``{path: handler}``; each handler is synchronous and
+            returns ``(status, body_bytes, content_type)``.  Handlers
+            run on the event loop, so they must be cheap — snapshot
+            serialisation, not simulation.
+        host: Bind address.
+        port: Bind port; 0 picks a free one (read :attr:`port` after
+            :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        routes: Mapping[str, RouteHandler],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.routes = dict(routes)
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+
+    async def start(self) -> None:
+        """Bind the socket (resolves :attr:`port` when it was 0)."""
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Close the socket and every open connection."""
+        if self._server is None:
+            return
+        self._server.close()
+        for writer in list(self._connections):
+            writer.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                request = await read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, _body = request
+                path = target.split("?", 1)[0]
+                handler = self.routes.get(path)
+                if handler is None:
+                    status, payload, content_type, extra = json_error(
+                        404, f"unknown path {path!r}"
+                    )
+                elif method != "GET":
+                    status, payload, content_type, extra = json_error(
+                        405, "use GET"
+                    )
+                else:
+                    extra = {}
+                    try:
+                        status, payload, content_type = handler()
+                    except Exception as error:  # noqa: BLE001 — a broken
+                        # handler must answer 500, not kill the endpoint.
+                        status, payload, content_type, extra = json_error(
+                            500, f"handler failed: {error}"
+                        )
+                keep_alive = (
+                    headers.get("connection", "keep-alive") != "close"
+                )
+                write_response(
+                    writer, status, payload, content_type,
+                    keep_alive=keep_alive, extra=extra,
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass

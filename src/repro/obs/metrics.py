@@ -314,11 +314,7 @@ class MetricsRegistry:
             if prom not in typed:
                 typed.add(prom)
                 lines.append(f"# TYPE {prom} {instrument.kind}")
-            suffix = (
-                "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
-                if labels
-                else ""
-            )
+            suffix = _label_suffix(labels)
             if isinstance(instrument, Histogram):
                 cumulative = 0
                 for bound, count in zip(
@@ -353,10 +349,36 @@ class MetricsRegistry:
         return path
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text-format spec.
+
+    Backslash, double quote and newline are the three characters the
+    exposition format requires escaping inside quoted label values; an
+    unescaped one silently corrupts every line after it.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_suffix(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    return (
+        "{"
+        + ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
+        + "}"
+    )
+
+
 def _merge_labels(labels: Tuple[Tuple[str, str], ...], key: str,
                   value: str) -> str:
     pairs = list(labels) + [(key, value)]
-    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+    return (
+        "{"
+        + ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
+        + "}"
+    )
 
 
 def _format_float(value: float) -> str:

@@ -1,0 +1,313 @@
+"""Bounded time-series sampling over a :class:`MetricsRegistry`.
+
+The registry is a point-in-time view; operations questions — "how fast
+are cells completing *right now*", "what is the p99 over the last
+minute" — need history.  :class:`TimeSeriesSampler` polls a registry on
+whatever cadence its owner chooses (the distributed coordinator runs it
+from an asyncio loop) and appends each instrument's state to a bounded
+ring buffer:
+
+* counters and gauges sample to ``(t, value)`` points, from which
+  :meth:`TimeSeriesSampler.increase` and :meth:`TimeSeriesSampler.rate`
+  derive windowed deltas and per-second rates;
+* histograms sample to ``(t, bucket_counts, sum, count)`` tuples, from
+  which :meth:`TimeSeriesSampler.quantile` derives windowed
+  p50/p95/p99 via the same bucket interpolation Prometheus'
+  ``histogram_quantile`` uses (:func:`histogram_quantile` here).
+
+Sampling only *reads* instruments — it never touches random state or
+result arrays, so a sampled campaign stays bit-identical to an
+unsampled one.  Ring buffers are ``deque(maxlen=capacity)``, so a
+week-long campaign holds the same memory as a minute-long one.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import Histogram, MetricKey, MetricsRegistry, get_registry
+
+__all__ = ["TimeSeriesSampler", "histogram_quantile"]
+
+
+def histogram_quantile(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """The ``q``-quantile estimated from histogram buckets.
+
+    Mirrors Prometheus' ``histogram_quantile``: linear interpolation
+    inside the bucket the rank falls in, a lower edge of 0 for the
+    first bucket, and the highest *finite* bound when the rank lands in
+    the +Inf bucket (an estimate can't exceed what was measured).
+
+    Args:
+        bounds: Finite bucket upper bounds, strictly increasing.
+        counts: Per-bucket counts, one longer than ``bounds`` (the last
+            slot is the implicit +Inf bucket).
+    Returns:
+        The estimate, or NaN for an empty histogram (or one with no
+        finite buckets).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be within [0, 1]")
+    counts = [int(c) for c in counts]
+    if len(counts) != len(bounds) + 1:
+        raise ValueError(
+            f"need {len(bounds) + 1} bucket counts for {len(bounds)} "
+            f"bounds, got {len(counts)}"
+        )
+    if any(c < 0 for c in counts):
+        raise ValueError("bucket counts must be non-negative")
+    total = sum(counts)
+    if total == 0:
+        return math.nan
+    rank = q * total
+    cumulative = 0
+    previous = 0.0
+    for bound, count in zip(bounds, counts):
+        if count > 0 and cumulative + count >= rank:
+            if rank <= cumulative:
+                return previous
+            fraction = (rank - cumulative) / count
+            return previous + (bound - previous) * fraction
+        cumulative += count
+        previous = bound
+    # The rank falls in the +Inf bucket; the highest finite bound is
+    # the best (and the Prometheus-compatible) answer.
+    return bounds[-1] if bounds else math.nan
+
+
+class TimeSeriesSampler:
+    """Poll a registry into per-instrument ring buffers.
+
+    Args:
+        registry: The registry to sample.  ``None`` resolves the
+            process-global registry *at each sample*, so a
+            :func:`~repro.obs.metrics.scoped_registry` swap is honoured.
+        capacity: Points retained per instrument (ring buffer size).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        capacity: int = 720,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        self._registry = registry
+        self.capacity = capacity
+        self.samples_taken = 0
+        self._kinds: Dict[MetricKey, str] = {}
+        self._points: Dict[MetricKey, Deque[Tuple[float, float]]] = {}
+        self._bounds: Dict[MetricKey, Tuple[float, ...]] = {}
+        self._hists: Dict[
+            MetricKey, Deque[Tuple[float, Tuple[int, ...], float, int]]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def sample(self, now: Optional[float] = None) -> float:
+        """Record one sample of every instrument; returns its timestamp."""
+        registry = (
+            self._registry if self._registry is not None else get_registry()
+        )
+        stamp = time.time() if now is None else float(now)
+        for (name, labels), instrument in registry:
+            key = (name, labels)
+            if isinstance(instrument, Histogram):
+                self._bounds.setdefault(key, tuple(instrument.buckets))
+                ring = self._hists.setdefault(
+                    key, deque(maxlen=self.capacity)
+                )
+                ring.append(
+                    (
+                        stamp,
+                        tuple(instrument.bucket_counts),
+                        instrument.sum,
+                        instrument.count,
+                    )
+                )
+            else:
+                self._kinds[key] = instrument.kind
+                ring = self._points.setdefault(
+                    key, deque(maxlen=self.capacity)
+                )
+                ring.append((stamp, float(instrument.value)))
+        self.samples_taken += 1
+        return stamp
+
+    # ------------------------------------------------------------------
+    # Point series (counters / gauges)
+    # ------------------------------------------------------------------
+    def _matching(self, store: Dict, name: str, labels: Dict[str, str]):
+        """Keys in ``store`` named ``name`` whose labels ⊇ ``labels``."""
+        wanted = {(k, str(v)) for k, v in labels.items()}
+        return [
+            key
+            for key in store
+            if key[0] == name and wanted.issubset(set(key[1]))
+        ]
+
+    def series(
+        self, name: str, **labels: str
+    ) -> List[Tuple[float, float]]:
+        """The raw ``(t, value)`` points for one exact instrument."""
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        return list(self._points.get(key, ()))
+
+    def latest(self, name: str, **labels: str) -> float:
+        """The most recently sampled value (NaN when never sampled)."""
+        points = self.series(name, **labels)
+        return points[-1][1] if points else math.nan
+
+    def increase(
+        self, name: str, window: Optional[float] = None, **labels: str
+    ) -> float:
+        """Summed growth of matching counters over ``window`` seconds.
+
+        Sums over every sampled label set whose labels are a superset
+        of ``labels`` (so ``increase("serve.requests")`` totals all
+        statuses).  ``window=None`` spans the whole buffer.  Negative
+        per-series deltas (a registry swap mid-run) clamp to zero.
+        Returns NaN when nothing matching was ever sampled.
+        """
+        keys = self._matching(self._points, name, labels)
+        if not keys:
+            return math.nan
+        total = 0.0
+        for key in keys:
+            ring = self._points[key]
+            t_last, v_last = ring[-1]
+            if window is None:
+                # Counters are born at zero, so the all-time increase
+                # is the absolute total — which makes it agree exactly
+                # with the registry's raw Prometheus export.
+                total += max(0.0, v_last)
+            else:
+                _, v_ref = self._reference(ring, t_last, window)
+                total += max(0.0, v_last - v_ref)
+        return total
+
+    def rate(
+        self, name: str, window: Optional[float] = None, **labels: str
+    ) -> float:
+        """Per-second growth of matching counters over ``window``.
+
+        The denominator is the observed sampling span (at most
+        ``window``), so rates stay honest when sampling just started.
+        Zero when no time has passed; NaN when never sampled.
+        """
+        keys = self._matching(self._points, name, labels)
+        if not keys:
+            return math.nan
+        delta = 0.0
+        span = 0.0
+        for key in keys:
+            ring = self._points[key]
+            t_last, v_last = ring[-1]
+            t_ref, v_ref = self._reference(ring, t_last, window)
+            delta += max(0.0, v_last - v_ref)
+            span = max(span, t_last - t_ref)
+        return delta / span if span > 0 else 0.0
+
+    @staticmethod
+    def _reference(
+        ring: Deque[Tuple[float, float]],
+        t_last: float,
+        window: Optional[float],
+    ) -> Tuple[float, float]:
+        """The oldest in-window sample (the whole buffer when None)."""
+        if window is None:
+            return ring[0]
+        cutoff = t_last - window
+        chosen = ring[-1]
+        for point in reversed(ring):
+            if point[0] < cutoff:
+                break
+            chosen = point
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Histogram series
+    # ------------------------------------------------------------------
+    def quantile(
+        self,
+        name: str,
+        q: float,
+        window: Optional[float] = None,
+        **labels: str,
+    ) -> float:
+        """Bucket-interpolated ``q``-quantile over matching histograms.
+
+        With a ``window``, the estimate covers only observations that
+        arrived inside it (latest bucket counts minus the oldest
+        in-window sample's); without one it covers everything sampled —
+        which, right after a :meth:`sample`, agrees exactly with a
+        quantile computed from the registry's raw Prometheus export.
+        """
+        keys = self._matching(self._hists, name, labels)
+        if not keys:
+            return math.nan
+        bounds: Optional[Tuple[float, ...]] = None
+        merged: Optional[List[int]] = None
+        for key in keys:
+            if bounds is None:
+                bounds = self._bounds[key]
+                merged = [0] * (len(bounds) + 1)
+            elif self._bounds[key] != bounds:
+                raise ValueError(
+                    f"histogram {name!r} label sets use different "
+                    "buckets; quantiles cannot merge them"
+                )
+            ring = self._hists[key]
+            t_last, counts_last, _, _ = ring[-1]
+            counts_ref: Sequence[int] = (0,) * len(counts_last)
+            if window is not None:
+                cutoff = t_last - window
+                for stamp, counts, _, _ in reversed(ring):
+                    if stamp < cutoff:
+                        counts_ref = counts
+                        break
+            assert merged is not None
+            for index, (last, ref) in enumerate(
+                zip(counts_last, counts_ref)
+            ):
+                merged[index] += max(0, last - ref)
+        assert bounds is not None and merged is not None
+        return histogram_quantile(bounds, merged, q)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_payload(
+        self,
+        names: Optional[Sequence[str]] = None,
+        limit: int = 120,
+    ) -> Dict[str, Dict]:
+        """A JSON-ready dump of the point series (status endpoints).
+
+        Args:
+            names: Restrict to these metric names (all when ``None``).
+            limit: At most this many trailing points per series.
+        """
+        wanted = set(names) if names is not None else None
+        out: Dict[str, Dict] = {}
+        for (name, labels), ring in sorted(self._points.items()):
+            if wanted is not None and name not in wanted:
+                continue
+            suffix = (
+                "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+                if labels
+                else ""
+            )
+            points = list(ring)[-limit:]
+            out[name + suffix] = {
+                "kind": self._kinds[(name, labels)],
+                "t": [round(t, 3) for t, _ in points],
+                "v": [v for _, v in points],
+            }
+        return out

@@ -21,6 +21,18 @@ Worker processes trace into their own :class:`Tracer` (installed with
 :func:`scoped_tracer`) and ship ``tracer.spans`` back to the parent,
 which folds them in with :meth:`Tracer.adopt` — the exported trace then
 shows every worker's cells under that worker's pid lane.
+
+Spans also carry **trace context** for cross-host stitching: every span
+gets a ``span_id``, a ``parent_id`` (the enclosing span, or whatever
+:meth:`Tracer.bind` installed as the remote parent), and — once the
+tracer owns a ``trace_id`` — the campaign-wide trace id.  A distributed
+coordinator generates the trace id, ships ``{trace_id, parent_id}``
+with each task, and the worker binds it so the spans it sends back
+stitch under one trace; :meth:`Tracer.adopt` stamps the local trace id
+onto adopted spans that lack one, so pre-trace-context peers still land
+in the same trace.  A tracer constructed with a ``lane`` stamps it on
+every span, and :meth:`Tracer.to_chrome_events` renders each lane as
+its own named process row — one lane per worker, across hosts.
 """
 
 from __future__ import annotations
@@ -30,16 +42,38 @@ import os
 import pathlib
 import threading
 import time
+import uuid
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from .metrics import get_registry
 
 __all__ = [
     "Tracer",
     "get_tracer",
+    "new_trace_id",
     "set_tracer",
     "scoped_tracer",
     "span",
 ]
+
+#: Synthetic pid base for named lanes in the chrome export — far above
+#: real pids so a lane row never collides with an un-laned span's pid.
+_LANE_PID_BASE = 1 << 22
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id.
+
+    Backed by :func:`uuid.uuid4` (``os.urandom``), so generating one
+    never perturbs ``random``/NumPy state — results stay bit-identical
+    with tracing on.
+    """
+    return uuid.uuid4().hex
+
+
+def _new_span_id() -> str:
+    return uuid.uuid4().hex[:16]
 
 
 class Tracer:
@@ -49,27 +83,92 @@ class Tracer:
         enabled: A disabled tracer's :meth:`span` is a no-op context
             manager, for callers that want zero bookkeeping.
         max_spans: In-memory bound; spans past it are counted in
-            :attr:`dropped` instead of stored, so a pathological loop
-            cannot exhaust memory.
+            :attr:`dropped` (and a ``trace.dropped`` counter in the
+            active metrics registry) instead of stored, so a
+            pathological loop cannot exhaust memory.
+        trace_id: Trace this tracer's spans belong to (``None`` until
+            :meth:`bind` or :meth:`ensure_trace_id` sets one).
+        lane: Stamped on every span this tracer records; the chrome
+            export renders each lane as its own named process row
+            (workers pass their worker id).
     """
 
-    def __init__(self, enabled: bool = True, max_spans: int = 200_000) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        max_spans: int = 200_000,
+        trace_id: Optional[str] = None,
+        lane: Optional[str] = None,
+    ) -> None:
         if max_spans < 1:
             raise ValueError("max_spans must be at least 1")
         self.enabled = enabled
         self.max_spans = max_spans
+        self.trace_id = trace_id
+        self.lane = lane
         self.spans: List[Dict] = []
         self.dropped = 0
+        self._parent_id: Optional[str] = None
         self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # Trace context
+    # ------------------------------------------------------------------
+    def bind(
+        self,
+        trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+    ) -> None:
+        """Adopt a remote trace context for subsequently recorded spans.
+
+        ``trace_id`` stamps every new span; ``parent_id`` becomes the
+        parent of *root* spans (spans opened with an empty local
+        stack), which is how a worker's ``simulate.chunk`` span hangs
+        off the coordinator's ``distrib.coordinate`` span across the
+        wire.  Binding ``None``s clears the context.
+        """
+        self.trace_id = trace_id
+        self._parent_id = parent_id
+
+    def ensure_trace_id(self) -> str:
+        """This tracer's trace id, generating one on first use."""
+        if self.trace_id is None:
+            self.trace_id = new_trace_id()
+        return self.trace_id
+
+    def context(self) -> Dict[str, Optional[str]]:
+        """The propagatable ``{trace_id, span_id}`` of the active span.
+
+        ``span_id`` is the innermost span open on the calling thread
+        (or the bound remote parent when nothing is open) — the id a
+        remote child span should claim as its ``parent_id``.
+        """
+        stack = self._stack()
+        return {
+            "trace_id": self.trace_id,
+            "span_id": stack[-1] if stack else self._parent_id,
+        }
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def _stack(self) -> List[int]:
+    def _stack(self) -> List[str]:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
         return stack
+
+    def _stamp(self, record: Dict, stack: List[str]) -> None:
+        """Attach ids/lane; context keys are omitted when unset so
+        context-free spans keep their exact pre-trace-context shape."""
+        record["span_id"] = _new_span_id()
+        parent = stack[-1] if stack else self._parent_id
+        if parent is not None:
+            record["parent_id"] = parent
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        if self.lane is not None:
+            record["lane"] = self.lane
 
     @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Optional[Dict]]:
@@ -97,7 +196,8 @@ class Tracer:
             "depth": len(stack),
             "attrs": dict(attrs),
         }
-        stack.append(id(record))
+        self._stamp(record, stack)
+        stack.append(record["span_id"])
         start = time.perf_counter()
         try:
             yield record
@@ -114,26 +214,37 @@ class Tracer:
         """
         if not self.enabled:
             return
-        self._store(
-            {
-                "name": name,
-                "ts": time.time() - seconds,
-                "dur": float(seconds),
-                "pid": os.getpid(),
-                "tid": threading.get_ident(),
-                "depth": len(self._stack()),
-                "attrs": dict(attrs),
-            }
-        )
+        stack = self._stack()
+        record = {
+            "name": name,
+            "ts": time.time() - seconds,
+            "dur": float(seconds),
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "depth": len(stack),
+            "attrs": dict(attrs),
+        }
+        self._stamp(record, stack)
+        self._store(record)
 
     def adopt(self, spans: Sequence[Dict]) -> None:
-        """Fold spans shipped from another tracer (usually a worker)."""
+        """Fold spans shipped from another tracer (usually a worker).
+
+        Adopted spans missing a ``trace_id`` are stamped with this
+        tracer's — how spans from peers that predate trace context
+        (old workers, process-pool children) still stitch into the
+        campaign's single trace.
+        """
         for record in spans:
-            self._store(dict(record))
+            record = dict(record)
+            if self.trace_id is not None and "trace_id" not in record:
+                record["trace_id"] = self.trace_id
+            self._store(record)
 
     def _store(self, record: Dict) -> None:
         if len(self.spans) >= self.max_spans:
             self.dropped += 1
+            get_registry().counter("trace.dropped").inc()
             return
         self.spans.append(record)
 
@@ -171,6 +282,15 @@ class Tracer:
             entry["total_seconds"] += record["dur"]
             entry["min_seconds"] = min(entry["min_seconds"], record["dur"])
             entry["max_seconds"] = max(entry["max_seconds"], record["dur"])
+        if self.dropped:
+            # Mark the truncation so a manifest reader knows the rollup
+            # under-counts; zero durations keep aggregators harmless.
+            rollup["trace.dropped"] = {
+                "count": self.dropped,
+                "total_seconds": 0.0,
+                "min_seconds": 0.0,
+                "max_seconds": 0.0,
+            }
         return dict(sorted(rollup.items()))
 
     def clear(self) -> None:
@@ -182,20 +302,66 @@ class Tracer:
     # Export
     # ------------------------------------------------------------------
     def to_chrome_events(self) -> List[Dict]:
-        """Spans as Chrome trace 'complete' (``ph: X``) events."""
-        return [
+        """Spans as Chrome trace 'complete' (``ph: X``) events.
+
+        Spans stamped with a ``lane`` (one per worker, across hosts)
+        are mapped onto synthetic per-lane pids with ``process_name``
+        metadata events, so the viewer shows one named row per worker
+        instead of piling every host's spans into real-pid rows that
+        may collide.  Trace-context ids ride in ``args``.  When spans
+        were dropped past ``max_spans``, a ``trace.truncated`` instant
+        event flags the export as incomplete.
+        """
+        lanes = sorted(
+            {record["lane"] for record in self.spans if "lane" in record}
+        )
+        lane_pid = {
+            lane: _LANE_PID_BASE + index for index, lane in enumerate(lanes)
+        }
+        events: List[Dict] = [
             {
-                "name": record["name"],
-                "cat": "repro",
-                "ph": "X",
-                "ts": round(record["ts"] * 1e6, 3),
-                "dur": round(record["dur"] * 1e6, 3),
-                "pid": record["pid"],
-                "tid": record["tid"],
-                "args": record["attrs"],
+                "name": "process_name",
+                "ph": "M",
+                "pid": lane_pid[lane],
+                "tid": 0,
+                "args": {"name": lane},
             }
-            for record in self.spans
+            for lane in lanes
         ]
+        last_end = 0.0
+        for record in self.spans:
+            args = dict(record["attrs"])
+            if "trace_id" in record:
+                for key in ("trace_id", "span_id", "parent_id"):
+                    if key in record:
+                        args[key] = record[key]
+            events.append(
+                {
+                    "name": record["name"],
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": round(record["ts"] * 1e6, 3),
+                    "dur": round(record["dur"] * 1e6, 3),
+                    "pid": lane_pid.get(record.get("lane"), record["pid"]),
+                    "tid": record["tid"],
+                    "args": args,
+                }
+            )
+            last_end = max(last_end, record["ts"] + record["dur"])
+        if self.dropped:
+            events.append(
+                {
+                    "name": "trace.truncated",
+                    "cat": "repro",
+                    "ph": "I",
+                    "s": "g",
+                    "ts": round(last_end * 1e6, 3),
+                    "pid": os.getpid(),
+                    "tid": 0,
+                    "args": {"dropped": self.dropped},
+                }
+            )
+        return events
 
     def write_chrome(self, path: Union[str, pathlib.Path]) -> pathlib.Path:
         """Write a ``chrome://tracing``-loadable JSON trace.

@@ -425,7 +425,12 @@ class CampaignRunner:
             for metric in Metric.all()
         }
         started = time.time()
-        trace_start = get_tracer().mark()
+        tracer = get_tracer()
+        trace_start = tracer.mark()
+        # One trace id per campaign: process-pool children's spans are
+        # adopted trace-id-less and stamped with this on merge, so a
+        # local campaign stitches exactly like a distributed one.
+        tracer.ensure_trace_id()
         _log.info(
             "campaign start: %d program(s) x %d configuration(s) = "
             "%d cell(s), %d already journalled, n_jobs=%d",

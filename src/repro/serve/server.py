@@ -37,16 +37,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.designspace.configuration import PARAMETER_ORDER, Configuration
 from repro.designspace.space import DesignSpace
 from repro.obs import get_logger, get_registry, span
+from repro.obs.http import (
+    PROMETHEUS_CONTENT_TYPE,
+    dump_json as _dump,
+    json_error as _json_error,
+    read_request as _read_request,
+    write_response as _write_response,
+)
 
 from .batching import PredictionBatcher, ServerSaturated
 
 __all__ = ["PredictionServer", "serve_forever"]
 
 _log = get_logger("serve.server")
-
-#: Largest accepted request body — a defence against accidental uploads,
-#: not a tuning knob (10k configurations fit comfortably).
-_MAX_BODY = 4 << 20
 
 #: Most configurations accepted in one /predict call.
 _MAX_CONFIGS = 10_000
@@ -219,7 +222,7 @@ class PredictionServer:
             if method != "GET":
                 return _json_error(405, "use GET")
             text = get_registry().to_prometheus()
-            return 200, text.encode("utf-8"), "text/plain; version=0.0.4", {}
+            return 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE, {}
         if path == "/predict":
             if method != "POST":
                 return _json_error(405, "use POST")
@@ -328,77 +331,6 @@ class PredictionServer:
         except ValueError as error:
             raise _BadRequest(f"illegal configuration: {error}") from error
         return config
-
-
-# ----------------------------------------------------------------------
-# Wire helpers
-# ----------------------------------------------------------------------
-async def _read_request(
-    reader: asyncio.StreamReader,
-) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
-    """Parse one HTTP/1.1 request; None on a cleanly closed connection."""
-    try:
-        request_line = await reader.readline()
-    except (ConnectionError, asyncio.LimitOverrunError):
-        return None
-    if not request_line:
-        return None
-    parts = request_line.decode("latin-1").strip().split()
-    if len(parts) != 3:
-        return None
-    method, target, _version = parts
-    headers: Dict[str, str] = {}
-    while True:
-        line = await reader.readline()
-        if line in (b"\r\n", b"\n", b""):
-            break
-        name, _, value = line.decode("latin-1").partition(":")
-        headers[name.strip().lower()] = value.strip().lower()
-    length = int(headers.get("content-length", "0") or "0")
-    if length > _MAX_BODY:
-        raise ConnectionError("request body too large")
-    body = await reader.readexactly(length) if length else b""
-    return method.upper(), target, headers, body
-
-
-def _write_response(
-    writer: asyncio.StreamWriter,
-    status: int,
-    payload: bytes,
-    content_type: str,
-    keep_alive: bool,
-    extra: Dict[str, str],
-) -> None:
-    reason = {
-        200: "OK", 400: "Bad Request", 404: "Not Found",
-        405: "Method Not Allowed", 500: "Internal Server Error",
-        503: "Service Unavailable",
-    }.get(status, "OK")
-    head = [
-        f"HTTP/1.1 {status} {reason}",
-        f"Content-Type: {content_type}",
-        f"Content-Length: {len(payload)}",
-        f"Connection: {'keep-alive' if keep_alive else 'close'}",
-    ]
-    head.extend(f"{name}: {value}" for name, value in extra.items())
-    writer.write(
-        ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload
-    )
-
-
-def _dump(payload: Dict) -> bytes:
-    return (json.dumps(payload) + "\n").encode("utf-8")
-
-
-def _json_error(
-    status: int, message: str, extra: Optional[Dict[str, str]] = None
-) -> Tuple[int, bytes, str, Dict[str, str]]:
-    return (
-        status,
-        _dump({"error": message}),
-        "application/json",
-        dict(extra or {}),
-    )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,207 @@
+"""``repro top`` rendering and session state — no network needed.
+
+``render_status`` is a pure function of a status payload, and
+``TopSession`` only folds snapshots into rate/throughput history, so
+everything here runs on synthetic dicts; the one driver test stubs
+``fetch_status`` at the module seam.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+
+import pytest
+
+from repro.distrib import top
+from repro.distrib.top import TopSession, render_status, sparkline
+
+
+def _status(**overrides):
+    base = {
+        "version": "1.2.3",
+        "draining": False,
+        "trace_id": "ab" * 16,
+        "campaign": {
+            "programs": ["gzip", "art"],
+            "config_count": 60,
+            "chunk_size": 16,
+            "seed": 5,
+        },
+        "progress": {
+            "total": 8,
+            "journalled": 4,
+            "leased": 2,
+            "queued": 2,
+            "failed": 0,
+        },
+        "stats": {"workers_seen": 2, "joins": 2, "leaves": 0},
+        "fleet": [
+            {
+                "worker": "w0",
+                "active": True,
+                "rate": 2.5,
+                "tasks_completed": 3,
+                "bundle_size": 2,
+            },
+            {
+                "worker": "w1",
+                "active": False,
+                "rate": None,
+                "tasks_completed": 1,
+                "bundle_size": 1,
+            },
+        ],
+        "slo": [],
+        "leases": [],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestSparkline:
+    def test_scales_to_window_maximum(self):
+        line = sparkline([0.0, 5.0, 10.0], width=3)
+        assert line[0] == top.SPARK[0]
+        assert line[-1] == top.SPARK[-1]
+
+    def test_nan_renders_as_a_gap(self):
+        assert sparkline([1.0, math.nan, 1.0], width=3)[1] == " "
+
+    def test_flat_zero_window_stays_low(self):
+        assert sparkline([0.0, 0.0], width=2) == top.SPARK[0] * 2
+
+    def test_right_aligned_to_width(self):
+        line = sparkline([3.0], width=5)
+        assert len(line) == 5
+        assert line[:4] == "    "
+        assert line[4] == top.SPARK[-1]
+
+    def test_window_keeps_the_tail(self):
+        # Only the newest ``width`` values matter for scaling.
+        line = sparkline([100.0, 1.0, 1.0], width=2)
+        assert line == top.SPARK[-1] * 2
+
+
+class TestRenderStatus:
+    def test_header_progress_and_fleet(self):
+        text = render_status(_status(), throughput=2.0)
+        assert "trace " + "ab" * 16 in text
+        assert "[running]" in text
+        assert "4/8 ( 50.0%)" in text
+        assert "[###############---------------]" in text
+        assert "2.00 cells/s" in text
+        assert "2 program(s) x 60 config(s)" in text
+        w0_line = next(
+            line for line in text.splitlines() if line.startswith("w0")
+        )
+        assert "active" in w0_line and "2.50" in w0_line
+        w1_line = next(
+            line for line in text.splitlines() if line.startswith("w1")
+        )
+        assert "gone" in w1_line and "-" in w1_line
+
+    def test_draining_and_empty_fleet(self):
+        text = render_status(
+            _status(draining=True, fleet=[], trace_id=None)
+        )
+        assert "[draining]" in text
+        assert "trace -" in text
+        assert "(no workers have connected yet)" in text
+
+    def test_slo_rows_cover_all_three_states(self):
+        slo = [
+            {"name": "p99", "ok": True, "no_data": False,
+             "burn": 0.25, "value": 1.5},
+            {"name": "burn", "ok": False, "no_data": False,
+             "burn": 2.0, "value": 0.9},
+            {"name": "drops", "ok": True, "no_data": True},
+        ]
+        lines = render_status(_status(slo=slo)).splitlines()
+        by_name = {
+            line.split()[0]: line
+            for line in lines
+            if line.split() and line.split()[0] in ("p99", "burn", "drops")
+        }
+        assert "ok" in by_name["p99"] and "0.25x" in by_name["p99"]
+        assert "VIOLATED" in by_name["burn"] and "2.00x" in by_name["burn"]
+        assert "no-data" in by_name["drops"]
+
+    def test_oldest_leases_capped_at_five(self):
+        leases = [
+            {"cell": f"c{i}", "worker": "w0", "age_seconds": float(i),
+             "deadline_in": 9.0, "speculative": i == 0}
+            for i in range(7)
+        ]
+        text = render_status(_status(leases=leases))
+        assert "c0 -> w0" in text and "(speculative)" in text
+        assert "c4" in text and "c5" not in text
+
+    def test_slow_worker_flagged(self):
+        status = _status()
+        status["fleet"][0]["slow"] = True
+        assert "active,slow" in render_status(status)
+
+
+class TestTopSession:
+    def test_observe_tracks_rates_and_departures(self):
+        session = TopSession("127.0.0.1", 0)
+        session.observe(_status(), now=0.0)
+        # w1 departs entirely from the next snapshot.
+        gone = _status()
+        gone["fleet"] = [gone["fleet"][0]]
+        session.observe(gone, now=1.0)
+        rates = {k: list(v) for k, v in session._rates.items()}
+        assert rates["w0"] == [2.5, 2.5]
+        # inactive then departed: both render as gaps
+        assert all(math.isnan(v) for v in rates["w1"])
+
+    def test_throughput_is_journalled_delta_over_time(self):
+        session = TopSession("127.0.0.1", 0)
+        session.observe(_status(), now=0.0)
+        assert math.isnan(session.throughput())  # one point: no delta
+        later = _status()
+        later["progress"]["journalled"] = 8
+        session.observe(later, now=2.0)
+        assert session.throughput() == pytest.approx(2.0)
+
+    def test_throughput_never_negative(self):
+        session = TopSession("127.0.0.1", 0)
+        session.observe(_status(), now=0.0)
+        rewound = _status()
+        rewound["progress"]["journalled"] = 0
+        session.observe(rewound, now=1.0)
+        assert session.throughput() == 0.0
+
+    def test_run_once_writes_one_plain_frame(self, monkeypatch):
+        monkeypatch.setattr(
+            top, "fetch_status", lambda *a, **k: _status()
+        )
+        stream = io.StringIO()
+        assert TopSession("127.0.0.1", 0).run_once(stream) == 0
+        text = stream.getvalue()
+        assert text.startswith("repro top")
+        assert "\x1b[" not in text  # --once stays ANSI-free
+
+    def test_live_loop_exits_when_coordinator_goes_away(
+        self, monkeypatch
+    ):
+        calls = {"n": 0}
+
+        def flaky_fetch(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise ConnectionRefusedError("campaign over")
+            return _status()
+
+        monkeypatch.setattr(top, "fetch_status", flaky_fetch)
+        stream = io.StringIO()
+        rc = TopSession("127.0.0.1", 0).run(
+            stream, interval=0.0, max_frames=10
+        )
+        assert rc == 0
+        text = stream.getvalue()
+        assert calls["n"] == 3  # two frames, then the hang-up
+        assert text.startswith("\x1b[?1049h")  # alt screen on entry
+        assert text.endswith("\x1b[?25h\x1b[?1049l")  # restored on exit
+        assert text.count("repro top") == 2

@@ -20,6 +20,7 @@ import pytest
 
 from repro.distrib.protocol import (
     MAX_FRAME_BYTES,
+    MIN_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
     ProtocolError,
     decode_frame,
@@ -136,11 +137,21 @@ class TestHeaderFuzz:
             frame = encode_frame(_sample_payload(rng))
             envelope = json.loads(frame[4:].decode("utf-8"))
             wrong = int(rng.integers(-3, 100))
-            if wrong == PROTOCOL_VERSION:
-                continue
+            if MIN_PROTOCOL_VERSION <= wrong <= PROTOCOL_VERSION:
+                continue  # supported range: accepted, not a mismatch
             envelope["v"] = wrong
             with pytest.raises(ProtocolError, match="version mismatch"):
                 _read_all(self._reframe(envelope))
+
+    def test_supported_version_range_accepted(self):
+        rng = np.random.default_rng(SEED + 5)
+        payload = _sample_payload(rng)
+        frame = encode_frame(payload)
+        envelope = json.loads(frame[4:].decode("utf-8"))
+        for version in range(MIN_PROTOCOL_VERSION, PROTOCOL_VERSION + 1):
+            accepted = dict(envelope)
+            accepted["v"] = version
+            assert _read_all(self._reframe(accepted)) == [payload]
 
     def test_non_integer_versions_rejected(self):
         rng = np.random.default_rng(SEED + 6)

@@ -128,6 +128,49 @@ class TestSnapshotMerge:
         assert parent.value("n") == 5
         assert parent.histogram("h").count == 1
 
+    def test_concurrent_label_sets_merge_independently(self):
+        # Two workers share a metric name but bump disjoint (and one
+        # overlapping) label sets — each (name, labels) series must
+        # aggregate on its own, never cross-contaminate.
+        parent = MetricsRegistry()
+        parent.counter("tasks", worker="w1", state="done").inc(1)
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("tasks", worker="w1", state="done").inc(2)
+        first.counter("tasks", worker="w1", state="failed").inc(3)
+        second.counter("tasks", worker="w2", state="done").inc(5)
+        parent.merge(first.snapshot())
+        parent.merge(second.snapshot())
+        assert parent.value("tasks", worker="w1", state="done") == 3
+        assert parent.value("tasks", worker="w1", state="failed") == 3
+        assert parent.value("tasks", worker="w2", state="done") == 5
+
+    def test_interleaved_merges_from_threads(self):
+        import threading
+
+        parent = MetricsRegistry()
+        lock = threading.Lock()
+
+        def worker(worker_id: str) -> None:
+            for _ in range(50):
+                local = MetricsRegistry()
+                local.counter("done", worker=worker_id).inc()
+                local.histogram("lat", worker=worker_id).observe(0.5)
+                snapshot = local.snapshot()
+                with lock:  # the coordinator's single-threaded merge
+                    parent.merge(snapshot)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",))
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for i in range(4):
+            assert parent.value("done", worker=f"w{i}") == 50
+            assert parent.histogram("lat", worker=f"w{i}").count == 50
+
 
 class TestExporters:
     def test_to_json_shapes(self):
@@ -168,6 +211,25 @@ class TestExporters:
         registry = MetricsRegistry()
         registry.counter("faults.injected", kind="transient").inc()
         assert 'faults_injected{kind="transient"} 1' in registry.to_prometheus()
+
+    def test_prometheus_label_values_escaped(self):
+        # Backslash, double quote and newline are the three characters
+        # the text exposition format requires escaping in label values.
+        registry = MetricsRegistry()
+        registry.counter("jobs", path='C:\\tmp\\"run"\nnext').inc()
+        text = registry.to_prometheus()
+        assert (
+            'jobs{path="C:\\\\tmp\\\\\\"run\\"\\nnext"} 1' in text
+        )
+        assert "\nnext" not in text.replace("\\n", "")  # no raw newline
+
+    def test_json_export_unescaped(self):
+        # The JSON exporter must stay byte-stable: escaping is a
+        # Prometheus text-format concern only.
+        registry = MetricsRegistry()
+        registry.counter("jobs", path='a\\b"c').inc()
+        out = registry.to_json()
+        assert out['jobs{path=a\\b"c}'] == {"kind": "counter", "value": 1}
 
     def test_write_json_by_extension(self, tmp_path):
         registry = MetricsRegistry()

@@ -1,0 +1,190 @@
+"""Time-series sampling: rings, rates, windowed quantiles, edges."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, TimeSeriesSampler, histogram_quantile
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(histogram_quantile((1.0, 10.0), (0, 0, 0), 0.99))
+
+    def test_no_finite_buckets_is_nan(self):
+        # Every observation landed in +Inf and there is nothing finite
+        # to interpolate against.
+        assert math.isnan(histogram_quantile((), (5,), 0.5))
+
+    def test_single_bucket_interpolates_from_zero(self):
+        # 10 observations <= 2.0: the median interpolates to the middle
+        # of the [0, 2.0] bucket.
+        assert histogram_quantile((2.0,), (10, 0), 0.5) == pytest.approx(1.0)
+
+    def test_interpolation_across_buckets(self):
+        # 4 observations: 2 in (0,1], 2 in (1,10].  p75 ranks 3rd, i.e.
+        # halfway through the second bucket.
+        value = histogram_quantile((1.0, 10.0), (2, 2, 0), 0.75)
+        assert value == pytest.approx(5.5)
+
+    def test_rank_in_inf_bucket_clamps_to_highest_finite_bound(self):
+        # p99 ranks inside +Inf; the estimate must not exceed the
+        # highest finite bound (Prometheus semantics).
+        assert histogram_quantile((1.0, 10.0), (1, 1, 8), 0.99) == 10.0
+
+    def test_quantile_zero_and_one(self):
+        bounds, counts = (1.0, 10.0), (2, 2, 0)
+        assert histogram_quantile(bounds, counts, 0.0) == 0.0
+        assert histogram_quantile(bounds, counts, 1.0) == 10.0
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="within"):
+            histogram_quantile((1.0,), (1, 0), 1.5)
+
+    def test_count_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="bucket counts"):
+            histogram_quantile((1.0, 2.0), (1, 2), 0.5)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            histogram_quantile((1.0,), (1, -1), 0.5)
+
+
+class TestSampling:
+    def test_counter_series_accumulates_points(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry)
+        counter = registry.counter("cells")
+        for stamp in (0.0, 1.0, 2.0):
+            counter.inc(2)
+            sampler.sample(now=stamp)
+        assert sampler.series("cells") == [(0.0, 2.0), (1.0, 4.0), (2.0, 6.0)]
+        assert sampler.latest("cells") == 6.0
+
+    def test_capacity_bounds_the_ring(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry, capacity=3)
+        counter = registry.counter("cells")
+        for stamp in range(10):
+            counter.inc()
+            sampler.sample(now=float(stamp))
+        points = sampler.series("cells")
+        assert len(points) == 3
+        assert points[-1] == (9.0, 10.0)
+
+    def test_capacity_must_hold_a_delta(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            TimeSeriesSampler(MetricsRegistry(), capacity=1)
+
+    def test_never_sampled_metric_is_nan(self):
+        sampler = TimeSeriesSampler(MetricsRegistry())
+        assert math.isnan(sampler.latest("ghost"))
+        assert math.isnan(sampler.increase("ghost"))
+        assert math.isnan(sampler.rate("ghost"))
+        assert math.isnan(sampler.quantile("ghost", 0.5))
+
+
+class TestIncreaseAndRate:
+    def test_all_time_increase_is_the_absolute_total(self):
+        # Counters are born at zero, so increase(window=None) must
+        # agree exactly with the raw registry/Prometheus value — the
+        # property the SLO layer leans on.
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry)
+        registry.counter("done").inc(7)
+        sampler.sample(now=0.0)
+        assert sampler.increase("done") == 7.0
+
+    def test_windowed_increase_takes_the_delta(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry)
+        counter = registry.counter("done")
+        for stamp in range(6):
+            counter.inc()
+            sampler.sample(now=float(stamp))
+        assert sampler.increase("done", window=2.5) == 2.0
+        assert sampler.increase("done") == 6.0
+
+    def test_increase_sums_matching_label_sets(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry)
+        registry.counter("done", worker="a").inc(2)
+        registry.counter("done", worker="b").inc(3)
+        sampler.sample(now=0.0)
+        assert sampler.increase("done") == 5.0
+        assert sampler.increase("done", worker="a") == 2.0
+
+    def test_rate_over_observed_span(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry)
+        counter = registry.counter("done")
+        sampler.sample(now=0.0)
+        counter.inc(10)
+        sampler.sample(now=5.0)
+        assert sampler.rate("done") == pytest.approx(2.0)
+
+    def test_rate_with_single_sample_is_zero(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry)
+        registry.counter("done").inc()
+        sampler.sample(now=0.0)
+        assert sampler.rate("done") == 0.0
+
+
+class TestWindowedQuantiles:
+    def test_all_time_quantile_matches_registry_state(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry)
+        histogram = registry.histogram("lat", buckets=(1.0, 10.0))
+        for value in (0.5, 0.5, 5.0, 5.0):
+            histogram.observe(value)
+        sampler.sample(now=0.0)
+        assert sampler.quantile("lat", 0.5) == pytest.approx(1.0)
+
+    def test_windowed_quantile_sees_only_recent_observations(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry)
+        histogram = registry.histogram("lat", buckets=(1.0, 10.0))
+        histogram.observe(0.5)  # old and fast
+        sampler.sample(now=0.0)
+        for _ in range(10):
+            histogram.observe(9.0)  # recent and slow
+        sampler.sample(now=10.0)
+        windowed = sampler.quantile("lat", 0.5, window=5.0)
+        all_time = sampler.quantile("lat", 0.5)
+        assert windowed > all_time  # the old fast point is excluded
+        assert windowed == pytest.approx(5.5)  # middle of (1, 10]
+
+    def test_mismatched_buckets_refuse_to_merge(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry)
+        registry.histogram("lat", buckets=(1.0,), worker="a").observe(0.5)
+        registry.histogram("lat", buckets=(2.0,), worker="b").observe(0.5)
+        sampler.sample(now=0.0)
+        with pytest.raises(ValueError, match="different"):
+            sampler.quantile("lat", 0.5)
+
+
+class TestPayload:
+    def test_payload_shape_and_name_filter(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry)
+        registry.counter("keep", worker="a").inc()
+        registry.counter("drop").inc()
+        sampler.sample(now=1.0)
+        payload = sampler.to_payload(names=("keep",))
+        assert list(payload) == ["keep{worker=a}"]
+        assert payload["keep{worker=a}"] == {
+            "kind": "counter", "t": [1.0], "v": [1.0],
+        }
+
+    def test_payload_limit_keeps_the_tail(self):
+        registry = MetricsRegistry()
+        sampler = TimeSeriesSampler(registry)
+        counter = registry.counter("n")
+        for stamp in range(5):
+            counter.inc()
+            sampler.sample(now=float(stamp))
+        payload = sampler.to_payload(limit=2)
+        assert payload["n"]["t"] == [3.0, 4.0]
+        assert payload["n"]["v"] == [4.0, 5.0]

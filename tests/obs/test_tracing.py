@@ -1,10 +1,17 @@
-"""Span tracing: nesting, bounds, rollups, chrome export."""
+"""Span tracing: nesting, bounds, rollups, chrome export, trace ids."""
 
 import json
 
 import pytest
 
-from repro.obs import Tracer, get_tracer, scoped_tracer, span
+from repro.obs import (
+    Tracer,
+    get_tracer,
+    new_trace_id,
+    scoped_registry,
+    scoped_tracer,
+    span,
+)
 
 
 class TestSpans:
@@ -80,6 +87,110 @@ class TestSpans:
         assert parent.count("simulate.chunk") == 1
 
 
+class TestTraceContext:
+    def test_every_span_gets_a_span_id(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        (record,) = tracer.spans
+        assert len(record["span_id"]) == 16
+        assert "trace_id" not in record  # none bound: shape unchanged
+        assert "parent_id" not in record
+
+    def test_nested_spans_link_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {record["name"]: record for record in tracer.spans}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+
+    def test_bind_stamps_remote_context_on_roots(self):
+        tracer = Tracer()
+        tracer.bind(trace_id="t" * 32, parent_id="p" * 16)
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        by_name = {record["name"]: record for record in tracer.spans}
+        assert by_name["root"]["trace_id"] == "t" * 32
+        assert by_name["root"]["parent_id"] == "p" * 16
+        assert by_name["child"]["parent_id"] == by_name["root"]["span_id"]
+        assert by_name["child"]["trace_id"] == "t" * 32
+
+    def test_context_reports_innermost_open_span(self):
+        tracer = Tracer(trace_id="t" * 32)
+        assert tracer.context() == {"trace_id": "t" * 32, "span_id": None}
+        with tracer.span("open") as record:
+            assert tracer.context()["span_id"] == record["span_id"]
+
+    def test_ensure_trace_id_is_sticky(self):
+        tracer = Tracer()
+        first = tracer.ensure_trace_id()
+        assert tracer.ensure_trace_id() == first
+        assert len(first) == 32
+
+    def test_new_trace_ids_are_unique(self):
+        assert new_trace_id() != new_trace_id()
+
+    def test_adopt_stamps_missing_trace_id(self):
+        parent = Tracer(trace_id="t" * 32)
+        old_worker = Tracer()  # pre-trace-context peer
+        with old_worker.span("simulate.chunk"):
+            pass
+        new_worker = Tracer(trace_id="u" * 32)
+        with new_worker.span("simulate.chunk"):
+            pass
+        parent.adopt(old_worker.spans)
+        parent.adopt(new_worker.spans)
+        stamped = [record["trace_id"] for record in parent.spans]
+        assert stamped == ["t" * 32, "u" * 32]
+
+    def test_lane_stamped_on_every_span(self):
+        tracer = Tracer(lane="worker-1")
+        with tracer.span("a"):
+            pass
+        tracer.record("b", 0.1)
+        assert [record["lane"] for record in tracer.spans] == [
+            "worker-1", "worker-1",
+        ]
+
+
+class TestTruncationMarkers:
+    def test_dropped_spans_counted_in_registry(self):
+        with scoped_registry() as registry:
+            tracer = Tracer(max_spans=1)
+            tracer.record("kept", 0.1)
+            tracer.record("dropped", 0.1)
+            tracer.record("dropped", 0.1)
+            assert tracer.dropped == 2
+            assert registry.counter("trace.dropped").value == 2
+
+    def test_summary_marks_truncation(self):
+        tracer = Tracer(max_spans=1)
+        tracer.record("a", 1.0)
+        tracer.record("b", 1.0)
+        summary = tracer.summary()
+        assert summary["trace.dropped"]["count"] == 2 - 1
+        assert summary["trace.dropped"]["total_seconds"] == 0.0
+
+    def test_summary_unmarked_when_nothing_dropped(self):
+        tracer = Tracer()
+        tracer.record("a", 1.0)
+        assert "trace.dropped" not in tracer.summary()
+
+    def test_chrome_export_flags_truncation(self):
+        tracer = Tracer(max_spans=1)
+        tracer.record("kept", 0.5)
+        tracer.record("lost", 0.5)
+        events = tracer.to_chrome_events()
+        marker = events[-1]
+        assert marker["name"] == "trace.truncated"
+        assert marker["ph"] == "I"
+        assert marker["args"] == {"dropped": 1}
+        kept = events[0]
+        assert marker["ts"] >= kept["ts"] + kept["dur"] - 1e-6
+
+
 class TestRollups:
     def test_count_scoped_by_mark(self):
         tracer = Tracer()
@@ -141,6 +252,36 @@ class TestChromeExport:
         path = tracer.write_jsonl(tmp_path / "spans.jsonl")
         lines = path.read_text().splitlines()
         assert json.loads(lines[0])["name"] == "a"
+
+    def test_lanes_become_named_process_rows(self):
+        parent = Tracer(trace_id="t" * 32)
+        for worker_id in ("vm-b", "vm-a"):
+            worker = Tracer(lane=worker_id)
+            with worker.span("simulate.chunk"):
+                pass
+            parent.adopt(worker.spans)
+        events = parent.to_chrome_events()
+        meta = [event for event in events if event["ph"] == "M"]
+        assert [m["args"]["name"] for m in meta] == ["vm-a", "vm-b"]
+        pids = {m["args"]["name"]: m["pid"] for m in meta}
+        spans = [event for event in events if event["ph"] == "X"]
+        lanes_seen = sorted(event["pid"] for event in spans)
+        assert lanes_seen == sorted(pids.values())
+        assert len(set(pids.values())) == 2
+
+    def test_trace_ids_ride_in_args_only_when_present(self):
+        tracer = Tracer()
+        tracer.record("plain", 0.1, program="gzip")
+        tracer.bind(trace_id="t" * 32)
+        tracer.record("traced", 0.1)
+        plain, traced = (
+            event
+            for event in tracer.to_chrome_events()
+            if event["ph"] == "X"
+        )
+        assert plain["args"] == {"program": "gzip"}
+        assert traced["args"]["trace_id"] == "t" * 32
+        assert "span_id" in traced["args"]
 
 
 class TestGlobalTracer:

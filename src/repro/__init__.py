@@ -33,6 +33,8 @@ The subpackages:
 * :mod:`repro.core` — the architecture-centric predictor itself.
 * :mod:`repro.analysis` — space characterisation and clustering.
 * :mod:`repro.exploration` — datasets and per-figure experiment runners.
+* :mod:`repro.search` — closed-loop design-space search: gym-style
+  environment, seeded agents, Pareto frontiers and hypervolume.
 * :mod:`repro.runtime` — fault-tolerant, resumable campaign execution.
 * :mod:`repro.distrib` — coordinator/worker campaigns across hosts.
 * :mod:`repro.obs` — logging, metrics, tracing and run manifests.

@@ -10,6 +10,11 @@ Lets a user poke the reproduction without writing code:
   influential parameters.
 * ``plan --budget 2000 --new-programs 5`` — how to split a simulation
   budget between offline training and per-program responses.
+* ``search --objectives cycles,energy --agent genetic --budget 256`` —
+  closed-loop design-space search: drive a seeded agent against the
+  fitted predictors and report the Pareto frontier (``--frontier-out``
+  writes it as JSON; ``--compare-random`` scores the agent against the
+  random baseline at equal budget).
 * ``publish --registry DIR --program applu`` — train, fit and freeze a
   predictor into the model registry as an immutable version.
 * ``serve --registry DIR --model applu-cycles`` — run the batched
@@ -62,6 +67,7 @@ from repro.obs import (
     get_tracer,
     git_sha,
 )
+from repro.search import AGENT_NAMES, RESPONSE_STRATEGIES
 from repro.sim import FixedParameters, Metric
 from repro.sim.machine import width_scaling_rows
 from repro.workloads import mibench_suite, spec2000_suite
@@ -143,6 +149,46 @@ def _build_parser() -> argparse.ArgumentParser:
     _checkpoint_options(explore)
     _jobs_option(explore)
     _telemetry_options(explore)
+
+    search = sub.add_parser(
+        "search",
+        help="closed-loop design-space search: drive an agent against "
+        "fitted predictors toward the Pareto frontier",
+    )
+    _common(search)
+    search.add_argument("--program", default="applu")
+    search.add_argument(
+        "--objectives", default="cycles,energy",
+        help="comma-separated metrics to minimise (cycles, energy, ed, "
+        "edd); two or more trace a Pareto frontier",
+    )
+    search.add_argument(
+        "--agent", default="genetic", choices=AGENT_NAMES,
+        help="search policy (default: genetic)",
+    )
+    search.add_argument("--budget", type=int, default=256,
+                        help="total predictor evaluations allowed")
+    search.add_argument("--batch", type=int, default=16,
+                        help="proposals evaluated per round")
+    search.add_argument("--responses", type=int, default=32)
+    search.add_argument("--training-size", type=int, default=512)
+    search.add_argument(
+        "--response-strategy", default="disagreement",
+        choices=RESPONSE_STRATEGIES,
+        help="how the R response configurations are chosen when fitting "
+        "the predictors (default: ensemble disagreement)",
+    )
+    search.add_argument(
+        "--frontier-out", default=None, metavar="FILE",
+        help="write the frontier/outcome JSON here",
+    )
+    search.add_argument(
+        "--compare-random", action="store_true",
+        help="also run the random agent at equal budget and score both "
+        "against a shared hypervolume reference",
+    )
+    _jobs_option(search)
+    _telemetry_options(search)
 
     publish = sub.add_parser(
         "publish",
@@ -803,6 +849,126 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    import json as _json
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.search import (
+        DesignSpaceEnv,
+        PredictorOracle,
+        make_agent,
+        pick_response_indices,
+        run_search,
+        suggest_reference,
+    )
+
+    try:
+        objectives = tuple(
+            Metric.from_name(name.strip())
+            for name in args.objectives.split(",")
+            if name.strip()
+        )
+    except (KeyError, ValueError) as error:
+        print(f"bad --objectives: {error}", file=sys.stderr)
+        return 2
+    if not objectives:
+        print("--objectives needs at least one metric", file=sys.stderr)
+        return 2
+    # ED/EDD compose from cycles x energy: two base predictors cover
+    # every objective combination.
+    base_metrics = set(objectives) & {Metric.CYCLES, Metric.ENERGY}
+    if {Metric.ED, Metric.EDD} & set(objectives):
+        base_metrics |= {Metric.CYCLES, Metric.ENERGY}
+
+    suite = spec2000_suite()
+    if args.program not in suite:
+        print(f"unknown SPEC program {args.program!r}", file=sys.stderr)
+        return 2
+    dataset = DesignSpaceDataset.sampled(
+        suite, sample_size=args.samples, seed=args.seed
+    )
+    space = dataset.simulator.space
+    predictors = {}
+    for metric in sorted(base_metrics, key=lambda m: m.value):
+        print(f"offline: fitting the {metric.value} predictor "
+              f"(T={args.training_size}, R={args.responses}, "
+              f"{args.response_strategy} responses) ...")
+        pool = TrainingPool(
+            dataset, metric, training_size=args.training_size,
+            seed=args.seed, n_jobs=args.jobs,
+        )
+        models = pool.models(exclude=[args.program])
+        predictor = ArchitectureCentricPredictor(models)
+        if args.response_strategy == "random":
+            indices, _ = dataset.split_indices(args.responses, seed=args.seed)
+        else:
+            indices = pick_response_indices(
+                models, dataset.configs, args.responses,
+                strategy=args.response_strategy, seed=args.seed,
+            )
+        predictor.fit_responses(
+            dataset.subset_configs(indices),
+            dataset.subset_values(args.program, metric, indices),
+        )
+        predictors[metric] = predictor
+
+    oracle = PredictorOracle(predictors)
+
+    def _run(agent_name: str):
+        env = DesignSpaceEnv(
+            space, oracle, objectives=objectives, budget=args.budget
+        )
+        agent = make_agent(
+            agent_name, space, objectives=len(objectives), seed=args.seed
+        )
+        return run_search(env, agent, batch_size=args.batch, seed=args.seed)
+
+    print(f"search: agent={args.agent} budget={args.budget} "
+          f"objectives={','.join(m.value for m in objectives)}")
+    outcome = _run(args.agent)
+    payload = outcome.to_payload()
+
+    print(f"frontier     : {len(outcome.frontier)} points")
+    print(f"hypervolume  : {outcome.hypervolume:.6e}")
+    for metric_name, winner in outcome.best.items():
+        print(f"best {metric_name:7}: {winner['value']:.6e}")
+
+    if args.compare_random and args.agent != "random":
+        baseline = _run("random")
+        # Hypervolumes only compare against one shared reference: derive
+        # it from the union of both runs' observed bounds.
+        union = np.stack([
+            np.asarray(outcome.observed_lo), np.asarray(outcome.observed_hi),
+            np.asarray(baseline.observed_lo),
+            np.asarray(baseline.observed_hi),
+        ])
+        shared_ref = suggest_reference(union)
+        agent_hv = outcome.hypervolume_at(shared_ref)
+        random_hv = baseline.hypervolume_at(shared_ref)
+        verdict = "beats" if agent_hv > random_hv else "does not beat"
+        print(f"vs random    : {agent_hv:.6e} vs {random_hv:.6e} "
+              f"({args.agent} {verdict} random at budget {args.budget})")
+        payload["shared_reference"] = [float(v) for v in shared_ref]
+        payload["hypervolume_shared"] = agent_hv
+        payload["random_baseline"] = {
+            "hypervolume_shared": random_hv,
+            "frontier_size": len(baseline.frontier),
+            "spent": baseline.spent,
+        }
+
+    if args.frontier_out:
+        target = Path(args.frontier_out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            _json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"frontier-out : {target}")
+    return 0
+
+
 def _fit_new_program_predictor(args: argparse.Namespace, metric: Metric):
     """Train the pool and fit responses — the predict/publish shared core.
 
@@ -1297,6 +1463,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_plan(args)
         if args.command == "explore":
             return _cmd_explore(args)
+        if args.command == "search":
+            return _cmd_search(args)
         if args.command == "publish":
             return _cmd_publish(args)
         if args.command == "serve":

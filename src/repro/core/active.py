@@ -19,8 +19,27 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.designspace.configuration import Configuration
+from repro.ml.ensemble import StackedEnsemble
 
 from .program_model import ProgramSpecificPredictor
+
+
+def _log_prediction_matrix(
+    models: Sequence[ProgramSpecificPredictor],
+    configs: Sequence[Configuration],
+) -> np.ndarray:
+    """(N, m) log10 prediction matrix, stacked-ensemble fast path.
+
+    Homogeneous pools ride one batched forward pass through
+    :class:`~repro.ml.ensemble.StackedEnsemble` (bit-identical to the
+    per-model loop — the ensemble tests assert exact equality); mixed
+    pools fall back to evaluating members one at a time.
+    """
+    ensemble = StackedEnsemble.maybe_from_models(models)
+    if ensemble is not None:
+        # log_model_matrix returns (m, N); the callers want (N, m).
+        return np.ascontiguousarray(ensemble.log_model_matrix(configs).T)
+    return np.stack([np.log10(model.predict(configs)) for model in models])
 
 
 def model_disagreement(
@@ -36,10 +55,7 @@ def model_disagreement(
         raise ValueError("at least one model is required")
     if not configs:
         return np.empty(0)
-    predictions = np.stack(
-        [np.log10(model.predict(configs)) for model in models]
-    )
-    return predictions.std(axis=0)
+    return _log_prediction_matrix(models, configs).std(axis=0)
 
 
 def select_responses(
@@ -71,8 +87,8 @@ def select_responses(
         raise ValueError("diversity_weight must be non-negative")
 
     rng = np.random.default_rng(seed)
-    predictions = np.stack(
-        [np.log10(model.predict(candidates)) for model in models], axis=1
+    predictions = np.ascontiguousarray(
+        _log_prediction_matrix(models, candidates).T
     )
     disagreement = predictions.std(axis=1)
     # Feature space for diversity: standardised model predictions.

@@ -32,7 +32,10 @@ from .reporting import (
     format_table,
     scale_banner,
 )
-from .search import (
+# The search strategies moved to repro.search (PR 9); re-exported here
+# so historical imports keep working.  `.search` itself is now a
+# deprecation shim over repro.search.strategies.
+from repro.search.strategies import (
     RankedCandidate,
     SearchResult,
     TradeOffPoint,

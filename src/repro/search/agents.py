@@ -1,0 +1,538 @@
+"""Pluggable search agents under one ``Agent`` protocol.
+
+Every agent speaks the same two-verb protocol the runner drives:
+``propose(count)`` returns up to ``count`` legal configurations, and
+``observe(observations)`` feeds the environment's evaluations back.
+All agents are seeded and deterministic — the same seed replays the
+same trajectory bit for bit, which the tests assert and the benchmark
+relies on for its replay leg.
+
+The roster:
+
+* :class:`RandomAgent` — uniform legal sampling; the paper-style
+  baseline every other agent must beat at equal budget.
+* :class:`HillClimbAgent` — steepest-descent over the legal
+  single-step neighbourhood (the migrated ``exploration/search.py``
+  climber), restarting from random points with fresh scalarisation
+  weights so multi-objective runs spread along the frontier.
+* :class:`AnnealingAgent` — Metropolis-accepted neighbour walks (the
+  migrated simulated annealer) under a geometric temperature decay.
+* :class:`GeneticAgent` — an NSGA-II-flavoured evolutionary loop:
+  non-dominated sorting plus crowding distance for selection, uniform
+  crossover and grid-step mutation for variation.
+* :class:`BayesianAgent` — expected improvement over a cheap Bayesian
+  ridge surrogate fitted to the scalarised history, maximised over a
+  random candidate pool.
+
+Multi-objective scalarisation (where an agent needs a single score) is
+a weighted sum of ``log10`` objectives — scale-free, so cycles and
+nanojoules mix sanely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.designspace.configuration import Configuration
+from repro.designspace.sampling import sample_configurations
+from repro.designspace.space import DesignSpace
+
+from .env import Observation
+
+__all__ = [
+    "AGENT_NAMES",
+    "Agent",
+    "AnnealingAgent",
+    "BayesianAgent",
+    "GeneticAgent",
+    "HillClimbAgent",
+    "RandomAgent",
+    "make_agent",
+]
+
+#: Floor applied before ``log10`` so a pathological oracle value cannot
+#: produce ``-inf`` scores.
+_TINY = 1e-300
+
+
+class Agent(Protocol):
+    """The protocol every search agent implements."""
+
+    name: str
+
+    def propose(self, count: int) -> List[Configuration]:
+        """Up to ``count`` legal configurations to evaluate next."""
+        ...
+
+    def observe(self, observations: Sequence[Observation]) -> None:
+        """Digest the environment's evaluations of the last proposals."""
+        ...
+
+
+class _ScalarisingAgent:
+    """Shared plumbing: seeded RNG, weights, log-space scalarisation."""
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objectives: int = 2,
+        seed: Optional[int] = None,
+    ) -> None:
+        if objectives < 1:
+            raise ValueError("objectives must be at least 1")
+        self._space = space
+        self._objective_count = objectives
+        self._rng = np.random.default_rng(seed)
+        self._weights = np.full(objectives, 1.0 / objectives)
+
+    def _redraw_weights(self) -> None:
+        """Draw fresh Dirichlet scalarisation weights (frontier spread)."""
+        if self._objective_count > 1:
+            self._weights = self._rng.dirichlet(
+                np.ones(self._objective_count)
+            )
+
+    def _score(self, objectives: Sequence[float]) -> float:
+        """Weighted sum of log10 objectives (lower is better)."""
+        values = np.maximum(np.asarray(objectives, dtype=float), _TINY)
+        return float(np.dot(self._weights, np.log10(values)))
+
+    def _random(self, count: int) -> List[Configuration]:
+        """``count`` uniform legal samples from the agent's own RNG."""
+        return sample_configurations(
+            self._space, count, seed=self._rng, unique=False
+        )
+
+    def observe(self, observations: Sequence[Observation]) -> None:
+        """Default: stateless agents ignore feedback."""
+
+
+class RandomAgent(_ScalarisingAgent):
+    """Uniform random legal sampling — the equal-budget baseline."""
+
+    name = "random"
+
+    def propose(self, count: int) -> List[Configuration]:
+        """``count`` fresh uniform samples."""
+        return self._random(count)
+
+
+class HillClimbAgent(_ScalarisingAgent):
+    """Steepest-descent local search with random multi-start.
+
+    Proposes the legal single-step neighbourhood of its current point;
+    moves to the best-scoring neighbour, and when no neighbour improves
+    it restarts from a random configuration with freshly drawn
+    scalarisation weights, so successive climbs pull towards different
+    regions of the frontier.
+    """
+
+    name = "hill"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objectives: int = 2,
+        seed: Optional[int] = None,
+        start_from_baseline: bool = True,
+    ) -> None:
+        super().__init__(space, objectives, seed)
+        self._current: Optional[Configuration] = None
+        self._current_score = np.inf
+        self._start_from_baseline = start_from_baseline
+
+    def propose(self, count: int) -> List[Configuration]:
+        """Neighbours of the current point, or restart candidates."""
+        if self._current is None:
+            picks: List[Configuration] = []
+            if self._start_from_baseline:
+                picks.append(self._space.baseline)
+                self._start_from_baseline = False
+            if len(picks) < count:
+                picks.extend(self._random(count - len(picks)))
+            return picks[:count]
+        neighbours = self._space.neighbours(self._current)
+        if not neighbours:
+            self._current = None
+            self._redraw_weights()
+            return self._random(count)
+        if len(neighbours) > count:
+            chosen = self._rng.choice(
+                len(neighbours), size=count, replace=False
+            )
+            neighbours = [neighbours[i] for i in sorted(chosen)]
+        return neighbours
+
+    def observe(self, observations: Sequence[Observation]) -> None:
+        """Move to the best observed point, or restart when stuck."""
+        if not observations:
+            return
+        scores = [self._score(o.objectives) for o in observations]
+        best = int(np.argmin(scores))
+        if self._current is None or scores[best] < self._current_score:
+            self._current = observations[best].configuration
+            self._current_score = scores[best]
+        else:
+            # Local optimum: restart somewhere new, chasing a fresh
+            # scalarisation so the next climb lands elsewhere on the
+            # frontier.
+            self._current = None
+            self._current_score = np.inf
+            self._redraw_weights()
+
+
+class AnnealingAgent(_ScalarisingAgent):
+    """Simulated annealing over single-parameter grid moves.
+
+    Random legal neighbours of the current point are proposed; each
+    observation is accepted with the Metropolis probability
+    ``exp(-relative_worsening / temperature)``, the temperature
+    decaying geometrically to ~1 percent of its initial value across
+    the configured horizon.
+    """
+
+    name = "anneal"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objectives: int = 2,
+        seed: Optional[int] = None,
+        initial_temperature: float = 0.05,
+        horizon: int = 256,
+    ) -> None:
+        if initial_temperature <= 0:
+            raise ValueError("initial_temperature must be positive")
+        if horizon < 1:
+            raise ValueError("horizon must be at least 1")
+        super().__init__(space, objectives, seed)
+        self._current: Optional[Configuration] = None
+        self._current_score = np.inf
+        self._temperature = initial_temperature
+        self._decay = 0.01 ** (1.0 / horizon)
+
+    def propose(self, count: int) -> List[Configuration]:
+        """Random neighbours of the current point (or cold starts)."""
+        if self._current is None:
+            return self._random(count)
+        neighbours = self._space.neighbours(self._current)
+        if not neighbours:
+            return self._random(count)
+        picks = self._rng.integers(0, len(neighbours), size=count)
+        return [neighbours[int(i)] for i in picks]
+
+    def observe(self, observations: Sequence[Observation]) -> None:
+        """Metropolis-accept each observation in order, cooling as we go."""
+        for observation in observations:
+            score = self._score(observation.objectives)
+            worsening = score - self._current_score
+            if self._current is None or worsening <= 0 or (
+                self._rng.random()
+                < np.exp(-worsening / max(self._temperature, 1e-12))
+            ):
+                self._current = observation.configuration
+                self._current_score = score
+            self._temperature *= self._decay
+
+
+class GeneticAgent(_ScalarisingAgent):
+    """NSGA-II-flavoured evolutionary multi-objective search.
+
+    A population of evaluated designs is kept sorted by non-domination
+    rank with crowding-distance tie-breaks.  Children come from binary
+    tournament selection, uniform parameter crossover and per-parameter
+    grid-step mutation, repaired to legality (mutation retries, then a
+    random legal fallback).  Until the population fills, proposals are
+    uniform random — so the first generations match the random baseline
+    and every later win is earned by selection pressure.
+    """
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objectives: int = 2,
+        seed: Optional[int] = None,
+        population: int = 24,
+        mutation_rate: float = 0.2,
+    ) -> None:
+        if population < 2:
+            raise ValueError("population must be at least 2")
+        if not 0.0 <= mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        super().__init__(space, objectives, seed)
+        self._population_size = population
+        self._mutation_rate = mutation_rate
+        self._members: List[Tuple[Configuration, Tuple[float, ...]]] = []
+        self._seen: Dict[Configuration, None] = {}
+
+    def propose(self, count: int) -> List[Configuration]:
+        """Random seeds until the population fills, then offspring."""
+        if len(self._members) < self._population_size:
+            return self._random(count)
+        ranks, crowding = self._rank_population()
+        children: List[Configuration] = []
+        for _ in range(count):
+            mother = self._tournament(ranks, crowding)
+            father = self._tournament(ranks, crowding)
+            child = self._crossover(mother, father)
+            child = self._mutate(child)
+            children.append(child)
+        return children
+
+    def observe(self, observations: Sequence[Observation]) -> None:
+        """Fold evaluations into the population and re-select survivors."""
+        for observation in observations:
+            if observation.configuration in self._seen:
+                continue
+            self._seen[observation.configuration] = None
+            self._members.append(
+                (observation.configuration, observation.objectives)
+            )
+        if len(self._members) > self._population_size:
+            self._members = self._select_survivors()
+
+    # -- selection -----------------------------------------------------
+    def _objective_matrix(self) -> np.ndarray:
+        return np.asarray([m[1] for m in self._members], dtype=float)
+
+    def _rank_population(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(non-domination rank, crowding distance) per member."""
+        values = self._objective_matrix()
+        n = len(values)
+        ranks = np.zeros(n, dtype=int)
+        remaining = np.arange(n)
+        rank = 0
+        while remaining.size:
+            sub = values[remaining]
+            front_local = _nondominated_mask(sub)
+            ranks[remaining[front_local]] = rank
+            remaining = remaining[~front_local]
+            rank += 1
+        return ranks, _crowding_distance(values)
+
+    def _tournament(
+        self, ranks: np.ndarray, crowding: np.ndarray
+    ) -> Configuration:
+        """Binary tournament: lower rank wins, crowding breaks ties."""
+        a, b = self._rng.integers(0, len(self._members), size=2)
+        a, b = int(a), int(b)
+        if (ranks[a], -crowding[a]) <= (ranks[b], -crowding[b]):
+            return self._members[a][0]
+        return self._members[b][0]
+
+    def _select_survivors(
+        self,
+    ) -> List[Tuple[Configuration, Tuple[float, ...]]]:
+        """Truncate to the population size by (rank, -crowding)."""
+        ranks, crowding = self._rank_population()
+        order = sorted(
+            range(len(self._members)),
+            key=lambda i: (ranks[i], -crowding[i], i),
+        )
+        return [self._members[i] for i in order[: self._population_size]]
+
+    # -- variation -----------------------------------------------------
+    def _crossover(
+        self, mother: Configuration, father: Configuration
+    ) -> Configuration:
+        """Uniform per-parameter crossover."""
+        values = {}
+        for parameter in self._space.parameters:
+            source = mother if self._rng.random() < 0.5 else father
+            values[parameter.name] = getattr(source, parameter.name)
+        return Configuration(**values)
+
+    def _mutate(self, child: Configuration) -> Configuration:
+        """Grid-step mutation with legality repair.
+
+        Each parameter moves +/-1 grid step with the mutation
+        probability; an illegal result retries a few times and finally
+        falls back to a random legal sample, so proposals are always
+        legal.
+        """
+        for _ in range(8):
+            values = {}
+            for parameter in self._space.parameters:
+                value = getattr(child, parameter.name)
+                if self._rng.random() < self._mutation_rate:
+                    index = parameter.index_of(value)
+                    step = 1 if self._rng.random() < 0.5 else -1
+                    index = min(max(index + step, 0), parameter.cardinality - 1)
+                    value = parameter.values[index]
+                values[parameter.name] = value
+            candidate = Configuration(**values)
+            if self._space.satisfies_constraints(candidate):
+                return candidate
+        return self._random(1)[0]
+
+
+class BayesianAgent(_ScalarisingAgent):
+    """Expected improvement over a cheap Bayesian ridge surrogate.
+
+    The scalarised history fits a closed-form Bayesian linear
+    regression on normalised encoded features; each round scores a
+    random candidate pool by expected improvement (posterior mean and
+    variance both in closed form — no dependency beyond numpy) and
+    proposes the best candidates.  Until enough history accumulates the
+    agent explores uniformly.
+    """
+
+    name = "bayes"
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        objectives: int = 2,
+        seed: Optional[int] = None,
+        pool_size: int = 512,
+        ridge: float = 1e-2,
+        min_history: int = 32,
+    ) -> None:
+        if pool_size < 2:
+            raise ValueError("pool_size must be at least 2")
+        if ridge <= 0:
+            raise ValueError("ridge must be positive")
+        super().__init__(space, objectives, seed)
+        self._pool_size = pool_size
+        self._ridge = ridge
+        self._min_history = max(min_history, space.dimensions + 2)
+        self._features: List[np.ndarray] = []
+        self._scores: List[float] = []
+        lo, hi = space.feature_bounds()
+        self._lo = lo
+        self._span = np.where(hi > lo, hi - lo, 1.0)
+
+    def _encode(self, configs: Sequence[Configuration]) -> np.ndarray:
+        """Encoded features normalised to [0, 1] plus a bias column."""
+        raw = self._space.encode_many(configs)
+        unit = (raw - self._lo) / self._span
+        return np.hstack([np.ones((unit.shape[0], 1)), unit])
+
+    def propose(self, count: int) -> List[Configuration]:
+        """Top expected-improvement picks from a fresh candidate pool."""
+        if len(self._scores) < self._min_history:
+            return self._random(count)
+        pool = self._random(self._pool_size)
+        x = np.asarray(self._features, dtype=float)
+        y = np.asarray(self._scores, dtype=float)
+        gram = x.T @ x + self._ridge * np.eye(x.shape[1])
+        inv = np.linalg.inv(gram)
+        weights = inv @ (x.T @ y)
+        residual = y - x @ weights
+        dof = max(len(y) - x.shape[1], 1)
+        noise = float(residual @ residual) / dof
+        candidates = self._encode(pool)
+        mean = candidates @ weights
+        variance = noise * (
+            1.0 + np.einsum("ij,jk,ik->i", candidates, inv, candidates)
+        )
+        sigma = np.sqrt(np.maximum(variance, 1e-18))
+        best = y.min()
+        z = (best - mean) / sigma
+        improvement = (best - mean) * _normal_cdf(z) + sigma * _normal_pdf(z)
+        order = np.argsort(-improvement)[:count]
+        return [pool[int(i)] for i in order]
+
+    def observe(self, observations: Sequence[Observation]) -> None:
+        """Append scalarised evaluations to the surrogate's history."""
+        if not observations:
+            return
+        encoded = self._encode([o.configuration for o in observations])
+        for row, observation in zip(encoded, observations):
+            self._features.append(row)
+            self._scores.append(self._score(observation.objectives))
+
+
+def _normal_pdf(z: np.ndarray) -> np.ndarray:
+    """Standard normal density."""
+    return np.exp(-0.5 * z * z) / np.sqrt(2.0 * np.pi)
+
+
+def _normal_cdf(z: np.ndarray) -> np.ndarray:
+    """Standard normal CDF via erf (numpy-only)."""
+    from math import sqrt
+
+    return 0.5 * (1.0 + _erf_vec(z / sqrt(2.0)))
+
+
+def _erf_vec(x: np.ndarray) -> np.ndarray:
+    """Vectorised erf (Abramowitz-Stegun 7.1.26, |error| < 1.5e-7)."""
+    sign = np.sign(x)
+    x = np.abs(x)
+    t = 1.0 / (1.0 + 0.3275911 * x)
+    poly = t * (
+        0.254829592
+        + t * (-0.284496736 + t * (1.421413741
+                                   + t * (-1.453152027 + t * 1.061405429)))
+    )
+    return sign * (1.0 - poly * np.exp(-x * x))
+
+
+def _nondominated_mask(values: np.ndarray) -> np.ndarray:
+    """Boolean mask of the non-dominated rows (duplicates all kept)."""
+    n = values.shape[0]
+    leq = (values[None, :, :] <= values[:, None, :]).all(axis=2)
+    lt = (values[None, :, :] < values[:, None, :]).any(axis=2)
+    return ~((leq & lt).any(axis=1))
+
+
+def _crowding_distance(values: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance (boundary points get infinity)."""
+    n, k = values.shape
+    distance = np.zeros(n)
+    for j in range(k):
+        order = np.argsort(values[:, j], kind="stable")
+        column = values[order, j]
+        span = column[-1] - column[0]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span > 0 and n > 2:
+            gaps = (column[2:] - column[:-2]) / span
+            distance[order[1:-1]] += gaps
+    return distance
+
+
+#: Agent names accepted by :func:`make_agent`, the CLI and ``/search``.
+AGENT_NAMES: Tuple[str, ...] = (
+    "random", "hill", "anneal", "genetic", "bayes",
+)
+
+_AGENTS = {
+    "random": RandomAgent,
+    "hill": HillClimbAgent,
+    "anneal": AnnealingAgent,
+    "genetic": GeneticAgent,
+    "bayes": BayesianAgent,
+}
+
+
+def make_agent(
+    name: str,
+    space: DesignSpace,
+    objectives: int = 2,
+    seed: Optional[int] = None,
+    **kwargs,
+) -> Agent:
+    """Build a named agent (``random``/``hill``/``anneal``/``genetic``/``bayes``).
+
+    Args:
+        name: One of :data:`AGENT_NAMES`.
+        space: The design space to search.
+        objectives: Objective-vector length the agent will observe.
+        seed: RNG seed; the same seed replays the same trajectory.
+        **kwargs: Forwarded to the agent's constructor.
+
+    Raises:
+        ValueError: on an unknown agent name.
+    """
+    try:
+        cls = _AGENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown agent {name!r}; known: {', '.join(AGENT_NAMES)}"
+        ) from None
+    return cls(space, objectives=objectives, seed=seed, **kwargs)

@@ -1,0 +1,340 @@
+"""The gym-style design-space environment over a predictor backend.
+
+ArchGym's framing (PAPERS.md): a trained cost model is the cheap inner
+loop of an optimizer, wrapped as an *environment* any agent can drive —
+``reset()``, ``step(config)``, observation out.  Here the environment
+wraps a :class:`~repro.designspace.space.DesignSpace` plus a metric
+*oracle* (fitted predictors, or the interval simulator for ground-truth
+oracle studies), charges every evaluation against a fixed budget, and
+feeds an incremental :class:`~repro.search.pareto.ParetoArchive` so all
+agents share identical frontier bookkeeping.
+
+Batch stepping is first-class: :meth:`DesignSpaceEnv.step_batch` makes
+one oracle call per objective for the whole batch, which rides the
+stacked-ensemble vectorised inference path — and returns *exactly* the
+numbers a direct ``predictor.predict(configs)`` call would (the tests
+assert bit-identity, not closeness).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.designspace.configuration import Configuration
+from repro.designspace.space import DesignSpace
+from repro.obs import get_registry
+from repro.sim.metrics import Metric
+
+from .pareto import ParetoArchive
+
+__all__ = [
+    "DesignSpaceEnv",
+    "Observation",
+    "Oracle",
+    "PredictorOracle",
+    "SimulationOracle",
+]
+
+
+class Oracle(Protocol):
+    """Anything that maps configuration batches to metric arrays."""
+
+    @property
+    def metrics(self) -> Tuple[Metric, ...]:
+        """The metrics this oracle can evaluate."""
+        ...
+
+    def evaluate(
+        self, configs: Sequence[Configuration]
+    ) -> Dict[Metric, np.ndarray]:
+        """Per-metric value arrays for ``configs`` (one entry each)."""
+        ...
+
+
+class PredictorOracle:
+    """Metric oracle over fitted predictors, composing ED and EDD.
+
+    Args:
+        predictors: Mapping from metric to a fitted predictor exposing
+            ``predict(configs) -> np.ndarray``.  When cycles and energy
+            predictors are both present, ED and EDD are composed
+            algebraically (``ed = energy * cycles``,
+            ``edd = energy * cycles**2``) unless explicitly provided —
+            the same composition :class:`~repro.core.multimetric.
+            MultiMetricPredictor` uses, at zero extra predictor calls.
+    """
+
+    def __init__(self, predictors: Mapping[Metric, object]) -> None:
+        if not predictors:
+            raise ValueError("at least one metric predictor is required")
+        for metric, predictor in predictors.items():
+            if not isinstance(metric, Metric):
+                raise ValueError(f"keys must be Metric, got {metric!r}")
+            if not hasattr(predictor, "predict"):
+                raise ValueError(
+                    f"the {metric.value} entry has no predict() method"
+                )
+        self._predictors = dict(predictors)
+        available = set(self._predictors)
+        if Metric.CYCLES in available and Metric.ENERGY in available:
+            available.update((Metric.ED, Metric.EDD))
+        self._metrics = tuple(m for m in Metric.all() if m in available)
+
+    @property
+    def metrics(self) -> Tuple[Metric, ...]:
+        """Directly predicted metrics plus composable ED/EDD."""
+        return self._metrics
+
+    def evaluate(
+        self, configs: Sequence[Configuration]
+    ) -> Dict[Metric, np.ndarray]:
+        """One batched ``predict`` per base predictor; ED/EDD composed.
+
+        The direct metrics are returned bit-identical to calling each
+        predictor yourself with the same batch — the environment adds
+        bookkeeping *around* the forward pass, never arithmetic inside
+        it.
+        """
+        values: Dict[Metric, np.ndarray] = {}
+        for metric in Metric.all():
+            predictor = self._predictors.get(metric)
+            if predictor is not None:
+                values[metric] = np.asarray(
+                    predictor.predict(configs), dtype=float
+                )
+        if Metric.CYCLES in values and Metric.ENERGY in values:
+            cycles, energy = values[Metric.CYCLES], values[Metric.ENERGY]
+            values.setdefault(Metric.ED, energy * cycles)
+            values.setdefault(Metric.EDD, energy * cycles * cycles)
+        return values
+
+
+class SimulationOracle:
+    """Ground-truth oracle over the interval simulator.
+
+    For oracle studies and tiny end-to-end tests: every ``evaluate``
+    runs real (vectorised batch) simulations of one program, so budgets
+    here are *simulation* budgets.
+
+    Args:
+        simulator: An :class:`~repro.sim.interval.IntervalSimulator`.
+        profile: The workload profile to simulate.
+    """
+
+    def __init__(self, simulator, profile) -> None:
+        self._simulator = simulator
+        self._profile = profile
+
+    @property
+    def metrics(self) -> Tuple[Metric, ...]:
+        """All four metrics (the simulator reports every one)."""
+        return Metric.all()
+
+    def evaluate(
+        self, configs: Sequence[Configuration]
+    ) -> Dict[Metric, np.ndarray]:
+        """Simulate the batch once and read out all four metrics."""
+        batch = self._simulator.simulate_batch(self._profile, list(configs))
+        return {metric: batch.metric(metric) for metric in Metric.all()}
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What one evaluated configuration looks like to an agent."""
+
+    configuration: Configuration
+    metrics: Dict[Metric, float]
+    objectives: Tuple[float, ...]
+
+
+class DesignSpaceEnv:
+    """Budgeted design-space exploration over a design space + oracle.
+
+    The contract is gym-shaped: :meth:`reset` evaluates the baseline
+    machine and returns its observation; :meth:`step` /
+    :meth:`step_batch` evaluate proposals and return
+    ``(observation(s), done, info)``.  Every evaluated configuration —
+    the baseline included — costs one unit of budget, and ``done``
+    flips when the budget is spent.  The environment validates
+    proposals against the space's legality constraints and maintains
+    the Pareto archive of everything it has evaluated.
+
+    Args:
+        space: The design space proposals must be legal in.
+        oracle: Metric oracle (fitted predictors or a simulator).
+        objectives: Metrics forming the objective vector, all minimised.
+        budget: Total evaluations allowed (>= 1).
+        validate: Check proposal legality (disable only for oracles
+            that handle off-grid points themselves).
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace,
+        oracle: Oracle,
+        objectives: Sequence[Metric] = (Metric.CYCLES, Metric.ENERGY),
+        budget: int = 256,
+        validate: bool = True,
+    ) -> None:
+        if budget < 1:
+            raise ValueError("budget must be at least 1")
+        objectives = tuple(objectives)
+        if not objectives:
+            raise ValueError("at least one objective metric is required")
+        if len(set(objectives)) != len(objectives):
+            raise ValueError(f"duplicate objectives in {objectives}")
+        missing = [m.value for m in objectives if m not in oracle.metrics]
+        if missing:
+            raise ValueError(
+                f"oracle cannot evaluate objective(s) {missing}; it "
+                f"offers {[m.value for m in oracle.metrics]}"
+            )
+        self._space = space
+        self._oracle = oracle
+        self._objectives = objectives
+        self._budget = budget
+        self._validate = validate
+        self._spent = 0
+        self._archive = ParetoArchive(len(objectives))
+        self._lo: Optional[np.ndarray] = None
+        self._hi: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> DesignSpace:
+        """The design space proposals are validated against."""
+        return self._space
+
+    @property
+    def objectives(self) -> Tuple[Metric, ...]:
+        """The minimised objective metrics, in observation order."""
+        return self._objectives
+
+    @property
+    def budget(self) -> int:
+        """Total evaluations allowed per episode."""
+        return self._budget
+
+    @property
+    def spent(self) -> int:
+        """Evaluations consumed so far this episode."""
+        return self._spent
+
+    @property
+    def remaining(self) -> int:
+        """Evaluations left before ``done``."""
+        return self._budget - self._spent
+
+    @property
+    def done(self) -> bool:
+        """True once the evaluation budget is exhausted."""
+        return self._spent >= self._budget
+
+    @property
+    def archive(self) -> ParetoArchive:
+        """The Pareto archive over everything evaluated this episode."""
+        return self._archive
+
+    def observed_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-objective (min, max) over every evaluated point.
+
+        The raw material for a hypervolume reference point; to compare
+        runs, take the union of their bounds.
+
+        Raises:
+            RuntimeError: before anything has been evaluated.
+        """
+        if self._lo is None or self._hi is None:
+            raise RuntimeError("nothing evaluated yet; call reset() first")
+        return self._lo.copy(), self._hi.copy()
+
+    # ------------------------------------------------------------------
+    # The gym surface
+    # ------------------------------------------------------------------
+    def reset(self) -> Observation:
+        """Start an episode: evaluate the baseline machine (1 budget)."""
+        self._spent = 0
+        self._archive = ParetoArchive(len(self._objectives))
+        self._lo = None
+        self._hi = None
+        observations, _, _ = self.step_batch([self._space.baseline])
+        return observations[0]
+
+    def step(
+        self, configuration: Configuration
+    ) -> Tuple[Observation, bool, Dict]:
+        """Evaluate one configuration; ``(observation, done, info)``."""
+        observations, done, info = self.step_batch([configuration])
+        return observations[0], done, info
+
+    def step_batch(
+        self, configurations: Sequence[Configuration]
+    ) -> Tuple[List[Observation], bool, Dict]:
+        """Evaluate a batch in one vectorised oracle pass.
+
+        Args:
+            configurations: Proposals; the batch must be non-empty and
+                fit in the remaining budget (ask :attr:`remaining`).
+
+        Returns:
+            ``(observations, done, info)`` — per-proposal observations
+            in order, the episode-over flag, and an info dict with
+            ``spent``/``remaining``/``frontier_size``/``accepted``.
+
+        Raises:
+            RuntimeError: when the episode is already done.
+            ValueError: on an empty or over-budget batch, an illegal
+                configuration, or non-finite oracle output.
+        """
+        if self.done:
+            raise RuntimeError(
+                f"budget of {self._budget} evaluations exhausted; reset()"
+            )
+        configurations = list(configurations)
+        if not configurations:
+            raise ValueError("a step needs at least one configuration")
+        if len(configurations) > self.remaining:
+            raise ValueError(
+                f"batch of {len(configurations)} exceeds the remaining "
+                f"budget of {self.remaining}"
+            )
+        if self._validate:
+            for config in configurations:
+                self._space.validate(config)
+        start = time.perf_counter()
+        values = self._oracle.evaluate(configurations)
+        matrix = np.stack(
+            [np.asarray(values[m], dtype=float) for m in self._objectives],
+            axis=1,
+        )
+        accepted = self._archive.update(configurations, matrix)
+        lo, hi = matrix.min(axis=0), matrix.max(axis=0)
+        self._lo = lo if self._lo is None else np.minimum(self._lo, lo)
+        self._hi = hi if self._hi is None else np.maximum(self._hi, hi)
+        self._spent += len(configurations)
+        registry = get_registry()
+        registry.counter("search.env.evaluations").inc(len(configurations))
+        registry.histogram("search.env.batch.seconds").observe(
+            time.perf_counter() - start
+        )
+        observations = [
+            Observation(
+                configuration=config,
+                metrics={m: float(values[m][i]) for m in values},
+                objectives=tuple(float(v) for v in matrix[i]),
+            )
+            for i, config in enumerate(configurations)
+        ]
+        info = {
+            "spent": self._spent,
+            "remaining": self.remaining,
+            "frontier_size": len(self._archive),
+            "accepted": accepted,
+        }
+        return observations, self.done, info

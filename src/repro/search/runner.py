@@ -1,0 +1,196 @@
+"""The search loop: drive an agent against an environment to budget.
+
+:func:`run_search` is the one loop every caller shares — the CLI verb,
+the ``/search`` serving endpoint, the benchmark and the tests all drive
+agents through it, so budget accounting, telemetry and frontier
+bookkeeping behave identically everywhere.  The loop is propose →
+batch-evaluate → observe until the environment's budget is spent, with
+each round instrumented as a ``search.round`` span.
+
+:class:`SearchOutcome` is the JSON-able result record;
+:func:`write_frontier` persists it for downstream tooling (the CI
+smoke leg parses the file it writes).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs import get_registry, span
+
+from .agents import Agent
+from .env import DesignSpaceEnv
+from .pareto import FrontierPoint, hypervolume, suggest_reference
+
+__all__ = ["SearchOutcome", "run_search", "write_frontier"]
+
+
+@dataclass(frozen=True)
+class SearchOutcome:
+    """Everything a finished search run produced.
+
+    Args:
+        agent: The agent's registered name.
+        objectives: Objective metric names, in vector order.
+        budget: The evaluation budget the run was given.
+        spent: Evaluations actually consumed (== budget on full runs).
+        seed: The agent seed, for replay.
+        frontier: The final Pareto frontier, sorted ascending.
+        reference: The hypervolume reference point used for scoring.
+        hypervolume: Frontier hypervolume against ``reference``.
+        best: Per-objective best (config, value) pairs — the scalar
+            winners, one per objective.
+        elapsed_seconds: Wall-clock time of the loop.
+        observed_lo: Per-objective minimum over *all* evaluations.
+        observed_hi: Per-objective maximum over *all* evaluations.
+    """
+
+    agent: str
+    objectives: Tuple[str, ...]
+    budget: int
+    spent: int
+    seed: Optional[int]
+    frontier: Tuple[FrontierPoint, ...]
+    reference: Tuple[float, ...]
+    hypervolume: float
+    best: Dict[str, Dict]
+    elapsed_seconds: float
+    observed_lo: Tuple[float, ...] = field(default=())
+    observed_hi: Tuple[float, ...] = field(default=())
+
+    def hypervolume_at(self, reference: Sequence[float]) -> float:
+        """Re-score the frontier against a different reference point.
+
+        The cross-run comparison hook: score several outcomes against
+        one shared reference (e.g. from the union of their observed
+        bounds) to compare agents fairly.
+        """
+        matrix = np.asarray(
+            [p.objectives for p in self.frontier], dtype=float
+        )
+        if matrix.size == 0:
+            return 0.0
+        return hypervolume(matrix, np.asarray(reference, dtype=float))
+
+    def to_payload(self) -> Dict:
+        """JSON-ready dict mirroring every field."""
+        return {
+            "agent": self.agent,
+            "objectives": list(self.objectives),
+            "budget": self.budget,
+            "spent": self.spent,
+            "seed": self.seed,
+            "frontier": [p.to_payload() for p in self.frontier],
+            "frontier_size": len(self.frontier),
+            "reference": list(self.reference),
+            "hypervolume": self.hypervolume,
+            "best": self.best,
+            "elapsed_seconds": self.elapsed_seconds,
+            "observed_lo": list(self.observed_lo),
+            "observed_hi": list(self.observed_hi),
+        }
+
+
+def run_search(
+    env: DesignSpaceEnv,
+    agent: Agent,
+    batch_size: int = 16,
+    seed: Optional[int] = None,
+    reference: Optional[Sequence[float]] = None,
+) -> SearchOutcome:
+    """Drive ``agent`` against ``env`` until the budget is spent.
+
+    The loop resets the environment (baseline evaluation, 1 budget
+    unit), then repeats propose → ``step_batch`` → observe with batches
+    clipped to the remaining budget, so runs of any budget/batch
+    combination terminate exactly on budget.
+
+    Args:
+        env: The budgeted environment to search.
+        agent: The proposal policy (see :mod:`repro.search.agents`).
+        batch_size: Proposals per round; larger batches amortise the
+            vectorised oracle better but give the agent staler feedback.
+        seed: Recorded in the outcome for replay bookkeeping (the agent
+            carries its own RNG; pass the same seed to both).
+        reference: Hypervolume reference point; defaults to one derived
+            from this run's observed bounds.  Cross-run comparisons
+            must pass a shared reference (or re-score via
+            :meth:`SearchOutcome.hypervolume_at`).
+
+    Returns:
+        The finished :class:`SearchOutcome`.
+
+    Raises:
+        ValueError: for a non-positive batch size.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    registry = get_registry()
+    start = time.perf_counter()
+    with span("search.run", agent=agent.name, budget=env.budget):
+        baseline = env.reset()
+        agent.observe([baseline])
+        rounds = 0
+        while not env.done:
+            count = min(batch_size, env.remaining)
+            with span("search.round", agent=agent.name, batch=count):
+                proposals = agent.propose(count)
+                if not proposals:
+                    break
+                observations, _, _ = env.step_batch(proposals[:count])
+                agent.observe(observations)
+            rounds += 1
+        registry.counter("search.runs").inc()
+        registry.histogram("search.rounds").observe(rounds)
+    elapsed = time.perf_counter() - start
+
+    lo, hi = env.observed_bounds()
+    if reference is None:
+        ref = suggest_reference(np.stack([lo, hi]))
+    else:
+        ref = np.asarray(reference, dtype=float).reshape(-1)
+    frontier = env.archive.front()
+    hv = env.archive.hypervolume(ref)
+    best: Dict[str, Dict] = {}
+    for j, metric in enumerate(env.objectives):
+        values = [p.objectives[j] for p in frontier]
+        winner = frontier[int(np.argmin(values))]
+        best[metric.value] = {
+            "configuration": winner.configuration.as_dict(),
+            "value": float(winner.objectives[j]),
+        }
+    return SearchOutcome(
+        agent=agent.name,
+        objectives=tuple(m.value for m in env.objectives),
+        budget=env.budget,
+        spent=env.spent,
+        seed=seed,
+        frontier=frontier,
+        reference=tuple(float(r) for r in ref),
+        hypervolume=hv,
+        best=best,
+        elapsed_seconds=elapsed,
+        observed_lo=tuple(float(v) for v in lo),
+        observed_hi=tuple(float(v) for v in hi),
+    )
+
+
+def write_frontier(path, outcome: SearchOutcome) -> Path:
+    """Write a search outcome's JSON payload to ``path``.
+
+    Parent directories are created as needed; returns the written path.
+    The CI search-smoke leg parses this file.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(outcome.to_payload(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target

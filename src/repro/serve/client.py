@@ -66,6 +66,37 @@ class PredictionClient:
         """A single configuration's prediction."""
         return self.predict([config])[0]
 
+    def search(
+        self,
+        agent: str = "hill",
+        budget: int = 128,
+        batch: int = 16,
+        seed: int = 0,
+    ) -> Dict:
+        """Run a bounded closed-loop search on the server.
+
+        Args:
+            agent: Search agent name (see ``repro.search.AGENT_NAMES``).
+            budget: Predictor-evaluation budget for the run.
+            batch: Proposals evaluated per round.
+            seed: Agent seed; the same seed replays the same search.
+
+        Returns:
+            The search outcome payload — best configuration, frontier,
+            hypervolume, budget accounting and the served model info.
+
+        Raises:
+            ServerError: on any non-200 response (503 when the server
+                already runs its maximum of concurrent searches).
+        """
+        return self._request(
+            "POST", "/search",
+            body=json.dumps({
+                "agent": agent, "budget": budget,
+                "batch": batch, "seed": seed,
+            }),
+        )
+
     def healthz(self) -> Dict:
         """The server's health document (raises 503 while draining)."""
         return self._request("GET", "/healthz")

@@ -15,6 +15,11 @@ Endpoints:
   mapping (missing parameters take the baseline value).  A single
   ``{"config": ...}`` object is accepted as shorthand.  Response:
   ``{"metric": ..., "predictions": [...], "model": {...}}``.
+* ``POST /search`` — body ``{"agent": ..., "budget": ..., "seed": ...}``
+  runs a bounded closed-loop search (:mod:`repro.search`) over the
+  served model's metric and returns the best configuration found plus
+  the search trace summary.  CPU-bound, so it runs on the executor and
+  is capped to a small in-flight count (excess requests get ``503``).
 * ``GET /healthz`` — liveness plus the served model's identity.
 * ``GET /metrics`` — the process metrics registry in Prometheus text
   exposition format (the same exporter behind ``--metrics-out``).
@@ -53,6 +58,12 @@ _log = get_logger("serve.server")
 
 #: Most configurations accepted in one /predict call.
 _MAX_CONFIGS = 10_000
+
+#: /search request bounds: budget and batch caps plus the most
+#: concurrently running searches (each occupies an executor thread).
+_MAX_SEARCH_BUDGET = 4096
+_MAX_SEARCH_BATCH = 256
+_MAX_SEARCHES_INFLIGHT = 2
 
 
 class _BadRequest(ValueError):
@@ -104,6 +115,7 @@ class PredictionServer:
         self._connections: set = set()
         self._draining = False
         self._started = 0.0
+        self._searches_inflight = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -227,6 +239,10 @@ class PredictionServer:
             if method != "POST":
                 return _json_error(405, "use POST")
             return await self._handle_predict(body)
+        if path == "/search":
+            if method != "POST":
+                return _json_error(405, "use POST")
+            return await self._handle_search(body)
         return _json_error(404, f"unknown path {path!r}")
 
     def _handle_healthz(self) -> Tuple[int, bytes, str, Dict[str, str]]:
@@ -269,6 +285,108 @@ class PredictionServer:
             "model": self.model_info,
         }
         return 200, _dump(payload), "application/json", {}
+
+    async def _handle_search(
+        self, body: bytes
+    ) -> Tuple[int, bytes, str, Dict[str, str]]:
+        from repro.search import (
+            DesignSpaceEnv,
+            PredictorOracle,
+            make_agent,
+            run_search,
+        )
+
+        registry = get_registry()
+        if self._draining:
+            registry.counter("serve.rejected", reason="draining").inc()
+            return _json_error(
+                503, "the server is draining", {"Retry-After": "1"}
+            )
+        try:
+            agent_name, budget, batch, seed = self._parse_search(body)
+        except _BadRequest as error:
+            return _json_error(400, str(error))
+        if self._searches_inflight >= _MAX_SEARCHES_INFLIGHT:
+            registry.counter("serve.rejected", reason="search_busy").inc()
+            return _json_error(
+                503,
+                f"at most {_MAX_SEARCHES_INFLIGHT} concurrent searches",
+                {"Retry-After": "1"},
+            )
+
+        metric = self._predictor.metric
+
+        def _run_bounded_search():
+            env = DesignSpaceEnv(
+                self._space,
+                PredictorOracle({metric: self._predictor}),
+                objectives=(metric,),
+                budget=budget,
+            )
+            agent = make_agent(agent_name, self._space, objectives=1,
+                               seed=seed)
+            return run_search(env, agent, batch_size=batch, seed=seed)
+
+        self._searches_inflight += 1
+        registry.gauge("serve.search.inflight").inc()
+        start = time.perf_counter()
+        try:
+            with span("serve.search", agent=agent_name, budget=budget):
+                outcome = await asyncio.get_running_loop().run_in_executor(
+                    None, _run_bounded_search
+                )
+        except (RuntimeError, ValueError) as error:
+            _log.error("search failed: %s", error)
+            return _json_error(500, f"search failed: {error}")
+        finally:
+            self._searches_inflight -= 1
+            registry.gauge("serve.search.inflight").inc(-1)
+            registry.histogram("serve.search.seconds").observe(
+                time.perf_counter() - start
+            )
+        registry.counter("serve.search.requests", agent=agent_name).inc()
+        payload = outcome.to_payload()
+        payload["metric"] = metric.value
+        payload["model"] = self.model_info
+        return 200, _dump(payload), "application/json", {}
+
+    def _parse_search(self, body: bytes) -> Tuple[str, int, int, int]:
+        from repro.search import AGENT_NAMES
+
+        try:
+            request = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _BadRequest(f"request body is not JSON: {error}") from error
+        if not isinstance(request, dict):
+            raise _BadRequest("request body must be a JSON object")
+        unknown = set(request) - {"agent", "budget", "batch", "seed",
+                                  "objective"}
+        if unknown:
+            raise _BadRequest(f"unknown search options: {sorted(unknown)}")
+        agent = request.get("agent", "hill")
+        if agent not in AGENT_NAMES:
+            raise _BadRequest(
+                f"unknown agent {agent!r}; known: {', '.join(AGENT_NAMES)}"
+            )
+        objective = request.get("objective", self._predictor.metric.value)
+        if objective != self._predictor.metric.value:
+            raise _BadRequest(
+                f"this server predicts {self._predictor.metric.value!r}, "
+                f"not {objective!r}"
+            )
+
+        def _bounded_int(key: str, default: int, lo: int, hi: int) -> int:
+            value = request.get(key, default)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise _BadRequest(f'"{key}" must be an integer')
+            if not lo <= value <= hi:
+                raise _BadRequest(f'"{key}" must be in [{lo}, {hi}]')
+            return value
+
+        budget = _bounded_int("budget", 128, 2, _MAX_SEARCH_BUDGET)
+        batch = _bounded_int("batch", 16, 1, _MAX_SEARCH_BATCH)
+        seed = _bounded_int("seed", 0, 0, 2**31 - 1)
+        return agent, budget, batch, seed
 
     def _parse_configs(self, body: bytes) -> List[Configuration]:
         try:

@@ -9,7 +9,7 @@ from repro.exploration import (
     pareto_front,
     predicted_best,
 )
-from repro.exploration.search import TradeOffPoint
+from repro.search import TradeOffPoint
 from repro.sim import Metric
 
 
@@ -189,3 +189,53 @@ class TestSimulatedAnnealing:
         from repro.exploration import simulated_annealing
         result = simulated_annealing(oracle, space, steps=80, seed=4)
         assert space.is_legal(result.best.configuration)
+
+
+class TestDeprecationShim:
+    """repro.exploration.search moved to repro.search.strategies."""
+
+    def test_shim_import_warns_and_reexports(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.exploration.search", None)
+        with pytest.warns(DeprecationWarning, match="repro.search"):
+            shim = importlib.import_module("repro.exploration.search")
+        import repro.search.strategies as strategies
+
+        assert shim.hill_climb is strategies.hill_climb
+        assert shim.pareto_front is strategies.pareto_front
+        assert shim.TradeOffPoint is strategies.TradeOffPoint
+
+    def test_package_reexports_stay_silent(self):
+        import warnings
+
+        import repro.exploration as exploration
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert callable(exploration.hill_climb)
+            assert callable(exploration.dominated_fraction)
+
+    def test_frontier_rejects_nan(self, space):
+        class _NaNPredictor:
+            def predict(self, configs):
+                values = np.ones(len(configs))
+                values[0] = np.nan
+                return values
+
+        class _OnePredictor:
+            def predict(self, configs):
+                return np.ones(len(configs))
+
+        with pytest.raises(ValueError, match="non-finite cycles"):
+            pareto_front(
+                _NaNPredictor(), _OnePredictor(), space,
+                candidates=16, seed=0,
+            )
+
+    def test_dominated_fraction_rejects_nan(self, space):
+        good = TradeOffPoint(space.baseline, 1.0, 1.0)
+        bad = TradeOffPoint(space.baseline, float("nan"), 1.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            dominated_fraction([good], [bad])

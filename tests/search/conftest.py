@@ -1,0 +1,55 @@
+"""Search fixtures: fitted cycles/energy predictors and environments.
+
+The cycles predictor reuses the expensive session ``cycles_pool``; the
+energy pool is trained here once per session at a smaller training size
+(the search tests need plausible surfaces, not peak accuracy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ArchitectureCentricPredictor
+from repro.core.training import TrainingPool
+from repro.sim import Metric
+
+#: Responses split seed shared so both metric predictors fit the same
+#: response configurations.
+_SPLIT_SEED = 23
+
+
+def _fit(pool, dataset, metric):
+    predictor = ArchitectureCentricPredictor(pool.models(exclude=["gzip"]))
+    response_idx, _ = dataset.split_indices(24, seed=_SPLIT_SEED)
+    predictor.fit_responses(
+        dataset.subset_configs(response_idx),
+        dataset.subset_values("gzip", metric, response_idx),
+    )
+    return predictor
+
+
+@pytest.fixture(scope="session")
+def energy_pool(small_dataset) -> TrainingPool:
+    pool = TrainingPool(
+        small_dataset, Metric.ENERGY, training_size=200, seed=7
+    )
+    pool.train_all()
+    return pool
+
+
+@pytest.fixture(scope="session")
+def cycles_predictor(cycles_pool, small_dataset):
+    return _fit(cycles_pool, small_dataset, Metric.CYCLES)
+
+
+@pytest.fixture(scope="session")
+def energy_predictor(energy_pool, small_dataset):
+    return _fit(energy_pool, small_dataset, Metric.ENERGY)
+
+
+@pytest.fixture(scope="session")
+def search_predictors(cycles_predictor, energy_predictor):
+    return {
+        Metric.CYCLES: cycles_predictor,
+        Metric.ENERGY: energy_predictor,
+    }

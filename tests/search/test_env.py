@@ -1,0 +1,181 @@
+"""DesignSpaceEnv: budget accounting, validation, bit-identity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.designspace import sample_configurations
+from repro.search import DesignSpaceEnv, PredictorOracle, SimulationOracle
+from repro.sim import Metric
+
+
+@pytest.fixture()
+def env(space, search_predictors):
+    return DesignSpaceEnv(
+        space,
+        PredictorOracle(search_predictors),
+        objectives=(Metric.CYCLES, Metric.ENERGY),
+        budget=64,
+    )
+
+
+class TestPredictorOracle:
+    def test_metrics_include_composed(self, search_predictors):
+        oracle = PredictorOracle(search_predictors)
+        assert set(oracle.metrics) == {
+            Metric.CYCLES, Metric.ENERGY, Metric.ED, Metric.EDD,
+        }
+
+    def test_cycles_only_has_no_composed(self, cycles_predictor):
+        oracle = PredictorOracle({Metric.CYCLES: cycles_predictor})
+        assert oracle.metrics == (Metric.CYCLES,)
+
+    def test_bit_identical_to_direct_predict(
+        self, space, search_predictors
+    ):
+        oracle = PredictorOracle(search_predictors)
+        configs = sample_configurations(space, 40, seed=3)
+        values = oracle.evaluate(configs)
+        for metric in (Metric.CYCLES, Metric.ENERGY):
+            direct = search_predictors[metric].predict(configs)
+            np.testing.assert_array_equal(values[metric], direct)
+
+    def test_composition_matches_definition(self, space, search_predictors):
+        oracle = PredictorOracle(search_predictors)
+        configs = sample_configurations(space, 10, seed=4)
+        values = oracle.evaluate(configs)
+        np.testing.assert_array_equal(
+            values[Metric.ED], values[Metric.ENERGY] * values[Metric.CYCLES]
+        )
+        # The canonical composition order (MultiMetricPredictor):
+        # energy * cycles * cycles, asserted bit-for-bit.
+        np.testing.assert_array_equal(
+            values[Metric.EDD],
+            values[Metric.ENERGY] * values[Metric.CYCLES]
+            * values[Metric.CYCLES],
+        )
+
+    def test_rejects_empty_and_bad_entries(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PredictorOracle({})
+        with pytest.raises(ValueError, match="predict"):
+            PredictorOracle({Metric.CYCLES: object()})
+
+
+class TestSimulationOracle:
+    def test_matches_simulator(self, space, simulator, small_suite):
+        profile = small_suite["gzip"]
+        oracle = SimulationOracle(simulator, profile)
+        configs = sample_configurations(space, 5, seed=8)
+        values = oracle.evaluate(configs)
+        batch = simulator.simulate_batch(profile, configs)
+        for metric in Metric.all():
+            np.testing.assert_array_equal(
+                values[metric], batch.metric(metric)
+            )
+
+
+class TestEnvContract:
+    def test_reset_evaluates_baseline(self, env, space):
+        observation = env.reset()
+        assert observation.configuration == space.baseline
+        assert env.spent == 1
+        assert len(env.archive) == 1
+
+    def test_step_batch_bit_identical_to_predictor(
+        self, env, space, search_predictors
+    ):
+        env.reset()
+        configs = sample_configurations(space, 16, seed=5)
+        observations, done, info = env.step_batch(configs)
+        assert not done
+        assert info["spent"] == 17
+        cycles = search_predictors[Metric.CYCLES].predict(configs)
+        energy = search_predictors[Metric.ENERGY].predict(configs)
+        for i, observation in enumerate(observations):
+            assert observation.objectives[0] == cycles[i]
+            assert observation.objectives[1] == energy[i]
+            assert observation.metrics[Metric.CYCLES] == cycles[i]
+            assert observation.metrics[Metric.ED] == (
+                energy[i] * cycles[i]
+            )
+
+    def test_step_equals_batch_of_one(self, space, search_predictors):
+        oracle = PredictorOracle(search_predictors)
+        config = sample_configurations(space, 1, seed=6)[0]
+        env_a = DesignSpaceEnv(space, oracle, budget=8)
+        env_a.reset()
+        obs_a, _, _ = env_a.step(config)
+        env_b = DesignSpaceEnv(space, oracle, budget=8)
+        env_b.reset()
+        (obs_b,), _, _ = env_b.step_batch([config])
+        assert obs_a == obs_b
+
+    def test_budget_exhaustion(self, space, search_predictors):
+        env = DesignSpaceEnv(
+            space, PredictorOracle(search_predictors), budget=3
+        )
+        env.reset()
+        configs = sample_configurations(space, 2, seed=7)
+        _, done, _ = env.step_batch(configs)
+        assert done and env.done and env.remaining == 0
+        with pytest.raises(RuntimeError, match="exhausted"):
+            env.step_batch(configs[:1])
+
+    def test_over_budget_batch_rejected(self, space, search_predictors):
+        env = DesignSpaceEnv(
+            space, PredictorOracle(search_predictors), budget=4
+        )
+        env.reset()
+        configs = sample_configurations(space, 5, seed=9)
+        with pytest.raises(ValueError, match="exceeds the remaining"):
+            env.step_batch(configs)
+        assert env.spent == 1  # the rejected batch charged nothing
+
+    def test_empty_batch_rejected(self, env):
+        env.reset()
+        with pytest.raises(ValueError, match="at least one"):
+            env.step_batch([])
+
+    def test_illegal_configuration_rejected(self, env, space):
+        env.reset()
+        illegal = space.baseline.replace(rob_size=32, iq_size=80)
+        with pytest.raises(ValueError):
+            env.step(illegal)
+
+    def test_unknown_objective_rejected(self, space, cycles_predictor):
+        with pytest.raises(ValueError, match="cannot evaluate"):
+            DesignSpaceEnv(
+                space,
+                PredictorOracle({Metric.CYCLES: cycles_predictor}),
+                objectives=(Metric.ENERGY,),
+            )
+
+    def test_duplicate_objectives_rejected(self, space, search_predictors):
+        with pytest.raises(ValueError, match="duplicate"):
+            DesignSpaceEnv(
+                space,
+                PredictorOracle(search_predictors),
+                objectives=(Metric.CYCLES, Metric.CYCLES),
+            )
+
+    def test_observed_bounds(self, env, space):
+        with pytest.raises(RuntimeError, match="reset"):
+            env.observed_bounds()
+        env.reset()
+        configs = sample_configurations(space, 8, seed=10)
+        observations, _, _ = env.step_batch(configs)
+        lo, hi = env.observed_bounds()
+        matrix = np.asarray(
+            [o.objectives for o in observations]
+        )
+        assert (lo <= matrix.min(axis=0)).all()
+        assert (hi >= matrix.max(axis=0)).all()
+
+    def test_reset_clears_state(self, env, space):
+        env.reset()
+        env.step_batch(sample_configurations(space, 4, seed=11))
+        env.reset()
+        assert env.spent == 1
+        assert len(env.archive) == 1

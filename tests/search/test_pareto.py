@@ -1,0 +1,218 @@
+"""Pareto machinery: fronts, archives, hypervolume vs brute force."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.designspace import DesignSpace
+from repro.search import (
+    FrontierPoint,
+    ParetoArchive,
+    dominated_fraction_nd,
+    hypervolume,
+    pareto_indices,
+    suggest_reference,
+)
+
+
+def brute_force_hypervolume(points, reference, cells=400):
+    """Monte-Carlo-free brute force: count dominated grid cells."""
+    points = np.asarray(points, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    lo = points.min(axis=0)
+    steps = (reference - lo) / cells
+    grids = [
+        l + (np.arange(cells) + 0.5) * s for l, s in zip(lo, steps)
+    ]
+    mesh = np.stack(
+        np.meshgrid(*grids, indexing="ij"), axis=-1
+    ).reshape(-1, points.shape[1])
+    dominated = (
+        (points[None, :, :] <= mesh[:, None, :]).all(axis=2).any(axis=1)
+    )
+    return float(dominated.sum()) * float(np.prod(steps))
+
+
+class TestParetoIndices:
+    def test_simple_front(self):
+        values = np.array([[1, 4], [2, 2], [4, 1], [3, 3], [4, 4]])
+        assert pareto_indices(values).tolist() == [0, 1, 2]
+
+    def test_duplicates_keep_first(self):
+        values = np.array([[1.0, 2.0], [1.0, 2.0], [2.0, 1.0]])
+        assert pareto_indices(values).tolist() == [0, 2]
+
+    def test_equal_points_do_not_dominate_each_other(self):
+        values = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert pareto_indices(values).tolist() == [0]
+
+    def test_single_objective_rejected(self):
+        with pytest.raises(ValueError, match="argmin"):
+            pareto_indices(np.array([1.0, 2.0, 3.0]))
+
+    def test_nan_rejected_with_location(self):
+        values = np.array([[1.0, 2.0], [np.nan, 1.0]])
+        with pytest.raises(ValueError, match=r"\(1, 0\)"):
+            pareto_indices(values)
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="NaN/Inf"):
+            pareto_indices(np.array([[1.0, np.inf]]))
+
+    def test_empty_input(self):
+        assert pareto_indices(np.empty((0, 2))).size == 0
+
+    def test_three_objectives(self):
+        values = np.array([
+            [1, 1, 3], [1, 3, 1], [3, 1, 1], [2, 2, 2], [3, 3, 3],
+        ])
+        assert pareto_indices(values).tolist() == [0, 1, 2, 3]
+
+
+class TestHypervolume:
+    def test_2d_exact(self):
+        points = np.array([[1.0, 4.0], [2.0, 2.0], [4.0, 1.0]])
+        reference = np.array([5.0, 5.0])
+        expected = (5 - 1) * (5 - 4) + (5 - 2) * (4 - 2) + (5 - 4) * (2 - 1)
+        assert hypervolume(points, reference) == pytest.approx(expected)
+
+    def test_2d_matches_brute_force(self):
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0.0, 1.0, size=(12, 2))
+        reference = np.array([1.2, 1.2])
+        exact = hypervolume(points, reference)
+        approx = brute_force_hypervolume(points, reference, cells=400)
+        assert exact == pytest.approx(approx, rel=0.02)
+
+    def test_3d_matches_brute_force(self):
+        rng = np.random.default_rng(9)
+        points = rng.uniform(0.0, 1.0, size=(8, 3))
+        reference = np.array([1.1, 1.1, 1.1])
+        exact = hypervolume(points, reference)
+        approx = brute_force_hypervolume(points, reference, cells=60)
+        assert exact == pytest.approx(approx, rel=0.05)
+
+    def test_point_on_reference_contributes_nothing(self):
+        points = np.array([[1.0, 5.0], [2.0, 2.0]])
+        assert hypervolume(points, [5.0, 5.0]) == pytest.approx(
+            (5 - 2) * (5 - 2)
+        )
+
+    def test_dominated_points_add_nothing(self):
+        front = np.array([[1.0, 1.0]])
+        padded = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 1.5]])
+        ref = [4.0, 4.0]
+        assert hypervolume(front, ref) == hypervolume(padded, ref)
+
+    def test_empty_is_zero(self):
+        assert hypervolume(np.empty((0, 2)), [1.0, 1.0]) == 0.0
+
+    def test_reference_shape_mismatch(self):
+        with pytest.raises(ValueError, match="coordinates"):
+            hypervolume(np.array([[1.0, 2.0]]), [1.0, 2.0, 3.0])
+
+    def test_suggest_reference_dominates_everything(self):
+        rng = np.random.default_rng(2)
+        values = rng.uniform(1.0, 9.0, size=(30, 3))
+        ref = suggest_reference(values)
+        assert (values < ref).all()
+
+    def test_suggest_reference_constant_objective(self):
+        values = np.array([[1.0, 5.0], [2.0, 5.0]])
+        ref = suggest_reference(values)
+        assert ref[1] > 5.0
+
+
+class TestDominatedFractionNd:
+    def test_counts_strict_domination_only(self):
+        front = np.array([[1.0, 1.0]])
+        points = np.array([[1.0, 1.0], [2.0, 2.0], [0.5, 3.0]])
+        assert dominated_fraction_nd(front, points) == pytest.approx(1 / 3)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="NaN/Inf"):
+            dominated_fraction_nd(
+                np.array([[np.nan, 1.0]]), np.array([[1.0, 1.0]])
+            )
+
+    def test_mismatched_objectives(self):
+        with pytest.raises(ValueError, match="objectives"):
+            dominated_fraction_nd(
+                np.array([[1.0, 1.0]]), np.array([[1.0, 1.0, 1.0]])
+            )
+
+
+class TestParetoArchive:
+    def _configs(self, space: DesignSpace, count: int):
+        from repro.designspace import sample_configurations
+
+        return sample_configurations(space, count, seed=31)
+
+    def test_insert_and_evict(self, space):
+        a, b, c = self._configs(space, 3)
+        archive = ParetoArchive(2)
+        assert archive.insert(a, [2.0, 2.0])
+        assert archive.insert(b, [1.0, 3.0])
+        assert len(archive) == 2
+        # c dominates a: a must be evicted.
+        assert archive.insert(c, [1.5, 1.5])
+        assert len(archive) == 2
+        assert a not in archive and b in archive and c in archive
+
+    def test_dominated_offer_rejected(self, space):
+        a, b = self._configs(space, 2)
+        archive = ParetoArchive(2)
+        archive.insert(a, [1.0, 1.0])
+        assert not archive.insert(b, [2.0, 2.0])
+        assert len(archive) == 1
+
+    def test_duplicate_configuration_rejected(self, space):
+        (a,) = self._configs(space, 1)
+        archive = ParetoArchive(2)
+        assert archive.insert(a, [1.0, 2.0])
+        assert not archive.insert(a, [0.5, 0.5])
+        assert len(archive) == 1
+
+    def test_non_finite_rejected(self, space):
+        (a,) = self._configs(space, 1)
+        archive = ParetoArchive(2)
+        with pytest.raises(ValueError, match="non-finite"):
+            archive.insert(a, [np.nan, 1.0])
+
+    def test_wrong_arity_rejected(self, space):
+        (a,) = self._configs(space, 1)
+        with pytest.raises(ValueError, match="expected 2"):
+            ParetoArchive(2).insert(a, [1.0, 2.0, 3.0])
+
+    def test_front_sorted_and_payloads(self, space):
+        a, b = self._configs(space, 2)
+        archive = ParetoArchive(2)
+        archive.update([a, b], [[2.0, 1.0], [1.0, 2.0]])
+        front = archive.front()
+        assert [p.objectives for p in front] == [(1.0, 2.0), (2.0, 1.0)]
+        payload = front[0].to_payload()
+        assert payload["objectives"] == [1.0, 2.0]
+        assert payload["configuration"]["width"] in (2, 4, 6, 8)
+
+    def test_single_objective_degenerates_to_best(self, space):
+        configs = self._configs(space, 4)
+        archive = ParetoArchive(1)
+        archive.update(configs, [[4.0], [2.0], [3.0], [5.0]])
+        assert len(archive) == 1
+        assert archive.front()[0].objectives == (2.0,)
+
+    def test_archive_hypervolume_matches_function(self, space):
+        a, b = self._configs(space, 2)
+        archive = ParetoArchive(2)
+        archive.update([a, b], [[2.0, 1.0], [1.0, 2.0]])
+        ref = [3.0, 3.0]
+        assert archive.hypervolume(ref) == pytest.approx(
+            hypervolume(archive.values_matrix(), ref)
+        )
+
+    def test_frontier_point_is_frozen(self, space):
+        (a,) = self._configs(space, 1)
+        point = FrontierPoint(a, (1.0, 2.0))
+        with pytest.raises(AttributeError):
+            point.objectives = (0.0, 0.0)

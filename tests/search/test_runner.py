@@ -1,0 +1,89 @@
+"""run_search / SearchOutcome / write_frontier behaviour."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.search import (
+    DesignSpaceEnv,
+    PredictorOracle,
+    make_agent,
+    run_search,
+    write_frontier,
+)
+from repro.sim import Metric
+
+
+@pytest.fixture()
+def outcome(space, search_predictors):
+    env = DesignSpaceEnv(
+        space,
+        PredictorOracle(search_predictors),
+        objectives=(Metric.CYCLES, Metric.ENERGY),
+        budget=48,
+    )
+    agent = make_agent("genetic", space, objectives=2, seed=13)
+    return run_search(env, agent, batch_size=12, seed=13)
+
+
+class TestRunSearch:
+    def test_spends_exact_budget(self, outcome):
+        assert outcome.spent == outcome.budget == 48
+
+    def test_frontier_non_empty_and_reference_dominates(self, outcome):
+        assert len(outcome.frontier) >= 1
+        for point in outcome.frontier:
+            assert all(
+                v < r for v, r in zip(point.objectives, outcome.reference)
+            )
+        assert outcome.hypervolume > 0
+
+    def test_best_entries_per_objective(self, outcome):
+        assert set(outcome.best) == {"cycles", "energy"}
+        cycles_values = [p.objectives[0] for p in outcome.frontier]
+        assert outcome.best["cycles"]["value"] == min(cycles_values)
+
+    def test_hypervolume_at_monotone_in_reference(self, outcome):
+        bigger = [r * 2 for r in outcome.reference]
+        assert outcome.hypervolume_at(bigger) > outcome.hypervolume
+
+    def test_bad_batch_size(self, space, search_predictors):
+        env = DesignSpaceEnv(
+            space, PredictorOracle(search_predictors), budget=4
+        )
+        agent = make_agent("random", space, seed=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            run_search(env, agent, batch_size=0)
+
+    def test_budget_of_one_is_just_baseline(self, space, search_predictors):
+        env = DesignSpaceEnv(
+            space, PredictorOracle(search_predictors), budget=1
+        )
+        agent = make_agent("random", space, seed=0)
+        result = run_search(env, agent)
+        assert result.spent == 1
+        assert len(result.frontier) == 1
+        assert result.frontier[0].configuration == space.baseline
+
+
+class TestPayloadAndPersistence:
+    def test_payload_round_trips_json(self, outcome):
+        payload = outcome.to_payload()
+        text = json.dumps(payload)
+        back = json.loads(text)
+        assert back["agent"] == "genetic"
+        assert back["spent"] == 48
+        assert back["frontier_size"] == len(outcome.frontier)
+        assert len(back["frontier"]) == len(outcome.frontier)
+        assert back["objectives"] == ["cycles", "energy"]
+
+    def test_write_frontier(self, outcome, tmp_path):
+        target = write_frontier(tmp_path / "deep" / "frontier.json", outcome)
+        assert target.exists()
+        payload = json.loads(target.read_text())
+        assert payload["hypervolume"] == pytest.approx(outcome.hypervolume)
+        assert payload["frontier"][0]["configuration"]["width"] in (
+            2, 4, 6, 8,
+        )

@@ -1,0 +1,122 @@
+"""The /search endpoint: round-trips, validation, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServerError
+
+
+class TestSearchEndpoint:
+    def test_round_trip(self, harness):
+        server = harness()
+        with server.client() as client:
+            payload = client.search(agent="hill", budget=24, batch=8, seed=1)
+        assert payload["agent"] == "hill"
+        assert payload["spent"] == 24
+        assert payload["metric"] == "cycles"
+        assert payload["frontier_size"] >= 1
+        best = payload["best"]["cycles"]
+        assert best["value"] > 0
+        assert set(best["configuration"]) >= {"width", "rob_size"}
+        assert payload["model"] == server.server.model_info
+
+    def test_deterministic_for_seed(self, harness):
+        server = harness()
+        with server.client() as client:
+            first = client.search(agent="random", budget=16, seed=7)
+            second = client.search(agent="random", budget=16, seed=7)
+        assert first["best"] == second["best"]
+        assert first["frontier"] == second["frontier"]
+
+    def test_best_is_at_least_as_good_as_baseline(self, harness):
+        server = harness()
+        with server.client() as client:
+            payload = client.search(agent="hill", budget=24, seed=0)
+            baseline = client.predict_one({})
+        assert payload["best"]["cycles"]["value"] <= baseline
+
+    def test_unknown_agent_is_400(self, harness):
+        server = harness()
+        with server.client() as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.search(agent="gradient", budget=16)
+        assert excinfo.value.status == 400
+        assert "unknown agent" in excinfo.value.message
+
+    def test_budget_bounds_enforced(self, harness):
+        server = harness()
+        with server.client() as client:
+            for budget in (0, 1, 1_000_000):
+                with pytest.raises(ServerError) as excinfo:
+                    client.search(budget=budget)
+                assert excinfo.value.status == 400
+
+    def test_wrong_objective_is_400(self, harness):
+        import http.client
+        import json
+
+        server = harness()
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=30
+        )
+        try:
+            connection.request(
+                "POST", "/search",
+                body=json.dumps({"objective": "energy"}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            body = response.read()
+        finally:
+            connection.close()
+        assert response.status == 400
+        assert b"predicts" in body
+
+    def test_unknown_option_is_400(self, harness):
+        import http.client
+        import json
+
+        server = harness()
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=30
+        )
+        try:
+            connection.request(
+                "POST", "/search",
+                body=json.dumps({"temperature": 1.0}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            body = response.read()
+        finally:
+            connection.close()
+        assert response.status == 400
+        assert b"unknown search options" in body
+
+    def test_get_method_rejected(self, harness):
+        import http.client
+
+        server = harness()
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=30
+        )
+        try:
+            connection.request("GET", "/search")
+            response = connection.getresponse()
+            response.read()
+        finally:
+            connection.close()
+        assert response.status == 405
+
+    def test_draining_server_rejects_search(self, harness):
+        server = harness()
+        client = server.client()
+        client.search(budget=8)  # warm connection while healthy
+        server.drain()
+        # A kept-alive connection gets a 503; a torn-down one refuses.
+        with pytest.raises((ServerError, OSError)) as excinfo:
+            client.search(budget=8)
+        if isinstance(excinfo.value, ServerError):
+            assert excinfo.value.status == 503
+        client.close()

@@ -24,6 +24,7 @@ PACKAGES = (
     "repro.ml",
     "repro.obs",
     "repro.runtime",
+    "repro.search",
     "repro.serve",
     "repro.sim",
     "repro.sim.pipeline",

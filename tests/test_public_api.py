@@ -34,6 +34,7 @@ class TestPublicApi:
         import repro.exploration
         import repro.ml
         import repro.runtime
+        import repro.search
         import repro.serve
         import repro.sim
         import repro.sim.pipeline

@@ -18,7 +18,12 @@ Lets a user poke the reproduction without writing code:
 * ``publish --registry DIR --program applu`` — train, fit and freeze a
   predictor into the model registry as an immutable version.
 * ``serve --registry DIR --model applu-cycles`` — run the batched
-  asyncio inference server over a published model until SIGTERM.
+  asyncio inference server over a published model until SIGTERM;
+  ``--workers N`` preforks a fleet behind one port, and
+  ``--max-inflight``/``--client-rate`` add admission control.
+* ``load --plan FILE --target HOST:PORT`` — replay a seeded open-loop
+  load plan against a running server and report per-stage latency,
+  goodput and shed counts (``--slo`` gates the run on objectives).
 * ``coordinator --checkpoint-dir DIR`` / ``worker --connect HOST:PORT``
   — shard a campaign across hosts: the coordinator owns the journal and
   hands out leased chunks, workers simulate them.  ``simulate`` and
@@ -244,10 +249,74 @@ def _build_parser() -> argparse.ArgumentParser:
         help="parked requests beyond which /predict returns 503",
     )
     serve.add_argument(
+        "--workers", type=int, default=1,
+        help="serving processes behind the port (>1 preforks a fleet "
+        "sharing the socket via SO_REUSEPORT, with coordinated drain "
+        "and merged metrics)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=0,
+        help="per-worker cap on concurrently admitted requests; past "
+        "it /predict and /search shed with 503 + Retry-After "
+        "(0 disables)",
+    )
+    serve.add_argument(
+        "--client-rate", type=float, default=0.0,
+        help="per-client token-bucket quota in requests/second, keyed "
+        "by X-Client-Id or peer address (0 disables)",
+    )
+    serve.add_argument(
+        "--client-burst", type=int, default=0,
+        help="token-bucket burst capacity (default: ceil(client rate))",
+    )
+    serve.add_argument(
+        "--service-delay-ms", type=float, default=0.0,
+        help="extra milliseconds per forward pass — emulates an "
+        "expensive model so saturation benchmarks behave on a shared "
+        "machine (the serving twin of 'repro worker --sim-delay')",
+    )
+    serve.add_argument(
         "--manifest-out", default=None, metavar="FILE",
         help="write a run manifest here on shutdown (any exit path)",
     )
     _telemetry_options(serve)
+
+    load = sub.add_parser(
+        "load",
+        help="replay a seeded open-loop load plan against a running "
+        "prediction server or fleet",
+    )
+    load.add_argument(
+        "--plan", required=True, metavar="FILE",
+        help="load plan JSON (see docs/serving.md for the syntax)",
+    )
+    load.add_argument(
+        "--target", required=True, metavar="HOST:PORT",
+        type=_host_port_arg, help="server address to drive",
+    )
+    load.add_argument(
+        "--seed", type=int, default=None,
+        help="override the plan's seed (same plan + seed replays the "
+        "same arrivals, mixes and payloads)",
+    )
+    load.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request socket timeout in seconds",
+    )
+    load.add_argument(
+        "--report-out", default=None, metavar="FILE",
+        help="write the full per-stage report JSON here",
+    )
+    load.add_argument(
+        "--slo", default=None, metavar="FILE", dest="slo_config",
+        help="SLO objectives JSON checked against the run's own "
+        "metrics after the plan finishes; violations fail the command",
+    )
+    load.add_argument(
+        "--fail-on-drops", action="store_true",
+        help="exit non-zero when any request was shed or errored",
+    )
+    _telemetry_options(load)
 
     coordinator = sub.add_parser(
         "coordinator",
@@ -1039,7 +1108,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
     from repro.obs import build_manifest, get_tracer, write_manifest
-    from repro.serve import ModelRegistry, serve_forever
+    from repro.serve import ModelRegistry, serve_fleet_forever, serve_forever
+
+    if args.workers < 1:
+        print("serve needs at least one worker", file=sys.stderr)
+        return 2
 
     started = time.time()
     trace_start = get_tracer().mark()
@@ -1076,18 +1149,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"(metric {server.model_info['metric']}); "
               "SIGTERM/Ctrl-C drains and stops", file=sys.stderr)
 
+    def _fleet_ready(fleet) -> None:
+        print(f"serving {fleet.workers} workers on "
+              f"http://{fleet.host}:{fleet.port} ({fleet.mode}); "
+              "SIGTERM/Ctrl-C drains and stops", file=sys.stderr)
+
+    exit_code = 0
     try:
-        serve_forever(
-            predictor,
-            host=args.host,
-            port=args.port,
-            model_info=model_info,
-            max_batch=args.max_batch,
-            batch_window=args.batch_window_ms / 1000.0,
-            cache_size=args.cache_size,
-            queue_limit=args.queue_limit,
-            ready_callback=_ready,
-        )
+        if args.workers > 1:
+            report = serve_fleet_forever(
+                predictor,
+                args.workers,
+                host=args.host,
+                port=args.port,
+                model_info=model_info,
+                server_options={
+                    "max_batch": args.max_batch,
+                    "batch_window": args.batch_window_ms / 1000.0,
+                    "cache_size": args.cache_size,
+                    "queue_limit": args.queue_limit,
+                    "service_delay": args.service_delay_ms / 1000.0,
+                    "max_inflight": args.max_inflight,
+                    "client_rate": args.client_rate,
+                    "client_burst": args.client_burst,
+                },
+                ready_callback=_fleet_ready,
+            )
+            print(f"fleet exit: {report.exit_codes}", file=sys.stderr)
+            exit_code = 0 if report.clean else 1
+        else:
+            serve_forever(
+                predictor,
+                host=args.host,
+                port=args.port,
+                model_info=model_info,
+                max_batch=args.max_batch,
+                batch_window=args.batch_window_ms / 1000.0,
+                cache_size=args.cache_size,
+                queue_limit=args.queue_limit,
+                max_inflight=args.max_inflight,
+                client_rate=args.client_rate,
+                client_burst=args.client_burst,
+                service_delay=args.service_delay_ms / 1000.0,
+                ready_callback=_ready,
+            )
     finally:
         # Written on every exit path — the server's lifetime metrics
         # and model identity survive a SIGTERM'd pod.
@@ -1099,7 +1204,78 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
             path = write_manifest(args.manifest_out, manifest)
             print(f"manifest  : {path}", file=sys.stderr)
-    return 0
+    return exit_code
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.load import LoadGenerator, LoadPlan
+    from repro.serve import PredictionClient, ServerError
+
+    try:
+        plan = LoadPlan.load(args.plan)
+    except (OSError, ValueError) as error:
+        print(f"load plan error: {error}", file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        plan = plan.with_seed(args.seed)
+    host, port = args.target
+
+    # Preflight: fail fast with a clear message when nothing is
+    # listening, instead of burning the whole plan on timeouts.
+    try:
+        with PredictionClient(host, port, timeout=args.timeout) as probe:
+            health = probe.healthz()
+    except (ServerError, OSError) as error:
+        print(f"load target error: {host}:{port} is not healthy "
+              f"({error})", file=sys.stderr)
+        return 2
+    print(f"target    : http://{host}:{port} "
+          f"(model {health.get('model', {}).get('name', '?')})",
+          file=sys.stderr)
+
+    report = LoadGenerator(
+        plan, host, port, timeout=args.timeout
+    ).run()
+
+    for stage in report.stages:
+        raw_p99 = stage.latency_percentiles_ms.get("p99", float("nan"))
+        p99 = f"{raw_p99:8.1f}ms" if raw_p99 == raw_p99 else "       -"
+        print(f"stage     : {stage.name:<16} "
+              f"offered {stage.offered_rps:7.1f}/s "
+              f"goodput {stage.goodput_rps:7.1f}/s p99 {p99} "
+              f"shed {stage.shed:4d} errors {stage.errors:4d}")
+    print(f"totals    : {report.scheduled} scheduled, {report.ok} ok, "
+          f"{report.shed} shed, {report.errors} errors in "
+          f"{report.wall_seconds:.1f}s")
+
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+        print(f"report    : {args.report_out}", file=sys.stderr)
+
+    failed = False
+    if args.slo_config:
+        from repro.obs import SLOTracker
+
+        try:
+            tracker = SLOTracker.from_config(args.slo_config)
+        except (OSError, ValueError) as error:
+            print(f"slo config error: {error}", file=sys.stderr)
+            return 2
+        ok, statuses = tracker.check(get_registry())
+        for status in statuses:
+            verdict = "ok      " if status.ok else "VIOLATED"
+            print(f"slo       : {status.objective.name:<24} {verdict}")
+        if not ok:
+            print("verdict   : SLO violation", file=sys.stderr)
+            failed = True
+    if args.fail_on_drops and (report.shed or report.errors):
+        print(f"verdict   : {report.shed} shed + {report.errors} errors "
+              "with --fail-on-drops", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 def _cmd_coordinator(args: argparse.Namespace) -> int:
@@ -1469,6 +1645,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_publish(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "load":
+            return _cmd_load(args)
         if args.command == "coordinator":
             return _cmd_coordinator(args)
         if args.command == "worker":

@@ -1,0 +1,465 @@
+"""The open-loop load generator: scheduled arrivals, honest latency.
+
+:func:`build_schedule` expands a :class:`~repro.load.plan.LoadPlan`
+into a fully deterministic request schedule *before* anything runs:
+every request's arrival offset, client slot, kind and payload is a
+pure function of the plan and its seed (all random streams come from
+:func:`repro.runtime.faults.derive_rng`).  :class:`LoadGenerator` then
+replays that schedule against a live server — one thread per client
+slot, each owning one keep-alive :class:`~repro.serve.PredictionClient`
+— and *never* waits for a response before the next arrival is due:
+when the server falls behind, latency measured from the scheduled
+arrival time grows, exactly as a real user's would.
+
+Outcomes are three-valued: ``ok`` (HTTP 200), ``shed`` (503 — the
+server's admission control or backpressure refused the request, with
+its ``request_id`` captured for correlation against the server log),
+and ``error`` (anything else, including transport failures).  Every
+request lands in the process metrics registry
+(``load_requests{stage,kind,outcome}``, ``load_request_seconds``,
+``load_service_seconds``), so ``repro slo check`` and ``--metrics-out``
+work on load runs like on any other command.
+"""
+
+from __future__ import annotations
+
+import http.client
+import time
+from dataclasses import dataclass, field
+from threading import Thread
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.designspace import sample_configurations
+from repro.designspace.space import DesignSpace
+from repro.obs import get_logger, get_registry, span
+from repro.runtime.faults import derive_rng
+from repro.serve import PredictionClient, ServerError
+
+from .plan import LoadPlan, LoadStage
+
+__all__ = [
+    "LoadGenerator",
+    "LoadReport",
+    "ScheduledRequest",
+    "StageSummary",
+    "build_schedule",
+]
+
+_log = get_logger("load.generator")
+
+#: Request-latency buckets: serving latencies live well under a second
+#: when healthy and blow through it at saturation; the default
+#: seconds-flavoured buckets are too coarse below 100 ms.
+LATENCY_BUCKETS = (
+    0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0, 30.0,
+)
+
+#: Percentiles reported per stage.
+_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One planned arrival.
+
+    ``payload`` indexes the stage's hot or cold configuration pool for
+    predict kinds, and is the search seed for ``search`` requests.
+    """
+
+    stage: str
+    index: int
+    offset: float
+    client: int
+    kind: str
+    payload: int
+
+
+@dataclass(frozen=True)
+class StagePools:
+    """The configuration pools one stage draws requests from."""
+
+    hot: Tuple
+    cold: Tuple
+
+
+def build_schedule(
+    plan: LoadPlan, space: Optional[DesignSpace] = None
+) -> Tuple[List[ScheduledRequest], Dict[str, StagePools]]:
+    """Expand a plan into its deterministic request schedule.
+
+    Returns ``(requests, pools)`` where ``requests`` is ordered by
+    absolute offset (stages run back to back) and ``pools`` maps stage
+    names to their sampled configuration pools.  Two calls with the
+    same plan are identical — the replay-determinism contract.
+    """
+    space = space if space is not None else DesignSpace()
+    schedule: List[ScheduledRequest] = []
+    pools: Dict[str, StagePools] = {}
+    base = 0.0
+    for stage in plan.stages:
+        offsets = _stage_offsets(plan, stage)
+        count = len(offsets)
+        kinds = _stage_kinds(plan, stage, count)
+        hot_picks = _stage_hot_picks(plan, stage, count)
+        search_seeds = derive_rng(
+            plan.seed, stage.name, "search"
+        ).integers(0, 2**31 - 1, size=max(count, 1))
+        pools[stage.name] = StagePools(
+            hot=tuple(sample_configurations(
+                space, stage.hot_configs,
+                seed=derive_rng(plan.seed, stage.name, "hot-pool"),
+            )),
+            cold=tuple(sample_configurations(
+                space, stage.cold_configs,
+                seed=derive_rng(plan.seed, stage.name, "cold-pool"),
+            )),
+        )
+        cold_cursor = 0
+        for index in range(count):
+            kind = kinds[index]
+            if kind == "predict_hot":
+                payload = int(hot_picks[index])
+            elif kind == "predict_cold":
+                payload = cold_cursor % stage.cold_configs
+                cold_cursor += 1
+            else:
+                payload = int(search_seeds[index])
+            schedule.append(ScheduledRequest(
+                stage=stage.name,
+                index=index,
+                offset=base + float(offsets[index]),
+                client=index % stage.clients,
+                kind=kind,
+                payload=payload,
+            ))
+        base += stage.duration
+    schedule.sort(key=lambda request: (request.offset, request.stage,
+                                       request.index))
+    return schedule, pools
+
+
+def _stage_offsets(plan: LoadPlan, stage: LoadStage) -> np.ndarray:
+    from .arrivals import arrival_offsets
+
+    return arrival_offsets(
+        stage.arrival,
+        stage.rate,
+        stage.duration,
+        rng=derive_rng(plan.seed, stage.name, "arrivals"),
+        burst_factor=stage.burst_factor,
+        burst_fraction=stage.burst_fraction,
+        burst_period=stage.burst_period,
+        ramp_from=stage.ramp_from,
+    )
+
+
+def _stage_kinds(
+    plan: LoadPlan, stage: LoadStage, count: int
+) -> List[str]:
+    weights = stage.weights
+    names = list(weights)
+    if len(names) == 1:
+        return names * count
+    rng = derive_rng(plan.seed, stage.name, "mix")
+    picks = rng.choice(
+        len(names), size=max(count, 1),
+        p=np.asarray([weights[name] for name in names]),
+    )
+    return [names[int(pick)] for pick in picks[:count]]
+
+
+def _stage_hot_picks(
+    plan: LoadPlan, stage: LoadStage, count: int
+) -> np.ndarray:
+    # Truncated zipf over the hot pool: p_i proportional to 1/i^s over
+    # ranks 1..hot_configs (numpy's zipf sampler is unbounded, so build
+    # the probability vector explicitly).
+    ranks = np.arange(1, stage.hot_configs + 1, dtype=float)
+    probabilities = ranks ** -stage.zipf_s
+    probabilities /= probabilities.sum()
+    rng = derive_rng(plan.seed, stage.name, "hot")
+    return rng.choice(
+        stage.hot_configs, size=max(count, 1), p=probabilities
+    )
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One completed request, as the load generator saw it."""
+
+    stage: str
+    kind: str
+    offset: float
+    latency: float       # seconds from *scheduled* arrival to response
+    service: float       # seconds from send to response
+    outcome: str         # "ok" | "shed" | "error"
+    status: int          # HTTP status (0 on transport failure)
+    request_id: Optional[str] = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class StageSummary:
+    """Per-stage accounting for the report."""
+
+    name: str
+    duration: float
+    offered_rps: float
+    scheduled: int
+    ok: int
+    shed: int
+    errors: int
+    goodput_rps: float
+    latency_percentiles_ms: Dict[str, float]
+
+    def to_payload(self) -> Dict:
+        return {
+            "name": self.name,
+            "duration_s": self.duration,
+            "offered_rps": self.offered_rps,
+            "scheduled": self.scheduled,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "goodput_rps": self.goodput_rps,
+            "latency_percentiles_ms": dict(self.latency_percentiles_ms),
+        }
+
+
+@dataclass
+class LoadReport:
+    """The outcome of one load run."""
+
+    plan_seed: int
+    wall_seconds: float
+    records: List[RequestRecord] = field(default_factory=list)
+    stages: List[StageSummary] = field(default_factory=list)
+
+    @property
+    def scheduled(self) -> int:
+        return len(self.records)
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for r in self.records if r.outcome == "ok")
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for r in self.records if r.outcome == "shed")
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for r in self.records if r.outcome == "error")
+
+    @property
+    def shed_request_ids(self) -> List[str]:
+        """Server-issued ids of shed requests (for log correlation)."""
+        return [
+            r.request_id for r in self.records
+            if r.outcome == "shed" and r.request_id
+        ]
+
+    def to_payload(self) -> Dict:
+        return {
+            "plan_seed": self.plan_seed,
+            "wall_seconds": self.wall_seconds,
+            "scheduled": self.scheduled,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "shed_request_ids": self.shed_request_ids[:200],
+            "stages": [stage.to_payload() for stage in self.stages],
+        }
+
+
+class LoadGenerator:
+    """Replay a plan's schedule against one server.
+
+    Args:
+        plan: The load plan (see :class:`~repro.load.plan.LoadPlan`).
+        host / port: The target prediction server.
+        space: Design space for sampling request pools (default: the
+            paper's).
+        timeout: Per-request socket timeout for every client.
+    """
+
+    def __init__(
+        self,
+        plan: LoadPlan,
+        host: str,
+        port: int,
+        space: Optional[DesignSpace] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.plan = plan
+        self.host = host
+        self.port = port
+        self.space = space if space is not None else DesignSpace()
+        self.timeout = timeout
+
+    def run(self) -> LoadReport:
+        """Execute the plan; never raises on per-request failures."""
+        registry = get_registry()
+        schedule, pools = build_schedule(self.plan, self.space)
+        stage_lookup = {stage.name: stage for stage in self.plan.stages}
+        slots: Dict[int, List[ScheduledRequest]] = {}
+        for request in schedule:
+            slots.setdefault(request.client, []).append(request)
+        results: List[List[RequestRecord]] = [
+            [] for _ in range(len(slots))
+        ]
+        slot_ids = sorted(slots)
+        # Give every thread a beat to spin up before the clock starts,
+        # so slot 0's first arrival is not late by thread-start time.
+        start = time.monotonic() + 0.05
+        threads = [
+            Thread(
+                target=self._client_worker,
+                args=(slot, slots[slot], stage_lookup, pools, start,
+                      results[position]),
+                name=f"load-client-{slot}",
+                daemon=True,
+            )
+            for position, slot in enumerate(slot_ids)
+        ]
+        _log.info(
+            "load run: %d requests over %d stage(s) on %d client(s)",
+            len(schedule), len(self.plan.stages), len(threads),
+        )
+        with span("load.run", requests=len(schedule),
+                  clients=len(threads)):
+            wall_start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            budget = self.plan.total_duration + self.timeout + 60.0
+            deadline = time.monotonic() + budget
+            for thread in threads:
+                thread.join(max(0.0, deadline - time.monotonic()))
+            wall = time.perf_counter() - wall_start
+        stuck = [t.name for t in threads if t.is_alive()]
+        if stuck:
+            _log.error("load clients never finished: %s", stuck)
+        records = [record for bucket in results for record in bucket]
+        for record in records:
+            registry.counter(
+                "load.requests", stage=record.stage, kind=record.kind,
+                outcome=record.outcome,
+            ).inc()
+            registry.histogram(
+                "load.request.seconds", buckets=LATENCY_BUCKETS,
+                stage=record.stage,
+            ).observe(record.latency)
+            registry.histogram(
+                "load.service.seconds", buckets=LATENCY_BUCKETS,
+            ).observe(record.service)
+        report = LoadReport(plan_seed=self.plan.seed, wall_seconds=wall)
+        report.records = sorted(
+            records, key=lambda r: (r.offset, r.stage)
+        )
+        report.stages = [
+            _summarise(stage_lookup[name], [
+                r for r in report.records if r.stage == name
+            ])
+            for name in (stage.name for stage in self.plan.stages)
+        ]
+        return report
+
+    # ------------------------------------------------------------------
+    # Worker threads
+    # ------------------------------------------------------------------
+    def _client_worker(
+        self,
+        slot: int,
+        requests: Sequence[ScheduledRequest],
+        stages: Dict[str, LoadStage],
+        pools: Dict[str, StagePools],
+        start: float,
+        sink: List[RequestRecord],
+    ) -> None:
+        with PredictionClient(
+            self.host, self.port, timeout=self.timeout,
+            client_id=f"load-{slot}",
+        ) as client:
+            for request in requests:
+                due = start + request.offset
+                delay = due - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                sink.append(self._issue(
+                    client, request, stages[request.stage],
+                    pools[request.stage], due,
+                ))
+
+    def _issue(
+        self,
+        client: PredictionClient,
+        request: ScheduledRequest,
+        stage: LoadStage,
+        pools: StagePools,
+        due: float,
+    ) -> RequestRecord:
+        began = time.monotonic()
+        status, request_id, detail = 200, None, ""
+        try:
+            if request.kind == "search":
+                client.search(
+                    agent=stage.search_agent,
+                    budget=stage.search_budget,
+                    seed=request.payload,
+                )
+            elif request.kind == "predict_cold":
+                client.predict([pools.cold[request.payload]])
+            else:
+                client.predict([pools.hot[request.payload]])
+            outcome = "ok"
+        except ServerError as error:
+            outcome = "shed" if error.status == 503 else "error"
+            status = error.status
+            request_id = error.request_id
+            detail = error.message
+        except (OSError, http.client.HTTPException) as error:
+            outcome, status = "error", 0
+            detail = f"{type(error).__name__}: {error}"
+        ended = time.monotonic()
+        return RequestRecord(
+            stage=request.stage,
+            kind=request.kind,
+            offset=request.offset,
+            latency=max(0.0, ended - due),
+            service=ended - began,
+            outcome=outcome,
+            status=status,
+            request_id=request_id,
+            detail=detail,
+        )
+
+
+def _summarise(
+    stage: LoadStage, records: Sequence[RequestRecord]
+) -> StageSummary:
+    ok_latencies = [r.latency for r in records if r.outcome == "ok"]
+    counts = {
+        outcome: sum(1 for r in records if r.outcome == outcome)
+        for outcome in ("ok", "shed", "error")
+    }
+    percentiles = {
+        f"p{percentile:g}": (
+            float(np.percentile(ok_latencies, percentile)) * 1e3
+            if ok_latencies else float("nan")
+        )
+        for percentile in _PERCENTILES
+    }
+    return StageSummary(
+        name=stage.name,
+        duration=stage.duration,
+        offered_rps=stage.rate,
+        scheduled=len(records),
+        ok=counts["ok"],
+        shed=counts["shed"],
+        errors=counts["error"],
+        goodput_rps=counts["ok"] / stage.duration,
+        latency_percentiles_ms=percentiles,
+    )

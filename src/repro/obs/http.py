@@ -103,12 +103,23 @@ def dump_json(payload: Dict) -> bytes:
 
 
 def json_error(
-    status: int, message: str, extra: Optional[Dict[str, str]] = None
+    status: int,
+    message: str,
+    extra: Optional[Dict[str, str]] = None,
+    request_id: Optional[str] = None,
 ) -> Tuple[int, bytes, str, Dict[str, str]]:
-    """The standard error shape: ``{"error": message}`` + headers."""
+    """The standard error shape: ``{"error": message}`` + headers.
+
+    When the caller assigns request ids (the prediction server does),
+    the id rides in the body so a shed request can be correlated from
+    the client's side against the server log.
+    """
+    payload: Dict[str, str] = {"error": message}
+    if request_id is not None:
+        payload["request_id"] = request_id
     return (
         status,
-        dump_json({"error": message}),
+        dump_json(payload),
         "application/json",
         dict(extra or {}),
     )

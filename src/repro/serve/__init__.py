@@ -16,7 +16,15 @@ infrastructure, dependency-free:
 * :class:`PredictionBatcher` / :class:`LRUCache` — the coalescing
   machinery, usable without the HTTP layer.
 * :class:`PredictionClient` — a small blocking client for benchmarks,
-  smoke tests and scripts.
+  smoke tests and scripts, with seeded full-jitter 503 retries and
+  transparent stale keep-alive recovery.
+* :class:`AdmissionController` / :class:`TokenBucket` — per-client
+  token-bucket quotas plus a global in-flight cap, shedding load with
+  503 + ``Retry-After`` *before* queueing delay collapses latency.
+* :class:`ServingFleet` / :func:`serve_fleet_forever` — a prefork
+  multi-process fleet (``repro serve --workers N``) sharing one port
+  via ``SO_REUSEPORT`` (or an inherited listening socket), with
+  coordinated SIGTERM drain and parent-side metrics merging.
 
 Exactness is the design anchor: the server predicts through the
 batch-composition-invariant forward path
@@ -25,12 +33,17 @@ so a served prediction is bit-identical to calling the predictor
 directly, regardless of how requests were batched or cached.
 """
 
+from .admission import AdmissionController, AdmissionDecision, TokenBucket
 from .batching import LRUCache, PredictionBatcher, ServerSaturated
 from .client import PredictionClient, ServerError
+from .fleet import FleetReport, ServingFleet, serve_fleet_forever
 from .registry import ModelRecord, ModelRegistry, RECORD_SCHEMA
 from .server import PredictionServer, serve_forever
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "FleetReport",
     "LRUCache",
     "ModelRecord",
     "ModelRegistry",
@@ -40,5 +53,8 @@ __all__ = [
     "RECORD_SCHEMA",
     "ServerError",
     "ServerSaturated",
+    "ServingFleet",
+    "TokenBucket",
+    "serve_fleet_forever",
     "serve_forever",
 ]

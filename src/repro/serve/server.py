@@ -34,8 +34,11 @@ story a supervisor expects.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import os
 import signal
+import socket
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -50,6 +53,7 @@ from repro.obs.http import (
     write_response as _write_response,
 )
 
+from .admission import AdmissionController
 from .batching import PredictionBatcher, ServerSaturated
 
 __all__ = ["PredictionServer", "serve_forever"]
@@ -84,6 +88,19 @@ class PredictionServer:
         space: Design space for validating request configurations.
         max_batch / batch_window / cache_size / queue_limit: Forwarded
             to the :class:`PredictionBatcher`.
+        admission: Optional :class:`AdmissionController` gating
+            ``/predict`` and ``/search`` (never ``/healthz`` or
+            ``/metrics``); refused requests get ``503`` with a
+            ``Retry-After`` hint.
+        service_delay: Extra seconds per forward pass (executor-side);
+            emulates an expensive model for saturation and scaling
+            studies (``--service-delay-ms``).
+        sock: A pre-bound listening socket to serve on instead of
+            binding ``host:port`` — how the shared-socket fleet
+            fallback hands one accept queue to every worker.
+        reuse_port: Bind with ``SO_REUSEPORT`` so multiple server
+            processes can share ``host:port`` and let the kernel
+            balance connections across them.
     """
 
     def __init__(
@@ -97,6 +114,10 @@ class PredictionServer:
         batch_window: float = 0.002,
         cache_size: int = 4096,
         queue_limit: int = 1024,
+        admission: Optional[AdmissionController] = None,
+        service_delay: float = 0.0,
+        sock: Optional[socket.socket] = None,
+        reuse_port: bool = False,
     ) -> None:
         self._predictor = predictor
         self.host = host
@@ -110,12 +131,22 @@ class PredictionServer:
             batch_window=batch_window,
             cache_size=cache_size,
             queue_limit=queue_limit,
+            forward_delay=service_delay,
         )
+        self.admission = admission
+        self._sock = sock
+        self._reuse_port = bool(reuse_port)
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self._draining = False
         self._started = 0.0
         self._searches_inflight = 0
+        self._active_requests = 0
+        # Request ids are unique per process and cheap to mint: the
+        # pid anchors which fleet worker answered, the counter orders
+        # requests within it.
+        self._request_seq = itertools.count()
+        self._rid_prefix = f"{os.getpid():x}"
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -132,9 +163,19 @@ class PredictionServer:
                 [self._space.baseline],
             )
             await self.batcher.start()
-            self._server = await asyncio.start_server(
-                self._handle_connection, self.host, self.port
-            )
+            if self._sock is not None:
+                self._server = await asyncio.start_server(
+                    self._handle_connection, sock=self._sock
+                )
+            elif self._reuse_port:
+                self._server = await asyncio.start_server(
+                    self._handle_connection, self.host, self.port,
+                    reuse_port=True,
+                )
+            else:
+                self._server = await asyncio.start_server(
+                    self._handle_connection, self.host, self.port
+                )
             self.port = self._server.sockets[0].getsockname()[1]
         self._started = time.time()
         get_registry().gauge("serve.up").set(1)
@@ -156,6 +197,12 @@ class PredictionServer:
                 # 503s for predictions from here on.
                 self._server.close()
             await self.batcher.stop()
+            # Searches run on the executor outside the batcher, and a
+            # just-resolved prediction still has its response write
+            # pending — wait for every in-flight request to finish its
+            # whole handler pass before tearing connections down.
+            while self._active_requests > 0:
+                await asyncio.sleep(0.01)
             # Idle keep-alive connections would otherwise pin
             # wait_closed() forever (Python >= 3.12 waits for handler
             # completion); in-flight responses finished above.
@@ -179,35 +226,49 @@ class PredictionServer:
     ) -> None:
         registry = get_registry()
         self._connections.add(writer)
+        peer = writer.get_extra_info("peername")
+        peer_ip = peer[0] if isinstance(peer, tuple) and peer else "unknown"
         try:
             while True:
                 request = await _read_request(reader)
                 if request is None:
                     break
                 method, target, headers, body = request
+                request_id = self._next_request_id()
+                client_id = headers.get("x-client-id") or peer_ip
                 registry.gauge("serve.inflight").inc()
+                self._active_requests += 1
                 start = time.perf_counter()
                 try:
-                    status, payload, content_type, extra = (
-                        await self._dispatch(method, target, body)
+                    try:
+                        status, payload, content_type, extra = (
+                            await self._dispatch(
+                                method, target, body,
+                                client_id=client_id,
+                                request_id=request_id,
+                            )
+                        )
+                    finally:
+                        registry.gauge("serve.inflight").inc(-1)
+                    extra = dict(extra)
+                    extra.setdefault("X-Request-Id", request_id)
+                    registry.histogram("serve.request.seconds").observe(
+                        time.perf_counter() - start
                     )
+                    registry.counter(
+                        "serve.requests", status=str(status)
+                    ).inc()
+                    keep_alive = (
+                        headers.get("connection", "keep-alive") != "close"
+                        and not self._draining
+                    )
+                    _write_response(
+                        writer, status, payload, content_type,
+                        keep_alive=keep_alive, extra=extra,
+                    )
+                    await writer.drain()
                 finally:
-                    registry.gauge("serve.inflight").inc(-1)
-                registry.histogram("serve.request.seconds").observe(
-                    time.perf_counter() - start
-                )
-                registry.counter(
-                    "serve.requests", status=str(status)
-                ).inc()
-                keep_alive = (
-                    headers.get("connection", "keep-alive") != "close"
-                    and not self._draining
-                )
-                _write_response(
-                    writer, status, payload, content_type,
-                    keep_alive=keep_alive, extra=extra,
-                )
-                await writer.drain()
+                    self._active_requests -= 1
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError,
@@ -221,35 +282,77 @@ class PredictionServer:
             except (ConnectionError, OSError):
                 pass
 
+    def _next_request_id(self) -> str:
+        return f"{self._rid_prefix}-{next(self._request_seq):06x}"
+
     async def _dispatch(
-        self, method: str, target: str, body: bytes
+        self,
+        method: str,
+        target: str,
+        body: bytes,
+        client_id: str = "unknown",
+        request_id: str = "-",
     ) -> Tuple[int, bytes, str, Dict[str, str]]:
         """Route one request; returns (status, body, content-type, headers)."""
         path = target.split("?", 1)[0]
         if path == "/healthz":
             if method != "GET":
-                return _json_error(405, "use GET")
+                return _json_error(405, "use GET", request_id=request_id)
             return self._handle_healthz()
         if path == "/metrics":
             if method != "GET":
-                return _json_error(405, "use GET")
+                return _json_error(405, "use GET", request_id=request_id)
             text = get_registry().to_prometheus()
             return 200, text.encode("utf-8"), PROMETHEUS_CONTENT_TYPE, {}
         if path == "/predict":
             if method != "POST":
-                return _json_error(405, "use POST")
-            return await self._handle_predict(body)
+                return _json_error(405, "use POST", request_id=request_id)
+            return await self._admitted(
+                self._handle_predict, body, client_id, request_id
+            )
         if path == "/search":
             if method != "POST":
-                return _json_error(405, "use POST")
-            return await self._handle_search(body)
-        return _json_error(404, f"unknown path {path!r}")
+                return _json_error(405, "use POST", request_id=request_id)
+            return await self._admitted(
+                self._handle_search, body, client_id, request_id
+            )
+        return _json_error(
+            404, f"unknown path {path!r}", request_id=request_id
+        )
+
+    async def _admitted(
+        self, handler, body: bytes, client_id: str, request_id: str
+    ) -> Tuple[int, bytes, str, Dict[str, str]]:
+        """Run a work-bearing handler through admission control."""
+        if self.admission is None:
+            return await handler(body, request_id)
+        decision = self.admission.try_admit(client_id)
+        if not decision.admitted:
+            get_registry().counter(
+                "serve.rejected", reason=decision.reason
+            ).inc()
+            _log.warning(
+                "request %s from %s shed: %s (retry in %.2fs)",
+                request_id, client_id, decision.reason,
+                decision.retry_after,
+            )
+            return _json_error(
+                503,
+                f"admission refused: {decision.reason}",
+                {"Retry-After": f"{max(decision.retry_after, 0.01):.2f}"},
+                request_id=request_id,
+            )
+        try:
+            return await handler(body, request_id)
+        finally:
+            self.admission.release()
 
     def _handle_healthz(self) -> Tuple[int, bytes, str, Dict[str, str]]:
         status = "draining" if self._draining else "ok"
         payload = {
             "status": status,
             "model": self.model_info,
+            "pid": os.getpid(),
             "uptime_seconds": (
                 time.time() - self._started if self._started else 0.0
             ),
@@ -259,26 +362,35 @@ class PredictionServer:
         return code, _dump(payload), "application/json", {}
 
     async def _handle_predict(
-        self, body: bytes
+        self, body: bytes, request_id: str = "-"
     ) -> Tuple[int, bytes, str, Dict[str, str]]:
         if self._draining:
             get_registry().counter("serve.rejected", reason="draining").inc()
+            _log.warning("request %s shed: draining", request_id)
             return _json_error(
-                503, "the server is draining", {"Retry-After": "1"}
+                503, "the server is draining", {"Retry-After": "1"},
+                request_id=request_id,
             )
         try:
             configs = self._parse_configs(body)
         except _BadRequest as error:
-            return _json_error(400, str(error))
+            return _json_error(400, str(error), request_id=request_id)
         try:
             values = await asyncio.gather(
                 *(self.batcher.predict_one(config) for config in configs)
             )
         except ServerSaturated as error:
-            return _json_error(503, str(error), {"Retry-After": "1"})
+            _log.warning("request %s shed: %s", request_id, error)
+            return _json_error(
+                503, str(error), {"Retry-After": "1"},
+                request_id=request_id,
+            )
         except RuntimeError as error:
-            _log.error("prediction failed: %s", error)
-            return _json_error(500, f"prediction failed: {error}")
+            _log.error("request %s: prediction failed: %s",
+                       request_id, error)
+            return _json_error(
+                500, f"prediction failed: {error}", request_id=request_id
+            )
         payload = {
             "metric": self._predictor.metric.value,
             "predictions": [float(v) for v in values],
@@ -287,7 +399,7 @@ class PredictionServer:
         return 200, _dump(payload), "application/json", {}
 
     async def _handle_search(
-        self, body: bytes
+        self, body: bytes, request_id: str = "-"
     ) -> Tuple[int, bytes, str, Dict[str, str]]:
         from repro.search import (
             DesignSpaceEnv,
@@ -299,19 +411,23 @@ class PredictionServer:
         registry = get_registry()
         if self._draining:
             registry.counter("serve.rejected", reason="draining").inc()
+            _log.warning("request %s shed: draining", request_id)
             return _json_error(
-                503, "the server is draining", {"Retry-After": "1"}
+                503, "the server is draining", {"Retry-After": "1"},
+                request_id=request_id,
             )
         try:
             agent_name, budget, batch, seed = self._parse_search(body)
         except _BadRequest as error:
-            return _json_error(400, str(error))
+            return _json_error(400, str(error), request_id=request_id)
         if self._searches_inflight >= _MAX_SEARCHES_INFLIGHT:
             registry.counter("serve.rejected", reason="search_busy").inc()
+            _log.warning("request %s shed: search_busy", request_id)
             return _json_error(
                 503,
                 f"at most {_MAX_SEARCHES_INFLIGHT} concurrent searches",
                 {"Retry-After": "1"},
+                request_id=request_id,
             )
 
         metric = self._predictor.metric
@@ -336,8 +452,10 @@ class PredictionServer:
                     None, _run_bounded_search
                 )
         except (RuntimeError, ValueError) as error:
-            _log.error("search failed: %s", error)
-            return _json_error(500, f"search failed: {error}")
+            _log.error("request %s: search failed: %s", request_id, error)
+            return _json_error(
+                500, f"search failed: {error}", request_id=request_id
+            )
         finally:
             self._searches_inflight -= 1
             registry.gauge("serve.search.inflight").inc(-1)
@@ -463,12 +581,21 @@ def serve_forever(
     batch_window: float = 0.002,
     cache_size: int = 4096,
     queue_limit: int = 1024,
+    max_inflight: int = 0,
+    client_rate: float = 0.0,
+    client_burst: int = 0,
+    service_delay: float = 0.0,
     ready_callback=None,
 ) -> None:
     """Run a prediction server until SIGTERM/SIGINT, then drain.
 
     Args:
         predictor: A fitted architecture-centric predictor.
+        max_inflight / client_rate / client_burst: Admission-control
+            limits (an :class:`AdmissionController` is installed when
+            any is set; see :mod:`repro.serve.admission`).
+        service_delay: Extra seconds per forward pass for scaling
+            studies.
         ready_callback: Called with the started
             :class:`PredictionServer` once the socket is bound (tests
             and the CLI use it to report the actual port).
@@ -478,6 +605,13 @@ def serve_forever(
     so the caller's ``finally`` blocks (telemetry export, manifest
     writing) always run.
     """
+    admission = None
+    if max_inflight > 0 or client_rate > 0:
+        admission = AdmissionController(
+            max_inflight=max_inflight,
+            client_rate=client_rate,
+            client_burst=client_burst,
+        )
     server = PredictionServer(
         predictor,
         host=host,
@@ -487,6 +621,8 @@ def serve_forever(
         batch_window=batch_window,
         cache_size=cache_size,
         queue_limit=queue_limit,
+        admission=admission,
+        service_delay=service_delay,
     )
 
     async def _run() -> None:

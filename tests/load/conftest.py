@@ -1,0 +1,16 @@
+"""Load-test fixtures: reuse the serving harness and fitted predictor.
+
+The serve suite already owns a session-scoped fitted predictor and the
+in-thread :class:`ServerHarness`; importing the fixture functions here
+re-registers them for this directory, so load tests drive a real
+server through the real socket path.
+"""
+
+from __future__ import annotations
+
+from tests.serve.conftest import (  # noqa: F401 — fixture re-export
+    ServerHarness,
+    fitted_predictor,
+    harness,
+    holdout_configs,
+)

@@ -1,0 +1,106 @@
+"""Arrival-process tests: determinism, rates and shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.load import ARRIVAL_KINDS, arrival_offsets
+from repro.runtime.faults import derive_rng
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_sorted_and_in_range(self, kind):
+        offsets = arrival_offsets(kind, 80.0, 2.0, rng=derive_rng(3, kind))
+        assert np.all(np.diff(offsets) >= 0)
+        assert np.all(offsets >= 0.0)
+        assert np.all(offsets < 2.0)
+
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_same_seed_replays(self, kind):
+        first = arrival_offsets(kind, 50.0, 3.0, rng=derive_rng(7, kind))
+        second = arrival_offsets(kind, 50.0, 3.0, rng=derive_rng(7, kind))
+        np.testing.assert_array_equal(first, second)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="arrival kind"):
+            arrival_offsets("lumpy", 10.0, 1.0)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError):
+            arrival_offsets("constant", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            arrival_offsets("constant", 10.0, 0.0)
+
+
+class TestConstant:
+    def test_count_and_spacing(self):
+        offsets = arrival_offsets("constant", 100.0, 2.0)
+        assert len(offsets) == 200
+        gaps = np.diff(offsets)
+        np.testing.assert_allclose(gaps, gaps[0])
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        offsets = arrival_offsets(
+            "poisson", 200.0, 10.0, rng=derive_rng(1, "poisson")
+        )
+        # 2000 expected arrivals; 5 sigma is ~220.
+        assert 1700 < len(offsets) < 2300
+
+    def test_needs_rng(self):
+        with pytest.raises(ValueError, match="rng"):
+            arrival_offsets("poisson", 10.0, 1.0)
+
+    def test_different_seeds_differ(self):
+        first = arrival_offsets("poisson", 50.0, 2.0, rng=derive_rng(1, "a"))
+        second = arrival_offsets("poisson", 50.0, 2.0, rng=derive_rng(1, "b"))
+        assert first.shape != second.shape or not np.array_equal(
+            first, second
+        )
+
+
+class TestBurst:
+    def test_mean_rate_preserved(self):
+        offsets = arrival_offsets(
+            "burst", 100.0, 4.0, rng=derive_rng(2, "burst"),
+            burst_factor=4.0, burst_fraction=0.25, burst_period=1.0,
+        )
+        assert len(offsets) == pytest.approx(400, abs=4)
+
+    def test_concentrated_in_burst_windows(self):
+        offsets = arrival_offsets(
+            "burst", 100.0, 2.0, rng=derive_rng(2, "burst"),
+            burst_factor=4.0, burst_fraction=0.25, burst_period=1.0,
+        )
+        phase = offsets % 1.0
+        # factor * fraction == 1 puts the whole mean rate in-burst.
+        assert np.all(phase < 0.25 + 1e-9)
+
+    def test_overfull_burst_rejected(self):
+        with pytest.raises(ValueError, match="burst"):
+            arrival_offsets(
+                "burst", 10.0, 1.0, rng=derive_rng(0, "x"),
+                burst_factor=8.0, burst_fraction=0.5,
+            )
+
+
+class TestRamp:
+    def test_mean_is_average_of_endpoints(self):
+        offsets = arrival_offsets("ramp", 100.0, 4.0, ramp_from=0.0)
+        # Mean rate (0+100)/2 = 50/s over 4s.
+        assert len(offsets) == pytest.approx(200, abs=2)
+
+    def test_density_increases(self):
+        offsets = arrival_offsets("ramp", 100.0, 4.0, ramp_from=0.0)
+        first_half = int(np.sum(offsets < 2.0))
+        second_half = len(offsets) - first_half
+        assert second_half > 2 * first_half
+
+    def test_ramp_down(self):
+        offsets = arrival_offsets("ramp", 10.0, 4.0, ramp_from=90.0)
+        first_half = int(np.sum(offsets < 2.0))
+        assert first_half > len(offsets) - first_half
+        assert np.all(np.diff(offsets) >= 0)

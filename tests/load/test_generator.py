@@ -1,0 +1,135 @@
+"""Schedule construction and live open-loop runs against a real server."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.load import LoadGenerator, LoadPlan, LoadStage, build_schedule
+from repro.obs import scoped_registry
+from repro.serve import AdmissionController
+
+
+def _mixed_plan(**stage_overrides) -> LoadPlan:
+    fields = {
+        "name": "mixed", "duration": 1.0, "rate": 60.0,
+        "arrival": "poisson", "clients": 3,
+        "mix": (("predict_hot", 0.6), ("predict_cold", 0.4)),
+        "hot_configs": 8, "cold_configs": 32,
+    }
+    fields.update(stage_overrides)
+    return LoadPlan(stages=(LoadStage(**fields),), seed=2007)
+
+
+class TestBuildSchedule:
+    def test_replay_is_bit_identical(self):
+        plan = _mixed_plan()
+        first, first_pools = build_schedule(plan)
+        second, second_pools = build_schedule(plan)
+        assert first == second
+        assert first_pools == second_pools
+
+    def test_seed_changes_schedule(self):
+        first, _ = build_schedule(_mixed_plan())
+        second, _ = build_schedule(_mixed_plan().with_seed(1))
+        assert first != second
+
+    def test_ordered_by_offset(self):
+        schedule, _ = build_schedule(LoadPlan(stages=(
+            LoadStage(name="a", duration=1.0, rate=40.0),
+            LoadStage(name="b", duration=1.0, rate=40.0),
+        ), seed=3))
+        offsets = [request.offset for request in schedule]
+        assert offsets == sorted(offsets)
+        # Stage b's arrivals land after stage a's window.
+        b_offsets = [r.offset for r in schedule if r.stage == "b"]
+        assert min(b_offsets) >= 1.0
+
+    def test_clients_round_robin(self):
+        schedule, _ = build_schedule(_mixed_plan(clients=3))
+        assert {request.client for request in schedule} == {0, 1, 2}
+
+    def test_pools_match_plan(self):
+        _, pools = build_schedule(_mixed_plan())
+        assert len(pools["mixed"].hot) == 8
+        assert len(pools["mixed"].cold) == 32
+
+    def test_hot_picks_are_zipf_skewed(self):
+        plan = _mixed_plan(
+            rate=500.0, duration=2.0, arrival="constant",
+            mix=(("predict_hot", 1.0),), zipf_s=1.5,
+        )
+        schedule, _ = build_schedule(plan)
+        counts = collections.Counter(
+            request.payload for request in schedule
+        )
+        # Rank 0 must dominate the tail rank by a wide margin.
+        assert counts[0] > 5 * max(counts.get(7, 0), 1)
+
+    def test_cold_payloads_cycle_the_pool(self):
+        plan = _mixed_plan(
+            rate=100.0, duration=1.0, arrival="constant",
+            mix=(("predict_cold", 1.0),), cold_configs=16,
+        )
+        schedule, _ = build_schedule(plan)
+        payloads = [request.payload for request in schedule]
+        assert payloads[:16] == list(range(16))
+        assert max(payloads) < 16
+
+
+class TestLiveRuns:
+    def test_below_knee_run_all_ok(self, harness):
+        started = harness(cache_size=0)
+        plan = _mixed_plan()
+        with scoped_registry() as registry:
+            report = LoadGenerator(
+                plan, "127.0.0.1", started.port, timeout=10.0
+            ).run()
+        assert report.scheduled > 20
+        assert report.ok == report.scheduled
+        assert report.shed == 0 and report.errors == 0
+        summary = report.stages[0]
+        assert summary.scheduled == report.scheduled
+        assert summary.goodput_rps > 0
+        assert summary.latency_percentiles_ms["p99"] > 0
+        # Every record landed in the metrics registry.
+        total = 0.0
+        for metric in registry.snapshot()["metrics"]:
+            if metric["name"] == "load.requests":
+                total += metric["state"]
+        assert total == report.scheduled
+
+    def test_report_payload_shape(self, harness):
+        started = harness()
+        plan = _mixed_plan(duration=0.5, rate=30.0)
+        with scoped_registry():
+            payload = LoadGenerator(
+                plan, "127.0.0.1", started.port, timeout=10.0
+            ).run().to_payload()
+        assert payload["plan_seed"] == 2007
+        assert payload["scheduled"] == payload["ok"]
+        stage = payload["stages"][0]
+        assert stage["name"] == "mixed"
+        assert set(stage["latency_percentiles_ms"]) == {"p50", "p90", "p99"}
+
+    def test_quota_sheds_are_recorded_with_ids(self, harness):
+        # One token per client and a glacial refill: nearly every
+        # request past the first per client must shed.
+        started = harness(
+            admission=AdmissionController(client_rate=0.1, client_burst=1),
+        )
+        plan = _mixed_plan(duration=1.0, rate=40.0, clients=2,
+                           arrival="constant")
+        with scoped_registry():
+            report = LoadGenerator(
+                plan, "127.0.0.1", started.port, timeout=10.0
+            ).run()
+        assert report.ok >= 2
+        assert report.shed >= report.scheduled - 4
+        assert report.errors == 0
+        shed = [r for r in report.records if r.outcome == "shed"]
+        assert all(r.status == 503 for r in shed)
+        # Every shed carries the server-minted id for log correlation.
+        assert all(r.request_id for r in shed)
+        assert len(report.shed_request_ids) == len(shed)

@@ -1,0 +1,110 @@
+"""Load-plan schema tests: strict JSON in, the same JSON out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.load import LoadPlan, LoadStage
+
+
+def _plan(**overrides) -> LoadPlan:
+    stage = LoadStage(
+        name="steady", duration=2.0, rate=50.0,
+        mix=(("predict_hot", 0.7), ("predict_cold", 0.25),
+             ("search", 0.05)),
+    )
+    fields = {"stages": (stage,), "seed": 2007,
+              "description": "unit fixture"}
+    fields.update(overrides)
+    return LoadPlan(**fields)
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self):
+        plan = _plan()
+        again = LoadPlan.from_json(plan.to_json())
+        assert again == plan
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = _plan()
+        plan.save(path)
+        assert LoadPlan.load(path) == plan
+
+    def test_with_seed(self):
+        plan = _plan()
+        reseeded = plan.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.stages == plan.stages
+
+    def test_total_duration(self):
+        plan = _plan(stages=(
+            LoadStage(name="a", duration=2.0, rate=10.0),
+            LoadStage(name="b", duration=3.0, rate=10.0),
+        ))
+        assert plan.total_duration == pytest.approx(5.0)
+
+    def test_weights_normalised(self):
+        stage = LoadStage(
+            name="s", duration=1.0, rate=1.0,
+            mix=(("predict_hot", 3.0), ("search", 1.0)),
+        )
+        assert stage.weights == pytest.approx(
+            {"predict_hot": 0.75, "search": 0.25}
+        )
+
+
+class TestValidation:
+    def test_unknown_stage_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown stage keys"):
+            LoadStage.from_dict(
+                {"name": "s", "duration": 1.0, "rate": 1.0, "ratee": 2.0}
+            )
+
+    def test_unknown_plan_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown plan keys"):
+            LoadPlan.from_dict({"stages": [], "sed": 1})
+
+    def test_missing_required_stage_key(self):
+        with pytest.raises(ValueError, match='"rate"'):
+            LoadStage.from_dict({"name": "s", "duration": 1.0})
+
+    def test_plan_needs_stages(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            LoadPlan(stages=())
+
+    def test_duplicate_stage_names(self):
+        stage = LoadStage(name="dup", duration=1.0, rate=1.0)
+        with pytest.raises(ValueError, match="duplicate stage names"):
+            LoadPlan(stages=(stage, stage))
+
+    def test_non_integer_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            _plan(seed="7")
+
+    def test_unknown_mix_kind(self):
+        with pytest.raises(ValueError, match="unknown mix kind"):
+            LoadStage(name="s", duration=1.0, rate=1.0,
+                      mix=(("predict_warm", 1.0),))
+
+    def test_non_positive_mix_weight(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            LoadStage(name="s", duration=1.0, rate=1.0,
+                      mix=(("predict_hot", 0.0),))
+
+    def test_duplicate_mix_kind(self):
+        with pytest.raises(ValueError, match="duplicate mix kinds"):
+            LoadStage(name="s", duration=1.0, rate=1.0,
+                      mix=(("predict_hot", 1.0), ("predict_hot", 2.0)))
+
+    def test_bad_arrival(self):
+        with pytest.raises(ValueError, match="unknown arrival"):
+            LoadStage(name="s", duration=1.0, rate=1.0, arrival="spiky")
+
+    def test_search_budget_bounds(self):
+        with pytest.raises(ValueError, match="search_budget"):
+            LoadStage(name="s", duration=1.0, rate=1.0, search_budget=1)
+
+    def test_not_json(self):
+        with pytest.raises(ValueError, match="not JSON"):
+            LoadPlan.from_json("{nope")

@@ -366,6 +366,50 @@ class TestServeArguments:
         assert code == 2
         assert "cannot load model" in capsys.readouterr().err
 
+    def test_serve_rejects_zero_workers(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--artifact", str(tmp_path / "no.npz"),
+             "--workers", "0"]
+        )
+        assert code == 2
+        assert "at least one worker" in capsys.readouterr().err
+
+
+class TestLoadArguments:
+    def test_load_missing_plan_file(self, tmp_path, capsys):
+        code = main(
+            ["load", "--plan", str(tmp_path / "no-plan.json"),
+             "--target", "127.0.0.1:8000"]
+        )
+        assert code == 2
+        assert "load plan error" in capsys.readouterr().err
+
+    def test_load_invalid_plan_rejected(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"seed": 1, "stages": [{"name": "s", "duration": 1.0}]}
+        ))
+        code = main(
+            ["load", "--plan", str(path),
+             "--target", "127.0.0.1:8000"]
+        )
+        assert code == 2
+        assert "load plan error" in capsys.readouterr().err
+
+    def test_load_unreachable_target_fails_fast(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "seed": 1,
+            "stages": [{"name": "s", "duration": 1.0, "rate": 5.0}],
+        }))
+        # A port from the dynamic range with nothing listening.
+        code = main(
+            ["load", "--plan", str(path),
+             "--target", "127.0.0.1:1", "--timeout", "2"]
+        )
+        assert code == 2
+        assert "not healthy" in capsys.readouterr().err
+
 
 class TestServeSigterm:
     """End to end: serve a saved artifact in a subprocess, answer a
